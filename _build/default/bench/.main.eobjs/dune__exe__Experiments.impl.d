@@ -1,0 +1,1 @@
+bench/experiments.ml: Adversary Array Bounds Config Execution Format Layout Lincheck List Locks Machine Mcheck Objects Pidset Printf Prog String Tsim

@@ -1,0 +1,1 @@
+bench/timings.ml: Adversary Analysis Analyze Array Bechamel Benchmark Bounds Execution Hashtbl Instance Lincheck List Locks Mcheck Measure Objects Printf Staged Test Time Toolkit Tsim

@@ -1,0 +1,26 @@
+(* Benchmark & experiment harness.
+
+     dune exec bench/main.exe            run every experiment + timings
+     dune exec bench/main.exe -- e3 e6   run selected experiments
+     dune exec bench/main.exe -- time    run only the Bechamel timings
+
+   Experiment ids map to the paper's artefacts (DESIGN.md §3):
+     e1 Figure 1 · e2 Theorems 1/3 · e3 Corollary 1 · e4 Corollary 2 ·
+     e5 Corollary 3 · e6 lock zoo table · e7 PSO frontier (Ineq. 3) ·
+     e8 Lemma 9 · e9 invariant audit *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let run_timings = args = [] || List.mem "time" args in
+  let selected id = args = [] || List.mem id args in
+  Printf.printf
+    "Reproduction harness: \"The Price of being Adaptive\" (Ben-Baruch & \
+     Hendler, PODC 2015)\n";
+  List.iter
+    (fun (id, _desc, f) -> if selected id then f ())
+    Experiments.all;
+  if run_timings then begin
+    Printf.printf "\nBechamel timings (simulator machinery)\n";
+    Printf.printf "=====================================\n";
+    Timings.run ()
+  end

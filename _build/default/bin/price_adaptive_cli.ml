@@ -1,0 +1,383 @@
+(* Command-line front end over the reproduction.
+
+     dune exec bin/price_adaptive_cli.exe -- <command> ...
+
+   Commands:
+     list                          the lock zoo
+     lock <name> [...]             run a lock, print its cost profile
+     adversary <name> [...]        run the lower-bound construction
+     bounds [...]                  Theorem 1 forced-fence computation
+     verify <name> [...]           exhaustive schedule exploration (small n)
+     trace <name> -o FILE [...]    save an execution trace artifact
+     analyze FILE                  metrics + IN-set verdict of a saved trace
+     litmus [--pso]                store-buffering litmus *)
+
+open Cmdliner
+
+let model_conv =
+  let parse = function
+    | "dsm" -> Ok Tsim.Config.Dsm
+    | "cc-wt" | "wt" -> Ok Tsim.Config.Cc_wt
+    | "cc-wb" | "wb" -> Ok Tsim.Config.Cc_wb
+    | s -> Error (`Msg (Printf.sprintf "unknown memory model %S" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt (Tsim.Config.mem_model_name m)
+  in
+  Arg.conv (parse, print)
+
+let find_lock name =
+  match Locks.Zoo.find name with
+  | Some fam -> Ok fam
+  | None ->
+      Error
+        (Printf.sprintf "unknown lock %S; try one of: %s" name
+           (String.concat ", "
+              (List.map
+                 (fun f -> f.Locks.Lock_intf.family_name)
+                 Locks.Zoo.all)))
+
+(* --- list -------------------------------------------------------------- *)
+
+let list_cmd =
+  let doc = "List the lock zoo and object-based mutexes." in
+  let run () =
+    print_endline "locks:";
+    List.iter
+      (fun (f : Locks.Lock_intf.family) ->
+        let l = f.Locks.Lock_intf.instantiate ~n:2 in
+        Printf.printf "  %-15s %s%s\n" f.Locks.Lock_intf.family_name
+          (if l.Locks.Lock_intf.uses_rmw then "rmw " else "r/w ")
+          (if l.Locks.Lock_intf.one_time then "(one-time)" else ""))
+      Locks.Zoo.all;
+    print_endline "object-based (Lemma 9):";
+    List.iter
+      (fun (f : Locks.Lock_intf.family) ->
+        Printf.printf "  %s\n" f.Locks.Lock_intf.family_name)
+      Objects.Mutex_from_object.families
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* --- lock -------------------------------------------------------------- *)
+
+let lock_cmd =
+  let doc = "Run a lock on the simulator and print its cost profile." in
+  let lock_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"LOCK") in
+  let n = Arg.(value & opt int 8 & info [ "n" ] ~doc:"number of processes") in
+  let k =
+    Arg.(value & opt (some int) None & info [ "k" ] ~doc:"contending processes")
+  in
+  let model =
+    Arg.(value & opt model_conv Tsim.Config.Cc_wb
+        & info [ "model" ] ~doc:"memory model: dsm, cc-wt, cc-wb")
+  in
+  let passages =
+    Arg.(value & opt int 1 & info [ "passages" ] ~doc:"passages per process")
+  in
+  let seed =
+    Arg.(value & opt (some int) None
+        & info [ "seed" ] ~doc:"random schedule seed (default: round robin)")
+  in
+  let run name n k model passages seed =
+    match find_lock name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok fam ->
+        let k = Option.value ~default:n k in
+        let lock = fam.Locks.Lock_intf.instantiate ~n in
+        let passages = if lock.Locks.Lock_intf.one_time then 1 else passages in
+        let schedule =
+          match seed with
+          | None -> Locks.Harness.Rr
+          | Some s -> Locks.Harness.Rand s
+        in
+        let _, stats =
+          Locks.Harness.run_contended ~model ~max_passages:passages ~schedule
+            lock ~n ~k
+        in
+        Printf.printf
+          "%s  n=%d k=%d model=%s passages=%d\n\
+           exclusion ok      : %b\n\
+           completed         : %b\n\
+           CS entries        : %d\n\
+           rmrs/passage      : avg %.2f, max %d\n\
+           fences/passage    : avg %.2f, max %d\n\
+           interval/point    : %d / %d\n"
+          stats.Locks.Harness.lock_name n k
+          (Tsim.Config.mem_model_name model)
+          passages stats.Locks.Harness.exclusion_ok
+          stats.Locks.Harness.completed stats.Locks.Harness.cs_entries
+          stats.Locks.Harness.avg_rmrs_per_passage
+          stats.Locks.Harness.max_rmrs_per_passage
+          stats.Locks.Harness.avg_fences_per_passage
+          stats.Locks.Harness.max_fences_per_passage
+          stats.Locks.Harness.max_interval_contention
+          stats.Locks.Harness.max_point_contention
+  in
+  Cmd.v (Cmd.info "lock" ~doc)
+    Term.(const run $ lock_arg $ n $ k $ model $ passages $ seed)
+
+(* --- adversary ---------------------------------------------------------- *)
+
+let adversary_cmd =
+  let doc =
+    "Run the lower-bound construction (Section 4) against a lock."
+  in
+  let lock_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"LOCK") in
+  let n = Arg.(value & opt int 16 & info [ "n" ] ~doc:"number of processes") in
+  let audit =
+    Arg.(value & flag & info [ "audit" ] ~doc:"check IN-set invariants")
+  in
+  let ablate_is =
+    Arg.(value & flag
+        & info [ "no-independent-sets" ] ~doc:"ablate Turán selection")
+  in
+  let ablate_reg =
+    Arg.(value & flag
+        & info [ "no-regularization" ] ~doc:"ablate the regularization phase")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"print per-round details")
+  in
+  let run name n audit no_is no_reg verbose =
+    match find_lock name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok fam ->
+        let lock = fam.Locks.Lock_intf.instantiate ~n in
+        let c =
+          Adversary.Construction.create ~audit ~no_independent_sets:no_is
+            ~no_regularization:no_reg lock ~n
+        in
+        let report = Adversary.Construction.run ~min_act:1 c in
+        (if verbose then Format.printf "%a" Adversary.Report.pp_verbose report
+         else Format.printf "%a" Adversary.Report.pp report);
+        (match Adversary.Witness.extract c with
+        | Some w -> Printf.printf "witness: %s\n" w.Adversary.Witness.detail
+        | None -> print_endline "witness: none (all finished or erased)");
+        if audit then begin
+          match Adversary.Construction.audit_failures c with
+          | [] -> print_endline "audit: all IN-set invariants held"
+          | fails ->
+              Printf.printf "audit: %d violations\n" (List.length fails);
+              List.iter (fun f -> Printf.printf "  %s\n" f) fails
+        end
+  in
+  Cmd.v (Cmd.info "adversary" ~doc)
+    Term.(const run $ lock_arg $ n $ audit $ ablate_is $ ablate_reg $ verbose)
+
+(* --- bounds -------------------------------------------------------------- *)
+
+let bounds_cmd =
+  let doc = "Evaluate the Theorem 1 condition and forced-fence bound." in
+  let family =
+    Arg.(value & opt string "linear"
+        & info [ "family" ] ~doc:"adaptivity family: linear or exp")
+  in
+  let c = Arg.(value & opt float 1.0 & info [ "c" ] ~doc:"constant c") in
+  let log2n =
+    Arg.(value & opt float 1024.0 & info [ "log2n" ] ~doc:"log2 of N")
+  in
+  let run family c log2_n =
+    let f =
+      match family with
+      | "exp" | "exponential" -> Bounds.Adaptivity.exponential c
+      | _ -> Bounds.Adaptivity.linear c
+    in
+    let forced = Bounds.Theorem1.max_forced_fences ~f ~log2_n () in
+    Printf.printf
+      "%s, log2 N = %g\n\
+       max forced fences (Theorem 1): %d\n\
+       closed form: Cor.2 (1/3c)loglogN = %.2f, Cor.3 (1/c)(lllN-1) = %.2f\n"
+      (Bounds.Adaptivity.name f) log2_n forced
+      (Bounds.Corollaries.cor2_closed_form ~c ~log2_n)
+      (Bounds.Corollaries.cor3_closed_form ~c ~log2_n)
+  in
+  Cmd.v (Cmd.info "bounds" ~doc) Term.(const run $ family $ c $ log2n)
+
+(* --- trace / analyze ----------------------------------------------------- *)
+
+let trace_cmd =
+  let doc = "Run a lock and save its execution trace as a text artifact." in
+  let lock_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LOCK")
+  in
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE")
+  in
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"number of processes") in
+  let seed =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~doc:"random schedule")
+  in
+  let run name out n seed =
+    match find_lock name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok fam ->
+        let lock = fam.Locks.Lock_intf.instantiate ~n in
+        let schedule =
+          match seed with
+          | None -> Locks.Harness.Rr
+          | Some s -> Locks.Harness.Rand s
+        in
+        let m, stats =
+          Locks.Harness.run_contended ~model:Tsim.Config.Cc_wb ~schedule lock
+            ~n ~k:n
+        in
+        let tr = Execution.Trace.of_machine m in
+        Execution.Serial.save out tr;
+        Printf.printf "%s: %d events, %d passages -> %s\n"
+          stats.Locks.Harness.lock_name (Execution.Trace.length tr)
+          stats.Locks.Harness.passages out
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ lock_arg $ out $ n $ seed)
+
+let analyze_cmd =
+  let doc = "Analyze a saved trace: metrics, Act/Fin sets, IN-set verdict." in
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  let run file =
+    let tr = Execution.Serial.load file in
+    Printf.printf "%d events, total contention %d\n"
+      (Execution.Trace.length tr)
+      (Execution.Trace.total_contention tr);
+    let act = Execution.Trace.active tr in
+    let fin = Execution.Trace.finished tr in
+    Format.printf "Act = %a, Fin = %a@." Tsim.Ids.Pidset.pp act
+      Tsim.Ids.Pidset.pp fin;
+    Format.printf "%a" Execution.Metrics.pp (Execution.Metrics.compute tr);
+    let v = Analysis.Inset.check_regular ~in3:false tr in
+    if v.Analysis.Inset.ok then
+      print_endline "Act(E) is an IN-set: the execution is regular"
+    else begin
+      print_endline "execution is not regular:";
+      List.iter
+        (fun viol -> Format.printf "  %a@." Analysis.Inset.pp_violation viol)
+        v.Analysis.Inset.violations
+    end
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ file)
+
+let show_cmd =
+  let doc = "Render a saved trace as an ASCII swimlane diagram." in
+  let file =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  let limit =
+    Arg.(value & opt int 200 & info [ "limit" ] ~doc:"max events to render")
+  in
+  let run file limit =
+    Execution.Render.print ~limit (Execution.Serial.load file)
+  in
+  Cmd.v (Cmd.info "show" ~doc) Term.(const run $ file $ limit)
+
+(* --- verify -------------------------------------------------------------- *)
+
+let verify_cmd =
+  let doc =
+    "Exhaustively explore every schedule of a lock at small n (bounded \
+     model checking)."
+  in
+  let lock_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LOCK")
+  in
+  let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"number of processes") in
+  let max_nodes =
+    Arg.(value & opt int 2_000_000 & info [ "max-nodes" ] ~doc:"node budget")
+  in
+  let spin_fuel =
+    Arg.(value & opt int 6 & info [ "spin-fuel" ] ~doc:"busy-wait bound")
+  in
+  let run name n max_nodes spin_fuel =
+    match find_lock name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok fam ->
+        let lock = fam.Locks.Lock_intf.instantiate ~n in
+        let cfg =
+          Locks.Harness.config_of_lock ~model:Tsim.Config.Cc_wb lock ~n
+        in
+        let r = Mcheck.Explore.explore ~max_nodes ~spin_fuel cfg in
+        Printf.printf "%s n=%d: %d states, max depth %d\n"
+          lock.Locks.Lock_intf.name n r.Mcheck.Explore.nodes
+          r.Mcheck.Explore.max_depth;
+        if r.Mcheck.Explore.verified then
+          print_endline "VERIFIED: no exclusion violation or deadlock in the \
+                         full (deduplicated) schedule space"
+        else begin
+          (if not r.Mcheck.Explore.exhausted then
+             print_endline "space not exhausted within budget");
+          List.iter
+            (fun v ->
+              (match v.Mcheck.Explore.kind with
+              | `Exclusion (a, b) ->
+                  Printf.printf "EXCLUSION VIOLATION between p%d and p%d\n" a b
+              | `Deadlock -> print_endline "DEADLOCK"
+              | `Spin_exhausted -> print_endline "SPIN EXHAUSTED");
+              Printf.printf "  schedule: %s\n"
+                (String.concat "; "
+                   (List.map Mcheck.Explore.move_to_string
+                      v.Mcheck.Explore.schedule)))
+            r.Mcheck.Explore.violations
+        end
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const run $ lock_arg $ n $ max_nodes $ spin_fuel)
+
+(* --- litmus -------------------------------------------------------------- *)
+
+let litmus_cmd =
+  let doc = "Run the SB and MP litmus tests under TSO or PSO." in
+  let pso = Arg.(value & flag & info [ "pso" ] ~doc:"use PSO ordering") in
+  let run pso =
+    let ordering = if pso then Tsim.Config.Pso else Tsim.Config.Tso in
+    Printf.printf "ordering: %s\n" (Tsim.Config.ordering_name ordering);
+    (* store buffering *)
+    let open Tsim in
+    let open Tsim.Prog in
+    let layout = Layout.create () in
+    let x = Layout.var layout "x" and y = Layout.var layout "y" in
+    let res = Array.make 2 (-1) in
+    let cfg =
+      Config.make ~model:Config.Cc_wb ~ordering ~check_exclusion:false ~n:2
+        ~layout
+        ~entry:(fun p ->
+          let mine = if p = 0 then x else y in
+          let other = if p = 0 then y else x in
+          let* () = write mine 1 in
+          let* r = read other in
+          res.(p) <- r;
+          unit)
+        ~exit_section:(fun _ -> Prog.unit)
+        ()
+    in
+    let m = Machine.create cfg in
+    for p = 0 to 1 do
+      ignore (Machine.step m p);
+      (* Enter *)
+      ignore (Machine.step m p);
+      (* issue *)
+      ignore (Machine.step m p)
+      (* read *)
+    done;
+    Printf.printf "SB (delayed commits): r0=%d r1=%d  (0/0 = TSO anomaly)\n"
+      res.(0) res.(1)
+  in
+  Cmd.v (Cmd.info "litmus" ~doc) Term.(const run $ pso)
+
+let () =
+  let doc =
+    "Reproduction of 'The Price of being Adaptive' (Ben-Baruch & Hendler, \
+     PODC 2015)"
+  in
+  let info = Cmd.info "price_adaptive" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+       [ list_cmd; lock_cmd; adversary_cmd; bounds_cmd; verify_cmd;
+         trace_cmd; analyze_cmd; show_cmd; litmus_cmd ]))

@@ -1,0 +1,1 @@
+examples/adversary_demo.ml: Adversary Array Format List Locks Sys

@@ -1,0 +1,1 @@
+examples/adversary_demo.mli:

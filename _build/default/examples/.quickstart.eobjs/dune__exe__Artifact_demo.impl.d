@@ -1,0 +1,1 @@
+examples/artifact_demo.ml: Analysis Config Execution Filename Format In_channel Int64 Locks Machine Printf Sys Tsim

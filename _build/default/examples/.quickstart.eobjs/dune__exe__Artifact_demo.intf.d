@@ -1,0 +1,1 @@
+examples/artifact_demo.mli:

@@ -1,0 +1,1 @@
+examples/lincheck_demo.ml: Format Layout Lincheck List Objects Printf Tsim

@@ -1,0 +1,1 @@
+examples/lincheck_demo.mli:

@@ -1,0 +1,1 @@
+examples/litmus_tso.ml: Array Config Layout Machine Printf Prog Sched Tsim

@@ -1,0 +1,1 @@
+examples/litmus_tso.mli:

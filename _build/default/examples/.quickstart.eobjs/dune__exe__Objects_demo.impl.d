@@ -1,0 +1,1 @@
+examples/objects_demo.ml: Array Config Layout List Locks Machine Objects Printf Prog Sched Tsim

@@ -1,0 +1,1 @@
+examples/objects_demo.mli:

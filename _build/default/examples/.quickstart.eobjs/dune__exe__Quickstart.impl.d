@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Event Format List Locks Machine Printf Sched Tsim Vec

@@ -1,0 +1,1 @@
+examples/tradeoff_curves.mli:

@@ -1,0 +1,70 @@
+(* Section 5 in action: counters, stacks, queues and Algorithm 1.
+
+     dune exec examples/objects_demo.exe
+
+   Builds one-time mutual exclusion out of each object (Lemma 9) and shows
+   that a passage costs exactly one object operation plus an additive
+   constant, transferring the paper's lower bound to these objects. *)
+
+open Tsim
+open Tsim.Prog
+
+let bare_faa_cost ~n =
+  let layout = Layout.create () in
+  let c = Objects.Counter.make_faa layout in
+  let cfg =
+    Config.make ~model:Config.Cc_wb ~check_exclusion:false ~n ~layout
+      ~entry:(fun p ->
+        let* _ = c.Objects.Counter.fetch_inc p in
+        unit)
+      ~exit_section:(fun _ -> Prog.unit)
+      ()
+  in
+  let m = Machine.create cfg in
+  ignore (Sched.round_robin m);
+  List.fold_left max 0 (List.init n (fun p -> Machine.rmrs m p))
+
+let () =
+  let n = 8 in
+  Printf.printf
+    "Algorithm 1 (Lemma 9): one-time mutex from counter / queue / stack, \
+     n = %d\n\n"
+    n;
+  Printf.printf "%-26s %10s %10s %10s %10s\n" "object" "rmr(avg)" "rmr(max)"
+    "fence(max)" "excl";
+  List.iter
+    (fun (fam : Locks.Lock_intf.family) ->
+      let lock = fam.Locks.Lock_intf.instantiate ~n in
+      let _, stats =
+        Locks.Harness.run_contended ~model:Config.Cc_wb lock ~n ~k:n
+      in
+      Printf.printf "%-26s %10.2f %10d %10d %10b\n"
+        fam.Locks.Lock_intf.family_name
+        stats.Locks.Harness.avg_rmrs_per_passage
+        stats.Locks.Harness.max_rmrs_per_passage
+        stats.Locks.Harness.max_fences_per_passage
+        stats.Locks.Harness.exclusion_ok)
+    Objects.Mutex_from_object.families;
+  Printf.printf
+    "\nA bare fetch&increment costs up to %d RMRs at the same contention —\n\
+     the mutex passages above stay within an additive constant of the\n\
+     single object operation they invoke, as Lemma 9 states.\n"
+    (bare_faa_cost ~n);
+  (* the objects standalone *)
+  Printf.printf "\nStack pre-filled with 4..0 popped by 5 processes: ";
+  let layout = Layout.create () in
+  let sp = Objects.Ostack.pop_provider layout ~n:5 in
+  let results = Array.make 5 (-1) in
+  let cfg =
+    Config.make ~model:Config.Cc_wb ~check_exclusion:false ~n:5 ~layout
+      ~entry:(fun p ->
+        let* v = sp.Objects.Obj_intf.fetch_inc p in
+        results.(p) <- v;
+        unit)
+      ~exit_section:(fun _ -> Prog.unit)
+      ()
+  in
+  let m = Machine.create cfg in
+  ignore (Sched.round_robin m);
+  Array.iter (Printf.printf "%d ") results;
+  Printf.printf "(a 5-limited-use counter)\n"

@@ -1,0 +1,48 @@
+(* The fence/adaptivity tradeoff, numerically.
+
+     dune exec examples/tradeoff_curves.exe
+
+   Prints, for linear and exponential adaptivity functions, the maximum
+   number of fences Theorem 1 forces as N grows (Corollaries 2 and 3),
+   together with the corollaries' closed-form witnesses, and the PSO
+   fence/RMR frontier of the Discussion section. *)
+
+let () =
+  let log2_ns = [ 16.; 64.; 256.; 1024.; 4096.; 65536.; 1048576. ] in
+  Printf.printf
+    "Corollary 2 — linear adaptivity f(i) = i: forced fences vs N\n";
+  Printf.printf "%12s  %14s  %18s\n" "log2 N" "forced fences"
+    "(1/3c) loglog N";
+  let f = Bounds.Adaptivity.linear 1.0 in
+  List.iter
+    (fun log2_n ->
+      Printf.printf "%12.0f  %14d  %18.2f\n" log2_n
+        (Bounds.Theorem1.max_forced_fences ~f ~log2_n ())
+        (Bounds.Corollaries.cor2_closed_form ~c:1.0 ~log2_n))
+    log2_ns;
+  Printf.printf
+    "\nCorollary 3 — exponential adaptivity f(i) = 2^i: forced fences vs N\n";
+  Printf.printf "%12s  %14s  %22s\n" "log2 N" "forced fences"
+    "(1/c)(logloglog N - 1)";
+  let f = Bounds.Adaptivity.exponential 1.0 in
+  List.iter
+    (fun log2_n ->
+      Printf.printf "%12.0f  %14d  %22.2f\n" log2_n
+        (Bounds.Theorem1.max_forced_fences ~f ~log2_n ())
+        (Bounds.Corollaries.cor3_closed_form ~c:1.0 ~log2_n))
+    log2_ns;
+  Printf.printf
+    "\nPSO frontier (Ineq. 3): minimum RMRs per operation given a fence \
+     budget, n = 2^20\n";
+  Printf.printf "%8s  %14s\n" "fences" "min RMRs";
+  List.iter
+    (fun row ->
+      Printf.printf "%8.0f  %14.1f\n" row.Bounds.Pso.fences
+        row.Bounds.Pso.rmrs_min)
+    (Bounds.Pso.frontier ~n_log2:20.0 [ 1.; 2.; 4.; 8.; 16.; 20. ]);
+  let tso_f, tso_r = Bounds.Pso.tso_point ~n_log2:20.0 in
+  Printf.printf
+    "TSO achieves (fences, RMRs) = (%.0f, %.0f) [Attiya-Hendler-Levy 2013] \
+     — infeasible under PSO: %b\n"
+    tso_f tso_r
+    (not (Bounds.Pso.feasible ~n_log2:20.0 ~fences:tso_f ~rmrs:tso_r))

@@ -1,0 +1,1 @@
+lib/adversary/construction.ml: Analysis Config Erasure Execution Fun Graphs Layout List Locks Machine Pid Pidset Printf Report String Trace Tsim Var Vec

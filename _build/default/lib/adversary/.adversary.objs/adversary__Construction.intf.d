@@ -1,0 +1,1 @@
+lib/adversary/construction.mli: Locks Pidset Report Tsim

@@ -1,0 +1,1 @@
+lib/adversary/report.ml: Format List Pid Pidset Printf String Tsim Var

@@ -1,0 +1,1 @@
+lib/adversary/report.mli: Format Pid Pidset Tsim Var

@@ -1,0 +1,1 @@
+lib/adversary/witness.ml: Construction Erasure Execution Machine Pid Pidset Printf Trace Tsim

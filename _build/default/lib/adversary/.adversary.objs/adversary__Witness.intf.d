@@ -1,0 +1,1 @@
+lib/adversary/witness.mli: Construction Execution Pid Trace Tsim

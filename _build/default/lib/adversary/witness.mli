@@ -1,0 +1,20 @@
+(** Theorem 1 witness extraction: erase all surviving active processes but
+    the one with the most completed fences (Lemma 4); the result is an
+    execution of total contention |Fin|+1 in which that process executed
+    all its fences during a single passage. *)
+
+open Tsim.Ids
+open Execution
+
+type t = {
+  pid : Pid.t;
+  fences_in_passage : int;
+  total_contention : int;
+  trace : Trace.t;  (** the witness execution H *)
+  valid : bool;  (** the erasure replayed cleanly and counts agree *)
+  detail : string;
+}
+
+val extract : Construction.t -> t option
+(** [None] when no active process survived the run (use
+    [Construction.run ~min_act:1]). *)

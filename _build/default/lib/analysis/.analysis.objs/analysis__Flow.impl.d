@@ -1,0 +1,1 @@
+lib/analysis/flow.ml: Array Event Execution Hashtbl Layout List Option Pid Pidset Trace Tsim Var

@@ -1,0 +1,1 @@
+lib/analysis/flow.mli: Execution Hashtbl Pid Pidset Trace Tsim Var

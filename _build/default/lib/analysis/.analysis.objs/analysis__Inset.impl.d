@@ -1,0 +1,1 @@
+lib/analysis/inset.ml: Array Event Execution Flow Format Hashtbl Layout List Pid Pidset Printf String Trace Tsim

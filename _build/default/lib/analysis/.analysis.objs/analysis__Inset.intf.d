@@ -1,0 +1,1 @@
+lib/analysis/inset.mli: Execution Flow Format Pidset Trace Tsim

@@ -1,0 +1,1 @@
+lib/analysis/ordered.ml: Array Event Execution Flow Fun Layout List Pid Pidset Printf Trace Tsim Var

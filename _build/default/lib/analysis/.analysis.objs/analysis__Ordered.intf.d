@@ -1,0 +1,1 @@
+lib/analysis/ordered.mli: Execution Flow Pid Pidset Trace Tsim Var

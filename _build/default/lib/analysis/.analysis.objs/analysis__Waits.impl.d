@@ -1,0 +1,1 @@
+lib/analysis/waits.ml: Config Format Fun Layout List Machine Option Pid Printf String Tsim Value Var

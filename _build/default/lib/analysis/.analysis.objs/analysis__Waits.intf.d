@@ -1,0 +1,1 @@
+lib/analysis/waits.mli: Format Layout Machine Pid Tsim Value Var

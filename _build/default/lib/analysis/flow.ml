@@ -1,0 +1,150 @@
+(* Information-flow reconstruction over a trace.
+
+   Recomputes, from the event sequence alone, everything the paper's
+   definitions derive from an execution: awareness sets (Definition 1),
+   writer(v, E), Accessed(v, E), per-process status, and the criticality of
+   every event (Definition 2). The machine tracks the same quantities
+   online; tests cross-check the two. Analyses over *erased* executions
+   must use this module, since criticality is relative to the execution
+   containing the event. *)
+
+open Tsim
+open Execution
+open Tsim.Ids
+
+type summary = {
+  aw : (Pid.t, Pidset.t) Hashtbl.t;  (* awareness sets after the trace *)
+  writer : (Var.t, Pid.t) Hashtbl.t;  (* writer(v, E); absent = ⊥ *)
+  writer_aw : (Var.t, Pidset.t) Hashtbl.t;
+  accessed : (Var.t, Pidset.t) Hashtbl.t;  (* Accessed(v, E) *)
+  status : (Pid.t, [ `Ncs | `Entry | `Exit ]) Hashtbl.t;
+  critical : bool array;  (* criticality of each event, recomputed *)
+  criticals_per_pid : (Pid.t, int) Hashtbl.t;
+  fences_per_pid : (Pid.t, int) Hashtbl.t;  (* completed fences *)
+  in_fence : (Pid.t, bool) Hashtbl.t;  (* mode(p, E) = write *)
+}
+
+let get_aw s p =
+  Option.value ~default:(Pidset.singleton p) (Hashtbl.find_opt s.aw p)
+
+let get_writer s v = Hashtbl.find_opt s.writer v
+let get_accessed s v =
+  Option.value ~default:Pidset.empty (Hashtbl.find_opt s.accessed v)
+let get_status s p = Option.value ~default:`Ncs (Hashtbl.find_opt s.status p)
+let get_criticals s p =
+  Option.value ~default:0 (Hashtbl.find_opt s.criticals_per_pid p)
+let get_fences s p =
+  Option.value ~default:0 (Hashtbl.find_opt s.fences_per_pid p)
+let get_mode s p =
+  if Option.value ~default:false (Hashtbl.find_opt s.in_fence p) then `Write
+  else `Read
+
+let analyze (t : Trace.t) : summary =
+  let layout = Trace.layout t in
+  let events = Trace.events t in
+  let n = Array.length events in
+  let aw = Hashtbl.create 32 in
+  let writer = Hashtbl.create 32 in
+  let writer_aw = Hashtbl.create 32 in
+  let accessed = Hashtbl.create 32 in
+  let status = Hashtbl.create 32 in
+  let critical = Array.make n false in
+  let criticals_per_pid = Hashtbl.create 32 in
+  let fences_per_pid = Hashtbl.create 32 in
+  let in_fence = Hashtbl.create 32 in
+  (* issue-time awareness snapshots, keyed by (pid, var); replaced when the
+     buffered write is replaced *)
+  let issue_aw : (Pid.t * Var.t, Pidset.t) Hashtbl.t = Hashtbl.create 32 in
+  (* first-remote-read bookkeeping *)
+  let remote_read : (Pid.t * Var.t, unit) Hashtbl.t = Hashtbl.create 32 in
+  let my_aw p = Option.value ~default:(Pidset.singleton p) (Hashtbl.find_opt aw p) in
+  let absorb p v =
+    match Hashtbl.find_opt writer v with
+    | None -> ()
+    | Some q ->
+        let waw =
+          Option.value ~default:Pidset.empty (Hashtbl.find_opt writer_aw v)
+        in
+        Hashtbl.replace aw p (Pidset.add q (Pidset.union (my_aw p) waw))
+  in
+  let note_access p v =
+    Hashtbl.replace accessed v
+      (Pidset.add p
+         (Option.value ~default:Pidset.empty (Hashtbl.find_opt accessed v)))
+  in
+  let mark_critical i p =
+    critical.(i) <- true;
+    Hashtbl.replace criticals_per_pid p
+      (1 + Option.value ~default:0 (Hashtbl.find_opt criticals_per_pid p))
+  in
+  let is_remote p v = Layout.is_remote layout p v in
+  Array.iteri
+    (fun i (e : Event.t) ->
+      let p = e.Event.pid in
+      match e.Event.kind with
+      | Event.Enter -> Hashtbl.replace status p `Entry
+      | Event.Cs -> Hashtbl.replace status p `Exit
+      | Event.Exit -> Hashtbl.replace status p `Ncs
+      | Event.Begin_fence _ -> Hashtbl.replace in_fence p true
+      | Event.End_fence _ ->
+          Hashtbl.replace in_fence p false;
+          Hashtbl.replace fences_per_pid p
+            (1 + Option.value ~default:0 (Hashtbl.find_opt fences_per_pid p))
+      | Event.Read { src = Event.From_buffer; _ } -> ()
+      | Event.Read { var = v; src = Event.From_cache | Event.From_memory; _ }
+        ->
+          let remote = is_remote p v in
+          if remote && not (Hashtbl.mem remote_read (p, v)) then begin
+            Hashtbl.replace remote_read (p, v) ();
+            mark_critical i p
+          end;
+          absorb p v;
+          note_access p v
+      | Event.Issue_write { var = v; _ } ->
+          Hashtbl.replace issue_aw (p, v) (my_aw p)
+      | Event.Commit_write { var = v; _ } ->
+          let remote = is_remote p v in
+          let prev = Hashtbl.find_opt writer v in
+          if remote && prev <> Some p then mark_critical i p;
+          Hashtbl.replace writer v p;
+          Hashtbl.replace writer_aw v
+            (Option.value ~default:(my_aw p)
+               (Hashtbl.find_opt issue_aw (p, v)));
+          Hashtbl.remove issue_aw (p, v);
+          note_access p v
+      | Event.Cas_ev { var = v; success; _ } ->
+          let remote = is_remote p v in
+          let prev = Hashtbl.find_opt writer v in
+          let first = remote && not (Hashtbl.mem remote_read (p, v)) in
+          if remote then Hashtbl.replace remote_read (p, v) ();
+          if first || (success && remote && prev <> Some p) then
+            mark_critical i p;
+          absorb p v;
+          note_access p v;
+          if success then begin
+            Hashtbl.replace writer v p;
+            Hashtbl.replace writer_aw v (my_aw p)
+          end
+      | Event.Faa_ev { var = v; _ } | Event.Swap_ev { var = v; _ } ->
+          let remote = is_remote p v in
+          let prev = Hashtbl.find_opt writer v in
+          let first = remote && not (Hashtbl.mem remote_read (p, v)) in
+          if remote then Hashtbl.replace remote_read (p, v) ();
+          if first || (remote && prev <> Some p) then mark_critical i p;
+          absorb p v;
+          note_access p v;
+          Hashtbl.replace writer v p;
+          Hashtbl.replace writer_aw v (my_aw p))
+    events;
+  { aw; writer; writer_aw; accessed; status; critical; criticals_per_pid;
+    fences_per_pid; in_fence }
+
+(* Cross-check the recomputed criticality flags against the online flags
+   recorded in the events; returns the indices that disagree. *)
+let criticality_disagreements (t : Trace.t) (s : summary) =
+  let bad = ref [] in
+  Array.iteri
+    (fun i (e : Event.t) ->
+      if e.Event.critical <> s.critical.(i) then bad := i :: !bad)
+    (Trace.events t);
+  List.rev !bad

@@ -1,0 +1,40 @@
+(** Information-flow reconstruction over a trace.
+
+    Recomputes, from the event sequence alone, everything the paper
+    derives from an execution: awareness sets (Definition 1),
+    [writer(v, E)], [Accessed(v, E)], statuses, fence counts, and the
+    criticality of every event (Definition 2). Criticality is relative to
+    the containing execution, so analyses of erased executions must use
+    this module; the machine's online flags are cross-checked against it
+    in tests. *)
+
+open Tsim.Ids
+open Execution
+
+type summary = {
+  aw : (Pid.t, Pidset.t) Hashtbl.t;
+  writer : (Var.t, Pid.t) Hashtbl.t;  (** absent key = ⊥ *)
+  writer_aw : (Var.t, Pidset.t) Hashtbl.t;
+      (** the writer's awareness at issue time *)
+  accessed : (Var.t, Pidset.t) Hashtbl.t;
+  status : (Pid.t, [ `Ncs | `Entry | `Exit ]) Hashtbl.t;
+  critical : bool array;  (** recomputed criticality, per event index *)
+  criticals_per_pid : (Pid.t, int) Hashtbl.t;
+  fences_per_pid : (Pid.t, int) Hashtbl.t;
+  in_fence : (Pid.t, bool) Hashtbl.t;
+}
+
+val get_aw : summary -> Pid.t -> Pidset.t
+val get_writer : summary -> Var.t -> Pid.t option
+val get_accessed : summary -> Var.t -> Pidset.t
+val get_status : summary -> Pid.t -> [ `Ncs | `Entry | `Exit ]
+val get_criticals : summary -> Pid.t -> int
+val get_fences : summary -> Pid.t -> int
+val get_mode : summary -> Pid.t -> [ `Read | `Write ]
+
+val analyze : Trace.t -> summary
+
+val criticality_disagreements : Trace.t -> summary -> int list
+(** Event indices where the recomputed criticality differs from the
+    online flag recorded in the event (must be empty on un-erased
+    traces). *)

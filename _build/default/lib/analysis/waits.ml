@@ -1,0 +1,105 @@
+(* Wait-for diagnostics for live machines.
+
+   When a run stalls (spin fuel exhausted, scheduler budget spent), this
+   module explains why: for each unfinished process, what it is about to
+   do; for processes spinning on a variable, who owns it and who last
+   wrote it; and whether the "p waits on a variable last written by q"
+   relation contains a cycle (a communication deadlock). *)
+
+open Tsim
+open Tsim.Ids
+
+type wait = {
+  pid : Pid.t;
+  pending : string;
+  watching : Var.t option;  (* the variable a pending read targets *)
+  current : Value.t option;
+  last_writer : Pid.t option;
+  var_owner : Pid.t option;
+  in_fence : bool;
+  section : string;
+}
+
+let observe (m : Machine.t) : wait list =
+  let layout = (Machine.config m).Config.layout in
+  let one p =
+    let pend = Machine.pending m p in
+    let watching =
+      match pend with
+      | Machine.P_read v -> Some v
+      | Machine.P_cas (v, _, _) | Machine.P_faa (v, _) | Machine.P_swap (v, _)
+        ->
+          Some v
+      | _ -> None
+    in
+    {
+      pid = p;
+      pending = Machine.pending_to_string pend;
+      watching;
+      current = Option.map (Machine.mem_value m) watching;
+      last_writer = Option.bind watching (Machine.writer_of m);
+      var_owner = Option.bind watching (Layout.owner layout);
+      in_fence = Machine.mode m p = `Write;
+      section = Machine.section_name (Machine.section m p);
+    }
+  in
+  List.filter_map
+    (fun p ->
+      match Machine.pending m p with
+      | Machine.P_done -> None
+      | _ -> Some (one p))
+    (List.init (Machine.n_procs m) Fun.id)
+
+(* Wait-for edges: p -> q if p's pending access targets a variable last
+   written by q (or owned by q, when nobody wrote it yet). *)
+let wait_edges waits =
+  List.filter_map
+    (fun w ->
+      match (w.last_writer, w.var_owner) with
+      | Some q, _ when not (Pid.equal q w.pid) -> Some (w.pid, q)
+      | None, Some q when not (Pid.equal q w.pid) -> Some (w.pid, q)
+      | _ -> None)
+    waits
+
+(* A cycle in the wait-for relation, if any (simple DFS). *)
+let find_cycle waits =
+  let edges = wait_edges waits in
+  let succ p = List.filter_map (fun (a, b) -> if a = p then Some b else None) edges in
+  let rec dfs path p =
+    if List.mem p path then
+      (* cycle found: cut the prefix *)
+      let rec cut = function
+        | [] -> []
+        | x :: rest -> if x = p then x :: rest else cut rest
+      in
+      Some (List.rev (p :: cut (List.rev path)))
+    else
+      List.fold_left
+        (fun acc q -> match acc with Some _ -> acc | None -> dfs (p :: path) q)
+        None (succ p)
+  in
+  List.fold_left
+    (fun acc (p, _) -> match acc with Some _ -> acc | None -> dfs [] p)
+    None edges
+
+let pp_wait layout fmt w =
+  Format.fprintf fmt "%a [%s%s] pending %s%s" Pid.pp w.pid w.section
+    (if w.in_fence then ", in fence" else "")
+    w.pending
+    (match (w.watching, w.current, w.last_writer) with
+    | Some v, Some x, Some q ->
+        Printf.sprintf " — %s = %d, last written by %s"
+          (Layout.name layout v) x (Pid.to_string q)
+    | Some v, Some x, None ->
+        Printf.sprintf " — %s = %d (never written)" (Layout.name layout v) x
+    | _ -> "")
+
+let report fmt (m : Machine.t) =
+  let layout = (Machine.config m).Config.layout in
+  let waits = observe m in
+  List.iter (fun w -> Format.fprintf fmt "%a@." (pp_wait layout) w) waits;
+  match find_cycle waits with
+  | Some cycle ->
+      Format.fprintf fmt "wait-for cycle: %s@."
+        (String.concat " -> " (List.map Pid.to_string cycle))
+  | None -> Format.fprintf fmt "no wait-for cycle@."

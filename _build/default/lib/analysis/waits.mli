@@ -1,0 +1,29 @@
+(** Wait-for diagnostics for stalled machines: what each unfinished
+    process is about to do, whose value it is spinning on, and whether
+    the wait-for relation contains a cycle. *)
+
+open Tsim
+open Tsim.Ids
+
+type wait = {
+  pid : Pid.t;
+  pending : string;
+  watching : Var.t option;
+  current : Value.t option;
+  last_writer : Pid.t option;
+  var_owner : Pid.t option;
+  in_fence : bool;
+  section : string;
+}
+
+val observe : Machine.t -> wait list
+(** One record per unfinished process. *)
+
+val wait_edges : wait list -> (Pid.t * Pid.t) list
+(** p -> q when p's pending access targets a variable last written by
+    (or owned by) q. *)
+
+val find_cycle : wait list -> Pid.t list option
+
+val pp_wait : Layout.t -> Format.formatter -> wait -> unit
+val report : Format.formatter -> Machine.t -> unit

@@ -1,0 +1,1 @@
+lib/bounds/adaptivity.ml: Float Printf

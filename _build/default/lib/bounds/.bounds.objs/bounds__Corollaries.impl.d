@@ -1,0 +1,1 @@
+lib/bounds/corollaries.ml: Adaptivity Float List Logspace Theorem1

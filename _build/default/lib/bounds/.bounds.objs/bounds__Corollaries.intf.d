@@ -1,0 +1,1 @@
+lib/bounds/corollaries.mli: Adaptivity

@@ -1,0 +1,1 @@
+lib/bounds/logspace.ml: Array Float Lazy

@@ -1,0 +1,1 @@
+lib/bounds/logspace.mli:

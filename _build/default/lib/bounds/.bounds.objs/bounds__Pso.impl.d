@@ -1,0 +1,1 @@
+lib/bounds/pso.ml: Float List Logspace

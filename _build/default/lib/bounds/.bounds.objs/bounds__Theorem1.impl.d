@@ -1,0 +1,1 @@
+lib/bounds/theorem1.ml: Adaptivity Float Logspace

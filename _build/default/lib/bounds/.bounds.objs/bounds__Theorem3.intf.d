@@ -1,0 +1,1 @@
+lib/bounds/theorem3.mli: Adaptivity

@@ -1,0 +1,54 @@
+(* Corollaries 1-3: the headline consequences of Theorem 1.
+
+   - Corollary 1: no weak obstruction-free adaptive lock/counter/stack/
+     queue has O(1) fence complexity: for any candidate constant c there is
+     an N where c fences are forced.
+   - Corollary 2: linear adaptivity f(i) = c*i forces Omega(log log N)
+     fences; the proof shows i = (1/3c) log log N satisfies Theorem 1's
+     condition.
+   - Corollary 3: exponential adaptivity f(i) = 2^(c*i) forces
+     Omega(log log log N); i = (1/c)(log log log N - 1) works. *)
+
+(* Corollary 1, constructively: the smallest log2 N for which an
+   f-adaptive algorithm is forced to execute at least [c] fences in some
+   passage. Returns None if not found below the search cap. *)
+let cor1_min_log2n ?(cap_log2n = 1e18) ~(f : Adaptivity.t) ~fences () =
+  (* exponential then binary search over log2 N *)
+  let holds log2_n = Theorem1.condition ~f ~log2_n fences in
+  let rec grow x = if holds x then Some x else if x > cap_log2n then None else grow (x *. 2.0) in
+  match grow 4.0 with
+  | None -> None
+  | Some hi ->
+      let rec shrink lo hi =
+        (* invariant: not (holds lo) && holds hi *)
+        if hi /. lo < 1.0001 then hi
+        else
+          let mid = Float.sqrt (lo *. hi) in
+          if holds mid then shrink lo mid else shrink mid hi
+      in
+      if holds 4.0 then Some 4.0 else Some (shrink 4.0 hi)
+
+(* Corollary 2 closed form: (1/3c) * log2 log2 N. *)
+let cor2_closed_form ~c ~log2_n = Logspace.log2 log2_n /. (3.0 *. c)
+
+(* Corollary 3 closed form: (1/c) * (log2 log2 log2 N - 1). *)
+let cor3_closed_form ~c ~log2_n =
+  (Logspace.log2 (Logspace.log2 log2_n) -. 1.0) /. c
+
+(* Sweep: forced fences vs N for an adaptivity family. Each row compares
+   the exact Theorem 1 maximum with the corollary's closed-form witness. *)
+type row = {
+  log2_n : float;
+  forced : int;  (* exact: max i with the Theorem 1 condition *)
+  closed_form : float;  (* the corollary's Omega(...) witness value *)
+}
+
+let sweep ~(f : Adaptivity.t) ~closed_form log2_ns =
+  List.map
+    (fun log2_n ->
+      {
+        log2_n;
+        forced = Theorem1.max_forced_fences ~f ~log2_n ();
+        closed_form = closed_form ~log2_n;
+      })
+    log2_ns

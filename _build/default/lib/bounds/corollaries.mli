@@ -1,0 +1,21 @@
+(** Corollaries 1-3: no O(1)-fence adaptive implementation; linear
+    adaptivity forces Ω(log log N) fences; exponential adaptivity forces
+    Ω(log log log N). *)
+
+val cor1_min_log2n :
+  ?cap_log2n:float -> f:Adaptivity.t -> fences:int -> unit -> float option
+(** Smallest log2 N (up to the cap) at which an f-adaptive algorithm is
+    forced to execute at least [fences] fences — exhibiting, for every
+    candidate constant, an N that defeats it (Corollary 1). *)
+
+val cor2_closed_form : c:float -> log2_n:float -> float
+(** (1/3c)·log2 log2 N, the witness value from Corollary 2's proof. *)
+
+val cor3_closed_form : c:float -> log2_n:float -> float
+(** (1/c)·(log2 log2 log2 N - 1), from Corollary 3's proof. *)
+
+type row = { log2_n : float; forced : int; closed_form : float }
+
+val sweep :
+  f:Adaptivity.t -> closed_form:(log2_n:float -> float) -> float list
+  -> row list

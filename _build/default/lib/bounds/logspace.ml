@@ -1,0 +1,59 @@
+(* Log2-space arithmetic.
+
+   The Theorem 1 condition involves N^(2^-f(i)) with N far beyond any
+   machine word (the interesting regimes have log2 N in the thousands), so
+   every quantity is carried as its base-2 logarithm. The only non-trivial
+   ingredient is log2(n!), computed exactly by summation for small n and by
+   Stirling's series beyond. *)
+
+let log2e = 1.4426950408889634  (* log2 e *)
+let log2 x = log x /. log 2.0
+
+(* exact prefix, memoized *)
+let exact_limit = 100_000
+
+let exact_table = lazy (
+  let t = Array.make (exact_limit + 1) 0.0 in
+  for i = 2 to exact_limit do
+    t.(i) <- t.(i - 1) +. log2 (float_of_int i)
+  done;
+  t)
+
+(* Stirling: ln x! = x ln x - x + 0.5 ln(2 pi x) + 1/(12x) - 1/(360 x^3) *)
+let stirling_ln_f x =
+  (x *. log x) -. x
+  +. (0.5 *. log (2.0 *. Float.pi *. x))
+  +. (1.0 /. (12.0 *. x))
+  -. (1.0 /. (360.0 *. x *. x *. x))
+
+let stirling_ln n = stirling_ln_f (float_of_int n)
+
+let log2_factorial n =
+  if n < 0 then invalid_arg "log2_factorial"
+  else if n <= 1 then 0.0
+  else if n <= exact_limit then (Lazy.force exact_table).(n)
+  else stirling_ln n *. log2e
+
+(* Float-domain variant for adaptivity functions whose values overflow
+   machine integers (e.g. f(i) = 2^(c i)). Uses gamma-style Stirling for
+   non-integral or huge arguments. *)
+let log2_factorial_f x =
+  if Float.is_nan x || x < 0.0 then invalid_arg "log2_factorial_f"
+  else if x <= 1.0 then 0.0
+  else if x <= float_of_int exact_limit && Float.is_integer x then
+    (Lazy.force exact_table).(int_of_float x)
+  else if Float.is_finite x then stirling_ln_f x *. log2e
+  else Float.infinity
+
+(* x * 2^(-e) computed safely for huge e: exp2 (log2 x - e). *)
+let scale_down_pow2 x e =
+  if x <= 0.0 then 0.0
+  else
+    let l = log2 x -. e in
+    if l < -1000.0 then 0.0 else Float.pow 2.0 l
+
+(* log2 of a sum given log2 of the summands (log-sum-exp in base 2). *)
+let log2_add la lb =
+  let hi = Float.max la lb and lo = Float.min la lb in
+  if lo = Float.neg_infinity then hi
+  else hi +. log2 (1.0 +. Float.pow 2.0 (lo -. hi))

@@ -1,0 +1,28 @@
+(** Log2-space arithmetic. The Theorem 1 condition involves N^(2^-f(i))
+    with log2 N in the thousands, so every quantity is carried as its
+    base-2 logarithm; log2(n!) is exact by summation for small n and by
+    Stirling's series beyond. *)
+
+val log2e : float
+val log2 : float -> float
+
+val exact_limit : int
+(** Largest n for which log2(n!) is computed by exact summation. *)
+
+val stirling_ln_f : float -> float
+(** Stirling series for ln x!. *)
+
+val stirling_ln : int -> float
+
+val log2_factorial : int -> float
+(** @raise Invalid_argument on negative input. *)
+
+val log2_factorial_f : float -> float
+(** Float-domain variant for adaptivity values that overflow integers
+    (e.g. f(i) = 2^(ci)). *)
+
+val scale_down_pow2 : float -> float -> float
+(** [scale_down_pow2 x e = x * 2^(-e)], safe for huge [e]. *)
+
+val log2_add : float -> float -> float
+(** log2 of a sum given log2 of the summands. *)

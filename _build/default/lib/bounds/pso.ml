@@ -1,0 +1,30 @@
+(* The PSO fence/RMR tradeoff discussed in Section 6 (Inequality 3,
+   Attiya–Hendler–Woelfel PODC 2015):
+
+     f * log2(r / f) + 1 >= c * log2 n
+
+   for any n-process PSO read/write implementation of locks, counters or
+   queues performing f fences and r RMRs per operation. The frontier below
+   takes c = 1 (the bound is asymptotic; the shape is what experiment E7
+   reproduces): given f fences, at least r_min(f, n) = f * 2^((log2 n - 1)/f)
+   RMRs are needed, exhibiting the separation from TSO where (f, r) =
+   (O(1), O(log n)) is achievable [Attiya-Hendler-Levy 2013]. *)
+
+let min_rmrs ~n_log2 ~fences =
+  if fences <= 0.0 then Float.infinity
+  else fences *. Float.pow 2.0 ((n_log2 -. 1.0) /. fences)
+
+(* Check whether a given (fences, rmrs) point satisfies the bound. *)
+let feasible ~n_log2 ~fences ~rmrs =
+  (fences *. Logspace.log2 (rmrs /. fences)) +. 1.0 >= n_log2
+
+(* The TSO point: O(1) fences with O(log n) RMRs, achievable on TSO but
+   infeasible under the PSO bound — the memory-model separation. *)
+let tso_point ~n_log2 = (1.0, n_log2)
+
+type frontier_row = { fences : float; rmrs_min : float }
+
+let frontier ~n_log2 fence_values =
+  List.map
+    (fun f -> { fences = f; rmrs_min = min_rmrs ~n_log2 ~fences:f })
+    fence_values

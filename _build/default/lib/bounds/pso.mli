@@ -1,0 +1,17 @@
+(** The PSO fence/RMR tradeoff of the Discussion section (Inequality 3,
+    Attiya-Hendler-Woelfel 2015): f·log2(r/f) + 1 >= log2 n for any
+    n-process PSO read/write lock, counter or queue. *)
+
+val min_rmrs : n_log2:float -> fences:float -> float
+(** RMRs required given a fence budget: f·2^((log2 n - 1)/f). *)
+
+val feasible : n_log2:float -> fences:float -> rmrs:float -> bool
+
+val tso_point : n_log2:float -> float * float
+(** (O(1) fences, O(log n) RMRs) — achievable on TSO
+    [Attiya-Hendler-Levy 2013], infeasible under the PSO bound: the
+    memory-model separation. *)
+
+type frontier_row = { fences : float; rmrs_min : float }
+
+val frontier : n_log2:float -> float list -> frontier_row list

@@ -1,0 +1,44 @@
+(* Theorem 1: if f(i) <= N^(2^-f(i)) / (f(i)! * 4^(f(i)+2i)) then there is
+   an execution of total contention i+1 in which some process executes i
+   fences in one passage.
+
+   In log2 space the condition reads
+
+     log2 f(i) <= 2^(-f(i)) * log2 N - log2(f(i)!) - 2*(f(i) + 2i).
+
+   [max_forced_fences] returns the largest i for which the condition
+   holds; by Theorem 1 this is a lower bound on the worst-case fence
+   complexity of any f-adaptive implementation on N processes. *)
+
+let condition ~(f : Adaptivity.t) ~log2_n i =
+  if i < 0 then invalid_arg "Theorem1.condition";
+  let fi = Adaptivity.eval f i in
+  if fi < 1.0 then true  (* degenerate: f(i) < 1 makes the LHS <= 0 *)
+  else
+    let lhs = Logspace.log2 fi in
+    let fact = Logspace.log2_factorial_f (Float.round fi) in
+    let rhs =
+      Logspace.scale_down_pow2 log2_n fi
+      -. fact
+      -. (2.0 *. (fi +. (2.0 *. float_of_int i)))
+    in
+    lhs <= rhs
+
+(* Largest i satisfying the condition (0 if none). The condition is
+   monotonically falsified as i grows for the non-decreasing f we use, but
+   we do not rely on that: we scan until [cap] consecutive failures. *)
+let max_forced_fences ?(cap = 10_000) ~(f : Adaptivity.t) ~log2_n () =
+  let rec go i best misses =
+    if i > cap || misses > 64 then best
+    else if condition ~f ~log2_n i then go (i + 1) i 0
+    else go (i + 1) best (misses + 1)
+  in
+  go 1 0 0
+
+(* The witness statement of Theorem 1 for reporting: at contention i+1,
+   i fences are forced. *)
+type witness_claim = { contention : int; forced_fences : int }
+
+let claim ~f ~log2_n () =
+  let i = max_forced_fences ~f ~log2_n () in
+  { contention = i + 1; forced_fences = i }

@@ -1,0 +1,15 @@
+(** Theorem 1: if f(i) <= N^(2^-f(i)) / (f(i)!·4^(f(i)+2i)) then some
+    execution of total contention i+1 forces a process to execute i fences
+    in a single passage. *)
+
+val condition : f:Adaptivity.t -> log2_n:float -> int -> bool
+(** The Theorem 1 inequality, evaluated in log2 space. *)
+
+val max_forced_fences : ?cap:int -> f:Adaptivity.t -> log2_n:float -> unit -> int
+(** Largest i satisfying the condition (0 if none) — a lower bound on the
+    worst-case fence complexity of any f-adaptive implementation on N
+    processes. *)
+
+type witness_claim = { contention : int; forced_fences : int }
+
+val claim : f:Adaptivity.t -> log2_n:float -> unit -> witness_claim

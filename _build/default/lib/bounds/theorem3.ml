@@ -1,0 +1,37 @@
+(* Theorem 3: along the inductive construction,
+
+     |Act(H_i)| >= N^(2^-l_i) / (l_i! * 4^(l_i + 2i)),
+
+   provided i satisfies the Theorem 1 condition. This module evaluates the
+   bound (in log2 space) and the per-phase recurrences of Lemmas 6-8, so
+   the experiment E2 can print the theoretical trajectory next to the
+   measured one. *)
+
+(* log2 of the Act(H_i) lower bound, given l_i (critical events so far). *)
+let log2_act_bound ~log2_n ~ell ~i =
+  Logspace.scale_down_pow2 log2_n (float_of_int ell)
+  -. Logspace.log2_factorial ell
+  -. (2.0 *. float_of_int (ell + (2 * i)))
+
+(* Phase recurrences (conditions (5) of Lemmas 6, 7 and (7) of Lemma 8),
+   usable to replay the counting argument on concrete numbers. *)
+let read_phase_step n_act = (n_act -. 1.0) /. 10.0
+
+let write_phase_step ~delta ~k n_act =
+  Float.sqrt n_act /. (4.0 *. float_of_int (delta + k))
+
+let regularization_step n_act = n_act -. 1.0
+
+(* How many induction steps can run before the Act lower bound drops below
+   [floor_sz] (default 1: at least one active process must remain)? Uses
+   ell_i <= f(i) as the paper does in Theorem 1's proof. *)
+let max_steps ?(floor_sz = 1.0) ~(f : Adaptivity.t) ~log2_n () =
+  let log2_floor = Logspace.log2 floor_sz in
+  let rec go i =
+    if i > 10_000 then i - 1
+    else
+      let ell = int_of_float (Float.round (Adaptivity.eval f i)) in
+      if log2_act_bound ~log2_n ~ell ~i >= log2_floor then go (i + 1)
+      else i - 1
+  in
+  go 1

@@ -1,0 +1,19 @@
+(** Theorem 3: the |Act(H_i)| >= N^(2^-l_i) / (l_i!·4^(l_i+2i)) trajectory
+    of the inductive construction, plus the per-phase recurrences of
+    Lemmas 6-8 for replaying the counting argument on concrete numbers. *)
+
+val log2_act_bound : log2_n:float -> ell:int -> i:int -> float
+(** log2 of the Act(H_i) lower bound given l_i. *)
+
+val read_phase_step : float -> float
+(** Lemma 6 (5): n ↦ (n-1)/10. *)
+
+val write_phase_step : delta:int -> k:int -> float -> float
+(** Lemma 7 (5): n ↦ sqrt(n)/(4(delta+k)). *)
+
+val regularization_step : float -> float
+(** Lemma 8 (7): n ↦ n-1. *)
+
+val max_steps : ?floor_sz:float -> f:Adaptivity.t -> log2_n:float -> unit -> int
+(** Induction steps before the bound drops below [floor_sz] (default 1),
+    using l_i <= f(i) as in the paper. *)

@@ -1,0 +1,1 @@
+lib/graphs/graph.ml: Array Hashtbl List

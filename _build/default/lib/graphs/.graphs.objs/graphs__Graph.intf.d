@@ -1,0 +1,1 @@
+lib/graphs/graph.mli: Hashtbl

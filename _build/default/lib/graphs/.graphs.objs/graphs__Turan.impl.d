@@ -1,0 +1,1 @@
+lib/graphs/turan.ml: Array Graph Hashtbl List Printf

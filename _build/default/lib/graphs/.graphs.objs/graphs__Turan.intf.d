@@ -1,0 +1,1 @@
+lib/graphs/turan.mli: Graph

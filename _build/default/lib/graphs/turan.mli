@@ -1,0 +1,14 @@
+(** Turán's theorem, constructively (Theorem 2 in the paper): a graph with
+    average degree d has an independent set of at least
+    ⌈|V| / (d+1)⌉ vertices; the greedy minimum-degree algorithm achieves
+    it (Caro-Wei). *)
+
+val guaranteed_size : order:int -> avg_degree:float -> int
+
+val independent_set : 'v Graph.t -> 'v list
+(** Deterministic greedy minimum-degree independent set meeting the Turán
+    bound. *)
+
+val independent_set_checked : 'v Graph.t -> 'v list
+(** Like {!independent_set} but verifies independence and the size bound.
+    @raise Failure if either check fails (cannot happen). *)

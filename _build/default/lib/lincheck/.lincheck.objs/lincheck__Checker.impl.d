@@ -1,0 +1,1 @@
+lib/lincheck/checker.ml: Array Hashtbl History Int64 List Spec

@@ -1,0 +1,1 @@
+lib/lincheck/history.ml: Array Format Pid Printf Tsim Value

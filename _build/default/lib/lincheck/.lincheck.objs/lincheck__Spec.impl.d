@@ -1,0 +1,1 @@
+lib/lincheck/spec.ml: History

@@ -1,0 +1,1 @@
+lib/lincheck/workload.ml: Checker Config History Machine Pid Prog Sched Tsim Value Vec

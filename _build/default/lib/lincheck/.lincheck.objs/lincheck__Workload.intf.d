@@ -1,0 +1,1 @@
+lib/lincheck/workload.mli: Checker Config History Layout Pid Prog Spec Tsim Value

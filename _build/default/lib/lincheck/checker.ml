@@ -1,0 +1,63 @@
+(* Wing & Gong linearizability checking with memoization.
+
+   Search for a linearization: a total order of the operations that (a)
+   extends the history's real-time precedence order and (b) is legal
+   under the sequential spec. At each step any *minimal* remaining
+   operation (one that no other remaining operation strictly precedes)
+   may be linearized next; dead (remaining-set, state) pairs are memoized
+   so the search is exponential only in the width of the history's
+   concurrency, not its length. Histories here come from the simulator's
+   schedules (tens of operations), well within range. *)
+
+type verdict = {
+  linearizable : bool;
+  witness : History.op list;  (* a legal linearization when found *)
+  states_explored : int;
+}
+
+let check (spec : Spec.t) (h : History.t) : verdict =
+  let n = History.length h in
+  if n > 62 then invalid_arg "Checker.check: history too long (max 62 ops)";
+  let full_mask = if n = 0 then 0L else Int64.sub (Int64.shift_left 1L n) 1L in
+  let bit i = Int64.shift_left 1L i in
+  let mem i mask = Int64.logand mask (bit i) <> 0L in
+  (* precedence: pred_mask.(i) = ops that must linearize before op i *)
+  let pred_mask = Array.make n 0L in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && History.precedes h.(j) h.(i) then
+        pred_mask.(i) <- Int64.logor pred_mask.(i) (bit j)
+    done
+  done;
+  let dead : (int64 * Spec.state, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let explored = ref 0 in
+  let witness = ref [] in
+  (* [go remaining state acc]: true if the remaining set linearizes from
+     [state]. *)
+  let rec go remaining state acc =
+    incr explored;
+    if remaining = 0L then begin
+      witness := List.rev acc;
+      true
+    end
+    else if Hashtbl.mem dead (remaining, state) then false
+    else begin
+      let ok = ref false in
+      let i = ref 0 in
+      while (not !ok) && !i < n do
+        let idx = !i in
+        incr i;
+        if mem idx remaining
+           && Int64.logand pred_mask.(idx) remaining = 0L then
+          match spec.Spec.apply state h.(idx) with
+          | Some state' ->
+              if go (Int64.logxor remaining (bit idx)) state' (h.(idx) :: acc)
+              then ok := true
+          | None -> ()
+      done;
+      if not !ok then Hashtbl.replace dead (remaining, state) ();
+      !ok
+    end
+  in
+  let linearizable = go full_mask spec.Spec.initial [] in
+  { linearizable; witness = !witness; states_explored = !explored }

@@ -1,0 +1,12 @@
+(** Wing & Gong linearizability checking with dead-configuration
+    memoization: find a total order extending real-time precedence that
+    is legal under the spec. *)
+
+type verdict = {
+  linearizable : bool;
+  witness : History.op list;  (** a legal linearization when found *)
+  states_explored : int;
+}
+
+val check : Spec.t -> History.t -> verdict
+(** @raise Invalid_argument beyond 62 operations. *)

@@ -1,0 +1,43 @@
+(* Concurrent operation histories.
+
+   An operation record carries its invocation and response positions in
+   the machine trace; two operations are concurrent iff their
+   [inv, res] intervals overlap. Histories are recorded by
+   [Workload.run]: the free-monad continuations fire exactly when the
+   simulator executes the surrounding events, so the recorded positions
+   are the operations' real extent in the execution. *)
+
+open Tsim.Ids
+
+type op = {
+  pid : Pid.t;
+  label : string;  (* e.g. "faa", "push", "pop" *)
+  arg : Value.t option;
+  result : Value.t option;
+  inv : int;  (* trace position at invocation *)
+  res : int;  (* trace position at response *)
+  uid : int;  (* dense id within the history *)
+}
+
+type t = op array
+
+(* [inv] is the trace length just before the op's first event and [res]
+   the length just after its last, so strict sequencing is [res <= inv]. *)
+let precedes a b = a.res <= b.inv
+let concurrent a b = not (precedes a b) && not (precedes b a)
+
+let of_list ops =
+  let arr = Array.of_list ops in
+  Array.sort (fun a b -> compare (a.inv, a.res) (b.inv, b.res)) arr;
+  Array.mapi (fun i o -> { o with uid = i }) arr
+
+let length = Array.length
+
+let pp_op fmt o =
+  Format.fprintf fmt "%a.%s%s%s [%d,%d]" Pid.pp o.pid o.label
+    (match o.arg with Some a -> Printf.sprintf "(%d)" a | None -> "()")
+    (match o.result with Some r -> Printf.sprintf "=%d" r | None -> "")
+    o.inv o.res
+
+let pp fmt (h : t) =
+  Array.iter (fun o -> Format.fprintf fmt "%a@." pp_op o) h

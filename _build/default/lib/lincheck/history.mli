@@ -1,0 +1,27 @@
+(** Concurrent operation histories recorded from simulator traces.
+    [inv]/[res] are trace lengths just before the first and just after the
+    last event of the operation, so [precedes a b = a.res <= b.inv]. *)
+
+open Tsim.Ids
+
+type op = {
+  pid : Pid.t;
+  label : string;
+  arg : Value.t option;
+  result : Value.t option;
+  inv : int;
+  res : int;
+  uid : int;
+}
+
+type t = op array
+
+val precedes : op -> op -> bool
+val concurrent : op -> op -> bool
+
+val of_list : op list -> t
+(** Sorts by interval and assigns dense uids. *)
+
+val length : t -> int
+val pp_op : Format.formatter -> op -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,73 @@
+(* Sequential specifications.
+
+   A spec is a deterministic state machine: [apply state op] returns the
+   post-state if the operation's recorded result is legal from [state],
+   or [None] if it is not. States must be comparable/hashable for
+   memoization, so they are encoded as int lists. *)
+
+type state = int list
+
+type t = {
+  spec_name : string;
+  initial : state;
+  apply : state -> History.op -> state option;
+}
+
+(* Counter with fetch&increment: state = [current]. *)
+let counter =
+  {
+    spec_name = "counter";
+    initial = [ 0 ];
+    apply =
+      (fun st op ->
+        match (st, op.History.label, op.History.result) with
+        | [ c ], "faa", Some r when r = c -> Some [ c + 1 ]
+        | _ -> None);
+  }
+
+(* Stack of ints: state = contents, top first. [empty] encoded as -1. *)
+let stack =
+  {
+    spec_name = "stack";
+    initial = [];
+    apply =
+      (fun st op ->
+        match (op.History.label, op.History.arg, op.History.result) with
+        | "push", Some v, _ -> Some (v :: st)
+        | "pop", _, Some r -> (
+            match st with
+            | top :: rest when r = top -> Some rest
+            | [] when r = -1 -> Some []
+            | _ -> None)
+        | _ -> None);
+  }
+
+(* FIFO queue: state = contents, head first. *)
+let queue =
+  {
+    spec_name = "queue";
+    initial = [];
+    apply =
+      (fun st op ->
+        match (op.History.label, op.History.arg, op.History.result) with
+        | "enq", Some v, _ -> Some (st @ [ v ])
+        | "deq", _, Some r -> (
+            match st with
+            | h :: rest when r = h -> Some rest
+            | [] when r = -1 -> Some []
+            | _ -> None)
+        | _ -> None);
+  }
+
+(* Read/write register: state = [current]. *)
+let register =
+  {
+    spec_name = "register";
+    initial = [ 0 ];
+    apply =
+      (fun st op ->
+        match (st, op.History.label, op.History.arg, op.History.result) with
+        | _, "write", Some v, _ -> Some [ v ]
+        | [ c ], "read", _, Some r when r = c -> Some [ c ]
+        | _ -> None);
+  }

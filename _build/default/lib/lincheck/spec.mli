@@ -1,0 +1,23 @@
+(** Sequential specifications as deterministic state machines over
+    int-list states. [apply state op] is the post-state when the op's
+    recorded result is legal from [state]. *)
+
+type state = int list
+
+type t = {
+  spec_name : string;
+  initial : state;
+  apply : state -> History.op -> state option;
+}
+
+val counter : t
+(** fetch&increment; "faa" ops must return the current value. *)
+
+val stack : t
+(** "push"(arg) / "pop" returning the top or -1 when empty. *)
+
+val queue : t
+(** "enq"(arg) / "deq" returning the head or -1 when empty. *)
+
+val register : t
+(** "write"(arg) / "read" returning the current value. *)

@@ -1,0 +1,63 @@
+(* Recording object histories from the simulator.
+
+   Each of [n] processes executes a sequence of object operations inside
+   its entry section. The free monad's continuations fire exactly when
+   the simulator executes the corresponding events, so closures around
+   each operation capture its true invocation and response positions in
+   the trace. The resulting history feeds the Wing & Gong checker. *)
+
+open Tsim
+open Tsim.Ids
+open Prog
+
+(* What one process does at step [i]: a label, an optional argument (for
+   the spec), and the operation's program. *)
+type op_spec = { label : string; arg : Value.t option; prog : Value.t Prog.t }
+
+let op ?arg label prog = { label; arg; prog }
+
+type schedule = Rr | Rand of int
+
+let run ?(model = Config.Cc_wb) ?(schedule = Rr) ~layout ~n ~ops_per_proc
+    (gen : Pid.t -> int -> op_spec) : History.t =
+  let mref = ref None in
+  let trace_len () =
+    match !mref with
+    | Some m -> Vec.length (Machine.trace m)
+    | None -> 0
+  in
+  let recorded = ref [] in
+  let entry p =
+    let rec ops i =
+      if i >= ops_per_proc then unit
+      else begin
+        (* this closure body runs when the previous operation finished,
+           i.e. at the real invocation point *)
+        let o = gen p i in
+        let inv = trace_len () in
+        let* r = o.prog in
+        recorded :=
+          { History.pid = p; label = o.label; arg = o.arg; result = Some r;
+            inv; res = trace_len (); uid = 0 }
+          :: !recorded;
+        ops (i + 1)
+      end
+    in
+    ops 0
+  in
+  let cfg =
+    Config.make ~model ~check_exclusion:false ~n ~layout ~entry
+      ~exit_section:(fun _ -> Prog.unit)
+      ()
+  in
+  let m = Machine.create cfg in
+  mref := Some m;
+  (match schedule with
+  | Rr -> ignore (Sched.round_robin m)
+  | Rand seed -> ignore (Sched.random ~seed m));
+  History.of_list !recorded
+
+(* Convenience: run and check in one go. *)
+let run_and_check ?model ?schedule ~layout ~n ~ops_per_proc gen spec =
+  let h = run ?model ?schedule ~layout ~n ~ops_per_proc gen in
+  (h, Checker.check spec h)

@@ -1,0 +1,31 @@
+(** Recording object histories from the simulator: each of [n] processes
+    runs [ops_per_proc] operations inside its entry section; monad
+    continuations capture true invocation/response trace positions. *)
+
+open Tsim
+open Tsim.Ids
+
+type op_spec = { label : string; arg : Value.t option; prog : Value.t Prog.t }
+
+val op : ?arg:Value.t -> string -> Value.t Prog.t -> op_spec
+
+type schedule = Rr | Rand of int
+
+val run :
+  ?model:Config.mem_model ->
+  ?schedule:schedule ->
+  layout:Layout.t ->
+  n:int ->
+  ops_per_proc:int ->
+  (Pid.t -> int -> op_spec) ->
+  History.t
+
+val run_and_check :
+  ?model:Config.mem_model ->
+  ?schedule:schedule ->
+  layout:Layout.t ->
+  n:int ->
+  ops_per_proc:int ->
+  (Pid.t -> int -> op_spec) ->
+  Spec.t ->
+  History.t * Checker.verdict

@@ -1,0 +1,1 @@
+lib/locks/adaptive_list.ml: Array Layout Lock_intf Prog Tsim Var

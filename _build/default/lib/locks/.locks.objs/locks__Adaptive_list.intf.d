@@ -1,0 +1,1 @@
+lib/locks/adaptive_list.mli: Lock_intf

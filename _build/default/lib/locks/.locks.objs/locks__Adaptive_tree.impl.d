@@ -1,0 +1,1 @@
+lib/locks/adaptive_tree.ml: Array Layout Lock_intf Peterson_kit Prog Splitter Tsim

@@ -1,0 +1,1 @@
+lib/locks/adaptive_tree.mli: Lock_intf

@@ -1,0 +1,1 @@
+lib/locks/anderson.ml: Array Layout Lock_intf Prog Tsim Var

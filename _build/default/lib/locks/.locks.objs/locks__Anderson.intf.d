@@ -1,0 +1,1 @@
+lib/locks/anderson.mli: Lock_intf

@@ -1,0 +1,1 @@
+lib/locks/bakery.mli: Lock_intf

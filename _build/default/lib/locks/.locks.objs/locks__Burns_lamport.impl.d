@@ -1,0 +1,1 @@
+lib/locks/burns_lamport.ml: Array Layout Lock_intf Prog Tsim

@@ -1,0 +1,1 @@
+lib/locks/burns_lamport.mli: Lock_intf

@@ -1,0 +1,1 @@
+lib/locks/cascade.ml: Array Layout List Lock_intf Peterson_kit Printf Prog Splitter Tsim

@@ -1,0 +1,1 @@
+lib/locks/cascade.mli: Lock_intf

@@ -1,0 +1,1 @@
+lib/locks/clh.ml: Array Fun Layout Lock_intf Prog Tsim Var

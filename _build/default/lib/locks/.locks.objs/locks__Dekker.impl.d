@@ -1,0 +1,1 @@
+lib/locks/dekker.ml: Array Layout Lock_intf Prog Tsim Var

@@ -1,0 +1,1 @@
+lib/locks/dekker.mli: Lock_intf

@@ -1,0 +1,1 @@
+lib/locks/fastpath.ml: Array Layout Lock_intf Prog Tsim Var

@@ -1,0 +1,1 @@
+lib/locks/fastpath.mli: Lock_intf

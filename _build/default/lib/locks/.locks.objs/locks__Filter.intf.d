@@ -1,0 +1,1 @@
+lib/locks/filter.mli: Lock_intf

@@ -1,0 +1,1 @@
+lib/locks/harness.ml: Config Fun List Lock_intf Machine Printf Prog Rng Tsim Vec

@@ -1,0 +1,1 @@
+lib/locks/harness.mli: Config Lock_intf Machine Tsim

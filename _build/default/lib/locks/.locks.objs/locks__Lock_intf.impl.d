@@ -1,0 +1,1 @@
+lib/locks/lock_intf.ml: Layout Pid Prog Tsim

@@ -1,0 +1,1 @@
+lib/locks/lock_intf.mli: Layout Pid Prog Tsim

@@ -1,0 +1,1 @@
+lib/locks/mcs.ml: Array Layout Lock_intf Prog Tsim Var

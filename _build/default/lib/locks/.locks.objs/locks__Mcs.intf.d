@@ -1,0 +1,1 @@
+lib/locks/mcs.mli: Lock_intf

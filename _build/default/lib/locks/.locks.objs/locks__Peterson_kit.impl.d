@@ -1,0 +1,1 @@
+lib/locks/peterson_kit.ml: Array Layout List Option Printf Prog Tsim

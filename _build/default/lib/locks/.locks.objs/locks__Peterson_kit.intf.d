@@ -1,0 +1,1 @@
+lib/locks/peterson_kit.mli: Layout Prog Tsim

@@ -1,0 +1,1 @@
+lib/locks/splitter.ml: Array Layout List Printf Prog Tsim Var

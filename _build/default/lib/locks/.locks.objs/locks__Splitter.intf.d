@@ -1,0 +1,1 @@
+lib/locks/splitter.mli: Layout Pid Prog Tsim Var

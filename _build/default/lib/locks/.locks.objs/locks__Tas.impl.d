@@ -1,0 +1,1 @@
+lib/locks/tas.ml: Layout Lock_intf Prog Tsim

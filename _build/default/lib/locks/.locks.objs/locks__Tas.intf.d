@@ -1,0 +1,1 @@
+lib/locks/tas.mli: Lock_intf

@@ -1,0 +1,1 @@
+lib/locks/ticket.mli: Lock_intf

@@ -1,0 +1,1 @@
+lib/locks/tournament.ml: Array Layout List Lock_intf Prog Tsim Var

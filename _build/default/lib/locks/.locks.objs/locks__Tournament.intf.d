@@ -1,0 +1,1 @@
+lib/locks/tournament.mli: Lock_intf

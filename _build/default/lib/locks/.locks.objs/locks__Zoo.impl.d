@@ -1,0 +1,1 @@
+lib/locks/zoo.ml: Adaptive_list Adaptive_tree Anderson Bakery Burns_lamport Cascade Clh Dekker Fastpath Filter List Lock_intf Mcs String Tas Ticket Tournament

@@ -1,0 +1,1 @@
+lib/locks/zoo.mli: Lock_intf

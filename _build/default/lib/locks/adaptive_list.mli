@@ -1,0 +1,4 @@
+(** Announce-list adaptive lock (one-time, FIFO): O(k) RMRs at contention k via a CAS-built list — the linear-adaptive target the lower-bound adversary forces into Theta(k) fences (E3). *)
+
+val make : n:int -> Lock_intf.t
+val family : Lock_intf.family

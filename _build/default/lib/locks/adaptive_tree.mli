@@ -1,0 +1,9 @@
+(** Bounded-adaptive read/write one-time lock: splitter-grid renaming fast
+    path (O(k + log d0) when contention k fits the grid), n-leaf
+    tournament slow path (O(log n)), and a final 2-process Peterson
+    arbitration — the shape of Kim-Anderson's adaptive mutex with a
+    single renaming stage. Exclusion is compositional and read/write
+    only. *)
+
+val make : ?d0:int -> n:int -> unit -> Lock_intf.t
+val family : Lock_intf.family

@@ -1,0 +1,4 @@
+(** Anderson array-based queue lock: FAA slot reservation, per-slot spinning with generation counts. *)
+
+val make : n:int -> Lock_intf.t
+val family : Lock_intf.family

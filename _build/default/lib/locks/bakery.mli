@@ -1,0 +1,8 @@
+(** Lamport bakery, fenced for TSO: pure read/write, Theta(n) RMRs, O(1)
+    fences — the canonical non-adaptive read/write lock. The [pso_safe]
+    variant adds a fence between the ticket write and the choosing reset,
+    required under PSO ordering (experiment E13). *)
+
+val make : ?pso_safe:bool -> n:int -> unit -> Lock_intf.t
+val family : Lock_intf.family
+val family_pso : Lock_intf.family

@@ -1,0 +1,7 @@
+(** Burns–Lamport one-bit two-process mutual exclusion (space optimal,
+    read/write only; deadlock-free, p1 may starve as in the original). *)
+
+val make : n:int -> Lock_intf.t
+(** @raise Invalid_argument unless [n = 2]. *)
+
+val family : Lock_intf.family

@@ -1,0 +1,9 @@
+(** Cascade lock: unbounded-contention adaptive read/write one-time mutex
+    (the full Kim-Anderson shape): geometrically growing renaming grids,
+    one Peterson tournament per stage, and a final arbitration over the
+    O(log n) stage winners. A passage at contention k costs
+    O(k + log log n) RMRs and fences — the constructive counterpart of
+    Corollary 2's Ω(log log N) fence floor for linear-adaptive locks. *)
+
+val make : ?d0:int -> n:int -> unit -> Lock_intf.t
+val family : Lock_intf.family

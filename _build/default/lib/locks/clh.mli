@@ -1,0 +1,4 @@
+(** CLH queue lock: swap-linked implicit queue, spinning on the predecessor's node; O(1) CC-RMRs, not DSM-local-spin. *)
+
+val make : n:int -> Lock_intf.t
+val family : Lock_intf.family

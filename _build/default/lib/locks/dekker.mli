@@ -1,0 +1,7 @@
+(** Dekker's algorithm (two processes, read/write only), fenced for TSO;
+    the unfenced variant exhibits the store-buffering anomaly (E12). *)
+
+val make : n:int -> Lock_intf.t
+(** @raise Invalid_argument unless [n = 2]. *)
+
+val family : Lock_intf.family

@@ -1,0 +1,4 @@
+(** Lamport's fast mutual exclusion (1987): O(1) solo passages (seven accesses, two fences), Theta(n) slow path. *)
+
+val make : n:int -> Lock_intf.t
+val family : Lock_intf.family

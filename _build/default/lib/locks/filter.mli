@@ -1,0 +1,4 @@
+(** Peterson filter lock: n-1 victim levels, read/write only, Theta(n) fences and Theta(n^2) reads per contended passage. *)
+
+val make : n:int -> Lock_intf.t
+val family : Lock_intf.family

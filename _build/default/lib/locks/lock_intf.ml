@@ -1,0 +1,28 @@
+(* Interface implemented by every lock in the zoo.
+
+   A lock declares its shared variables into a [Layout.t] (choosing DSM
+   ownership for variables a process spins on) and provides entry- and
+   exit-section programs per process. Per-passage scratch state (a ticket
+   number, a tree position) lives in OCaml arrays inside the context: the
+   entry program stores into them as it executes and the exit program —
+   constructed only when the process reaches its CS — reads them back.
+   This is deterministic under replay because replay re-executes the entry
+   section before constructing the exit section. *)
+
+open Tsim
+open Tsim.Ids
+
+type t = {
+  name : string;
+  uses_rmw : bool;  (* uses comparison primitives (CAS/FAA/SWAP)? *)
+  one_time : bool;  (* only supports a single passage per process *)
+  adaptive : bool;  (* RMR complexity a function of contention? *)
+  layout : Layout.t;
+  entry : Pid.t -> unit Prog.t;
+  exit_section : Pid.t -> unit Prog.t;
+}
+
+(* A lock family: given n, instantiate shared state for n processes. *)
+type family = { family_name : string; instantiate : n:int -> t }
+
+let make_family name instantiate = { family_name = name; instantiate }

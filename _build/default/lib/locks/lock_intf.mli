@@ -1,0 +1,27 @@
+(** Interface implemented by every lock in the zoo.
+
+    A lock declares its shared variables into a {!Tsim.Layout.t} (choosing
+    DSM ownership for spin cells) and provides entry and exit-section
+    programs. Per-passage scratch state lives in OCaml arrays inside the
+    lock's closure: the entry program stores into them as it executes and
+    the exit program — constructed only when the process reaches its CS —
+    reads them back; replay re-executes entries before exits, so this is
+    deterministic. *)
+
+open Tsim
+open Tsim.Ids
+
+type t = {
+  name : string;
+  uses_rmw : bool;  (** uses comparison primitives (CAS/FAA/SWAP)? *)
+  one_time : bool;  (** supports a single passage per process only *)
+  adaptive : bool;  (** RMR complexity a function of contention? *)
+  layout : Layout.t;
+  entry : Pid.t -> unit Prog.t;
+  exit_section : Pid.t -> unit Prog.t;
+}
+
+(** A lock family: instantiate shared state for [n] processes. *)
+type family = { family_name : string; instantiate : n:int -> t }
+
+val make_family : string -> (n:int -> t) -> family

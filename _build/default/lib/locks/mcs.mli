@@ -1,0 +1,4 @@
+(** MCS queue lock: swap-linked queue, DSM-local spinning on the process's own flag; O(1) RMRs per passage in DSM and CC. *)
+
+val make : n:int -> Lock_intf.t
+val family : Lock_intf.family

@@ -1,0 +1,64 @@
+(* Reusable Peterson building blocks: a 2-process node and a tournament
+   over anonymous slots. Used by the tournament lock, the adaptive-tree
+   lock and the cascade lock. *)
+
+open Tsim
+open Prog
+
+(* A 2-process Peterson node, TSO-fenced. Returns (acquire, release) by
+   side (0 or 1). *)
+let peterson_node layout tag =
+  let flag = Layout.array layout ~init:0 (tag ^ ".flag") 2 in
+  let turn = Layout.var layout ~init:0 (tag ^ ".turn") in
+  let acquire side =
+    let* () = write flag.(side) 1 in
+    let* () = write turn side in
+    let* () = fence in
+    let rec await fuel =
+      if fuel <= 0 then raise (Prog.Spin_exhausted turn)
+      else
+        let* rival = read flag.(1 - side) in
+        if rival = 0 then unit
+        else
+          let* t = read turn in
+          if t <> side then unit else await (fuel - 1)
+    in
+    await !Prog.default_spin_fuel
+  in
+  let release side =
+    let* () = write flag.(side) 0 in
+    fence
+  in
+  (acquire, release)
+
+(* A Peterson tournament over [leaves] anonymous slots: an entrant starts
+   at the leaf matching its slot index and climbs to the root. At most one
+   process may hold any slot at a time. Returns (entry, exit) by slot. *)
+let tournament_over layout tag ~leaves =
+  let next_pow2 n =
+    let rec go x = if x >= n then x else go (2 * x) in
+    go 1
+  in
+  let l = max 2 (next_pow2 leaves) in
+  let nodes =
+    Array.init l (fun i ->
+        if i >= 1 then
+          Some (peterson_node layout (Printf.sprintf "%s.%d" tag i))
+        else None)
+  in
+  let node i = Option.get nodes.(i) in
+  let path slot =
+    let rec climb node_ acc =
+      if node_ <= 1 then List.rev acc
+      else climb (node_ / 2) ((node_ / 2, node_ mod 2) :: acc)
+    in
+    climb (l + slot) []
+  in
+  let entry slot =
+    seq (List.map (fun (nd, side) -> (fst (node nd)) side) (path slot))
+  in
+  let exit_ slot =
+    seq
+      (List.map (fun (nd, side) -> (snd (node nd)) side) (List.rev (path slot)))
+  in
+  (entry, exit_)

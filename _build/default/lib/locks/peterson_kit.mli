@@ -1,0 +1,14 @@
+(** Reusable Peterson building blocks (TSO-fenced): a 2-process node and a
+    tournament over anonymous slots (at most one holder per slot at a
+    time). *)
+
+open Tsim
+
+val peterson_node :
+  Layout.t -> string -> (int -> unit Prog.t) * (int -> unit Prog.t)
+(** [(acquire, release)] by side (0 or 1). *)
+
+val tournament_over :
+  Layout.t -> string -> leaves:int
+  -> (int -> unit Prog.t) * (int -> unit Prog.t)
+(** [(entry, exit)] by slot index. *)

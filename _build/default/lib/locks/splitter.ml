@@ -1,0 +1,100 @@
+(* Moir–Anderson splitters and the renaming grid.
+
+   A splitter is the read/write building block of adaptive algorithms
+   (Kim–Anderson's adaptive mutex is built from them, which is why it
+   appears in this reproduction): of the k processes entering a splitter,
+   at most one *stops*, at most k-1 move right and at most k-1 move down.
+   A triangular grid of splitters therefore assigns each participant a
+   distinct cell ("name") within diagonal 2(k-1) — adaptive renaming with
+   read/writes only.
+
+   Each splitter needs one fence after its announce write (x := me) and
+   one after claiming (y := 1): under TSO an unpublished x would let two
+   processes both see their own id and stop at the same splitter. *)
+
+open Tsim
+open Tsim.Ids
+open Prog
+
+type outcome = Stop | Right | Down
+
+type splitter = { x : Var.t; y : Var.t }
+
+let make_splitter layout name =
+  { x = Layout.var layout ~init:0 (name ^ ".x");
+    y = Layout.var layout ~init:0 (name ^ ".y") }
+
+(* The classic splitter protocol. *)
+let enter_splitter (s : splitter) p =
+  let me = p + 1 in
+  let* () = write s.x me in
+  let* () = fence in
+  let* y = read s.y in
+  if y <> 0 then return Right
+  else
+    let* () = write s.y 1 in
+    let* () = fence in
+    let* x = read s.x in
+    if x = me then return Stop else return Down
+
+type grid = {
+  side : int;
+  cells : splitter array array;  (* cells.(r).(d) *)
+  mark : Var.t array array;  (* visited marks, for adaptive collects *)
+}
+
+let make_grid layout ~side =
+  {
+    side;
+    cells =
+      Array.init side (fun r ->
+          Array.init side (fun d ->
+              make_splitter layout (Printf.sprintf "sp[%d][%d]" r d)));
+    mark =
+      Array.init side (fun r ->
+          Array.init side (fun d ->
+              Layout.var layout ~init:0 (Printf.sprintf "mark[%d][%d]" r d)));
+  }
+
+let cell_name g ~r ~d = (r * g.side) + d
+
+(* Walk the grid from (0,0); returns the claimed cell's name, or None if
+   the walk falls off the grid (more than [side] contenders on a path).
+   Marks every visited cell so collects can detect the occupied region. *)
+let rename g p =
+  let rec walk r d =
+    if r >= g.side || d >= g.side then return None
+    else
+      let* () = write g.mark.(r).(d) 1 in
+      let* outcome = enter_splitter g.cells.(r).(d) p in
+      match outcome with
+      | Stop -> return (Some (cell_name g ~r ~d))
+      | Right -> walk (r + 1) d
+      | Down -> walk r (d + 1)
+  in
+  walk 0 0
+
+(* Read the announce marks diagonal by diagonal; by the monotone-path
+   argument, a fully unmarked diagonal means no process went beyond it.
+   Returns the set of marked cells up to the first empty diagonal. *)
+let collect_marked g =
+  let rec diagonal dg acc =
+    if dg > 2 * (g.side - 1) then return acc
+    else
+      let cells =
+        List.filter
+          (fun (r, d) -> r < g.side && d < g.side)
+          (List.init (dg + 1) (fun r -> (r, dg - r)))
+      in
+      let rec scan cs any acc =
+        match cs with
+        | [] -> return (any, acc)
+        | (r, d) :: rest ->
+            let* mk = read g.mark.(r).(d) in
+            if mk <> 0 then scan rest true ((r, d) :: acc)
+            else scan rest any acc
+      in
+      let* any, acc = scan cells false acc in
+      if any then diagonal (dg + 1) acc else return acc
+  in
+  diagonal 0 []

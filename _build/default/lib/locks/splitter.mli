@@ -1,0 +1,39 @@
+(** Moir-Anderson splitters and the renaming grid — the read/write
+    building blocks of adaptive algorithms (Kim-Anderson's adaptive mutex
+    is built from them).
+
+    Splitter guarantee for k entrants: at most one stops, at most k-1
+    leave right, at most k-1 leave down; a sole entrant stops. A
+    triangular grid therefore assigns distinct names within diagonal
+    2(k-1) — adaptive renaming from reads and writes only. Each splitter
+    costs two fences on TSO (announce and claim must be published). *)
+
+open Tsim
+open Tsim.Ids
+
+type outcome = Stop | Right | Down
+
+type splitter = { x : Var.t; y : Var.t }
+
+val make_splitter : Layout.t -> string -> splitter
+val enter_splitter : splitter -> Pid.t -> outcome Prog.t
+
+type grid = {
+  side : int;
+  cells : splitter array array;
+  mark : Var.t array array;
+      (** visited marks: a process marks every cell on its path, so an
+          unmarked diagonal bounds the occupied region *)
+}
+
+val make_grid : Layout.t -> side:int -> grid
+
+val cell_name : grid -> r:int -> d:int -> int
+(** Dense encoding of a cell as a name. *)
+
+val rename : grid -> Pid.t -> int option Prog.t
+(** Walk from (0,0); [Some name] of the claimed cell, or [None] if the
+    walk fell off the grid. *)
+
+val collect_marked : grid -> (int * int) list Prog.t
+(** Read marks diagonal by diagonal up to the first empty diagonal. *)

@@ -1,0 +1,4 @@
+(** Test-and-test-and-set lock: spin then CAS. Unbounded fences under contention (every CAS attempt drains the buffer). *)
+
+val make : n:int -> Lock_intf.t
+val family : Lock_intf.family

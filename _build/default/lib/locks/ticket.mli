@@ -1,0 +1,4 @@
+(** Ticket lock: FAA + spin on now_serving. The non-adaptive O(1)-fence, O(1)-CC-RMR baseline (stands in for Attiya-Hendler-Levy 2013; DESIGN.md §6). *)
+
+val make : n:int -> Lock_intf.t
+val family : Lock_intf.family

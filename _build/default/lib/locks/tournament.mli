@@ -1,0 +1,9 @@
+(** Peterson arbitration-tree (tournament) lock: read/write, O(log n)
+    fences and O(log n) CC-RMRs per passage (stands in for Yang-Anderson;
+    see the implementation comment). The [pso_safe] variant fences between
+    the flag and turn writes — required under PSO, where FIFO commit order
+    is not guaranteed (experiment E13) — doubling the fence count. *)
+
+val make : ?pso_safe:bool -> n:int -> unit -> Lock_intf.t
+val family : Lock_intf.family
+val family_pso : Lock_intf.family

@@ -1,0 +1,50 @@
+(* The lock zoo: every algorithm the evaluation sweeps over. *)
+
+let all : Lock_intf.family list =
+  [
+    Ticket.family;
+    Tas.family;
+    Mcs.family;
+    Clh.family;
+    Anderson.family;
+    Bakery.family;
+    Filter.family;
+    Tournament.family;
+    Fastpath.family;
+    Adaptive_list.family;
+    Adaptive_tree.family;
+    Cascade.family;
+  ]
+
+let read_write_only : Lock_intf.family list =
+  [
+    Bakery.family;
+    Filter.family;
+    Tournament.family;
+    Fastpath.family;
+    Adaptive_tree.family;
+    Cascade.family;
+  ]
+
+let multi_passage : Lock_intf.family list =
+  [
+    Ticket.family;
+    Tas.family;
+    Mcs.family;
+    Clh.family;
+    Anderson.family;
+    Bakery.family;
+    Filter.family;
+    Tournament.family;
+    Fastpath.family;
+  ]
+
+(* Two-process-only classics; exercised by the model checker rather than
+   the n-process sweeps. *)
+let two_process : Lock_intf.family list =
+  [ Dekker.family; Burns_lamport.family ]
+
+let find name =
+  List.find_opt
+    (fun f -> String.equal f.Lock_intf.family_name name)
+    (all @ two_process)

@@ -1,0 +1,14 @@
+(** The lock zoo: every algorithm the evaluation sweeps over. *)
+
+val all : Lock_intf.family list
+
+val read_write_only : Lock_intf.family list
+(** Locks that use no comparison primitives. *)
+
+val multi_passage : Lock_intf.family list
+(** Locks supporting repeated passages (excludes one-time locks). *)
+
+val two_process : Lock_intf.family list
+(** Two-process-only classics (Dekker, Burns-Lamport). *)
+
+val find : string -> Lock_intf.family option

@@ -1,0 +1,1 @@
+lib/mcheck/explore.ml: Buffer Config Fun Hashtbl Layout List Machine Pid Printf Prog Tsim Var Wbuf

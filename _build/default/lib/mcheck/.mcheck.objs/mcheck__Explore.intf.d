@@ -1,0 +1,1 @@
+lib/mcheck/explore.mli: Config Machine Pid Tsim Var

@@ -1,0 +1,188 @@
+(* Bounded exhaustive schedule exploration.
+
+   Explores EVERY scheduler decision sequence of a configuration up to a
+   node budget: at each state the enabled moves are "let process p execute
+   its next event" and "commit p's oldest buffered write" (the TSO
+   adversary's full power; under PSO also any out-of-order commit).
+   Reports exclusion violations (with the offending schedule), deadlocks
+   (unfinished processes with no productive move), and whether the space
+   was exhausted within budget.
+
+   This is what makes the Laws-of-Order premise checkable here: removing
+   the fence from a read/write mutex must produce a reachable exclusion
+   violation, and the explorer exhibits the schedule (experiment E12). *)
+
+open Tsim
+open Tsim.Ids
+
+type move = Step of Pid.t | Commit of Pid.t | Commit_var of Pid.t * Var.t
+
+let move_to_string = function
+  | Step p -> Printf.sprintf "step %s" (Pid.to_string p)
+  | Commit p -> Printf.sprintf "commit %s" (Pid.to_string p)
+  | Commit_var (p, v) ->
+      Printf.sprintf "commit %s v%d" (Pid.to_string p) (Var.to_int v)
+
+type violation = {
+  schedule : move list;  (* the decision sequence reaching the bug *)
+  kind : [ `Exclusion of Pid.t * Pid.t | `Deadlock | `Spin_exhausted ];
+}
+
+type result = {
+  nodes : int;  (* states expanded *)
+  exhausted : bool;  (* the whole space was explored within budget *)
+  verified : bool;  (* exhausted with no violations *)
+  violations : violation list;
+  max_depth : int;
+}
+
+let enabled_moves m =
+  let n = Machine.n_procs m in
+  let pso = (Machine.config m).Config.ordering = Config.Pso in
+  let moves = ref [] in
+  for p = n - 1 downto 0 do
+    (match Machine.pending m p with
+    | Machine.P_done -> ()
+    | _ -> moves := Step p :: !moves);
+    (* explicit commits: under TSO only the oldest write may commit (and
+       only outside fences — inside, Step already commits); under PSO the
+       adversary may commit ANY buffered write at any time *)
+    let pr = Machine.proc m p in
+    if pso then
+      List.iter
+        (fun v -> moves := Commit_var (p, v) :: !moves)
+        (Wbuf.vars pr.Machine.buf)
+    else if (not pr.Machine.in_fence) && not (Wbuf.is_empty pr.Machine.buf)
+    then moves := Commit p :: !moves
+  done;
+  !moves
+
+let apply m = function
+  | Step p -> ignore (Machine.step m p)
+  | Commit p -> ignore (Machine.commit m p)
+  | Commit_var (p, v) -> ignore (Machine.commit_var m p v)
+
+(* Fingerprint a machine state for duplicate detection. Continuation
+   positions are approximated by (passages, section, trace-free counters),
+   which is sound for pruning only when combined with the exact shared
+   state; to stay conservative we include each process's remaining-program
+   identity via physical hashing of the continuation closure. *)
+let fingerprint m =
+  let n = Machine.n_procs m in
+  let buf = Buffer.create 128 in
+  let layout = (Machine.config m).Config.layout in
+  for v = 0 to Layout.size layout - 1 do
+    Buffer.add_string buf (string_of_int (Machine.mem_value m v));
+    Buffer.add_char buf ','
+  done;
+  for p = 0 to n - 1 do
+    let pr = Machine.proc m p in
+    Buffer.add_string buf
+      (Printf.sprintf "|%d:%s:%b:%d" p
+         (Machine.pending_to_string (Machine.pending m p))
+         pr.Machine.in_fence
+         (Hashtbl.hash pr.Machine.cont));
+    Wbuf.iter
+      (fun e ->
+        Buffer.add_string buf
+          (Printf.sprintf ";%d=%d" e.Wbuf.var e.Wbuf.value))
+      pr.Machine.buf
+  done;
+  Buffer.contents buf
+
+(* [dedup] prunes states with identical fingerprints. The fingerprint
+   covers shared memory, every buffer, cache-relevant pending state and a
+   structural hash of each continuation (which includes spin fuel
+   counters), so pruning is exact up to hash collisions — verification
+   results are "no violation in the full deduplicated space", a
+   high-confidence check rather than a proof.
+
+   [on_spin] decides what spin-fuel exhaustion means: [`Prune] (default)
+   abandons the branch — sound for exclusion checking because spin
+   re-reads do not change shared state, so longer spins revisit the same
+   choice points — while [`Violation] reports it (livelock hunting). *)
+(* [spin_fuel] temporarily lowers [Prog.default_spin_fuel] so algorithm
+   busy-waits stay shallow during exploration. *)
+let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
+    ?(on_spin = `Prune) ?(spin_fuel = 6) (cfg : Config.t) : result =
+  let saved_fuel = !Prog.default_spin_fuel in
+  Prog.default_spin_fuel := spin_fuel;
+  Fun.protect ~finally:(fun () -> Prog.default_spin_fuel := saved_fuel)
+  @@ fun () ->
+  let nodes = ref 0 in
+  let max_depth = ref 0 in
+  let violations = ref [] in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let budget_left () = !nodes < max_nodes in
+  let exception Done in
+  let rec go m schedule depth =
+    if not (budget_left ()) then raise Done;
+    incr nodes;
+    max_depth := max !max_depth depth;
+    let moves = enabled_moves m in
+    let unfinished =
+      List.exists
+        (fun p -> Machine.pending m p <> Machine.P_done)
+        (List.init (Machine.n_procs m) Fun.id)
+    in
+    if moves = [] then begin
+      if unfinished then begin
+        violations :=
+          { schedule = List.rev schedule; kind = `Deadlock } :: !violations;
+        if List.length !violations >= max_violations then raise Done
+      end
+    end
+    else
+      List.iter
+        (fun mv ->
+          let m' = Machine.clone m in
+          match apply m' mv with
+          | () ->
+              let skip =
+                dedup
+                &&
+                let fp = fingerprint m' in
+                if Hashtbl.mem seen fp then true
+                else begin
+                  Hashtbl.replace seen fp ();
+                  false
+                end
+              in
+              if not skip then go m' (mv :: schedule) (depth + 1)
+          | exception Machine.Exclusion_violation { holder; intruder } ->
+              violations :=
+                { schedule = List.rev (mv :: schedule);
+                  kind = `Exclusion (holder, intruder) }
+                :: !violations;
+              if List.length !violations >= max_violations then raise Done
+          | exception Prog.Spin_exhausted _ -> (
+              match on_spin with
+              | `Prune -> ()
+              | `Violation ->
+                  violations :=
+                    { schedule = List.rev (mv :: schedule);
+                      kind = `Spin_exhausted }
+                    :: !violations;
+                  if List.length !violations >= max_violations then raise Done))
+        moves
+  in
+  let exhausted =
+    try
+      go (Machine.create cfg) [] 0;
+      true
+    with Done -> false
+  in
+  {
+    nodes = !nodes;
+    exhausted;
+    verified = exhausted && !violations = [];
+    violations = List.rev !violations;
+    max_depth = !max_depth;
+  }
+
+(* Replay a violating schedule on a fresh machine, for display. *)
+let replay_schedule (cfg : Config.t) (schedule : move list) =
+  let m = Machine.create cfg in
+  (try List.iter (apply m) schedule with
+  | Machine.Exclusion_violation _ | Prog.Spin_exhausted _ -> ());
+  m

@@ -1,0 +1,54 @@
+(** Bounded exhaustive schedule exploration over the TSO/PSO machine.
+
+    At each state the enabled moves are "process p executes its next
+    event" and "commit p's oldest buffered write" — the full power of the
+    scheduling adversary. Reports exclusion violations (with a replayable
+    schedule), deadlocks, and optionally spin exhaustion.
+
+    Duplicate states are pruned by fingerprint (shared memory + buffers +
+    pending ops + structural continuation hashes); verification verdicts
+    are therefore "no violation in the full deduplicated space" — a
+    high-confidence check, not a formal proof. Reported violations are
+    always sound: their schedules replay on a fresh machine. *)
+
+open Tsim
+open Tsim.Ids
+
+type move =
+  | Step of Pid.t
+  | Commit of Pid.t  (** oldest buffered write (TSO) *)
+  | Commit_var of Pid.t * Var.t  (** any buffered write (PSO only) *)
+
+val move_to_string : move -> string
+
+type violation = {
+  schedule : move list;
+  kind : [ `Exclusion of Pid.t * Pid.t | `Deadlock | `Spin_exhausted ];
+}
+
+type result = {
+  nodes : int;
+  exhausted : bool;  (** the whole (pruned) space was explored *)
+  verified : bool;  (** exhausted with no violations *)
+  violations : violation list;
+  max_depth : int;
+}
+
+val enabled_moves : Machine.t -> move list
+val apply : Machine.t -> move -> unit
+val fingerprint : Machine.t -> string
+
+val explore :
+  ?max_nodes:int ->
+  ?max_violations:int ->
+  ?dedup:bool ->
+  ?on_spin:[ `Prune | `Violation ] ->
+  ?spin_fuel:int ->
+  Config.t ->
+  result
+(** Defaults: 500k nodes, stop at the first violation, dedup on, spin
+    exhaustion prunes the branch (sound for exclusion checking: spin
+    re-reads do not change shared state), busy-wait fuel 6. *)
+
+val replay_schedule : Config.t -> move list -> Machine.t
+(** Re-execute a (violating) schedule on a fresh machine. *)

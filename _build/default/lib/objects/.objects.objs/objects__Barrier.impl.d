@@ -1,0 +1,1 @@
+lib/objects/barrier.ml: Array Layout Prog Tsim Var

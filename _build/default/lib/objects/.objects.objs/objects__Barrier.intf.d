@@ -1,0 +1,1 @@
+lib/objects/barrier.mli: Layout Pid Prog Tsim

@@ -1,0 +1,1 @@
+lib/objects/counter.ml: Array Layout List Machine Obj_intf Pid Printf Prog Snapshot Tsim Value Var

@@ -1,0 +1,1 @@
+lib/objects/counter.mli: Layout Machine Obj_intf Pid Prog Tsim Value Var

@@ -1,0 +1,1 @@
+lib/objects/monitor.ml: Array Layout Prog Tsim Var

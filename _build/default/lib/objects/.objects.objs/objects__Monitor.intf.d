@@ -1,0 +1,1 @@
+lib/objects/monitor.mli: Layout Prog Tsim Value

@@ -1,0 +1,1 @@
+lib/objects/mutex_from_object.ml: Array Counter Layout Locks Obj_intf Oqueue Ostack Printf Prog Tsim Var

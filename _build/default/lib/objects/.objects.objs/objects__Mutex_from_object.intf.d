@@ -1,0 +1,1 @@
+lib/objects/mutex_from_object.mli: Locks Obj_intf

@@ -1,0 +1,1 @@
+lib/objects/obj_intf.ml: Layout Pid Prog Tsim Value

@@ -1,0 +1,1 @@
+lib/objects/obj_intf.mli: Layout Pid Prog Tsim Value

@@ -1,0 +1,1 @@
+lib/objects/oqueue.ml: Array Fun Layout List Obj_intf Printf Prog Tsim Var

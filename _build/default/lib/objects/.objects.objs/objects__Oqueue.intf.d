@@ -1,0 +1,1 @@
+lib/objects/oqueue.mli: Layout Obj_intf Prog Tsim Value

@@ -1,0 +1,1 @@
+lib/objects/ostack.ml: Array Layout List Obj_intf Printf Prog Tsim Var

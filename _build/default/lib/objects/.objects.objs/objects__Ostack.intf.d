@@ -1,0 +1,1 @@
+lib/objects/ostack.mli: Layout Obj_intf Pid Prog Tsim Value

@@ -1,0 +1,1 @@
+lib/objects/snapshot.ml: Array Layout List Prog Tsim Var

@@ -1,0 +1,1 @@
+lib/objects/snapshot.mli: Layout Pid Prog Tsim Value

@@ -1,0 +1,41 @@
+(* Sense-reversing centralized barrier.
+
+   Each arrival decrements [count] with FAA (one fence); the last arrival
+   resets the count and flips the global [sense], releasing the others
+   from their spin. Per-episode cost: one RMW and O(1) RMRs for the
+   releaser, one RMW plus one invalidation-refill for each waiter in the
+   CC models. A fence-bearing primitive that rounds out the substrate's
+   coordination toolbox. *)
+
+open Tsim
+open Tsim.Ids
+open Prog
+
+type t = {
+  n : int;
+  count : Var.t;
+  sense : Var.t;
+  local_sense : int array;  (* per-process scratch *)
+}
+
+let make layout ~n =
+  {
+    n;
+    count = Layout.var layout ~init:n "barrier.count";
+    sense = Layout.var layout ~init:0 "barrier.sense";
+    local_sense = Array.make n 0;
+  }
+
+(* Wait until all [n] processes have arrived at this episode. *)
+let await t p =
+  let my = 1 - t.local_sense.(p) in
+  t.local_sense.(p) <- my;
+  let* c = faa t.count (-1) in
+  if c = 1 then
+    (* last arrival: reset and release *)
+    let* () = write t.count t.n in
+    let* () = write t.sense my in
+    fence
+  else
+    let* _ = spin_until t.sense (fun s -> s = my) in
+    unit

@@ -1,0 +1,12 @@
+(** Sense-reversing centralized barrier: one FAA per arrival, the last
+    arrival flips the sense and releases the spinners. *)
+
+open Tsim
+open Tsim.Ids
+
+type t
+
+val make : Layout.t -> n:int -> t
+
+val await : t -> Pid.t -> unit Prog.t
+(** Block (spin) until all [n] processes have arrived at this episode. *)

@@ -1,0 +1,82 @@
+(* Counters.
+
+   - [faa]: the trivial wait-free counter over the FAA primitive (one
+     implicit fence per operation).
+   - [cas]: a CAS retry loop — lock-free, obstruction-free, and the
+     canonical example of an operation whose *fence* complexity degrades
+     under contention (each failed CAS costs a drain), which is exactly
+     the behaviour the paper's tradeoff predicts for adaptive objects. *)
+
+open Tsim
+open Tsim.Ids
+open Prog
+
+type t = { var : Var.t; fetch_inc : Pid.t -> Value.t Prog.t; name : string }
+
+let make_faa layout =
+  let var = Layout.var layout "counter" in
+  { var; name = "counter-faa"; fetch_inc = (fun _ -> faa var 1) }
+
+let make_cas layout =
+  let var = Layout.var layout "counter" in
+  let rec incr () =
+    let* x = read var in
+    let* ok = cas var ~expected:x ~desired:(x + 1) in
+    if ok then return x else incr ()
+  in
+  { var; name = "counter-cas"; fetch_inc = (fun _ -> incr ()) }
+
+let value machine (t : t) = Machine.mem_value machine t.var
+
+(* m-limited-use counter (paper, Section 5): permits at most [m]
+   fetch&increment instances; the (m+1)'th returns [exhausted]. Any
+   counter is an m-limited-use counter for any m, and the pre-filled
+   queue/stack providers realize exactly the N-limited-use variant. *)
+
+let exhausted = -2
+
+let make_limited layout ~m =
+  let var = Layout.var layout "counter" in
+  {
+    var;
+    name = Printf.sprintf "counter-faa-limited-%d" m;
+    fetch_inc =
+      (fun _ ->
+        let open Prog in
+        let* v = faa var 1 in
+        if v >= m then return exhausted else return v);
+  }
+
+(* Read/write weak counter: per-process single-writer cells, summed by an
+   atomic snapshot scan. Increments are wait-free; reads are
+   obstruction-free. This is the classic *weak* counter — it deliberately
+   does NOT provide fetch&increment, which (per the paper's Section 5
+   reduction) would yield mutual exclusion and inherit the fence lower
+   bound. *)
+
+type rw = { snap : Snapshot.t; cells : int array }
+
+let make_rw layout ~n =
+  { snap = Snapshot.make layout ~n; cells = Array.make n 0 }
+
+(* Increment the caller's own cell (one fence). *)
+let rw_inc (t : rw) p =
+  t.cells.(p) <- t.cells.(p) + 1;
+  Snapshot.update t.snap p t.cells.(p)
+
+(* Sum a consistent snapshot of all cells. *)
+let rw_read (t : rw) =
+  Prog.map (Snapshot.scan t.snap) (List.fold_left ( + ) 0)
+
+(* Providers for the Lemma 9 reduction. *)
+let faa_provider : Obj_intf.builder =
+ fun layout ~n ->
+  ignore n;
+  let c = make_faa layout in
+  { Obj_intf.provider_name = c.name; uses_rmw = true; fetch_inc = c.fetch_inc }
+
+let cas_provider : Obj_intf.builder =
+ fun layout ~n ->
+  ignore n;
+  let c = make_cas layout in
+  { Obj_intf.provider_name = c.name; uses_rmw = true; fetch_inc = c.fetch_inc }

@@ -1,0 +1,44 @@
+(** Counters: the wait-free FAA counter and the lock-free CAS retry
+    counter, whose fence complexity degrades under contention exactly as
+    the paper's tradeoff predicts for adaptive objects. *)
+
+open Tsim
+open Tsim.Ids
+
+type t = {
+  var : Var.t;
+  fetch_inc : Pid.t -> Value.t Prog.t;
+  name : string;
+}
+
+val make_faa : Layout.t -> t
+val make_cas : Layout.t -> t
+
+val value : Machine.t -> t -> Value.t
+(** Current counter value in shared memory. *)
+
+val exhausted : Value.t
+(** Returned by a limited-use counter past its budget. *)
+
+val make_limited : Layout.t -> m:int -> t
+(** m-limited-use counter (Section 5): at most [m] fetch&increments. *)
+
+val faa_provider : Obj_intf.builder
+val cas_provider : Obj_intf.builder
+
+(** {1 Read/write weak counter}
+
+    Per-process single-writer cells summed via an atomic snapshot:
+    wait-free increments, obstruction-free reads, no fetch&increment
+    (which would yield mutual exclusion and inherit the paper's fence
+    lower bound). *)
+
+type rw
+
+val make_rw : Layout.t -> n:int -> rw
+
+val rw_inc : rw -> Pid.t -> unit Prog.t
+(** Increment the caller's own cell (one fence). *)
+
+val rw_read : rw -> Value.t Prog.t
+(** Sum of a consistent snapshot of all cells. *)

@@ -1,0 +1,33 @@
+(** Monitors (Section 5, converse direction): wrap any program in a
+    ticket-lock critical section, and lock-based counter/stack/queue
+    objects built that way — linearizable by construction and inheriting
+    the lock's RMR/fence profile. *)
+
+open Tsim
+open Tsim.Ids
+
+type t
+
+val make : Layout.t -> string -> t
+
+val exec : t -> 'a Prog.t -> 'a Prog.t
+(** Run a program under mutual exclusion (FIFO ticket discipline). *)
+
+type locked_counter
+
+val locked_counter : Layout.t -> string -> locked_counter
+val locked_fetch_inc : locked_counter -> Value.t Prog.t
+
+type locked_stack
+
+val locked_stack : Layout.t -> string -> capacity:int -> locked_stack
+val locked_push : locked_stack -> Value.t -> Value.t Prog.t
+val locked_pop : locked_stack -> Value.t Prog.t
+(** [-1] when empty. *)
+
+type locked_queue
+
+val locked_queue : Layout.t -> string -> capacity:int -> locked_queue
+val locked_enqueue : locked_queue -> Value.t -> Value.t Prog.t
+val locked_dequeue : locked_queue -> Value.t Prog.t
+(** [-1] when empty. *)

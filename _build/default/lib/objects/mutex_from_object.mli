@@ -1,0 +1,16 @@
+(** Algorithm 1 of the paper (Lemma 9): one-time mutual exclusion from an
+    N-limited-use counter — and hence from a pre-filled queue or stack.
+    Each passage performs exactly one object operation plus O(1)
+    reads/writes and O(1) fences, so the mutex inherits the object's RMR
+    and fence complexities up to an additive constant, transferring the
+    fence lower bound to counters, stacks and queues (Corollary 1). *)
+
+val make :
+  ?name_suffix:string -> Obj_intf.builder -> n:int -> Locks.Lock_intf.t
+
+val from_counter_faa : n:int -> Locks.Lock_intf.t
+val from_counter_cas : n:int -> Locks.Lock_intf.t
+val from_queue : n:int -> Locks.Lock_intf.t
+val from_stack : n:int -> Locks.Lock_intf.t
+
+val families : Locks.Lock_intf.family list

@@ -1,0 +1,23 @@
+(* Object interfaces for Section 5.
+
+   Lemma 9 builds a one-time mutual exclusion algorithm from any weak
+   obstruction-free counter, stack or queue such that each passage invokes
+   exactly one operation on the object. A [provider] packages what the
+   reduction needs: variables declared into the *caller's* layout and a
+   fetch&increment-like program (the object's dequeue/pop plays that role
+   when the object is pre-filled with 0..N-1). *)
+
+open Tsim
+open Tsim.Ids
+
+type provider = {
+  provider_name : string;
+  uses_rmw : bool;
+  (* returns the next value of the logical counter: 0, 1, 2, ... *)
+  fetch_inc : Pid.t -> Value.t Prog.t;
+}
+
+(* Builders declare their shared variables into the given layout (shared
+   with the enclosing algorithm) for [n] processes performing at most one
+   operation each. *)
+type builder = Layout.t -> n:int -> provider

@@ -1,0 +1,18 @@
+(** Object interfaces for Section 5. A [provider] packages what the
+    Lemma 9 reduction needs: variables declared into the caller's layout
+    and a fetch&increment-like program (a pre-filled queue's dequeue or
+    stack's pop plays that role). *)
+
+open Tsim
+open Tsim.Ids
+
+type provider = {
+  provider_name : string;
+  uses_rmw : bool;
+  fetch_inc : Pid.t -> Value.t Prog.t;
+      (** returns the next counter value: 0, 1, 2, ... *)
+}
+
+type builder = Layout.t -> n:int -> provider
+(** Declare shared state for [n] processes performing at most one
+    operation each. *)

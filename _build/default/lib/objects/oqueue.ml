@@ -1,0 +1,85 @@
+(* Array-based FIFO queue with fetch-and-increment slot reservation.
+
+   Enqueuers reserve a slot with FAA on [tail] and publish the item into
+   it; dequeuers claim a slot with FAA on [head] and (if an enqueuer has
+   reserved but not yet published) wait for the item to appear. Slots are
+   single-use, so no ABA arises. Items are stored biased by +1 (0 = slot
+   still empty).
+
+   [try_dequeue] gives the empty-returning variant of the paper's queue
+   semantics (it reads [tail] first and only claims a slot when the queue
+   is provably non-empty at that instant; under concurrent enqueues this
+   is a legitimate linearizable "empty" answer).
+
+   For the Lemma 9 reduction the queue is pre-filled with 0 .. N-1 and
+   each process dequeues exactly once: an N-limited-use counter. *)
+
+open Tsim
+open Tsim.Ids
+open Prog
+
+type t = {
+  items : Var.t array;
+  head : Var.t;
+  tail : Var.t;
+  capacity : int;
+  name : string;
+}
+
+let empty_value = -1
+
+let make ?(name = "queue") ?(prefill = []) layout ~capacity =
+  let npre = List.length prefill in
+  if npre > capacity then invalid_arg (name ^ ": prefill exceeds capacity");
+  let pre = Array.of_list prefill in
+  let items =
+    Array.init capacity (fun i ->
+        let init = if i < npre then pre.(i) + 1 else 0 in
+        Layout.var layout ~init (Printf.sprintf "%s.item[%d]" name i))
+  in
+  {
+    items;
+    head = Layout.var layout ~init:0 (name ^ ".head");
+    tail = Layout.var layout ~init:npre (name ^ ".tail");
+    capacity;
+    name;
+  }
+
+let enqueue t v =
+  let* slot = faa t.tail 1 in
+  if slot >= t.capacity then
+    invalid_arg (t.name ^ ": capacity exceeded")
+  else
+    let* () = write t.items.(slot) (v + 1) in
+    fence
+
+(* Claim a slot and wait for its item (used when the queue is known to be
+   non-empty, e.g. the pre-filled Lemma 9 counter). *)
+let dequeue_nonempty t =
+  let* slot = faa t.head 1 in
+  let* x = spin_until t.items.(slot) (fun x -> x <> 0) in
+  return (x - 1)
+
+(* Empty-aware dequeue: answer [empty_value] when no items are present. *)
+let try_dequeue t =
+  let* h = read t.head in
+  let* tl = read t.tail in
+  if h >= tl then return empty_value
+  else
+    (* claim atomically; a racing dequeuer may have beaten us to this slot,
+       in which case our claim lands on a later slot and we wait for its
+       item (FAA cannot hand a claim back) — FIFO is preserved either way *)
+    let* slot = faa t.head 1 in
+    let* x = spin_until t.items.(slot) (fun x -> x <> 0) in
+    return (x - 1)
+
+(* Lemma 9 provider: a queue pre-filled with 0 .. N-1, dequeued once per
+   process. *)
+let dequeue_provider : Obj_intf.builder =
+ fun layout ~n ->
+  let t = make ~name:"queue" ~prefill:(List.init n Fun.id) layout ~capacity:n in
+  {
+    Obj_intf.provider_name = "queue-dequeue";
+    uses_rmw = true;
+    fetch_inc = (fun _ -> dequeue_nonempty t);
+  }

@@ -1,0 +1,27 @@
+(** Array-based FIFO queue with FAA slot reservation; slots are
+    single-use (no ABA). For Lemma 9 the queue is pre-filled with
+    0..N-1 and dequeued once per process. *)
+
+open Tsim
+open Tsim.Ids
+
+type t
+
+val empty_value : Value.t
+
+val make :
+  ?name:string -> ?prefill:Value.t list -> Layout.t -> capacity:int -> t
+
+val enqueue : t -> Value.t -> unit Prog.t
+(** @raise Invalid_argument (at simulation time) past capacity. *)
+
+val dequeue_nonempty : t -> Value.t Prog.t
+(** Claim a slot and wait for its item; for queues known to be non-empty
+    (the pre-filled Lemma 9 counter). *)
+
+val try_dequeue : t -> Value.t Prog.t
+(** Returns {!empty_value} when no items are present at the linearization
+    point; if a racing dequeuer steals the observed slot, waits for the
+    claimed later slot instead (FIFO preserved). *)
+
+val dequeue_provider : Obj_intf.builder

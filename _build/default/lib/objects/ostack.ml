@@ -1,0 +1,96 @@
+(* Treiber stack with single-use nodes.
+
+   A lock-free stack: [top] holds the index+1 of the top node (0 = nil);
+   a push links a fresh node with CAS, a pop unlinks the top node with
+   CAS. Nodes are preallocated and never reused, which rules out the
+   classic ABA hazard without needing tagged pointers.
+
+   Node arena layout: indices [0, npre) hold the prefill chain (bottom to
+   top), then [npre + p*ops_per_proc, ...) is process p's private block of
+   single-use push nodes.
+
+   For the Lemma 9 reduction the stack is pre-filled with N-1 .. 0 (so
+   pops return 0, 1, 2, ... — an N-limited-use counter, exactly the
+   construction in the paper's proof). *)
+
+open Tsim
+open Tsim.Ids
+open Prog
+
+type t = {
+  top : Var.t;
+  vals : Var.t array;  (* node payloads *)
+  nexts : Var.t array;  (* node links: index+1 of the next node, 0 = nil *)
+  name : string;
+  npre : int;
+  node_of : int array;  (* next free node offset per process *)
+  nodes_per_proc : int;
+}
+
+let empty_value = -1
+
+(* [prefill] items are pushed bottom-to-top at creation: the LAST element
+   of [prefill] ends up on top. *)
+let make ?(name = "stack") ?(prefill = []) layout ~n ~ops_per_proc =
+  let npre = List.length prefill in
+  let nnodes = max 1 (npre + (n * ops_per_proc)) in
+  let pre = Array.of_list prefill in
+  let vals =
+    Array.init nnodes (fun i ->
+        let init = if i < npre then pre.(i) else 0 in
+        Layout.var layout ~init (Printf.sprintf "%s.val[%d]" name i))
+  in
+  let nexts =
+    Array.init nnodes (fun i ->
+        (* prefill node i sits on node i-1 (encoded i-1+1 = i); node 0 on nil *)
+        let init = if i < npre && i > 0 then i else 0 in
+        Layout.var layout ~init (Printf.sprintf "%s.next[%d]" name i))
+  in
+  let top = Layout.var layout ~init:npre (name ^ ".top") in
+  { top; vals; nexts; name; npre; node_of = Array.make n 0; nodes_per_proc = ops_per_proc }
+
+(* Allocate the next single-use node for process [p]. *)
+let alloc t p =
+  let k = t.node_of.(p) in
+  if k >= t.nodes_per_proc then
+    invalid_arg (t.name ^ ": process exceeded its node budget");
+  t.node_of.(p) <- k + 1;
+  t.npre + (p * t.nodes_per_proc) + k
+
+let push t p v =
+  let nd = alloc t p in
+  let* () = write t.vals.(nd) v in
+  let rec attempt () =
+    let* old_top = read t.top in
+    let* () = write t.nexts.(nd) old_top in
+    let* ok = cas t.top ~expected:old_top ~desired:(nd + 1) in
+    if ok then unit else attempt ()
+  in
+  attempt ()
+
+(* Pop; returns [empty_value] if the stack is empty. Nodes are never
+   reused, so reading the payload and link before the CAS is safe. *)
+let pop t _p =
+  let rec attempt () =
+    let* old_top = read t.top in
+    if old_top = 0 then return empty_value
+    else
+      let nd = old_top - 1 in
+      let* v = read t.vals.(nd) in
+      let* nxt = read t.nexts.(nd) in
+      let* ok = cas t.top ~expected:old_top ~desired:nxt in
+      if ok then return v else attempt ()
+  in
+  attempt ()
+
+(* Lemma 9 provider: a stack pre-filled with N-1 .. 0, popped once per
+   process, behaves as an N-limited-use fetch&increment. *)
+let pop_provider : Obj_intf.builder =
+ fun layout ~n ->
+  let prefill = List.init n (fun i -> n - 1 - i) in
+  let t = make ~name:"stack" ~prefill layout ~n ~ops_per_proc:0 in
+  {
+    Obj_intf.provider_name = "stack-pop";
+    uses_rmw = true;
+    fetch_inc = (fun p -> pop t p);
+  }

@@ -1,0 +1,27 @@
+(** Treiber stack with single-use nodes (no ABA without tags). For the
+    Lemma 9 reduction the stack is pre-filled with N-1..0 so pops return
+    0, 1, 2, ... — an N-limited-use counter, exactly the paper's
+    construction. *)
+
+open Tsim
+open Tsim.Ids
+
+type t
+
+val empty_value : Value.t
+(** Returned by {!pop} on an empty stack. *)
+
+val make :
+  ?name:string -> ?prefill:Value.t list -> Layout.t -> n:int
+  -> ops_per_proc:int -> t
+(** [prefill] is pushed bottom-to-top at creation; each process gets
+    [ops_per_proc] single-use push nodes. *)
+
+val push : t -> Pid.t -> Value.t -> unit Prog.t
+(** @raise Invalid_argument (at program-construction time) when the
+    process exceeds its node budget. *)
+
+val pop : t -> Pid.t -> Value.t Prog.t
+
+val pop_provider : Obj_intf.builder
+(** A stack pre-filled with N-1..0, popped once per process. *)

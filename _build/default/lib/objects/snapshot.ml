@@ -1,0 +1,63 @@
+(* Single-writer atomic snapshot via double collect.
+
+   The classic read/write construction (Afek et al.): each process owns a
+   segment (value, sequence number); [update] bumps its own segment and
+   publishes with one fence; [scan] repeatedly collects all segments until
+   two consecutive collects agree on every sequence number, which
+   certifies the collected values existed simultaneously.
+
+   Obstruction-free: a scan running alone terminates after two collects.
+   Snapshots are the collect step of adaptive renaming-based algorithms,
+   which is why the substrate carries one. *)
+
+open Tsim
+open Tsim.Ids
+open Prog
+
+type t = {
+  n : int;
+  value : Var.t array;  (* value.(i), owned by i *)
+  seqno : Var.t array;  (* seqno.(i), owned by i *)
+}
+
+let make layout ~n =
+  {
+    n;
+    value = Layout.array layout ~owner_fn:(fun i -> Some i) ~init:0 "snap.val" n;
+    seqno = Layout.array layout ~owner_fn:(fun i -> Some i) ~init:0 "snap.seq" n;
+  }
+
+(* Update own segment: one fence per update. *)
+let update t p v =
+  let* s = read t.seqno.(p) in
+  let* () = write t.value.(p) v in
+  let* () = write t.seqno.(p) (s + 1) in
+  fence
+
+let collect t =
+  let rec go i acc =
+    if i >= t.n then return (List.rev acc)
+    else
+      let* s = read t.seqno.(i) in
+      let* v = read t.value.(i) in
+      go (i + 1) ((s, v) :: acc)
+  in
+  go 0 []
+
+exception Scan_exhausted
+
+(* Double collect; retries until two consecutive collects agree on all
+   sequence numbers. [fuel] bounds the retries (concurrent updaters can
+   starve a scanner — the construction is obstruction-free, not
+   wait-free). *)
+let scan ?(fuel = 10_000) t =
+  let rec attempt budget prev =
+    if budget <= 0 then raise Scan_exhausted
+    else
+      let* c = collect t in
+      match prev with
+      | Some c' when List.for_all2 (fun (s, _) (s', _) -> s = s') c c' ->
+          return (List.map snd c)
+      | _ -> attempt (budget - 1) (Some c)
+  in
+  attempt fuel None

@@ -1,0 +1,23 @@
+(** Single-writer atomic snapshot via double collect (Afek et al.):
+    read/write only, obstruction-free scans, one fence per update. The
+    collect step of adaptive renaming-based algorithms. *)
+
+open Tsim
+open Tsim.Ids
+
+type t
+
+val make : Layout.t -> n:int -> t
+
+val update : t -> Pid.t -> Value.t -> unit Prog.t
+(** Publish a new value in the caller's own segment. *)
+
+val collect : t -> (Value.t * Value.t) list Prog.t
+(** One pass over all segments: (seqno, value) pairs. *)
+
+exception Scan_exhausted
+
+val scan : ?fuel:int -> t -> Value.t list Prog.t
+(** Double collect until two consecutive collects agree on every
+    sequence number. Raises {!Scan_exhausted} (at simulation time) after
+    [fuel] retries. *)

@@ -1,0 +1,1 @@
+lib/trace/erasure.ml: Array Config Event List Machine Pidset Printf Trace Tsim Wbuf

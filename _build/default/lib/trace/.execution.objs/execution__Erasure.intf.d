@@ -1,0 +1,1 @@
+lib/trace/erasure.mli: Config Event Machine Pidset Trace Tsim

@@ -1,0 +1,1 @@
+lib/trace/metrics.ml: Event Format Hashtbl List Pid Trace Tsim

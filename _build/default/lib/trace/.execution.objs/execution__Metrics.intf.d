@@ -1,0 +1,1 @@
+lib/trace/metrics.mli: Format Pid Trace Tsim

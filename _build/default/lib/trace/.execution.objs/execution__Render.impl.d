@@ -1,0 +1,1 @@
+lib/trace/render.ml: Buffer Event Hashtbl Layout List Pid Pidset Printf String Trace Tsim

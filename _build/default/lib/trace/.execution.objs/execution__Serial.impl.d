@@ -1,0 +1,1 @@
+lib/trace/serial.ml: Array Buffer Event Fun In_channel Layout List Printf String Trace Tsim

@@ -1,0 +1,1 @@
+lib/trace/serial.mli: Event Trace Tsim

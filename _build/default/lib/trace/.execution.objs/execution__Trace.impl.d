@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Config Event Format Hashtbl Layout List Machine Option Pid Pidset Tsim Vec

@@ -1,0 +1,1 @@
+lib/trace/trace.mli: Event Format Layout Machine Pid Pidset Tsim

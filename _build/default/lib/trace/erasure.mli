@@ -1,0 +1,38 @@
+(** Erasure by deterministic replay — the executable form of Lemmas 1
+    and 4.
+
+    The paper erases a set of invisible processes from an execution [E]
+    and argues [E^{-Y}] is again an execution. Operationally we rebuild a
+    fresh machine from the same configuration and drive it with the
+    filtered events, checking each produced event is congruent to the
+    recorded one. If the erased processes were genuinely invisible (IN1),
+    the replay reproduces the erased execution verbatim; divergences
+    indicate the erasure lemma's premises were violated. *)
+
+open Tsim
+open Tsim.Ids
+
+type mismatch = {
+  at : int;  (** index in the filtered event list *)
+  expected : Event.t;
+  got : Event.t option;
+  reason : string;
+}
+
+type result = {
+  machine : Machine.t;  (** the machine after the replay *)
+  replayed : int;
+  mismatches : mismatch list;  (** structural divergences (fatal) *)
+  value_divergences : int;
+      (** congruent events whose values differed — allowed by congruence
+          but evidence of information flow from the erased set *)
+}
+
+val replay_events : Config.t -> Event.t array -> result
+(** Drive a fresh machine with an (already filtered) event sequence. *)
+
+val erase : Config.t -> Trace.t -> Pidset.t -> result
+(** Replay [trace^{-erased}] on a fresh machine. *)
+
+val erase_ok : result -> bool
+(** No mismatches and no value divergences. *)

@@ -1,0 +1,114 @@
+(* Per-process, per-passage cost aggregation from traces.
+
+   The machine keeps these counters online; this module recomputes them
+   from the recorded events alone, so (a) archived traces can be analyzed
+   without the machine and (b) the online accounting is cross-checkable
+   (tested in suite_trace). *)
+
+open Tsim
+open Tsim.Ids
+
+type per_passage = {
+  mp_pid : Pid.t;
+  mp_index : int;  (* 0-based passage number of this process *)
+  mp_events : int;
+  mp_rmrs : int;
+  mp_fences : int;
+  mp_criticals : int;
+}
+
+type per_process = {
+  pp_pid : Pid.t;
+  pp_events : int;
+  pp_rmrs : int;
+  pp_fences : int;
+  pp_criticals : int;
+  pp_passages : int;
+  pp_passage_log : per_passage list;
+}
+
+type t = {
+  processes : per_process list;
+  total_events : int;
+  total_rmrs : int;
+  total_fences : int;
+  total_criticals : int;
+}
+
+let compute (tr : Trace.t) : t =
+  let tbl : (Pid.t, per_process) Hashtbl.t = Hashtbl.create 16 in
+  let cur : (Pid.t, per_passage) Hashtbl.t = Hashtbl.create 16 in
+  let get p =
+    match Hashtbl.find_opt tbl p with
+    | Some x -> x
+    | None ->
+        let x =
+          { pp_pid = p; pp_events = 0; pp_rmrs = 0; pp_fences = 0;
+            pp_criticals = 0; pp_passages = 0; pp_passage_log = [] }
+        in
+        Hashtbl.replace tbl p x;
+        x
+  in
+  Trace.iter
+    (fun (e : Event.t) ->
+      let p = e.Event.pid in
+      let pp = get p in
+      let rmr = if e.Event.rmr then 1 else 0 in
+      let crit = if e.Event.critical then 1 else 0 in
+      let fence =
+        match e.Event.kind with Event.End_fence _ -> 1 | _ -> 0
+      in
+      Hashtbl.replace tbl p
+        { pp with pp_events = pp.pp_events + 1; pp_rmrs = pp.pp_rmrs + rmr;
+          pp_fences = pp.pp_fences + fence;
+          pp_criticals = pp.pp_criticals + crit };
+      (match e.Event.kind with
+      | Event.Enter ->
+          Hashtbl.replace cur p
+            { mp_pid = p; mp_index = (get p).pp_passages; mp_events = 0;
+              mp_rmrs = 0; mp_fences = 0; mp_criticals = 0 }
+      | Event.Exit -> (
+          match Hashtbl.find_opt cur p with
+          | Some mp ->
+              Hashtbl.remove cur p;
+              let pp = get p in
+              Hashtbl.replace tbl p
+                { pp with pp_passages = pp.pp_passages + 1;
+                  pp_passage_log = pp.pp_passage_log @ [ mp ] }
+          | None -> ())
+      | _ -> (
+          match Hashtbl.find_opt cur p with
+          | Some mp ->
+              Hashtbl.replace cur p
+                { mp with mp_events = mp.mp_events + 1;
+                  mp_rmrs = mp.mp_rmrs + rmr; mp_fences = mp.mp_fences + fence;
+                  mp_criticals = mp.mp_criticals + crit }
+          | None -> ())))
+    tr;
+  let processes =
+    Hashtbl.fold (fun _ pp acc -> pp :: acc) tbl []
+    |> List.sort (fun a b -> compare a.pp_pid b.pp_pid)
+  in
+  {
+    processes;
+    total_events = List.fold_left (fun a p -> a + p.pp_events) 0 processes;
+    total_rmrs = List.fold_left (fun a p -> a + p.pp_rmrs) 0 processes;
+    total_fences = List.fold_left (fun a p -> a + p.pp_fences) 0 processes;
+    total_criticals =
+      List.fold_left (fun a p -> a + p.pp_criticals) 0 processes;
+  }
+
+let find t p = List.find_opt (fun pp -> Pid.equal pp.pp_pid p) t.processes
+
+let pp fmt (t : t) =
+  Format.fprintf fmt
+    "events %d, rmrs %d, fences %d, criticals %d over %d processes@."
+    t.total_events t.total_rmrs t.total_fences t.total_criticals
+    (List.length t.processes);
+  List.iter
+    (fun pp_ ->
+      Format.fprintf fmt
+        "  %a: events %d rmrs %d fences %d criticals %d passages %d@."
+        Pid.pp pp_.pp_pid pp_.pp_events pp_.pp_rmrs pp_.pp_fences
+        pp_.pp_criticals pp_.pp_passages)
+    t.processes

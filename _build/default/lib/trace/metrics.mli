@@ -1,0 +1,35 @@
+(** Per-process / per-passage cost aggregation recomputed from traces
+    alone, cross-checkable against the machine's online counters. *)
+
+open Tsim.Ids
+
+type per_passage = {
+  mp_pid : Pid.t;
+  mp_index : int;
+  mp_events : int;
+  mp_rmrs : int;
+  mp_fences : int;
+  mp_criticals : int;
+}
+
+type per_process = {
+  pp_pid : Pid.t;
+  pp_events : int;
+  pp_rmrs : int;
+  pp_fences : int;
+  pp_criticals : int;
+  pp_passages : int;
+  pp_passage_log : per_passage list;
+}
+
+type t = {
+  processes : per_process list;
+  total_events : int;
+  total_rmrs : int;
+  total_fences : int;
+  total_criticals : int;
+}
+
+val compute : Trace.t -> t
+val find : t -> Pid.t -> per_process option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+(* ASCII swimlane rendering of executions.
+
+   One column per process, one row per event — the format lower-bound
+   papers draw their executions in. Events show their operation and
+   annotate remoteness ($= RMR, ! = critical); fences bracket their
+   commit runs. Used by the CLI's [show] command and handy when debugging
+   adversary schedules. *)
+
+open Tsim
+open Tsim.Ids
+
+let cell_width = 16
+
+let short_kind layout (e : Event.t) =
+  let vname v =
+    let s = Layout.name layout v in
+    if String.length s <= 8 then s else String.sub s 0 8
+  in
+  match e.Event.kind with
+  | Event.Enter -> "ENTER"
+  | Event.Cs -> "*CS*"
+  | Event.Exit -> "EXIT"
+  | Event.Read { var; value; src = Event.From_buffer } ->
+      Printf.sprintf "r %s>%d(b)" (vname var) value
+  | Event.Read { var; value; _ } ->
+      Printf.sprintf "r %s>%d" (vname var) value
+  | Event.Issue_write { var; value } ->
+      Printf.sprintf "w %s:=%d" (vname var) value
+  | Event.Commit_write { var; value } ->
+      Printf.sprintf "C %s:=%d" (vname var) value
+  | Event.Begin_fence { implicit } -> if implicit then "[rmw" else "[fence"
+  | Event.End_fence _ -> "]"
+  | Event.Cas_ev { var; success; _ } ->
+      Printf.sprintf "cas %s %s" (vname var) (if success then "ok" else "x")
+  | Event.Faa_ev { var; observed; _ } ->
+      Printf.sprintf "faa %s>%d" (vname var) observed
+  | Event.Swap_ev { var; observed; _ } ->
+      Printf.sprintf "swp %s>%d" (vname var) observed
+
+let pad s =
+  let s = if String.length s > cell_width then String.sub s 0 cell_width else s in
+  s ^ String.make (cell_width - String.length s) ' '
+
+let to_string ?(limit = max_int) (t : Trace.t) =
+  let layout = Trace.layout t in
+  let pids = Pidset.elements (Trace.participants t) in
+  let col = Hashtbl.create 8 in
+  List.iteri (fun i p -> Hashtbl.replace col p i) pids;
+  let ncols = List.length pids in
+  let buf = Buffer.create 4096 in
+  (* header *)
+  Buffer.add_string buf "  seq | ";
+  List.iter (fun p -> Buffer.add_string buf (pad (Pid.to_string p))) pids;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    ("------+-" ^ String.make (ncols * cell_width) '-' ^ "\n");
+  let shown = ref 0 in
+  (try
+     Trace.iter
+       (fun (e : Event.t) ->
+         if !shown >= limit then raise Exit;
+         incr shown;
+         let c = Hashtbl.find col e.Event.pid in
+         Buffer.add_string buf (Printf.sprintf "%5d | " e.Event.seq);
+         for i = 0 to ncols - 1 do
+           if i = c then
+             Buffer.add_string buf
+               (pad
+                  (short_kind layout e
+                  ^ (if e.Event.rmr then "$" else "")
+                  ^ if e.Event.critical then "!" else ""))
+           else Buffer.add_string buf (pad "")
+         done;
+         Buffer.add_char buf '\n')
+       t
+   with Exit -> Buffer.add_string buf "  ...\n");
+  Buffer.contents buf
+
+let print ?limit t = print_string (to_string ?limit t)

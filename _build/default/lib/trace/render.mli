@@ -1,0 +1,6 @@
+(** ASCII swimlane rendering of executions: one column per process, one
+    row per event; [$] marks RMRs and [!] critical events; fences appear
+    as brackets around their commit runs. *)
+
+val to_string : ?limit:int -> Trace.t -> string
+val print : ?limit:int -> Trace.t -> unit

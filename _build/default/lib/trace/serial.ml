@@ -1,0 +1,151 @@
+(* Textual trace serialization.
+
+   Executions are research artifacts: this format makes them diffable,
+   archivable and loadable without the machine that produced them. One
+   header line per variable (name, initial value, owner), then one line
+   per event. Round-trips exactly (tested by property). *)
+
+open Tsim
+
+let src_tag = function
+  | Event.From_buffer -> "buf"
+  | Event.From_cache -> "cache"
+  | Event.From_memory -> "mem"
+
+let src_of_tag = function
+  | "buf" -> Event.From_buffer
+  | "cache" -> Event.From_cache
+  | "mem" -> Event.From_memory
+  | s -> failwith ("Serial: bad read source " ^ s)
+
+let kind_to_string = function
+  | Event.Enter -> "enter"
+  | Event.Cs -> "cs"
+  | Event.Exit -> "exit"
+  | Event.Read { var; value; src } ->
+      Printf.sprintf "read %d %d %s" var value (src_tag src)
+  | Event.Issue_write { var; value } -> Printf.sprintf "issue %d %d" var value
+  | Event.Commit_write { var; value } ->
+      Printf.sprintf "commit %d %d" var value
+  | Event.Begin_fence { implicit } ->
+      Printf.sprintf "bfence %b" implicit
+  | Event.End_fence { implicit } -> Printf.sprintf "efence %b" implicit
+  | Event.Cas_ev { var; expected; desired; observed; success } ->
+      Printf.sprintf "cas %d %d %d %d %b" var expected desired observed
+        success
+  | Event.Faa_ev { var; delta; observed } ->
+      Printf.sprintf "faa %d %d %d" var delta observed
+  | Event.Swap_ev { var; stored; observed } ->
+      Printf.sprintf "swap %d %d %d" var stored observed
+
+let kind_of_tokens = function
+  | [ "enter" ] -> Event.Enter
+  | [ "cs" ] -> Event.Cs
+  | [ "exit" ] -> Event.Exit
+  | [ "read"; v; x; s ] ->
+      Event.Read
+        { var = int_of_string v; value = int_of_string x;
+          src = src_of_tag s }
+  | [ "issue"; v; x ] ->
+      Event.Issue_write { var = int_of_string v; value = int_of_string x }
+  | [ "commit"; v; x ] ->
+      Event.Commit_write { var = int_of_string v; value = int_of_string x }
+  | [ "bfence"; b ] -> Event.Begin_fence { implicit = bool_of_string b }
+  | [ "efence"; b ] -> Event.End_fence { implicit = bool_of_string b }
+  | [ "cas"; v; e; d; o; s ] ->
+      Event.Cas_ev
+        { var = int_of_string v; expected = int_of_string e;
+          desired = int_of_string d; observed = int_of_string o;
+          success = bool_of_string s }
+  | [ "faa"; v; d; o ] ->
+      Event.Faa_ev
+        { var = int_of_string v; delta = int_of_string d;
+          observed = int_of_string o }
+  | [ "swap"; v; x; o ] ->
+      Event.Swap_ev
+        { var = int_of_string v; stored = int_of_string x;
+          observed = int_of_string o }
+  | toks -> failwith ("Serial: bad event line: " ^ String.concat " " toks)
+
+let event_to_line (e : Event.t) =
+  Printf.sprintf "%d %d %b %b %b %s" e.Event.seq e.Event.pid e.Event.remote
+    e.Event.rmr e.Event.critical
+    (kind_to_string e.Event.kind)
+
+let event_of_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | seq :: pid :: remote :: rmr :: critical :: rest ->
+      {
+        Event.seq = int_of_string seq;
+        pid = int_of_string pid;
+        remote = bool_of_string remote;
+        rmr = bool_of_string rmr;
+        critical = bool_of_string critical;
+        kind = kind_of_tokens rest;
+      }
+  | _ -> failwith ("Serial: bad event line: " ^ line)
+
+(* Variable names may contain spaces-free identifiers only; layout lines
+   are "var <id> <init> <owner|-> <name>". *)
+let to_string (t : Trace.t) =
+  let buf = Buffer.create 4096 in
+  let layout = Trace.layout t in
+  Buffer.add_string buf
+    (Printf.sprintf "trace v1 vars %d events %d\n" (Layout.size layout)
+       (Trace.length t));
+  Layout.iter layout (fun v info ->
+      Buffer.add_string buf
+        (Printf.sprintf "var %d %d %s %s\n" v info.Layout.init
+           (match info.Layout.owner with
+           | Some p -> string_of_int p
+           | None -> "-")
+           info.Layout.name));
+  Trace.iter
+    (fun e ->
+      Buffer.add_string buf (event_to_line e);
+      Buffer.add_char buf '\n')
+    t;
+  Buffer.contents buf
+
+let of_string s =
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s)
+  in
+  match lines with
+  | header :: rest -> (
+      match String.split_on_char ' ' header with
+      | [ "trace"; "v1"; "vars"; nv; "events"; ne ] ->
+          let nv = int_of_string nv and ne = int_of_string ne in
+          let layout = Layout.create () in
+          let var_lines = List.filteri (fun i _ -> i < nv) rest in
+          let ev_lines = List.filteri (fun i _ -> i >= nv) rest in
+          List.iter
+            (fun line ->
+              match String.split_on_char ' ' line with
+              | "var" :: _id :: init :: owner :: name_parts ->
+                  let owner =
+                    if owner = "-" then None else Some (int_of_string owner)
+                  in
+                  ignore
+                    (Layout.var layout ?owner ~init:(int_of_string init)
+                       (String.concat " " name_parts))
+              | _ -> failwith ("Serial: bad var line: " ^ line))
+            var_lines;
+          let events = Array.of_list (List.map event_of_line ev_lines) in
+          if Array.length events <> ne then
+            failwith "Serial: event count mismatch";
+          Trace.of_events layout events
+      | _ -> failwith "Serial: bad header")
+  | [] -> failwith "Serial: empty input"
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

@@ -1,0 +1,15 @@
+(** Textual trace serialization: traces as archivable research artifacts.
+    One header, one line per variable, one line per event; round-trips
+    exactly. *)
+
+open Tsim
+
+val event_to_line : Event.t -> string
+val event_of_line : string -> Event.t
+
+val to_string : Trace.t -> string
+val of_string : string -> Trace.t
+(** @raise Failure on malformed input. *)
+
+val save : string -> Trace.t -> unit
+val load : string -> Trace.t

@@ -1,0 +1,1 @@
+lib/tsim/cache.ml: Array Bytes Char Ids List Pid

@@ -1,0 +1,1 @@
+lib/tsim/cache.mli: Ids Pid Var

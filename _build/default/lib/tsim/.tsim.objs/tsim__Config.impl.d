@@ -1,0 +1,1 @@
+lib/tsim/config.ml: Ids Layout Pid Prog

@@ -1,0 +1,1 @@
+lib/tsim/config.mli: Ids Layout Pid Prog

@@ -1,0 +1,1 @@
+lib/tsim/event.ml: Format Ids Pid String Value Var

@@ -1,0 +1,1 @@
+lib/tsim/event.mli: Format Ids Pid Value Var

@@ -1,0 +1,1 @@
+lib/tsim/ids.ml: Format Fun Int List Map Set String

@@ -1,0 +1,1 @@
+lib/tsim/ids.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/tsim/layout.ml: Array Format Ids Pid Printf Value Vec

@@ -1,0 +1,1 @@
+lib/tsim/layout.mli: Format Ids Pid Value Var

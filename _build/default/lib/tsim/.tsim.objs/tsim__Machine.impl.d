@@ -1,0 +1,1 @@
+lib/tsim/machine.ml: Array Cache Config Event Hashtbl Ids Layout Memmodel Pid Pidset Printf Prog Value Var Vec Wbuf

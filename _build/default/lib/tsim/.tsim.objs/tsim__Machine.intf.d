@@ -1,0 +1,1 @@
+lib/tsim/machine.mli: Cache Config Event Hashtbl Ids Pid Pidset Prog Value Var Vec Wbuf

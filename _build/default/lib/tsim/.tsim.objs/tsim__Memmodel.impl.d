@@ -1,0 +1,1 @@
+lib/tsim/memmodel.ml: Cache Config Event

@@ -1,0 +1,1 @@
+lib/tsim/memmodel.mli: Cache Config Event Ids Pid Var

@@ -1,0 +1,1 @@
+lib/tsim/prog.ml: Ids Printf Value Var

@@ -1,0 +1,1 @@
+lib/tsim/prog.mli: Ids Value Var

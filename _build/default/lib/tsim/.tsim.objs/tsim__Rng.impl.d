@@ -1,0 +1,1 @@
+lib/tsim/rng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/tsim/rng.mli:

@@ -1,0 +1,1 @@
+lib/tsim/sched.ml: Config Ids Machine Pid Prog Rng Wbuf

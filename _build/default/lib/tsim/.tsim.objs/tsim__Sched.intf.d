@@ -1,0 +1,1 @@
+lib/tsim/sched.mli: Ids Machine Pid

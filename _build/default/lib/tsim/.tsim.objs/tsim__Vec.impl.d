@@ -1,0 +1,1 @@
+lib/tsim/vec.ml: Array List

@@ -1,0 +1,1 @@
+lib/tsim/vec.mli:

@@ -1,0 +1,1 @@
+lib/tsim/wbuf.ml: Ids List Pidset Value Var Vec

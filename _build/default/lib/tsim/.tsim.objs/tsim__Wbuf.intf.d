@@ -1,0 +1,1 @@
+lib/tsim/wbuf.mli: Ids Pidset Value Var

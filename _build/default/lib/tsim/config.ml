@@ -1,0 +1,49 @@
+(* Machine configuration.
+
+   A configuration fixes everything a deterministic replay needs: the number
+   of processes, the memory/cost model, the shared-variable layout, the
+   per-process entry and exit section programs, and the RMW-fencing
+   convention. Erasure (lib/trace) re-creates machines from the same
+   configuration, which is why programs live here rather than being fed to
+   the machine imperatively. *)
+
+open Ids
+
+type mem_model =
+  | Dsm  (* distributed shared memory: remote accesses are RMRs *)
+  | Cc_wt  (* cache-coherent, write-through protocol *)
+  | Cc_wb  (* cache-coherent, write-back protocol *)
+
+let mem_model_name = function
+  | Dsm -> "DSM"
+  | Cc_wt -> "CC-WT"
+  | Cc_wb -> "CC-WB"
+
+(* Store ordering. TSO (the paper's model) commits buffered writes in issue
+   order; PSO (Section 6 / SPARC PSO) additionally lets writes to different
+   variables commit out of order — the scheduler may commit any buffered
+   write, not just the oldest. *)
+type ordering = Tso | Pso
+
+let ordering_name = function Tso -> "TSO" | Pso -> "PSO"
+
+type t = {
+  n : int;  (* number of processes *)
+  model : mem_model;
+  ordering : ordering;
+  layout : Layout.t;
+  entry : Pid.t -> unit Prog.t;  (* entry-section program for one passage *)
+  exit_section : Pid.t -> unit Prog.t;
+  max_passages : int;  (* passages per process before it finishes *)
+  rmw_drains : bool;
+      (* atomic RMWs drain the store buffer and count one fence, as on x86;
+         the paper's tradeoff covers comparison primitives either way *)
+  check_exclusion : bool;  (* detect two simultaneously-enabled CS events *)
+}
+
+let make ?(model = Cc_wb) ?(ordering = Tso) ?(max_passages = 1)
+    ?(rmw_drains = true) ?(check_exclusion = true) ~n ~layout ~entry
+    ~exit_section () =
+  if n <= 0 then invalid_arg "Config.make: n must be positive";
+  { n; model; ordering; layout; entry; exit_section; max_passages;
+    rmw_drains; check_exclusion }

@@ -1,0 +1,51 @@
+(** Machine configuration.
+
+    A configuration fixes everything a deterministic replay needs: process
+    count, memory/cost model, store ordering, variable layout, and the
+    per-process entry/exit programs. Erasure re-creates machines from the
+    same configuration, which is why programs live here. *)
+
+open Ids
+
+(** Memory cost model (paper, Section 2). *)
+type mem_model =
+  | Dsm  (** distributed shared memory: remote accesses are RMRs *)
+  | Cc_wt  (** cache-coherent, write-through protocol *)
+  | Cc_wb  (** cache-coherent, write-back protocol *)
+
+val mem_model_name : mem_model -> string
+
+(** Store ordering: TSO (the paper's model, FIFO write buffers) or PSO
+    (Section 6; writes to different variables may commit out of order). *)
+type ordering = Tso | Pso
+
+val ordering_name : ordering -> string
+
+type t = {
+  n : int;
+  model : mem_model;
+  ordering : ordering;
+  layout : Layout.t;
+  entry : Pid.t -> unit Prog.t;  (** entry-section program, per passage *)
+  exit_section : Pid.t -> unit Prog.t;
+  max_passages : int;
+  rmw_drains : bool;
+      (** atomic RMWs drain the store buffer and count one fence, as on
+          x86 (LOCK prefix) *)
+  check_exclusion : bool;
+      (** raise when two CS events are simultaneously enabled *)
+}
+
+val make :
+  ?model:mem_model ->
+  ?ordering:ordering ->
+  ?max_passages:int ->
+  ?rmw_drains:bool ->
+  ?check_exclusion:bool ->
+  n:int ->
+  layout:Layout.t ->
+  entry:(Pid.t -> unit Prog.t) ->
+  exit_section:(Pid.t -> unit Prog.t) ->
+  unit ->
+  t
+(** Defaults: [Cc_wb], [Tso], one passage, RMWs drain, exclusion checked. *)

@@ -1,0 +1,49 @@
+(* Process, variable and value identifiers.
+
+   Processes and variables are dense integers so that machine state can live
+   in flat arrays. Values are plain integers; the model only needs equality
+   and arithmetic (for fetch-and-add). *)
+
+module Pid = struct
+  type t = int
+
+  let compare = Int.compare
+  let equal = Int.equal
+  let hash = Fun.id
+  let to_int = Fun.id
+  let of_int i = i
+  let to_string p = "p" ^ string_of_int p
+  let pp fmt p = Format.fprintf fmt "p%d" p
+end
+
+module Var = struct
+  type t = int
+
+  let compare = Int.compare
+  let equal = Int.equal
+  let hash = Fun.id
+  let to_int = Fun.id
+  let of_int i = i
+  let pp fmt v = Format.fprintf fmt "v%d" v
+end
+
+module Value = struct
+  type t = int
+
+  let equal = Int.equal
+  let compare = Int.compare
+  let zero = 0
+  let pp fmt v = Format.fprintf fmt "%d" v
+end
+
+module Pidset = struct
+  include Set.Make (Int)
+
+  let pp fmt s =
+    Format.fprintf fmt "{%s}"
+      (String.concat "," (List.map Pid.to_string (elements s)))
+end
+
+module Varset = Set.Make (Int)
+module Pidmap = Map.Make (Int)
+module Varmap = Map.Make (Int)

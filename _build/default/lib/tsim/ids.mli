@@ -1,0 +1,54 @@
+(** Process, variable and value identifiers.
+
+    Processes and variables are dense non-negative integers so machine
+    state can live in flat arrays; values are plain integers (the model
+    needs only equality and addition, for fetch-and-add). *)
+
+(** Process identifiers. *)
+module Pid : sig
+  type t = int
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val to_int : t -> int
+  val of_int : int -> t
+
+  val to_string : t -> string
+  (** ["p<i>"] *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Shared-variable identifiers (indices into a {!Layout.t}). *)
+module Var : sig
+  type t = int
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val to_int : t -> int
+  val of_int : int -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Values stored in shared variables. *)
+module Value : sig
+  type t = int
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val zero : t
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Sets of process ids, with a printer. *)
+module Pidset : sig
+  include Set.S with type elt = int
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Varset : Set.S with type elt = int
+module Pidmap : Map.S with type key = int
+module Varmap : Map.S with type key = int

@@ -1,0 +1,50 @@
+(* Shared-variable layout: names, initial values and DSM ownership.
+
+   In the DSM model each variable is permanently local to at most one
+   process ([owner v = Some p]); in the CC models every variable is remote
+   to everybody ([owner v = None]), as in the paper. Locks declare their
+   variables through this module so that the machine, the trace analyzer and
+   the adversary all agree on ownership. *)
+
+open Ids
+
+type info = { name : string; init : Value.t; owner : Pid.t option }
+
+type t = { infos : info Vec.t }
+
+let dummy_info = { name = "?"; init = 0; owner = None }
+
+let create () = { infos = Vec.create dummy_info }
+
+let size t = Vec.length t.infos
+
+let var t ?owner ?(init = 0) name =
+  let id = Vec.length t.infos in
+  Vec.push t.infos { name; init; owner };
+  id
+
+let array t ?owner_fn ?(init = 0) name n =
+  Array.init n (fun i ->
+      let owner = match owner_fn with None -> None | Some f -> f i in
+      var t ?owner ~init (Printf.sprintf "%s[%d]" name i))
+
+let matrix t ?owner_fn ?(init = 0) name rows cols =
+  Array.init rows (fun i ->
+      Array.init cols (fun j ->
+          let owner = match owner_fn with None -> None | Some f -> f i j in
+          var t ?owner ~init (Printf.sprintf "%s[%d][%d]" name i j)))
+
+let info t v = Vec.get t.infos v
+let name t v = (info t v).name
+let init t v = (info t v).init
+let owner t v = (info t v).owner
+
+let is_local t p v = match owner t v with Some q -> Pid.equal p q | None -> false
+let is_remote t p v = not (is_local t p v)
+
+let pp_var t fmt v = Format.fprintf fmt "%s" (name t v)
+
+let iter t f =
+  for v = 0 to size t - 1 do
+    f v (info t v)
+  done

@@ -1,0 +1,41 @@
+(** Shared-variable layout: names, initial values and DSM ownership.
+
+    In the DSM model each variable is permanently local to at most one
+    process; in the CC models every variable is remote to everybody
+    ([owner = None]), following the paper. Algorithms declare their
+    variables through this module so the machine, the trace analyzer and
+    the adversary agree on ownership. *)
+
+open Ids
+
+type info = { name : string; init : Value.t; owner : Pid.t option }
+
+type t
+
+val create : unit -> t
+
+val size : t -> int
+(** Number of declared variables. *)
+
+val var : t -> ?owner:Pid.t -> ?init:Value.t -> string -> Var.t
+(** Declare one variable (default [init = 0], no owner). *)
+
+val array : t -> ?owner_fn:(int -> Pid.t option) -> ?init:Value.t -> string
+  -> int -> Var.t array
+(** Declare [n] variables named ["name[i]"]; [owner_fn i] assigns DSM
+    ownership per index (e.g. [fun i -> Some i] for per-process spin
+    cells). *)
+
+val matrix : t -> ?owner_fn:(int -> int -> Pid.t option) -> ?init:Value.t
+  -> string -> int -> int -> Var.t array array
+
+val info : t -> Var.t -> info
+val name : t -> Var.t -> string
+val init : t -> Var.t -> Value.t
+val owner : t -> Var.t -> Pid.t option
+
+val is_local : t -> Pid.t -> Var.t -> bool
+val is_remote : t -> Pid.t -> Var.t -> bool
+
+val pp_var : t -> Format.formatter -> Var.t -> unit
+val iter : t -> (Var.t -> info -> unit) -> unit

@@ -1,0 +1,533 @@
+(* The TSO machine: processes with write buffers, an adversary-driven
+   scheduler interface, transition events, and online RMR / fence /
+   critical-event accounting.
+
+   The scheduler (an adversary, a random tester, or the lower-bound
+   construction) drives the machine one event at a time:
+
+   - [step m p]   lets process [p] execute its next enabled event;
+   - [commit m p] commits the oldest write in [p]'s buffer (always allowed
+     when the buffer is non-empty — the adversary may commit writes even
+     when [p] is not executing a fence);
+   - [pending m p] peeks at what [step] would do, without side effects.
+
+   While a process is executing a fence (between BeginFence and EndFence),
+   [step] only commits buffered writes, then emits EndFence — exactly the
+   [mode(p,E) = write] regime of the paper. *)
+
+open Ids
+
+exception Exclusion_violation of { holder : Pid.t; intruder : Pid.t }
+exception Process_finished of Pid.t
+
+type section = Ncs | Entry | Exiting | Finished
+
+let section_name = function
+  | Ncs -> "ncs"
+  | Entry -> "entry"
+  | Exiting -> "exit"
+  | Finished -> "finished"
+
+type passage_stats = {
+  p_rmrs : int;
+  p_fences : int;
+  p_criticals : int;
+  p_interval : int;  (* interval contention of the passage *)
+  p_point : int;  (* point contention of the passage *)
+}
+
+let dummy_passage =
+  { p_rmrs = 0; p_fences = 0; p_criticals = 0; p_interval = 0; p_point = 0 }
+
+type proc = {
+  pid : Pid.t;
+  mutable sec : section;
+  mutable cont : unit Prog.t;
+  buf : Wbuf.t;
+  mutable in_fence : bool;  (* issued BeginFence, not yet EndFence *)
+  mutable fence_implicit : bool;  (* current fence is an RMW drain *)
+  mutable rmw_fenced : bool;  (* the pending RMW's drain already completed *)
+  mutable aw : Pidset.t;  (* awareness set (Definition 1) *)
+  remote_reads : (Var.t, unit) Hashtbl.t;  (* vars remotely read so far *)
+  mutable passages : int;  (* completed passages *)
+  mutable rmrs : int;
+  mutable fences : int;  (* completed fences (EndFence events) *)
+  mutable criticals : int;
+  mutable cur_rmrs : int;  (* same counters, current passage only *)
+  mutable cur_fences : int;
+  mutable cur_criticals : int;
+  mutable interval_set : Pidset.t;
+      (* processes active at some point during the current passage *)
+  mutable point_max : int;
+      (* max number of simultaneously active processes during the passage *)
+  passage_log : passage_stats Vec.t;  (* one entry per completed passage *)
+}
+
+type t = {
+  cfg : Config.t;
+  mem : Value.t array;
+  writer : Pid.t option array;  (* writer(v, E) *)
+  writer_aw : Pidset.t array;  (* awareness of writer(v) at issue time *)
+  accessed : Pidset.t array;  (* Accessed(v, E) *)
+  procs : proc array;
+  cache : Cache.t;
+  trace : Event.t Vec.t;
+  mutable cs_entries : int;  (* total CS events executed *)
+  mutable active_count : int;  (* processes currently outside their NCS *)
+}
+
+type pending =
+  | P_enter
+  | P_cs
+  | P_exit
+  | P_done
+  | P_read of Var.t
+  | P_issue_write of Var.t * Value.t
+  | P_begin_fence
+  | P_end_fence
+  | P_commit of Var.t
+  | P_rmw_fence  (* implicit BeginFence that precedes a buffered RMW *)
+  | P_cas of Var.t * Value.t * Value.t
+  | P_faa of Var.t * Value.t
+  | P_swap of Var.t * Value.t
+
+let pending_to_string = function
+  | P_enter -> "Enter"
+  | P_cs -> "CS"
+  | P_exit -> "Exit"
+  | P_done -> "done"
+  | P_read v -> Printf.sprintf "read v%d" v
+  | P_issue_write (v, x) -> Printf.sprintf "issue v%d:=%d" v x
+  | P_begin_fence -> "begin-fence"
+  | P_end_fence -> "end-fence"
+  | P_commit v -> Printf.sprintf "commit v%d" v
+  | P_rmw_fence -> "rmw-fence"
+  | P_cas (v, _, _) -> Printf.sprintf "cas v%d" v
+  | P_faa (v, _) -> Printf.sprintf "faa v%d" v
+  | P_swap (v, _) -> Printf.sprintf "swap v%d" v
+
+let create (cfg : Config.t) =
+  let nvars = Layout.size cfg.layout in
+  let mem = Array.init nvars (fun v -> Layout.init cfg.layout v) in
+  let procs =
+    Array.init cfg.n (fun p ->
+        {
+          pid = p;
+          sec = Ncs;
+          cont = Prog.unit;
+          buf = Wbuf.create ();
+          in_fence = false;
+          fence_implicit = false;
+          rmw_fenced = false;
+          aw = Pidset.singleton p;
+          remote_reads = Hashtbl.create 8;
+          passages = 0;
+          rmrs = 0;
+          fences = 0;
+          criticals = 0;
+          cur_rmrs = 0;
+          cur_fences = 0;
+          cur_criticals = 0;
+          interval_set = Pidset.empty;
+          point_max = 0;
+          passage_log = Vec.create dummy_passage;
+        })
+  in
+  {
+    cfg;
+    mem;
+    writer = Array.make (max nvars 1) None;
+    writer_aw = Array.make (max nvars 1) Pidset.empty;
+    accessed = Array.make (max nvars 1) Pidset.empty;
+    procs;
+    cache = Cache.create ~n:cfg.n ~nvars;
+    trace = Vec.create ~capacity:1024 Event.dummy;
+    cs_entries = 0;
+    active_count = 0;
+  }
+
+(* Deep copy for state-space exploration: all mutable state is duplicated;
+   program continuations are immutable values and are shared. *)
+let clone m =
+  {
+    cfg = m.cfg;
+    mem = Array.copy m.mem;
+    writer = Array.copy m.writer;
+    writer_aw = Array.copy m.writer_aw;
+    accessed = Array.copy m.accessed;
+    procs =
+      Array.map
+        (fun pr ->
+          {
+            pr with
+            buf = Wbuf.copy pr.buf;
+            remote_reads = Hashtbl.copy pr.remote_reads;
+            passage_log = Vec.copy pr.passage_log;
+          })
+        m.procs;
+    cache = Cache.copy m.cache;
+    trace = Vec.copy m.trace;
+    cs_entries = m.cs_entries;
+    active_count = m.active_count;
+  }
+
+let config m = m.cfg
+let trace m = m.trace
+let cache m = m.cache
+let proc m p = m.procs.(p)
+let n_procs m = m.cfg.n
+let mem_value m v = m.mem.(v)
+let writer_of m v = m.writer.(v)
+let accessed_set m v = m.accessed.(v)
+let awareness m p = m.procs.(p).aw
+let section m p = m.procs.(p).sec
+let is_remote m p v = Layout.is_remote m.cfg.layout p v
+
+let passages m p = m.procs.(p).passages
+let fences_completed m p = m.procs.(p).fences
+let rmrs m p = m.procs.(p).rmrs
+let criticals m p = m.procs.(p).criticals
+let cur_fences m p = m.procs.(p).cur_fences
+let cur_criticals m p = m.procs.(p).cur_criticals
+let cur_rmrs m p = m.procs.(p).cur_rmrs
+let passage_log m p = m.procs.(p).passage_log
+let cs_entries m = m.cs_entries
+
+(* Contention accounting (paper, Introduction): interval contention of the
+   current passage = processes active at some point during it; point
+   contention = maximum simultaneously active. *)
+let interval_contention m p = Pidset.cardinal m.procs.(p).interval_set
+let point_contention m p = m.procs.(p).point_max
+let active_now m = m.active_count
+
+(* [mode p] per the paper: Write while executing a fence, Read otherwise. *)
+let mode m p = if m.procs.(p).in_fence then `Write else `Read
+
+let pending m p : pending =
+  let pr = m.procs.(p) in
+  match pr.sec with
+  | Finished -> P_done
+  | _ when pr.in_fence -> (
+      match Wbuf.peek pr.buf with
+      | Some e -> P_commit e.var
+      | None -> P_end_fence)
+  | Ncs -> P_enter
+  | Entry | Exiting -> (
+      match pr.cont with
+      | Prog.Return () -> if pr.sec = Entry then P_cs else P_exit
+      | Prog.Bind (op, _) -> (
+          let rmw_needs_fence = m.cfg.rmw_drains && not pr.rmw_fenced in
+          match op with
+          | Prog.Read v -> P_read v
+          | Prog.Write (v, x) -> P_issue_write (v, x)
+          | Prog.Fence -> P_begin_fence
+          | Prog.Cas (v, e, d) ->
+              if rmw_needs_fence then P_rmw_fence else P_cas (v, e, d)
+          | Prog.Faa (v, d) ->
+              if rmw_needs_fence then P_rmw_fence else P_faa (v, d)
+          | Prog.Swap (v, x) ->
+              if rmw_needs_fence then P_rmw_fence else P_swap (v, x)))
+
+(* --- event emission ------------------------------------------------- *)
+
+let emit m pr kind ~remote ~rmr ~critical =
+  let e =
+    { Event.seq = Vec.length m.trace; pid = pr.pid; kind; remote; rmr;
+      critical }
+  in
+  Vec.push m.trace e;
+  if rmr then begin
+    pr.rmrs <- pr.rmrs + 1;
+    pr.cur_rmrs <- pr.cur_rmrs + 1
+  end;
+  if critical then begin
+    pr.criticals <- pr.criticals + 1;
+    pr.cur_criticals <- pr.cur_criticals + 1
+  end;
+  e
+
+(* Awareness propagation on a shared (non-buffer) read of [v]: the reader
+   becomes aware of the last writer and of everything that writer was aware
+   of when it issued the write. *)
+let absorb_awareness m pr v =
+  match m.writer.(v) with
+  | None -> ()
+  | Some q ->
+      pr.aw <- Pidset.add q (Pidset.union pr.aw m.writer_aw.(v))
+
+let note_access m pr v =
+  m.accessed.(v) <- Pidset.add pr.pid m.accessed.(v)
+
+(* A remote read is critical iff it is the process's first remote read of
+   that variable (Definition 2). *)
+let read_criticality pr v ~remote =
+  let critical = remote && not (Hashtbl.mem pr.remote_reads v) in
+  if remote then Hashtbl.replace pr.remote_reads v ();
+  critical
+
+(* --- executing events ------------------------------------------------ *)
+
+let commit_entry m pr (entry : Wbuf.entry) =
+  let v = entry.Wbuf.var in
+  let remote = is_remote m pr.pid v in
+  let critical = remote && m.writer.(v) <> Some pr.pid in
+  let rmr = Memmodel.write_rmr m.cfg.model m.cache pr.pid v ~remote in
+  m.mem.(v) <- entry.Wbuf.value;
+  m.writer.(v) <- Some pr.pid;
+  m.writer_aw.(v) <- entry.Wbuf.aw;
+  note_access m pr v;
+  emit m pr
+    (Event.Commit_write { var = v; value = entry.Wbuf.value })
+    ~remote ~rmr ~critical
+
+let do_commit m pr = commit_entry m pr (Wbuf.pop pr.buf)
+
+let commit m p =
+  let pr = m.procs.(p) in
+  if Wbuf.is_empty pr.buf then invalid_arg "Machine.commit: empty buffer";
+  do_commit m pr
+
+(* PSO only: commit the pending write to [v] out of order. Under TSO the
+   write buffer is FIFO and only the oldest write may become visible. *)
+let commit_var m p v =
+  if m.cfg.ordering <> Config.Pso then
+    invalid_arg "Machine.commit_var: only allowed under PSO ordering";
+  let pr = m.procs.(p) in
+  commit_entry m pr (Wbuf.pop_var pr.buf v)
+
+let finish_fence m pr =
+  let implicit = pr.fence_implicit in
+  pr.in_fence <- false;
+  pr.fence_implicit <- false;
+  if implicit then pr.rmw_fenced <- true;
+  pr.fences <- pr.fences + 1;
+  pr.cur_fences <- pr.cur_fences + 1;
+  (* the program continues past an explicit fence only once it completes:
+     apply the continuation here, not at BeginFence, so op-boundary
+     closures observe the drained buffer *)
+  (match pr.cont with
+  | Prog.Bind (Prog.Fence, k) -> pr.cont <- k ()
+  | _ -> ());
+  emit m pr (Event.End_fence { implicit }) ~remote:false ~rmr:false
+    ~critical:false
+
+let do_read m pr v k =
+  match Wbuf.find pr.buf v with
+  | Some x ->
+      let e =
+        emit m pr
+          (Event.Read { var = v; value = x; src = Event.From_buffer })
+          ~remote:false ~rmr:false ~critical:false
+      in
+      pr.cont <- k x;
+      e
+  | None ->
+      let remote = is_remote m pr.pid v in
+      let rmr, src = Memmodel.read_rmr m.cfg.model m.cache pr.pid v ~remote in
+      let critical = read_criticality pr v ~remote in
+      absorb_awareness m pr v;
+      note_access m pr v;
+      let x = m.mem.(v) in
+      let e =
+        emit m pr
+          (Event.Read { var = v; value = x; src })
+          ~remote ~rmr ~critical
+      in
+      pr.cont <- k x;
+      e
+
+let do_issue_write m pr v x k =
+  Wbuf.push pr.buf { Wbuf.var = v; value = x; aw = pr.aw };
+  let e =
+    emit m pr
+      (Event.Issue_write { var = v; value = x })
+      ~remote:false ~rmr:false ~critical:false
+  in
+  pr.cont <- k ();
+  e
+
+(* Explicit fences leave the continuation in place (applied by
+   [finish_fence]); implicit RMW drains leave the pending RMW in place. *)
+let do_begin_fence m pr ~implicit =
+  pr.in_fence <- true;
+  pr.fence_implicit <- implicit;
+  emit m pr (Event.Begin_fence { implicit }) ~remote:false ~rmr:false
+    ~critical:false
+
+(* Atomic RMWs access the variable directly in shared memory (their store
+   buffer was drained first when [rmw_drains] is set). Criticality follows
+   the same rules as a read followed by a write commit. *)
+let rmw_criticality m pr v ~remote ~writes =
+  let read_crit = read_criticality pr v ~remote in
+  let write_crit = writes && remote && m.writer.(v) <> Some pr.pid in
+  read_crit || write_crit
+
+let do_rmw m pr v ~kind_of ~result ~new_value =
+  let remote = is_remote m pr.pid v in
+  let observed = m.mem.(v) in
+  let writes = match new_value observed with Some _ -> true | None -> false in
+  let critical = rmw_criticality m pr v ~remote ~writes in
+  let rmr = Memmodel.rmw_rmr m.cfg.model m.cache pr.pid v ~remote in
+  absorb_awareness m pr v;
+  note_access m pr v;
+  (match new_value observed with
+  | Some x ->
+      m.mem.(v) <- x;
+      m.writer.(v) <- Some pr.pid;
+      m.writer_aw.(v) <- pr.aw
+  | None -> ());
+  pr.rmw_fenced <- false;
+  let e = emit m pr (kind_of observed) ~remote ~rmr ~critical in
+  pr.cont <- result observed;
+  e
+
+let is_active (pr : proc) = pr.sec = Entry || pr.sec = Exiting
+
+let do_enter m pr =
+  pr.sec <- Entry;
+  pr.cont <- m.cfg.entry pr.pid;
+  pr.cur_rmrs <- 0;
+  pr.cur_fences <- 0;
+  pr.cur_criticals <- 0;
+  m.active_count <- m.active_count + 1;
+  (* contention accounting: the newcomer joins every in-flight passage's
+     interval set, and its own interval set starts from the currently
+     active processes *)
+  pr.interval_set <- Pidset.singleton pr.pid;
+  pr.point_max <- m.active_count;
+  Array.iter
+    (fun (q : proc) ->
+      if is_active q && not (Pid.equal q.pid pr.pid) then begin
+        q.interval_set <- Pidset.add pr.pid q.interval_set;
+        q.point_max <- max q.point_max m.active_count;
+        pr.interval_set <- Pidset.add q.pid pr.interval_set
+      end)
+    m.procs;
+  emit m pr Event.Enter ~remote:false ~rmr:false ~critical:false
+
+let do_cs m pr =
+  if m.cfg.check_exclusion then
+    Array.iter
+      (fun (q : proc) ->
+        if
+          (not (Pid.equal q.pid pr.pid))
+          && q.sec = Entry && (not q.in_fence)
+          && (match q.cont with Prog.Return () -> true | _ -> false)
+        then raise (Exclusion_violation { holder = pr.pid; intruder = q.pid }))
+      m.procs;
+  pr.sec <- Exiting;
+  pr.cont <- m.cfg.exit_section pr.pid;
+  m.cs_entries <- m.cs_entries + 1;
+  emit m pr Event.Cs ~remote:false ~rmr:false ~critical:false
+
+let do_exit m pr =
+  pr.passages <- pr.passages + 1;
+  Vec.push pr.passage_log
+    { p_rmrs = pr.cur_rmrs; p_fences = pr.cur_fences;
+      p_criticals = pr.cur_criticals;
+      p_interval = Pidset.cardinal pr.interval_set;
+      p_point = pr.point_max };
+  pr.sec <- (if pr.passages >= m.cfg.max_passages then Finished else Ncs);
+  m.active_count <- m.active_count - 1;
+  emit m pr Event.Exit ~remote:false ~rmr:false ~critical:false
+
+let step m p : Event.t =
+  let pr = m.procs.(p) in
+  match pending m p with
+  | P_done -> raise (Process_finished p)
+  | P_commit _ -> do_commit m pr
+  | P_end_fence -> finish_fence m pr
+  | P_enter -> do_enter m pr
+  | P_cs -> do_cs m pr
+  | P_exit -> do_exit m pr
+  | P_rmw_fence -> do_begin_fence m pr ~implicit:true
+  | P_read _ | P_issue_write _ | P_begin_fence | P_cas _ | P_faa _ | P_swap _
+    -> (
+      match pr.cont with
+      | Prog.Return () -> assert false
+      | Prog.Bind (op, k) -> (
+          match op with
+          | Prog.Read v -> do_read m pr v k
+          | Prog.Write (v, x) -> do_issue_write m pr v x k
+          | Prog.Fence ->
+              ignore k;
+              do_begin_fence m pr ~implicit:false
+          | Prog.Cas (v, expected, desired) ->
+              do_rmw m pr v
+                ~kind_of:(fun observed ->
+                  Event.Cas_ev
+                    { var = v; expected; desired; observed;
+                      success = Value.equal observed expected })
+                ~result:(fun observed -> k (Value.equal observed expected))
+                ~new_value:(fun observed ->
+                  if Value.equal observed expected then Some desired else None)
+          | Prog.Faa (v, delta) ->
+              do_rmw m pr v
+                ~kind_of:(fun observed ->
+                  Event.Faa_ev { var = v; delta; observed })
+                ~result:(fun observed -> k observed)
+                ~new_value:(fun observed -> Some (observed + delta))
+          | Prog.Swap (v, x) ->
+              do_rmw m pr v
+                ~kind_of:(fun observed ->
+                  Event.Swap_ev { var = v; stored = x; observed })
+                ~result:(fun observed -> k observed)
+                ~new_value:(fun _ -> Some x)))
+
+(* --- classification helpers for adversaries ------------------------- *)
+
+(* Would the pending event of [p] be special (Definition 3) if executed now?
+   Decided from machine state without executing it. *)
+let pending_is_special m p =
+  let pr = m.procs.(p) in
+  match pending m p with
+  | P_done -> false
+  | P_enter | P_cs | P_exit -> true
+  | P_begin_fence | P_end_fence | P_rmw_fence -> true
+  | P_issue_write _ -> false
+  | P_read v ->
+      (match Wbuf.find pr.buf v with
+      | Some _ -> false
+      | None ->
+          let remote = is_remote m p v in
+          remote && not (Hashtbl.mem pr.remote_reads v))
+  | P_commit v ->
+      let remote = is_remote m p v in
+      remote && m.writer.(v) <> Some p
+  | P_cas (v, _, _) | P_faa (v, _) | P_swap (v, _) ->
+      (* conservatively special: RMWs both read and write the variable *)
+      let remote = is_remote m p v in
+      remote
+      && (m.writer.(v) <> Some p || not (Hashtbl.mem pr.remote_reads v))
+
+(* Run [p] while its pending event is neither special nor [P_done], up to
+   [fuel] events. Returns the number of events executed and the reason for
+   stopping. *)
+type stop_reason = At_special | Done_ | Out_of_fuel
+
+let run_until_special ?(fuel = 100_000) m p =
+  let rec go steps fuel =
+    if fuel <= 0 then (steps, Out_of_fuel)
+    else
+      match pending m p with
+      | P_done -> (steps, Done_)
+      | _ when pending_is_special m p -> (steps, At_special)
+      | _ ->
+          ignore (step m p);
+          go (steps + 1) (fuel - 1)
+  in
+  go 0 fuel
+
+(* Run [p] until it has completed [k] passages or fuel runs out. *)
+let run_until_passages ?(fuel = 1_000_000) m p ~target =
+  let rec go fuel =
+    if m.procs.(p).passages >= target then true
+    else if fuel <= 0 then false
+    else
+      match pending m p with
+      | P_done -> m.procs.(p).passages >= target
+      | _ ->
+          ignore (step m p);
+          go (fuel - 1)
+  in
+  go fuel

@@ -1,0 +1,157 @@
+(** The TSO/PSO machine: processes with write buffers, adversary-driven
+    scheduling, and online RMR / fence / critical-event / contention
+    accounting.
+
+    A scheduler drives the machine one event at a time with {!step} and
+    {!commit}; {!pending} peeks at what [step] would do. While a process
+    is executing a fence (between BeginFence and EndFence), [step] only
+    commits buffered writes and then emits EndFence — the
+    [mode(p,E) = write] regime of the paper. *)
+
+open Ids
+
+exception Exclusion_violation of { holder : Pid.t; intruder : Pid.t }
+(** Two critical-section events were simultaneously enabled. *)
+
+exception Process_finished of Pid.t
+(** [step] was called on a process that completed all its passages. *)
+
+type section = Ncs | Entry | Exiting | Finished
+
+val section_name : section -> string
+
+(** Per-passage cost summary, logged at each Exit. *)
+type passage_stats = {
+  p_rmrs : int;
+  p_fences : int;
+  p_criticals : int;
+  p_interval : int;  (** interval contention of the passage *)
+  p_point : int;  (** point contention of the passage *)
+}
+
+(** Per-process state. Mutable and exposed for the adversary's benefit;
+    treat as read-only outside this module. *)
+type proc = {
+  pid : Pid.t;
+  mutable sec : section;
+  mutable cont : unit Prog.t;
+  buf : Wbuf.t;
+  mutable in_fence : bool;
+  mutable fence_implicit : bool;
+  mutable rmw_fenced : bool;
+  mutable aw : Pidset.t;  (** awareness set (Definition 1) *)
+  remote_reads : (Var.t, unit) Hashtbl.t;
+  mutable passages : int;
+  mutable rmrs : int;
+  mutable fences : int;
+  mutable criticals : int;
+  mutable cur_rmrs : int;
+  mutable cur_fences : int;
+  mutable cur_criticals : int;
+  mutable interval_set : Pidset.t;
+  mutable point_max : int;
+  passage_log : passage_stats Vec.t;
+}
+
+type t
+
+(** What a process would do next. *)
+type pending =
+  | P_enter
+  | P_cs
+  | P_exit
+  | P_done
+  | P_read of Var.t
+  | P_issue_write of Var.t * Value.t
+  | P_begin_fence
+  | P_end_fence
+  | P_commit of Var.t
+  | P_rmw_fence  (** implicit BeginFence preceding a buffered RMW *)
+  | P_cas of Var.t * Value.t * Value.t
+  | P_faa of Var.t * Value.t
+  | P_swap of Var.t * Value.t
+
+val pending_to_string : pending -> string
+
+val create : Config.t -> t
+(** A fresh machine in the initial configuration (all processes in their
+    NCS, buffers empty, variables at their initial values). *)
+
+val clone : t -> t
+(** Deep copy for state-space exploration (continuations are immutable
+    and shared). *)
+
+(** {1 Inspection} *)
+
+val config : t -> Config.t
+val trace : t -> Event.t Vec.t
+
+val cache : t -> Cache.t
+(** The cache directory (CC models; empty states under DSM). *)
+
+val proc : t -> Pid.t -> proc
+val n_procs : t -> int
+val mem_value : t -> Var.t -> Value.t
+val writer_of : t -> Var.t -> Pid.t option
+(** [writer(v, E)]: last process to commit a write to [v]. *)
+
+val accessed_set : t -> Var.t -> Pidset.t
+(** [Accessed(v, E)]. *)
+
+val awareness : t -> Pid.t -> Pidset.t
+val section : t -> Pid.t -> section
+val is_remote : t -> Pid.t -> Var.t -> bool
+val passages : t -> Pid.t -> int
+val fences_completed : t -> Pid.t -> int
+(** EndFence events executed by the process. *)
+
+val rmrs : t -> Pid.t -> int
+val criticals : t -> Pid.t -> int
+val cur_fences : t -> Pid.t -> int
+val cur_criticals : t -> Pid.t -> int
+val cur_rmrs : t -> Pid.t -> int
+val passage_log : t -> Pid.t -> passage_stats Vec.t
+val cs_entries : t -> int
+
+val interval_contention : t -> Pid.t -> int
+(** Processes active at some point during the current passage. *)
+
+val point_contention : t -> Pid.t -> int
+(** Max simultaneously-active processes during the current passage. *)
+
+val active_now : t -> int
+
+val mode : t -> Pid.t -> [ `Read | `Write ]
+(** [`Write] iff the process is executing a fence (paper, Section 2). *)
+
+val pending : t -> Pid.t -> pending
+
+(** {1 Execution} *)
+
+val commit : t -> Pid.t -> Event.t
+(** Commit the oldest buffered write of the process (the adversary may do
+    this even outside fences). @raise Invalid_argument if empty. *)
+
+val commit_var : t -> Pid.t -> Var.t -> Event.t
+(** PSO only: commit the pending write to [v] out of order.
+    @raise Invalid_argument under TSO or if there is no such write. *)
+
+val step : t -> Pid.t -> Event.t
+(** Execute the process's next enabled event ({!pending}).
+    @raise Process_finished if it has completed all passages.
+    @raise Exclusion_violation per {!Config.t.check_exclusion}. *)
+
+(** {1 Adversary helpers} *)
+
+val pending_is_special : t -> Pid.t -> bool
+(** Would the pending event be special (Definition 3) if executed now? *)
+
+type stop_reason = At_special | Done_ | Out_of_fuel
+
+val run_until_special : ?fuel:int -> t -> Pid.t -> int * stop_reason
+(** Step the process through non-special events; returns the number of
+    events executed and why it stopped. *)
+
+val run_until_passages : ?fuel:int -> t -> Pid.t -> target:int -> bool
+(** Step the process until it has completed [target] passages; [false] on
+    fuel exhaustion. *)

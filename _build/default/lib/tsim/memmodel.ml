@@ -1,0 +1,64 @@
+(* RMR accounting per memory model (paper, Section 2).
+
+   - DSM: an access to a variable remote to the process is an RMR; local
+     accesses are free. There are no caches.
+   - CC write-through: reads hit iff a valid copy is cached; every write
+     commit is an RMR and invalidates all other copies.
+   - CC write-back: reads hit on Shared or Exclusive copies; a read miss
+     downgrades any Exclusive holder; writes hit only on an Exclusive copy,
+     a write miss invalidates all other copies and takes Exclusive.
+
+   The functions below both *decide* whether an access is an RMR and
+   *update* the cache directory accordingly. In the CC models every
+   variable is remote to every process (owner = ⊥), per the paper. *)
+
+let read_rmr (model : Config.mem_model) cache p v ~remote :
+    bool * Event.read_src =
+  match model with
+  | Config.Dsm -> (remote, Event.From_memory)
+  | Config.Cc_wt -> (
+      match Cache.get cache p v with
+      | Cache.Shared | Cache.Exclusive -> (false, Event.From_cache)
+      | Cache.Invalid ->
+          Cache.set cache p v Cache.Shared;
+          (true, Event.From_memory))
+  | Config.Cc_wb -> (
+      match Cache.get cache p v with
+      | Cache.Shared | Cache.Exclusive -> (false, Event.From_cache)
+      | Cache.Invalid ->
+          Cache.downgrade_exclusive cache v;
+          Cache.set cache p v Cache.Shared;
+          (true, Event.From_memory))
+
+let write_rmr (model : Config.mem_model) cache p v ~remote : bool =
+  match model with
+  | Config.Dsm -> remote
+  | Config.Cc_wt ->
+      (* write-through: always an RMR; writer keeps a valid copy *)
+      Cache.invalidate_others cache p v;
+      Cache.set cache p v Cache.Shared;
+      true
+  | Config.Cc_wb -> (
+      match Cache.get cache p v with
+      | Cache.Exclusive -> false
+      | Cache.Shared | Cache.Invalid ->
+          Cache.invalidate_others cache p v;
+          Cache.set cache p v Cache.Exclusive;
+          true)
+
+(* Atomic RMWs read and write the line; under CC they need Exclusive, under
+   DSM they are one remote access. Returns whether the op is an RMR. *)
+let rmw_rmr (model : Config.mem_model) cache p v ~remote : bool =
+  match model with
+  | Config.Dsm -> remote
+  | Config.Cc_wt ->
+      Cache.invalidate_others cache p v;
+      Cache.set cache p v Cache.Shared;
+      true
+  | Config.Cc_wb -> (
+      match Cache.get cache p v with
+      | Cache.Exclusive -> false
+      | Cache.Shared | Cache.Invalid ->
+          Cache.invalidate_others cache p v;
+          Cache.set cache p v Cache.Exclusive;
+          true)

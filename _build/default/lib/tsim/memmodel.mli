@@ -1,0 +1,25 @@
+(** RMR accounting per memory model (paper, Section 2): decides whether an
+    access incurs an RMR and updates the cache directory accordingly.
+
+    - DSM: remote accesses are RMRs; no caches.
+    - CC write-through: reads hit on a valid copy; every commit is an RMR
+      and invalidates other copies.
+    - CC write-back: reads hit on Shared/Exclusive (a miss downgrades the
+      Exclusive holder); writes hit only on Exclusive (a miss invalidates
+      the other copies and takes Exclusive). *)
+
+open Ids
+
+val read_rmr :
+  Config.mem_model -> Cache.t -> Pid.t -> Var.t -> remote:bool
+  -> bool * Event.read_src
+(** Whether the read is an RMR, and where it was served from. *)
+
+val write_rmr :
+  Config.mem_model -> Cache.t -> Pid.t -> Var.t -> remote:bool -> bool
+(** Whether a write commit is an RMR. *)
+
+val rmw_rmr :
+  Config.mem_model -> Cache.t -> Pid.t -> Var.t -> remote:bool -> bool
+(** Whether an atomic read-modify-write is an RMR (needs Exclusive under
+    CC write-back). *)

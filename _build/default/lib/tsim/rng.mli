@@ -1,0 +1,21 @@
+(** Deterministic splitmix64 PRNG, so schedules and property tests are
+    reproducible independent of global [Random] state. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [\[0, bound)]. @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val pick : t -> 'a list -> 'a
+(** @raise Invalid_argument on the empty list. *)
+
+val shuffle : t -> 'a array -> 'a array
+(** Fisher-Yates on a copy. *)

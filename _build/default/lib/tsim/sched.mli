@@ -1,0 +1,29 @@
+(** Generic schedulers over the machine: round robin, seeded random, the
+    paper's canonical commit-delaying schedule, and solo runs. The
+    lower-bound adversary drives the machine directly instead. *)
+
+open Ids
+
+type outcome = {
+  steps_taken : int;
+  all_finished : bool;
+  livelocked : Pid.t option;  (** a process whose spin fuel ran out *)
+}
+
+val runnable : Machine.t -> Pid.t -> bool
+val live_pids : Machine.t -> Pid.t list
+
+val round_robin : ?quantum:int -> ?max_steps:int -> Machine.t -> outcome
+(** Cycle over live processes, [quantum] events each. *)
+
+val random :
+  ?seed:int -> ?commit_bias:float -> ?max_steps:int -> Machine.t -> outcome
+(** Uniformly random process choice; with probability [commit_bias] commit
+    a buffered write of the chosen process even outside fences. *)
+
+val canonical_random : ?seed:int -> ?max_steps:int -> Machine.t -> outcome
+(** The paper's canonical regime: commits happen only inside fences. *)
+
+val solo : ?max_steps:int -> Machine.t -> Pid.t -> outcome
+(** Run one process alone to completion (weak obstruction-freedom says it
+    must finish). *)

@@ -1,0 +1,109 @@
+(* Growable vector. OCaml 5.1 has no [Dynarray]; this is the small subset the
+   simulator needs: amortized O(1) push, O(1) random access, snapshots. *)
+
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  dummy : 'a;
+}
+
+let create ?(capacity = 16) dummy =
+  let capacity = max capacity 1 in
+  { data = Array.make capacity dummy; len = 0; dummy }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let grow t =
+  let data = Array.make (2 * Array.length t.data) t.dummy in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t x =
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get";
+  t.data.(i)
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set";
+  t.data.(i) <- x
+
+let last t = if t.len = 0 then None else Some t.data.(t.len - 1)
+
+let pop t =
+  if t.len = 0 then invalid_arg "Vec.pop";
+  t.len <- t.len - 1;
+  let x = t.data.(t.len) in
+  t.data.(t.len) <- t.dummy;
+  x
+
+let clear t =
+  Array.fill t.data 0 t.len t.dummy;
+  t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let exists p t =
+  let rec go i = i < t.len && (p t.data.(i) || go (i + 1)) in
+  go 0
+
+let for_all p t = not (exists (fun x -> not (p x)) t)
+
+let find_opt p t =
+  let rec go i =
+    if i >= t.len then None
+    else if p t.data.(i) then Some t.data.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let filter p t =
+  let out = create ~capacity:(max 1 t.len) t.dummy in
+  iter (fun x -> if p x then push out x) t;
+  out
+
+let map f t ~dummy =
+  let out = create ~capacity:(max 1 t.len) dummy in
+  iter (fun x -> push out (f x)) t;
+  out
+
+let to_array t = Array.sub t.data 0 t.len
+
+let to_list t = Array.to_list (to_array t)
+
+let of_list dummy xs =
+  let t = create ~capacity:(max 1 (List.length xs)) dummy in
+  List.iter (push t) xs;
+  t
+
+let copy t = { data = Array.copy t.data; len = t.len; dummy = t.dummy }
+
+(* Remove the element at [i], shifting the tail left: O(n). The write buffer
+   is tiny in practice, so this is fine there. *)
+let remove t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.remove";
+  let x = t.data.(i) in
+  Array.blit t.data (i + 1) t.data i (t.len - i - 1);
+  t.len <- t.len - 1;
+  t.data.(t.len) <- t.dummy;
+  x

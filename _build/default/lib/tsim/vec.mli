@@ -1,0 +1,31 @@
+(** Growable vector (OCaml 5.1 has no [Dynarray]): amortized O(1) push,
+    O(1) random access, used for traces, write buffers and logs. *)
+
+type 'a t
+
+val create : ?capacity:int -> 'a -> 'a t
+(** [create dummy]: the dummy fills unused slots (never observable). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val last : 'a t -> 'a option
+val pop : 'a t -> 'a
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val exists : ('a -> bool) -> 'a t -> bool
+val for_all : ('a -> bool) -> 'a t -> bool
+val find_opt : ('a -> bool) -> 'a t -> 'a option
+val filter : ('a -> bool) -> 'a t -> 'a t
+val map : ('a -> 'b) -> 'a t -> dummy:'b -> 'b t
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list
+val of_list : 'a -> 'a list -> 'a t
+val copy : 'a t -> 'a t
+
+val remove : 'a t -> int -> 'a
+(** Remove index [i], shifting the tail left (O(n)). *)

@@ -1,0 +1,59 @@
+(* Per-process TSO write buffer.
+
+   Writes are issued into the buffer and become visible only when committed
+   (oldest first). Following the paper's operational model, issuing a write
+   to a variable that already has a pending write *replaces* the older entry
+   in place, so the buffer holds at most one write per variable — this is
+   what lets a process commit at most one write per variable during a single
+   fence execution, a fact the write phase of the construction relies on. *)
+
+open Ids
+
+type entry = {
+  var : Var.t;
+  value : Value.t;
+  aw : Pidset.t;
+      (* awareness set of the writer at issue time (Definition 1, case 2) *)
+}
+
+type t = entry Vec.t
+
+let dummy_entry = { var = -1; value = 0; aw = Pidset.empty }
+
+let create () : t = Vec.create ~capacity:4 dummy_entry
+
+let is_empty = Vec.is_empty
+let size = Vec.length
+
+let index_of (t : t) var =
+  let rec go i =
+    if i >= Vec.length t then None
+    else if Var.equal (Vec.get t i).var var then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Store-to-load forwarding: a read sees its own pending write. *)
+let find (t : t) var =
+  match index_of t var with None -> None | Some i -> Some (Vec.get t i).value
+
+let push (t : t) entry =
+  match index_of t entry.var with
+  | Some i -> Vec.set t i entry
+  | None -> Vec.push t entry
+
+let peek (t : t) = if Vec.is_empty t then None else Some (Vec.get t 0)
+
+let pop (t : t) =
+  if Vec.is_empty t then invalid_arg "Wbuf.pop: empty buffer";
+  Vec.remove t 0
+
+(* Remove the pending write to [var] out of order (PSO commits). *)
+let pop_var (t : t) var =
+  match index_of t var with
+  | None -> invalid_arg "Wbuf.pop_var: no pending write to that variable"
+  | Some i -> Vec.remove t i
+
+let iter f (t : t) = Vec.iter f t
+let vars (t : t) = Vec.fold (fun acc e -> e.var :: acc) [] t |> List.rev
+let copy (t : t) : t = Vec.copy t

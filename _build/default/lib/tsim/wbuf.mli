@@ -1,0 +1,46 @@
+(** Per-process TSO write buffer.
+
+    Issued writes become visible only when committed (oldest first under
+    TSO). Issuing a write to a variable with a pending write {e replaces}
+    the older entry in place, so the buffer holds at most one write per
+    variable — which is why a process can commit at most one write to any
+    variable during a single fence execution (used by the write phase of
+    the construction). *)
+
+open Ids
+
+type entry = {
+  var : Var.t;
+  value : Value.t;
+  aw : Pidset.t;
+      (** the writer's awareness set at issue time (Definition 1) *)
+}
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+val size : t -> int
+
+val find : t -> Var.t -> Value.t option
+(** Store-to-load forwarding: the pending value for [var], if any. *)
+
+val push : t -> entry -> unit
+(** Issue a write (replacing any pending write to the same variable). *)
+
+val peek : t -> entry option
+(** The oldest pending write. *)
+
+val pop : t -> entry
+(** Remove and return the oldest pending write.
+    @raise Invalid_argument if empty. *)
+
+val pop_var : t -> Var.t -> entry
+(** Remove the pending write to a specific variable (PSO out-of-order
+    commits). @raise Invalid_argument if there is none. *)
+
+val iter : (entry -> unit) -> t -> unit
+val vars : t -> Var.t list
+(** Pending variables, oldest first. *)
+
+val copy : t -> t

@@ -1,0 +1,1 @@
+test/suite_analysis.ml: Alcotest Analysis Array Config Execution Layout List Machine Pidset Printf Prog QCheck QCheck_alcotest Trace Tsim Tutil

@@ -1,0 +1,1 @@
+test/suite_bounds.ml: Adaptivity Alcotest Bounds Corollaries Float List Logspace Printf Pso QCheck QCheck_alcotest Theorem1 Theorem3

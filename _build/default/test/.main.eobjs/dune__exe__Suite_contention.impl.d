@@ -1,0 +1,1 @@
+test/suite_contention.ml: Adaptive_list Alcotest Config Harness List Lock_intf Locks Machine Printf QCheck QCheck_alcotest Ticket Tsim Vec Zoo

@@ -1,0 +1,1 @@
+test/suite_coord.ml: Alcotest Analysis Array Config Layout List Locks Machine Objects Printf Prog Sched Tsim

@@ -1,0 +1,1 @@
+test/suite_graphs.ml: Alcotest Fun Graphs List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_layout.ml: Adversary Alcotest Analysis Array Bounds Config Execution Layout List Locks Machine Printf Prog Rng Tsim Vec

@@ -1,0 +1,1 @@
+test/suite_lincheck.ml: Alcotest Checker Config History Layout Lincheck List Machine Objects Printf Prog QCheck QCheck_alcotest Sched Spec Tsim Workload

@@ -1,0 +1,1 @@
+test/suite_machine.ml: Alcotest Array Config Event Layout List Machine Option Pidset Prog Tsim Tutil Vec Wbuf

@@ -1,0 +1,1 @@
+test/suite_mcheck.ml: Alcotest Array Config Layout List Mcheck Printf Prog Tsim

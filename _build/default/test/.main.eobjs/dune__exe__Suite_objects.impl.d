@@ -1,0 +1,1 @@
+test/suite_objects.ml: Alcotest Array Config Counter Fun Layout List Locks Machine Mutex_from_object Obj_intf Objects Oqueue Ostack Printf Prog QCheck QCheck_alcotest Sched Tsim

@@ -1,0 +1,1 @@
+test/suite_pso.ml: Alcotest Array Cache Config Fun Layout List Locks Machine Printf Prog QCheck QCheck_alcotest Rng Sched Tsim

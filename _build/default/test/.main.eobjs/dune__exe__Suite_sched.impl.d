@@ -1,0 +1,1 @@
+test/suite_sched.ml: Alcotest Array Config Event Layout List Machine Printf Prog QCheck QCheck_alcotest Rng Sched Tsim Vec

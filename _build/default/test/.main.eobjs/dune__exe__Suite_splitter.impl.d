@@ -1,0 +1,1 @@
+test/suite_splitter.ml: Alcotest Array Config Layout List Locks Machine Option Printf Prog QCheck QCheck_alcotest Sched Splitter Tsim

@@ -1,0 +1,1 @@
+test/suite_trace.ml: Alcotest Array Config Erasure Event Execution Fun Layout List Machine Pidset Printf Prog QCheck QCheck_alcotest Rng Trace Tsim Tutil

@@ -1,0 +1,1 @@
+test/suite_twoproc.ml: Alcotest Config Dekker Harness List Lock_intf Locks Mcheck Printf Tsim Zoo

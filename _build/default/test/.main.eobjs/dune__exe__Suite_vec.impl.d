@@ -1,0 +1,1 @@
+test/suite_vec.ml: Alcotest List QCheck QCheck_alcotest Tsim Vec

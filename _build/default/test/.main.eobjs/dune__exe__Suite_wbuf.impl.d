@@ -1,0 +1,1 @@
+test/suite_wbuf.ml: Alcotest List Pidset QCheck QCheck_alcotest Tsim Wbuf

@@ -1,0 +1,1 @@
+test/tutil.ml: Array Config Layout List Machine Pidset Printf Prog Tsim Vec

@@ -1,0 +1,169 @@
+(* Bound arithmetic: Theorem 1 condition, Theorem 3 trajectory,
+   Corollaries 1-3, PSO frontier. *)
+
+open Bounds
+
+let feq ?(eps = 1e-6) a b = Float.abs (a -. b) <= eps *. (1.0 +. Float.abs b)
+
+let test_log2_factorial () =
+  (* exact small values *)
+  Alcotest.(check bool) "0! = 1" true (feq (Logspace.log2_factorial 0) 0.0);
+  Alcotest.(check bool) "5! = 120" true
+    (feq (Logspace.log2_factorial 5) (Logspace.log2 120.0));
+  Alcotest.(check bool) "10!" true
+    (feq (Logspace.log2_factorial 10) (Logspace.log2 3628800.0));
+  (* Stirling matches the exact sum around the crossover *)
+  let exact = Logspace.log2_factorial 100_000 in
+  let stirling = Logspace.stirling_ln 100_000 *. Logspace.log2e in
+  Alcotest.(check bool) "stirling crossover" true
+    (Float.abs (exact -. stirling) < 1e-6 *. exact)
+
+let test_scale_down_pow2 () =
+  Alcotest.(check bool) "8 * 2^-2 = 2" true
+    (feq (Logspace.scale_down_pow2 8.0 2.0) 2.0);
+  Alcotest.(check bool) "huge exponent -> 0" true
+    (Logspace.scale_down_pow2 1e300 5000.0 = 0.0)
+
+(* Theorem 1 condition: for f(i) = i, small i and astronomically large N
+   the condition holds; for tiny N it fails quickly. *)
+let test_theorem1_condition () =
+  let f = Adaptivity.linear 1.0 in
+  Alcotest.(check bool) "holds: i=2, log2 N = 64" true
+    (Theorem1.condition ~f ~log2_n:64.0 2);
+  Alcotest.(check bool) "fails: i=20, log2 N = 64" false
+    (Theorem1.condition ~f ~log2_n:64.0 20);
+  (* monotone in N: more processes, more forced fences *)
+  let forced n = Theorem1.max_forced_fences ~f ~log2_n:n () in
+  Alcotest.(check bool) "monotone in N" true
+    (forced 16.0 <= forced 256.0 && forced 256.0 <= forced 65536.0)
+
+(* Corollary 2: for linear f the exact forced-fence count scales like
+   log log N: doubling log2 N adds ~a constant. *)
+let test_cor2_growth_shape () =
+  let f = Adaptivity.linear 1.0 in
+  (* log2 log2 N = 10, 20, 40 at these three N; the exact forced-fence
+     count must sit between the corollary's (1/3) log log N witness and
+     log log N itself. *)
+  List.iter
+    (fun ll ->
+      let v = Theorem1.max_forced_fences ~f ~log2_n:(Float.pow 2.0 ll) () in
+      Alcotest.(check bool)
+        (Printf.sprintf "loglog shape: forced %d at loglogN=%g" v ll)
+        true
+        (float_of_int v >= ll /. 3.0 && float_of_int v <= ll))
+    [ 10.0; 20.0; 40.0 ];
+  (* exact value dominates the closed-form witness (the closed form is a
+     sufficient condition, hence a lower bound) *)
+  List.iter
+    (fun log2_n ->
+      let exact = Theorem1.max_forced_fences ~f ~log2_n () in
+      let closed = Corollaries.cor2_closed_form ~c:1.0 ~log2_n in
+      Alcotest.(check bool)
+        (Printf.sprintf "exact %d >= closed %.1f at log2N=%g" exact closed
+           log2_n)
+        true
+        (float_of_int exact >= closed -. 1.0))
+    [ 1024.; 65536.; 1048576. ]
+
+(* Corollary 3: exponential f still forced, but triple-log slow. *)
+let test_cor3_growth_shape () =
+  let f = Adaptivity.exponential 1.0 in
+  let lin = Adaptivity.linear 1.0 in
+  List.iter
+    (fun log2_n ->
+      let e = Theorem1.max_forced_fences ~f ~log2_n () in
+      let l = Theorem1.max_forced_fences ~f:lin ~log2_n () in
+      Alcotest.(check bool)
+        (Printf.sprintf "exp %d <= linear %d at log2N=%g" e l log2_n)
+        true (e <= l && e >= 1))
+    [ 1024.; 1048576. ];
+  List.iter
+    (fun log2_n ->
+      let exact = Theorem1.max_forced_fences ~f ~log2_n () in
+      let closed = Corollaries.cor3_closed_form ~c:1.0 ~log2_n in
+      Alcotest.(check bool) "exact >= closed - 1" true
+        (float_of_int exact >= closed -. 1.0))
+    [ 65536.; 1048576. ]
+
+(* Corollary 1: for every fence budget c there is an N forcing c fences —
+   i.e. no O(1)-fence adaptive implementation exists. *)
+let test_cor1_no_constant_fences () =
+  let f = Adaptivity.linear 1.0 in
+  List.iter
+    (fun c ->
+      match Corollaries.cor1_min_log2n ~f ~fences:c () with
+      | None -> Alcotest.fail (Printf.sprintf "no N found for c=%d" c)
+      | Some log2_n ->
+          Alcotest.(check bool)
+            (Printf.sprintf "condition holds at found N (c=%d)" c)
+            true
+            (Theorem1.condition ~f ~log2_n c))
+    [ 1; 2; 4; 8; 16 ]
+
+(* Theorem 3: the Act bound decreases in i and increases in N; at i
+   within the Theorem-1 range it stays >= 1. *)
+let test_theorem3_trajectory () =
+  let log2_n = 4096.0 in
+  let f = Adaptivity.linear 1.0 in
+  let steps = Theorem3.max_steps ~f ~log2_n () in
+  Alcotest.(check bool) "some steps survive" true (steps >= 3);
+  let b i = Theorem3.log2_act_bound ~log2_n ~ell:i ~i in
+  Alcotest.(check bool) "decreasing" true (b 1 > b 2 && b 2 > b 3);
+  Alcotest.(check bool) "bigger N, bigger bound" true
+    (Theorem3.log2_act_bound ~log2_n:8192.0 ~ell:2 ~i:2 > b 2)
+
+(* PSO frontier: feasibility boundary behaves as Inequality 3 dictates. *)
+let test_pso_frontier () =
+  let n_log2 = 20.0 in
+  (* the frontier point itself is feasible; half the RMRs is not *)
+  List.iter
+    (fun f ->
+      let r = Pso.min_rmrs ~n_log2 ~fences:f in
+      Alcotest.(check bool)
+        (Printf.sprintf "frontier feasible (f=%g)" f)
+        true
+        (Pso.feasible ~n_log2 ~fences:f ~rmrs:r);
+      Alcotest.(check bool)
+        (Printf.sprintf "below frontier infeasible (f=%g)" f)
+        false
+        (Pso.feasible ~n_log2 ~fences:f ~rmrs:(r /. 4.0)))
+    [ 1.0; 2.0; 4.0 ];
+  (* the TSO point (O(1) fences, log n RMRs) violates the PSO bound *)
+  let tf, tr = Pso.tso_point ~n_log2 in
+  Alcotest.(check bool) "TSO point infeasible under PSO" false
+    (Pso.feasible ~n_log2 ~fences:tf ~rmrs:tr)
+
+(* Property: the Theorem 1 condition is antitone in i for nondecreasing f
+   (once false it stays false). *)
+let prop_condition_antitone =
+  QCheck.Test.make ~name:"Theorem1 condition antitone in i" ~count:100
+    QCheck.(pair (int_range 4 64) (int_range 1 40))
+    (fun (log2n_exp, i) ->
+      let f = Adaptivity.linear 1.0 in
+      let log2_n = Float.pow 2.0 (float_of_int log2n_exp /. 2.0) in
+      let c1 = Theorem1.condition ~f ~log2_n i in
+      let c2 = Theorem1.condition ~f ~log2_n (i + 1) in
+      (not c2) || c1)
+
+(* Property: log2_add agrees with direct addition for moderate values. *)
+let prop_log2_add =
+  QCheck.Test.make ~name:"log2_add correct" ~count:200
+    QCheck.(pair (float_range 0.001 1e6) (float_range 0.001 1e6))
+    (fun (a, b) ->
+      let l = Logspace.log2_add (Logspace.log2 a) (Logspace.log2 b) in
+      Float.abs (Float.pow 2.0 l -. (a +. b)) < 1e-6 *. (a +. b))
+
+let suite =
+  [
+    Alcotest.test_case "log2 factorial" `Quick test_log2_factorial;
+    Alcotest.test_case "scale_down_pow2" `Quick test_scale_down_pow2;
+    Alcotest.test_case "Theorem 1 condition" `Quick test_theorem1_condition;
+    Alcotest.test_case "Corollary 2 shape" `Quick test_cor2_growth_shape;
+    Alcotest.test_case "Corollary 3 shape" `Quick test_cor3_growth_shape;
+    Alcotest.test_case "Corollary 1: no O(1) fences" `Quick
+      test_cor1_no_constant_fences;
+    Alcotest.test_case "Theorem 3 trajectory" `Quick test_theorem3_trajectory;
+    Alcotest.test_case "PSO frontier" `Quick test_pso_frontier;
+    QCheck_alcotest.to_alcotest prop_condition_antitone;
+    QCheck_alcotest.to_alcotest prop_log2_add;
+  ]

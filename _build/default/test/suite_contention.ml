@@ -1,0 +1,86 @@
+(* Interval and point contention accounting (paper, Introduction), and the
+   adaptivity of the adaptive lock with respect to them. *)
+
+open Tsim
+open Locks
+
+let test_solo_contention_is_one () =
+  let lock = Ticket.family.Lock_intf.instantiate ~n:8 in
+  let _, stats = Harness.run_contended ~model:Config.Cc_wb lock ~n:8 ~k:1 in
+  Alcotest.(check int) "interval" 1 stats.Harness.max_interval_contention;
+  Alcotest.(check int) "point" 1 stats.Harness.max_point_contention
+
+let test_full_contention () =
+  let lock = Ticket.family.Lock_intf.instantiate ~n:6 in
+  let _, stats = Harness.run_contended ~model:Config.Cc_wb lock ~n:6 ~k:6 in
+  (* round-robin: everyone enters before anyone exits *)
+  Alcotest.(check int) "interval" 6 stats.Harness.max_interval_contention;
+  Alcotest.(check int) "point" 6 stats.Harness.max_point_contention
+
+(* point <= interval <= total contention, always. *)
+let prop_contention_ordering =
+  QCheck.Test.make ~name:"point <= interval <= k" ~count:60
+    QCheck.(triple (int_range 1 6) (int_bound 10_000) (int_bound 8))
+    (fun (k, seed, which) ->
+      let fam =
+        List.nth Zoo.multi_passage (which mod List.length Zoo.multi_passage)
+      in
+      let lock = fam.Lock_intf.instantiate ~n:6 in
+      let _, stats =
+        Harness.run_contended ~model:Config.Cc_wb
+          ~schedule:(Harness.Rand seed) lock ~n:6 ~k
+      in
+      stats.Harness.max_point_contention
+      <= stats.Harness.max_interval_contention
+      && stats.Harness.max_interval_contention <= k)
+
+(* Sequential passages: point contention stays 1 even with many total
+   participants. *)
+let test_sequential_point_contention () =
+  let lock = Ticket.family.Lock_intf.instantiate ~n:5 in
+  let cfg = Harness.config_of_lock ~model:Config.Cc_wb lock ~n:5 in
+  let m = Machine.create cfg in
+  for p = 0 to 4 do
+    assert (Machine.run_until_passages m p ~target:1)
+  done;
+  for p = 0 to 4 do
+    let log = Machine.passage_log m p in
+    let s = Vec.get log 0 in
+    Alcotest.(check int)
+      (Printf.sprintf "p%d point" p)
+      1 s.Machine.p_point;
+    Alcotest.(check int)
+      (Printf.sprintf "p%d interval" p)
+      1 s.Machine.p_interval
+  done
+
+(* The adaptive-list lock's per-passage RMRs are bounded by a linear
+   function of its *interval contention*, not of n. *)
+let test_adaptive_rmrs_vs_contention () =
+  List.iter
+    (fun k ->
+      let lock = Adaptive_list.family.Lock_intf.instantiate ~n:64 in
+      let m, stats =
+        Harness.run_contended ~model:Config.Cc_wb lock ~n:64 ~k
+      in
+      ignore m;
+      Alcotest.(check bool)
+        (Printf.sprintf "rmrs (%d) <= 4*interval (%d) + 6 at k=%d"
+           stats.Harness.max_rmrs_per_passage
+           stats.Harness.max_interval_contention k)
+        true
+        (stats.Harness.max_rmrs_per_passage
+        <= (4 * stats.Harness.max_interval_contention) + 6))
+    [ 1; 2; 8; 24 ]
+
+let suite =
+  [
+    Alcotest.test_case "solo contention = 1" `Quick
+      test_solo_contention_is_one;
+    Alcotest.test_case "full contention" `Quick test_full_contention;
+    Alcotest.test_case "sequential point contention" `Quick
+      test_sequential_point_contention;
+    Alcotest.test_case "adaptive RMRs vs interval contention" `Quick
+      test_adaptive_rmrs_vs_contention;
+    QCheck_alcotest.to_alcotest prop_contention_ordering;
+  ]

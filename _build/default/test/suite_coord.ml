@@ -1,0 +1,248 @@
+(* Coordination substrate: atomic snapshots, barriers, and the wait-for
+   diagnostics. *)
+
+open Tsim
+open Tsim.Prog
+
+(* --- snapshot ----------------------------------------------------------- *)
+
+(* A scan must never observe a "torn" state. Updaters write paired values
+   (each process writes v to its segment while a ghost variable records
+   committed updates); we check every scan output was a reachable state:
+   for single-writer segments it suffices that each scanned value is one
+   the owner actually wrote, and that scans are monotone (a later scan
+   never observes an older segment value than an earlier scan did). *)
+let test_snapshot_monotone_scans () =
+  List.iter
+    (fun seed ->
+      let layout = Layout.create () in
+      let n = 4 in
+      let snap = Objects.Snapshot.make layout ~n in
+      let scans = ref [] in
+      let cfg =
+        Config.make ~model:Config.Cc_wb ~check_exclusion:false ~n ~layout
+          ~entry:(fun p ->
+            if p < 2 then
+              (* updaters: bump own segment 3 times *)
+              seq
+                (List.init 3 (fun i ->
+                     Objects.Snapshot.update snap p ((10 * (i + 1)) + p)))
+            else
+              (* scanners: two scans each *)
+              let* s1 = Objects.Snapshot.scan snap in
+              let* s2 = Objects.Snapshot.scan snap in
+              scans := (p, s1, s2) :: !scans;
+              unit)
+          ~exit_section:(fun _ -> Prog.unit)
+          ()
+      in
+      let m = Machine.create cfg in
+      ignore (Sched.random ~seed m);
+      List.iter
+        (fun (_, s1, s2) ->
+          (* values come from the writers' actual write sequences *)
+          List.iteri
+            (fun i v ->
+              let legal =
+                if i < 2 then List.mem v [ 0; 10 + i; 20 + i; 30 + i ]
+                else v = 0
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "seed %d: segment %d value %d legal" seed i v)
+                true legal)
+            s1;
+          (* per-process monotonicity between the two scans *)
+          List.iter2
+            (fun v1 v2 ->
+              Alcotest.(check bool)
+                (Printf.sprintf "seed %d: scan monotone (%d -> %d)" seed v1 v2)
+                true (v2 >= v1))
+            s1 s2)
+        !scans)
+    [ 1; 9; 33; 101 ]
+
+(* Sequential sanity: scan sees exactly what was updated. *)
+let test_snapshot_sequential () =
+  let layout = Layout.create () in
+  let snap = Objects.Snapshot.make layout ~n:3 in
+  let result = ref [] in
+  let cfg =
+    Config.make ~model:Config.Cc_wb ~check_exclusion:false ~n:3 ~layout
+      ~entry:(fun p ->
+        let* () = Objects.Snapshot.update snap p (p + 100) in
+        let* s = Objects.Snapshot.scan snap in
+        result := s;
+        unit)
+      ~exit_section:(fun _ -> Prog.unit)
+      ()
+  in
+  let m = Machine.create cfg in
+  (* run processes sequentially *)
+  for p = 0 to 2 do
+    assert (Machine.run_until_passages m p ~target:1)
+  done;
+  Alcotest.(check (list int)) "final scan" [ 100; 101; 102 ] !result
+
+(* --- barrier ------------------------------------------------------------ *)
+
+(* No process may enter phase k+1 before all have finished phase k. *)
+let test_barrier_phases () =
+  List.iter
+    (fun seed ->
+      let layout = Layout.create () in
+      let n = 4 and phases = 3 in
+      let barrier = Objects.Barrier.make layout ~n in
+      let log = ref [] in
+      let cfg =
+        Config.make ~model:Config.Cc_wb ~check_exclusion:false ~n ~layout
+          ~entry:(fun p ->
+            let rec phase k =
+              if k >= phases then unit
+              else begin
+                log := (`Arrive (p, k)) :: !log;
+                let* () = Objects.Barrier.await barrier p in
+                log := (`Depart (p, k)) :: !log;
+                phase (k + 1)
+              end
+            in
+            phase 0)
+          ~exit_section:(fun _ -> Prog.unit)
+          ()
+      in
+      let m = Machine.create cfg in
+      let out = Sched.random ~seed m in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: all finished" seed)
+        true out.Sched.all_finished;
+      (* check: no Depart(_, k) before every Arrive(_, k) *)
+      let events = List.rev !log in
+      let arrived = Array.make phases 0 in
+      List.iter
+        (fun e ->
+          match e with
+          | `Arrive (_, k) -> arrived.(k) <- arrived.(k) + 1
+          | `Depart (_, k) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "seed %d: depart after full arrival (phase %d)"
+                   seed k)
+                true
+                (arrived.(k) = n))
+        events)
+    [ 4; 18; 77 ]
+
+(* --- read/write weak counter -------------------------------------------- *)
+
+let test_rw_counter () =
+  List.iter
+    (fun seed ->
+      let layout = Layout.create () in
+      let n = 4 in
+      let c = Objects.Counter.make_rw layout ~n in
+      let finals = ref [] in
+      let cfg =
+        Config.make ~model:Config.Cc_wb ~check_exclusion:false ~n ~layout
+          ~entry:(fun p ->
+            if p < 3 then
+              (* incrementers: 3 increments each *)
+              seq (List.init 3 (fun _ -> Objects.Counter.rw_inc c p))
+            else
+              let* v1 = Objects.Counter.rw_read c in
+              let* v2 = Objects.Counter.rw_read c in
+              finals := (v1, v2) :: !finals;
+              unit)
+          ~exit_section:(fun _ -> Prog.unit)
+          ()
+      in
+      let m = Machine.create cfg in
+      let out = Sched.random ~seed m in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d finished" seed)
+        true out.Sched.all_finished;
+      List.iter
+        (fun (v1, v2) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: monotone reads %d <= %d" seed v1 v2)
+            true
+            (0 <= v1 && v1 <= v2 && v2 <= 9))
+        !finals;
+      (* final sequential read sees all increments *)
+      let layout2 = Layout.create () in
+      let c2 = Objects.Counter.make_rw layout2 ~n:2 in
+      let final = ref (-1) in
+      let cfg2 =
+        Config.make ~model:Config.Cc_wb ~check_exclusion:false ~n:2
+          ~layout:layout2
+          ~entry:(fun p ->
+            if p = 0 then seq (List.init 5 (fun _ -> Objects.Counter.rw_inc c2 0))
+            else
+              let* v = Objects.Counter.rw_read c2 in
+              final := v;
+              unit)
+          ~exit_section:(fun _ -> Prog.unit)
+          ()
+      in
+      let m2 = Machine.create cfg2 in
+      assert (Machine.run_until_passages m2 0 ~target:1);
+      assert (Machine.run_until_passages m2 1 ~target:1);
+      Alcotest.(check int) "sequential read sees all" 5 !final)
+    [ 3; 14; 159 ]
+
+(* --- wait diagnostics ---------------------------------------------------- *)
+
+(* Build a genuine cross-wait: p0 spins on a var only p1 writes and vice
+   versa, with both writes stuck in buffers. *)
+let test_waits_detects_cycle () =
+  let layout = Layout.create () in
+  let a = Layout.var layout "a" in
+  let b = Layout.var layout "b" in
+  let cfg =
+    Config.make ~model:Config.Cc_wb ~check_exclusion:false ~n:2 ~layout
+      ~entry:(fun p ->
+        let mine = if p = 0 then a else b in
+        let theirs = if p = 0 then b else a in
+        let* () = write mine 1 in
+        let* () = fence in
+        let* _ = spin_until ~fuel:50 theirs (fun x -> x = 2) in
+        unit)
+      ~exit_section:(fun _ -> Prog.unit)
+      ()
+  in
+  let m = Machine.create cfg in
+  (* advance both to their spins (fences drain, then they read) *)
+  (try ignore (Sched.round_robin ~max_steps:300 m) with Prog.Spin_exhausted _ -> ());
+  let waits = Analysis.Waits.observe m in
+  Alcotest.(check int) "two waiting processes" 2 (List.length waits);
+  match Analysis.Waits.find_cycle waits with
+  | Some cycle ->
+      Alcotest.(check bool) "cycle of length >= 2" true
+        (List.length cycle >= 2)
+  | None -> Alcotest.fail "expected a wait-for cycle"
+
+let test_waits_no_cycle_when_progressing () =
+  let lock = Locks.Ticket.family.Locks.Lock_intf.instantiate ~n:3 in
+  let m = Locks.Harness.machine_of_lock ~model:Config.Cc_wb lock ~n:3 in
+  (* stop mid-run: one holder, two waiters — waiters wait on the holder,
+     no cycle *)
+  for _ = 1 to 12 do
+    List.iter
+      (fun p ->
+        match Machine.pending m p with
+        | Machine.P_done -> ()
+        | _ -> ignore (Machine.step m p))
+      [ 0; 1; 2 ]
+  done;
+  let waits = Analysis.Waits.observe m in
+  Alcotest.(check bool) "no cycle" true
+    (Analysis.Waits.find_cycle waits = None)
+
+let suite =
+  [
+    Alcotest.test_case "snapshot: sequential" `Quick test_snapshot_sequential;
+    Alcotest.test_case "snapshot: monotone scans" `Quick
+      test_snapshot_monotone_scans;
+    Alcotest.test_case "barrier: phase separation" `Quick test_barrier_phases;
+    Alcotest.test_case "rw weak counter" `Quick test_rw_counter;
+    Alcotest.test_case "waits: detects cycle" `Quick test_waits_detects_cycle;
+    Alcotest.test_case "waits: no false cycle" `Quick
+      test_waits_no_cycle_when_progressing;
+  ]

@@ -1,0 +1,67 @@
+(* Graphs and the constructive Turán bound. *)
+
+let test_basic_graph () =
+  let g = Graphs.Graph.create [ 1; 2; 3; 4 ] in
+  Graphs.Graph.add_edge g 1 2;
+  Graphs.Graph.add_edge g 2 3;
+  Graphs.Graph.add_edge g 1 2;
+  (* duplicate ignored *)
+  Graphs.Graph.add_edge g 3 3;
+  (* self-loop ignored *)
+  Alcotest.(check int) "order" 4 (Graphs.Graph.order g);
+  Alcotest.(check int) "size" 2 (Graphs.Graph.size g);
+  Alcotest.(check bool) "edge" true (Graphs.Graph.has_edge g 2 1);
+  Alcotest.(check bool) "no edge" false (Graphs.Graph.has_edge g 1 4);
+  Alcotest.(check int) "degree" 2 (Graphs.Graph.degree g 2)
+
+let test_turan_on_clique () =
+  let vs = List.init 6 Fun.id in
+  let g = Graphs.Graph.create vs in
+  List.iter (fun u -> List.iter (fun v -> Graphs.Graph.add_edge g u v) vs) vs;
+  let s = Graphs.Turan.independent_set_checked g in
+  Alcotest.(check int) "clique -> singleton" 1 (List.length s)
+
+let test_turan_on_empty_graph () =
+  let vs = List.init 10 Fun.id in
+  let g = Graphs.Graph.create vs in
+  let s = Graphs.Turan.independent_set_checked g in
+  Alcotest.(check int) "all vertices" 10 (List.length s)
+
+let test_turan_on_path () =
+  (* path of 7 vertices: independence number 4, avg degree 12/7 *)
+  let vs = List.init 7 Fun.id in
+  let g = Graphs.Graph.create vs in
+  for i = 0 to 5 do
+    Graphs.Graph.add_edge g i (i + 1)
+  done;
+  let s = Graphs.Turan.independent_set_checked g in
+  Alcotest.(check bool) "at least ceil(7/(12/7+1)) = 3" true
+    (List.length s >= 3);
+  Alcotest.(check bool) "independent" true (Graphs.Graph.is_independent g s)
+
+(* Property: on random graphs, the greedy set is independent and meets the
+   Turán bound. *)
+let prop_turan_bound =
+  QCheck.Test.make ~name:"greedy meets Turán bound on random graphs"
+    ~count:100
+    QCheck.(pair (int_range 1 30) (list (pair (int_bound 29) (int_bound 29))))
+    (fun (n, edges) ->
+      let vs = List.init n Fun.id in
+      let g = Graphs.Graph.create vs in
+      List.iter
+        (fun (u, v) -> if u < n && v < n then Graphs.Graph.add_edge g u v)
+        edges;
+      let s = Graphs.Turan.independent_set g in
+      Graphs.Graph.is_independent g s
+      && List.length s
+         >= Graphs.Turan.guaranteed_size ~order:n
+              ~avg_degree:(Graphs.Graph.average_degree g))
+
+let suite =
+  [
+    Alcotest.test_case "basic graph ops" `Quick test_basic_graph;
+    Alcotest.test_case "Turán: clique" `Quick test_turan_on_clique;
+    Alcotest.test_case "Turán: empty graph" `Quick test_turan_on_empty_graph;
+    Alcotest.test_case "Turán: path" `Quick test_turan_on_path;
+    QCheck_alcotest.to_alcotest prop_turan_bound;
+  ]

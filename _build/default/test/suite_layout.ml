@@ -1,0 +1,131 @@
+(* Layout and config edge cases, plus additional bounds coverage. *)
+
+open Tsim
+
+let test_layout_basics () =
+  let l = Layout.create () in
+  Alcotest.(check int) "empty" 0 (Layout.size l);
+  let a = Layout.var l ~owner:2 ~init:7 "a" in
+  let arr = Layout.array l ~owner_fn:(fun i -> Some i) "b" 3 in
+  let m = Layout.matrix l ~init:1 "c" 2 2 in
+  Alcotest.(check int) "size" 8 (Layout.size l);
+  Alcotest.(check string) "name" "a" (Layout.name l a);
+  Alcotest.(check int) "init" 7 (Layout.init l a);
+  Alcotest.(check (option int)) "owner" (Some 2) (Layout.owner l a);
+  Alcotest.(check string) "array naming" "b[1]" (Layout.name l arr.(1));
+  Alcotest.(check string) "matrix naming" "c[1][0]" (Layout.name l m.(1).(0));
+  Alcotest.(check int) "matrix init" 1 (Layout.init l m.(0).(1));
+  Alcotest.(check bool) "local" true (Layout.is_local l 2 a);
+  Alcotest.(check bool) "remote" true (Layout.is_remote l 0 a);
+  Alcotest.(check bool) "unowned remote to all" true
+    (Layout.is_remote l 0 m.(0).(0))
+
+let test_machine_initial_values () =
+  let l = Layout.create () in
+  let v = Layout.var l ~init:42 "v" in
+  let cfg =
+    Config.make ~check_exclusion:false ~n:1 ~layout:l
+      ~entry:(fun _ -> Prog.unit)
+      ~exit_section:(fun _ -> Prog.unit)
+      ()
+  in
+  let m = Machine.create cfg in
+  Alcotest.(check int) "initial value" 42 (Machine.mem_value m v);
+  Alcotest.(check (option int)) "no writer" None (Machine.writer_of m v)
+
+let test_config_rejects_zero_procs () =
+  let l = Layout.create () in
+  Alcotest.check_raises "n=0" (Invalid_argument "Config.make: n must be positive")
+    (fun () ->
+      ignore
+        (Config.make ~n:0 ~layout:l
+           ~entry:(fun _ -> Prog.unit)
+           ~exit_section:(fun _ -> Prog.unit)
+           ()))
+
+let test_n1_machine_full_passage () =
+  (* a single process, no variables at all *)
+  let l = Layout.create () in
+  let cfg =
+    Config.make ~n:1 ~layout:l
+      ~entry:(fun _ -> Prog.unit)
+      ~exit_section:(fun _ -> Prog.unit)
+      ()
+  in
+  let m = Machine.create cfg in
+  Alcotest.(check bool) "finishes" true (Machine.run_until_passages m 0 ~target:1);
+  Alcotest.(check int) "3 transition events" 3 (Vec.length (Machine.trace m))
+
+(* Theorem1.claim and Theorem3 recurrences. *)
+let test_bounds_claim_and_recurrences () =
+  let f = Bounds.Adaptivity.linear 1.0 in
+  let c = Bounds.Theorem1.claim ~f ~log2_n:65536.0 () in
+  Alcotest.(check int) "claim consistent"
+    (c.Bounds.Theorem1.forced_fences + 1)
+    c.Bounds.Theorem1.contention;
+  (* recurrences decrease Act as the paper's conditions dictate *)
+  Alcotest.(check bool) "read step" true
+    (Bounds.Theorem3.read_phase_step 100.0 < 100.0);
+  Alcotest.(check bool) "write step" true
+    (Bounds.Theorem3.write_phase_step ~delta:2 ~k:1 100.0 < 100.0);
+  Alcotest.(check bool) "reg step" true
+    (Bounds.Theorem3.regularization_step 100.0 = 99.0);
+  (* polynomial / constant adaptivity families are usable *)
+  let p = Bounds.Adaptivity.polynomial ~c:1.0 ~d:2.0 in
+  Alcotest.(check bool) "poly eval" true (Bounds.Adaptivity.eval p 3 = 9.0);
+  let k = Bounds.Adaptivity.constant 5.0 in
+  Alcotest.(check bool) "const eval" true (Bounds.Adaptivity.eval k 99 = 5.0)
+
+(* Corollaries.sweep structure. *)
+let test_corollaries_sweep () =
+  let f = Bounds.Adaptivity.linear 1.0 in
+  let rows =
+    Bounds.Corollaries.sweep ~f
+      ~closed_form:(fun ~log2_n ->
+        Bounds.Corollaries.cor2_closed_form ~c:1.0 ~log2_n)
+      [ 64.; 1024. ]
+  in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  List.iter
+    (fun (r : Bounds.Corollaries.row) ->
+      Alcotest.(check bool) "forced >= closed - 1" true
+        (float_of_int r.Bounds.Corollaries.forced
+        >= r.Bounds.Corollaries.closed_form -. 1.0))
+    rows
+
+(* Random-subset IN3 sampling over a real construction run (the full
+   exponential check is infeasible; this samples it). *)
+let test_in3_random_subsets_on_construction () =
+  let lock = Locks.Adaptive_list.family.Locks.Lock_intf.instantiate ~n:10 in
+  let c = Adversary.Construction.create lock ~n:10 in
+  ignore (Adversary.Construction.run ~min_act:4 c);
+  let tr = Execution.Trace.of_machine (Adversary.Construction.machine c) in
+  let act = Adversary.Construction.active c in
+  let s = Analysis.Flow.analyze tr in
+  let rng = Rng.create 7 in
+  for _ = 1 to 12 do
+    let subset =
+      Tsim.Ids.Pidset.filter (fun _ -> Rng.bool rng) act
+    in
+    let viols = Analysis.Inset.check_in3_subset tr s subset in
+    Alcotest.(check int)
+      (Printf.sprintf "IN3 holds for random subset (|Y|=%d)"
+         (Tsim.Ids.Pidset.cardinal subset))
+      0 (List.length viols)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "layout basics" `Quick test_layout_basics;
+    Alcotest.test_case "machine initial values" `Quick
+      test_machine_initial_values;
+    Alcotest.test_case "config rejects n=0" `Quick
+      test_config_rejects_zero_procs;
+    Alcotest.test_case "n=1 trivial passage" `Quick
+      test_n1_machine_full_passage;
+    Alcotest.test_case "bounds claim + recurrences" `Quick
+      test_bounds_claim_and_recurrences;
+    Alcotest.test_case "corollaries sweep" `Quick test_corollaries_sweep;
+    Alcotest.test_case "IN3 random subsets (construction)" `Quick
+      test_in3_random_subsets_on_construction;
+  ]

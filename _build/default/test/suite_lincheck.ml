@@ -1,0 +1,372 @@
+(* Linearizability checking: the checker itself on hand-built histories,
+   and end-to-end checks of the objects substrate under many random
+   schedules — including a deliberately broken counter the checker must
+   reject. *)
+
+open Tsim
+open Tsim.Prog
+open Lincheck
+
+let mkop ?arg ?result ~pid ~label ~inv ~res uid =
+  { History.pid; label; arg; result; inv; res; uid }
+
+(* --- checker unit tests on synthetic histories ------------------------- *)
+
+let test_sequential_counter_ok () =
+  let h =
+    History.of_list
+      [
+        mkop ~pid:0 ~label:"faa" ~result:0 ~inv:0 ~res:1 0;
+        mkop ~pid:1 ~label:"faa" ~result:1 ~inv:2 ~res:3 0;
+      ]
+  in
+  let v = Checker.check Spec.counter h in
+  Alcotest.(check bool) "linearizable" true v.Checker.linearizable
+
+let test_sequential_counter_gap_rejected () =
+  (* two sequential faa both returning 0: impossible *)
+  let h =
+    History.of_list
+      [
+        mkop ~pid:0 ~label:"faa" ~result:0 ~inv:0 ~res:1 0;
+        mkop ~pid:1 ~label:"faa" ~result:0 ~inv:2 ~res:3 0;
+      ]
+  in
+  let v = Checker.check Spec.counter h in
+  Alcotest.(check bool) "not linearizable" false v.Checker.linearizable
+
+let test_concurrent_reorder_ok () =
+  (* overlapping ops may commute to a legal order *)
+  let h =
+    History.of_list
+      [
+        mkop ~pid:0 ~label:"faa" ~result:1 ~inv:0 ~res:10 0;
+        mkop ~pid:1 ~label:"faa" ~result:0 ~inv:0 ~res:10 0;
+      ]
+  in
+  let v = Checker.check Spec.counter h in
+  Alcotest.(check bool) "linearizable via reordering" true
+    v.Checker.linearizable;
+  Alcotest.(check int) "witness length" 2 (List.length v.Checker.witness);
+  (* witness must start with the op returning 0 *)
+  (match v.Checker.witness with
+  | first :: _ ->
+      Alcotest.(check (option int)) "first result" (Some 0)
+        first.History.result
+  | [] -> Alcotest.fail "no witness")
+
+let test_real_time_order_respected () =
+  (* op returning 1 strictly precedes op returning 0: must be rejected
+     even though a reordering would be legal *)
+  let h =
+    History.of_list
+      [
+        mkop ~pid:0 ~label:"faa" ~result:1 ~inv:0 ~res:1 0;
+        mkop ~pid:1 ~label:"faa" ~result:0 ~inv:5 ~res:6 0;
+      ]
+  in
+  let v = Checker.check Spec.counter h in
+  Alcotest.(check bool) "real-time order enforced" false
+    v.Checker.linearizable
+
+let test_stack_spec () =
+  let h =
+    History.of_list
+      [
+        mkop ~pid:0 ~label:"push" ~arg:7 ~result:0 ~inv:0 ~res:1 0;
+        mkop ~pid:0 ~label:"pop" ~result:7 ~inv:2 ~res:3 0;
+        mkop ~pid:0 ~label:"pop" ~result:(-1) ~inv:4 ~res:5 0;
+      ]
+  in
+  Alcotest.(check bool) "stack LIFO + empty" true
+    (Checker.check Spec.stack h).Checker.linearizable;
+  let bad =
+    History.of_list
+      [
+        mkop ~pid:0 ~label:"push" ~arg:7 ~result:0 ~inv:0 ~res:1 0;
+        mkop ~pid:0 ~label:"pop" ~result:9 ~inv:2 ~res:3 0;
+      ]
+  in
+  Alcotest.(check bool) "wrong pop rejected" false
+    (Checker.check Spec.stack bad).Checker.linearizable
+
+let test_queue_spec () =
+  let h =
+    History.of_list
+      [
+        mkop ~pid:0 ~label:"enq" ~arg:1 ~result:0 ~inv:0 ~res:1 0;
+        mkop ~pid:0 ~label:"enq" ~arg:2 ~result:0 ~inv:2 ~res:3 0;
+        mkop ~pid:1 ~label:"deq" ~result:1 ~inv:4 ~res:5 0;
+        mkop ~pid:1 ~label:"deq" ~result:2 ~inv:6 ~res:7 0;
+      ]
+  in
+  Alcotest.(check bool) "queue FIFO" true
+    (Checker.check Spec.queue h).Checker.linearizable;
+  let bad =
+    History.of_list
+      [
+        mkop ~pid:0 ~label:"enq" ~arg:1 ~result:0 ~inv:0 ~res:1 0;
+        mkop ~pid:0 ~label:"enq" ~arg:2 ~result:0 ~inv:2 ~res:3 0;
+        mkop ~pid:1 ~label:"deq" ~result:2 ~inv:4 ~res:5 0;
+      ]
+  in
+  Alcotest.(check bool) "LIFO order rejected" false
+    (Checker.check Spec.queue bad).Checker.linearizable
+
+(* --- end-to-end: simulator objects are linearizable -------------------- *)
+
+let faa_workload seed =
+  let layout = Layout.create () in
+  let c = Objects.Counter.make_faa layout in
+  Workload.run_and_check ~schedule:(Workload.Rand seed) ~layout ~n:4
+    ~ops_per_proc:3
+    (fun p _ -> Workload.op "faa" (c.Objects.Counter.fetch_inc p))
+    Spec.counter
+
+let test_faa_counter_linearizable () =
+  List.iter
+    (fun seed ->
+      let h, v = faa_workload seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d (%d ops)" seed (History.length h))
+        true v.Checker.linearizable)
+    [ 1; 2; 3; 42; 1000 ]
+
+let test_cas_counter_linearizable () =
+  List.iter
+    (fun seed ->
+      let layout = Layout.create () in
+      let c = Objects.Counter.make_cas layout in
+      let _, v =
+        Workload.run_and_check ~schedule:(Workload.Rand seed) ~layout ~n:3
+          ~ops_per_proc:3
+          (fun p _ -> Workload.op "faa" (c.Objects.Counter.fetch_inc p))
+          Spec.counter
+      in
+      Alcotest.(check bool) (Printf.sprintf "seed %d" seed) true
+        v.Checker.linearizable)
+    [ 5; 17; 23 ]
+
+let test_stack_linearizable () =
+  List.iter
+    (fun seed ->
+      let layout = Layout.create () in
+      let st = Objects.Ostack.make layout ~n:4 ~ops_per_proc:4 in
+      let _, v =
+        Workload.run_and_check ~schedule:(Workload.Rand seed) ~layout ~n:4
+          ~ops_per_proc:3
+          (fun p i ->
+            if p < 2 then
+              let value = (p * 100) + i in
+              Workload.op ~arg:value "push"
+                (let* () = Objects.Ostack.push st p value in
+                 return 0)
+            else Workload.op "pop" (Objects.Ostack.pop st p))
+          Spec.stack
+      in
+      Alcotest.(check bool) (Printf.sprintf "seed %d" seed) true
+        v.Checker.linearizable)
+    [ 7; 11; 13; 77 ]
+
+let test_queue_linearizable () =
+  List.iter
+    (fun seed ->
+      let layout = Layout.create () in
+      let q = Objects.Oqueue.make layout ~capacity:32 in
+      let _, v =
+        Workload.run_and_check ~schedule:(Workload.Rand seed) ~layout ~n:4
+          ~ops_per_proc:3
+          (fun p i ->
+            if p < 3 then
+              let value = (p * 100) + i in
+              Workload.op ~arg:value "enq"
+                (let* () = Objects.Oqueue.enqueue q value in
+                 return 0)
+            else Workload.op "deq" (Objects.Oqueue.dequeue_nonempty q))
+          Spec.queue
+      in
+      Alcotest.(check bool) (Printf.sprintf "seed %d" seed) true
+        v.Checker.linearizable)
+    [ 3; 9; 21 ]
+
+(* A deliberately broken counter (read then write, no atomicity): the
+   checker must find a non-linearizable schedule. *)
+let test_broken_counter_caught () =
+  let violations = ref 0 in
+  List.iter
+    (fun seed ->
+      let layout = Layout.create () in
+      let v = Layout.var layout "broken" in
+      let broken_faa _p =
+        let* x = read v in
+        let* () = write v (x + 1) in
+        let* () = fence in
+        return x
+      in
+      let _, verdict =
+        Workload.run_and_check ~schedule:(Workload.Rand seed) ~layout ~n:3
+          ~ops_per_proc:2
+          (fun p _ -> Workload.op "faa" (broken_faa p))
+          Spec.counter
+      in
+      if not verdict.Checker.linearizable then incr violations)
+    (List.init 30 (fun i -> i * 7));
+  Alcotest.(check bool)
+    (Printf.sprintf "broken counter caught (%d/30 schedules)" !violations)
+    true (!violations > 0)
+
+(* Lock-based objects (Section 5's converse direction: objects FROM
+   mutex) are linearizable by construction — verified on random
+   schedules across all three object types. *)
+let test_locked_objects_linearizable () =
+  List.iter
+    (fun seed ->
+      (* counter *)
+      let layout = Layout.create () in
+      let c = Objects.Monitor.locked_counter layout "lc" in
+      let _, v =
+        Workload.run_and_check ~schedule:(Workload.Rand seed) ~layout ~n:3
+          ~ops_per_proc:3
+          (fun _ _ -> Workload.op "faa" (Objects.Monitor.locked_fetch_inc c))
+          Spec.counter
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "locked counter (seed %d)" seed)
+        true v.Checker.linearizable;
+      (* stack *)
+      let layout = Layout.create () in
+      let st = Objects.Monitor.locked_stack layout "ls" ~capacity:16 in
+      let _, v =
+        Workload.run_and_check ~schedule:(Workload.Rand seed) ~layout ~n:4
+          ~ops_per_proc:3
+          (fun p i ->
+            if p < 2 then
+              let value = (p * 100) + i in
+              Workload.op ~arg:value "push"
+                (Objects.Monitor.locked_push st value)
+            else Workload.op "pop" (Objects.Monitor.locked_pop st))
+          Spec.stack
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "locked stack (seed %d)" seed)
+        true v.Checker.linearizable;
+      (* queue *)
+      let layout = Layout.create () in
+      let q = Objects.Monitor.locked_queue layout "lq" ~capacity:16 in
+      let _, v =
+        Workload.run_and_check ~schedule:(Workload.Rand seed) ~layout ~n:4
+          ~ops_per_proc:3
+          (fun p i ->
+            if p < 2 then
+              let value = (p * 100) + i in
+              Workload.op ~arg:value "enq"
+                (Objects.Monitor.locked_enqueue q value)
+            else Workload.op "deq" (Objects.Monitor.locked_dequeue q))
+          Spec.queue
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "locked queue (seed %d)" seed)
+        true v.Checker.linearizable)
+    [ 2; 13; 47; 88 ]
+
+(* Monitor.exec serializes arbitrary bodies: concurrent read-modify-write
+   bodies never lose updates. *)
+let test_monitor_no_lost_updates () =
+  List.iter
+    (fun seed ->
+      let layout = Layout.create () in
+      let mon = Objects.Monitor.make layout "m" in
+      let cell = Layout.var layout "cell" in
+      let n = 4 and per = 3 in
+      let cfg =
+        Config.make ~model:Config.Cc_wb ~check_exclusion:false ~n ~layout
+          ~entry:(fun _ ->
+            seq
+              (List.init per (fun _ ->
+                   bind
+                     (Objects.Monitor.exec mon
+                        (let* v = read cell in
+                         let* () = write cell (v + 1) in
+                         return v))
+                     (fun _ -> unit))))
+          ~exit_section:(fun _ -> Prog.unit)
+          ()
+      in
+      let m = Machine.create cfg in
+      let out = Sched.random ~seed m in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d finished" seed)
+        true out.Sched.all_finished;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: no lost updates" seed)
+        (n * per) (Machine.mem_value m cell))
+    [ 5; 21; 404 ]
+
+(* Shared registers on TSO are NOT linearizable without fences: a process
+   reads its own buffered write "early" (store-to-load forwarding) while
+   others still see the old value — the essence of why the paper's model
+   distinguishes issuing a write from committing it. With a fence after
+   the write, register histories linearize again. *)
+let register_scenario ~fenced =
+  let layout = Layout.create () in
+  let x = Layout.var layout "x" in
+  let h =
+    Workload.run ~layout ~n:2 ~ops_per_proc:2 (fun p i ->
+        match (p, i) with
+        | 0, 0 ->
+            Workload.op ~arg:1 "write"
+              (let* () = write x 1 in
+               let* () = if fenced then fence else unit in
+               return 0)
+        | 0, 1 -> Workload.op "read" (read x)
+        | _ -> Workload.op "read" (read x))
+  in
+  (* drive p0 through write (+fence) and its read FIRST, then p1's reads:
+     the workload scheduler is round robin, which interleaves exactly so
+     when unfenced (p0's write stays buffered across p1's reads). *)
+  (h, Checker.check Spec.register h)
+
+let test_tso_register_not_linearizable () =
+  let _, v = register_scenario ~fenced:false in
+  Alcotest.(check bool) "unfenced register history rejected" false
+    v.Checker.linearizable;
+  let _, v = register_scenario ~fenced:true in
+  Alcotest.(check bool) "fenced register history accepted" true
+    v.Checker.linearizable
+
+(* Property: FAA histories are linearizable under arbitrary seeds. *)
+let prop_faa_always_linearizable =
+  QCheck.Test.make ~name:"faa counter linearizable (any schedule)" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let _, v = faa_workload seed in
+      v.Checker.linearizable)
+
+let suite =
+  [
+    Alcotest.test_case "sequential counter ok" `Quick
+      test_sequential_counter_ok;
+    Alcotest.test_case "sequential gap rejected" `Quick
+      test_sequential_counter_gap_rejected;
+    Alcotest.test_case "concurrent reorder ok" `Quick
+      test_concurrent_reorder_ok;
+    Alcotest.test_case "real-time order respected" `Quick
+      test_real_time_order_respected;
+    Alcotest.test_case "stack spec" `Quick test_stack_spec;
+    Alcotest.test_case "queue spec" `Quick test_queue_spec;
+    Alcotest.test_case "faa counter linearizable" `Quick
+      test_faa_counter_linearizable;
+    Alcotest.test_case "cas counter linearizable" `Quick
+      test_cas_counter_linearizable;
+    Alcotest.test_case "stack linearizable" `Quick test_stack_linearizable;
+    Alcotest.test_case "queue linearizable" `Quick test_queue_linearizable;
+    Alcotest.test_case "broken counter caught" `Quick
+      test_broken_counter_caught;
+    Alcotest.test_case "TSO registers not linearizable (unfenced)" `Quick
+      test_tso_register_not_linearizable;
+    Alcotest.test_case "locked objects linearizable" `Quick
+      test_locked_objects_linearizable;
+    Alcotest.test_case "monitor: no lost updates" `Quick
+      test_monitor_no_lost_updates;
+    QCheck_alcotest.to_alcotest prop_faa_always_linearizable;
+  ]

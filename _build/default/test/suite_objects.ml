@@ -1,0 +1,335 @@
+(* Shared objects (Section 5): counter/stack/queue semantics and the
+   Algorithm 1 reduction (Lemma 9). *)
+
+open Tsim
+open Prog
+open Objects
+
+(* --- plumbing: run n processes each executing one program ------------- *)
+
+let run_programs ?(model = Config.Cc_wb) ?(schedule = `Rr) ~layout ~n progs =
+  let cfg =
+    Config.make ~model ~check_exclusion:false ~n ~layout
+      ~entry:(fun p -> progs p)
+      ~exit_section:(fun _ -> Prog.unit)
+      ()
+  in
+  let m = Machine.create cfg in
+  (match schedule with
+  | `Rr -> ignore (Sched.round_robin m)
+  | `Rand seed -> ignore (Sched.random ~seed m));
+  m
+
+(* --- counters --------------------------------------------------------- *)
+
+let counter_distinct_values make_counter name =
+  List.iter
+    (fun (schedule, tag) ->
+      let layout = Layout.create () in
+      let c = make_counter layout in
+      let n = 8 in
+      let results = Array.make n (-1) in
+      let m =
+        run_programs ~schedule ~layout ~n (fun p ->
+            let* v = c.Counter.fetch_inc p in
+            results.(p) <- v;
+            unit)
+      in
+      let sorted = List.sort compare (Array.to_list results) in
+      Alcotest.(check (list int))
+        (Printf.sprintf "%s %s: distinct 0..7" name tag)
+        (List.init n Fun.id) sorted;
+      Alcotest.(check int)
+        (Printf.sprintf "%s %s: final value" name tag)
+        n (Counter.value m c))
+    [ (`Rr, "rr"); (`Rand 3, "rand3"); (`Rand 77, "rand77") ]
+
+let test_counter_faa () = counter_distinct_values Counter.make_faa "faa"
+let test_counter_cas () = counter_distinct_values Counter.make_cas "cas"
+
+(* m-limited-use counter: exactly m values then [exhausted]. *)
+let test_limited_counter () =
+  let layout = Layout.create () in
+  let c = Counter.make_limited layout ~m:3 in
+  let results = Array.make 5 (-9) in
+  let _ =
+    run_programs ~layout ~n:5 (fun p ->
+        let* v = c.Counter.fetch_inc p in
+        results.(p) <- v;
+        unit)
+  in
+  let sorted = List.sort compare (Array.to_list results) in
+  Alcotest.(check (list int)) "3 values then exhausted"
+    [ Counter.exhausted; Counter.exhausted; 0; 1; 2 ]
+    sorted
+
+(* Negative paths: node budget / capacity errors. *)
+let test_object_limits () =
+  let layout = Layout.create () in
+  let st = Ostack.make layout ~n:1 ~ops_per_proc:1 in
+  (* second push exceeds the node budget at program-construction time *)
+  let _ = Ostack.push st 0 1 in
+  Alcotest.check_raises "stack node budget"
+    (Invalid_argument "stack: process exceeded its node budget") (fun () ->
+      ignore (Ostack.push st 0 2));
+  let layout = Layout.create () in
+  Alcotest.check_raises "queue prefill"
+    (Invalid_argument "queue: prefill exceeds capacity") (fun () ->
+      ignore (Oqueue.make ~prefill:[ 1; 2; 3 ] layout ~capacity:2))
+
+(* --- stack ------------------------------------------------------------ *)
+
+let test_stack_lifo_sequential () =
+  let layout = Layout.create () in
+  let st = Ostack.make layout ~n:1 ~ops_per_proc:8 in
+  let popped = ref [] in
+  let _ =
+    run_programs ~layout ~n:1 (fun p ->
+        let* () = seq (List.map (fun v -> Ostack.push st p v) [ 1; 2; 3 ]) in
+        let rec drain k =
+          if k = 0 then unit
+          else
+            let* v = Ostack.pop st p in
+            popped := v :: !popped;
+            drain (k - 1)
+        in
+        drain 4)
+  in
+  Alcotest.(check (list int)) "LIFO + empty" [ 3; 2; 1; Ostack.empty_value ]
+    (List.rev !popped)
+
+let test_stack_concurrent_push_pop () =
+  List.iter
+    (fun seed ->
+      let layout = Layout.create () in
+      let n = 6 in
+      let st = Ostack.make layout ~n ~ops_per_proc:4 in
+      let popped = ref [] in
+      let _ =
+        run_programs ~schedule:(`Rand seed) ~layout ~n (fun p ->
+            if p < 3 then
+              (* pushers: each pushes 4 distinct values *)
+              seq (List.map (fun k -> Ostack.push st p ((p * 10) + k)) [ 1; 2; 3; 4 ])
+            else
+              let rec drain k acc =
+                if k = 0 then (
+                  popped := acc @ !popped;
+                  unit)
+                else
+                  let* v = Ostack.pop st p in
+                  drain (k - 1) (if v = Ostack.empty_value then acc else v :: acc)
+              in
+              drain 6 [])
+      in
+      (* every popped value was pushed exactly once (no duplication/loss
+         among popped items) *)
+      let popped = !popped in
+      let distinct = List.sort_uniq compare popped in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: no duplicates" seed)
+        (List.length popped) (List.length distinct);
+      List.iter
+        (fun v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: %d was pushed" seed v)
+            true
+            (List.mem v [ 1; 2; 3; 4; 11; 12; 13; 14; 21; 22; 23; 24 ]))
+        popped)
+    [ 5; 23; 42 ]
+
+(* --- queue ------------------------------------------------------------ *)
+
+let test_queue_fifo_sequential () =
+  let layout = Layout.create () in
+  let q = Oqueue.make layout ~capacity:8 in
+  let out = ref [] in
+  let _ =
+    run_programs ~layout ~n:1 (fun _ ->
+        let* () = seq (List.map (fun v -> Oqueue.enqueue q v) [ 5; 6; 7 ]) in
+        let rec drain k =
+          if k = 0 then unit
+          else
+            let* v = Oqueue.try_dequeue q in
+            out := v :: !out;
+            drain (k - 1)
+        in
+        drain 4)
+  in
+  Alcotest.(check (list int)) "FIFO + empty" [ 5; 6; 7; Oqueue.empty_value ]
+    (List.rev !out)
+
+let test_queue_concurrent () =
+  List.iter
+    (fun seed ->
+      let layout = Layout.create () in
+      let n = 6 in
+      let q = Oqueue.make layout ~capacity:32 in
+      let got = Array.make n [] in
+      let _ =
+        run_programs ~schedule:(`Rand seed) ~layout ~n (fun p ->
+            if p < 3 then
+              seq
+                (List.map (fun k -> Oqueue.enqueue q ((p * 10) + k)) [ 1; 2; 3 ])
+            else
+              let rec drain k =
+                if k = 0 then unit
+                else
+                  let* v = Oqueue.dequeue_nonempty q in
+                  got.(p) <- v :: got.(p);
+                  drain (k - 1)
+              in
+              drain 3)
+      in
+      let all = List.concat (Array.to_list got) in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: 9 dequeues" seed)
+        9 (List.length all);
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: distinct" seed)
+        9
+        (List.length (List.sort_uniq compare all));
+      (* per-producer FIFO: each dequeuer receives any one producer's
+         values in increasing order globally (queue is FIFO per slot) *)
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: values legal" seed)
+        true
+        (List.for_all
+           (fun v -> List.mem v [ 1; 2; 3; 11; 12; 13; 21; 22; 23 ])
+           all))
+    [ 2; 19; 101 ]
+
+(* Pre-filled queue/stack behave as N-limited-use counters. *)
+let test_prefilled_objects_as_counters () =
+  let layout = Layout.create () in
+  let n = 5 in
+  let qp = Oqueue.dequeue_provider layout ~n in
+  let results = Array.make n (-1) in
+  let _ =
+    run_programs ~schedule:(`Rand 9) ~layout ~n (fun p ->
+        let* v = qp.Obj_intf.fetch_inc p in
+        results.(p) <- v;
+        unit)
+  in
+  Alcotest.(check (list int)) "queue f&i" (List.init n Fun.id)
+    (List.sort compare (Array.to_list results));
+  let layout = Layout.create () in
+  let sp = Ostack.pop_provider layout ~n in
+  let results = Array.make n (-1) in
+  let _ =
+    run_programs ~schedule:(`Rand 11) ~layout ~n (fun p ->
+        let* v = sp.Obj_intf.fetch_inc p in
+        results.(p) <- v;
+        unit)
+  in
+  Alcotest.(check (list int)) "stack f&i" (List.init n Fun.id)
+    (List.sort compare (Array.to_list results))
+
+(* --- Lemma 9: Algorithm 1 --------------------------------------------- *)
+
+let reduction_case (fam : Locks.Lock_intf.family) =
+  Alcotest.test_case
+    (Printf.sprintf "%s: exclusion+progress" fam.Locks.Lock_intf.family_name)
+    `Quick
+    (fun () ->
+      List.iter
+        (fun model ->
+          let lock = fam.Locks.Lock_intf.instantiate ~n:6 in
+          let _, stats =
+            Locks.Harness.run_contended ~model lock ~n:6 ~k:6
+          in
+          Alcotest.(check bool) "exclusion" true stats.Locks.Harness.exclusion_ok;
+          Alcotest.(check bool) "completed" true stats.Locks.Harness.completed;
+          Alcotest.(check int) "all CSs" 6 stats.Locks.Harness.cs_entries;
+          (* random schedules too *)
+          List.iter
+            (fun seed ->
+              let lock = fam.Locks.Lock_intf.instantiate ~n:5 in
+              let _, stats =
+                Locks.Harness.run_contended ~model
+                  ~schedule:(Locks.Harness.Rand seed) lock ~n:5 ~k:5
+              in
+              Alcotest.(check bool) "exclusion (rand)" true
+                stats.Locks.Harness.exclusion_ok;
+              Alcotest.(check int) "all CSs (rand)" 5
+                stats.Locks.Harness.cs_entries)
+            [ 3; 31 ])
+        [ Config.Dsm; Config.Cc_wt; Config.Cc_wb ])
+
+(* Lemma 9's complexity statement: the mutex's passage complexity equals
+   the object operation's complexity up to an additive constant. We verify
+   the additive-constant gap between the FAA-counter mutex passage and a
+   bare FAA operation. *)
+let test_lemma9_complexity_transfer () =
+  let n = 8 in
+  (* bare object operation cost *)
+  let layout = Layout.create () in
+  let c = Counter.make_faa layout in
+  let m =
+    run_programs ~layout ~n (fun p ->
+        let* _ = c.Counter.fetch_inc p in
+        unit)
+  in
+  let bare_max =
+    List.fold_left max 0
+      (List.init n (fun p -> Machine.rmrs m p))
+  in
+  (* mutex passage cost *)
+  let lock = Mutex_from_object.from_counter_faa ~n in
+  let _, stats =
+    Locks.Harness.run_contended ~model:Config.Cc_wb lock ~n ~k:n
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "additive constant (bare %d, passage max %d)" bare_max
+       stats.Locks.Harness.max_rmrs_per_passage)
+    true
+    (stats.Locks.Harness.max_rmrs_per_passage <= bare_max + 8);
+  Alcotest.(check bool)
+    (Printf.sprintf "fences O(1) (max %d)" stats.Locks.Harness.max_fences_per_passage)
+    true
+    (stats.Locks.Harness.max_fences_per_passage <= 5)
+
+(* Property: the counter from any provider hands out distinct values under
+   random schedules. *)
+let prop_provider_distinct =
+  QCheck.Test.make ~name:"providers are linearizable counters" ~count:40
+    QCheck.(pair (int_range 2 8) (int_bound 10_000))
+    (fun (n, seed) ->
+      List.for_all
+        (fun builder ->
+          let layout = Layout.create () in
+          let p = builder layout ~n in
+          let results = Array.make n (-1) in
+          let _ =
+            run_programs ~schedule:(`Rand seed) ~layout ~n (fun q ->
+                let* v = p.Obj_intf.fetch_inc q in
+                results.(q) <- v;
+                unit)
+          in
+          List.sort compare (Array.to_list results) = List.init n Fun.id)
+        [
+          Counter.faa_provider;
+          Counter.cas_provider;
+          Oqueue.dequeue_provider;
+          Ostack.pop_provider;
+        ])
+
+let suite =
+  [
+    Alcotest.test_case "counter faa" `Quick test_counter_faa;
+    Alcotest.test_case "counter cas" `Quick test_counter_cas;
+    Alcotest.test_case "limited-use counter" `Quick test_limited_counter;
+    Alcotest.test_case "object limits" `Quick test_object_limits;
+    Alcotest.test_case "stack LIFO" `Quick test_stack_lifo_sequential;
+    Alcotest.test_case "stack concurrent" `Quick
+      test_stack_concurrent_push_pop;
+    Alcotest.test_case "queue FIFO" `Quick test_queue_fifo_sequential;
+    Alcotest.test_case "queue concurrent" `Quick test_queue_concurrent;
+    Alcotest.test_case "prefilled objects = counters" `Quick
+      test_prefilled_objects_as_counters;
+  ]
+  @ List.map reduction_case Mutex_from_object.families
+  @ [
+      Alcotest.test_case "Lemma 9 complexity transfer" `Quick
+        test_lemma9_complexity_transfer;
+      QCheck_alcotest.to_alcotest prop_provider_distinct;
+    ]

@@ -1,0 +1,146 @@
+(* Schedulers, the deterministic RNG, and event-level properties. *)
+
+open Tsim
+open Tsim.Prog
+
+(* --- schedulers --------------------------------------------------------- *)
+
+let trivial_machine n =
+  let layout = Layout.create () in
+  let vars = Layout.array layout "x" n in
+  let cfg =
+    Config.make ~model:Config.Cc_wb ~check_exclusion:false ~n ~layout
+      ~entry:(fun p ->
+        let* () = write vars.(p) (p + 1) in
+        fence)
+      ~exit_section:(fun _ -> Prog.unit)
+      ()
+  in
+  Machine.create cfg
+
+let test_round_robin_completes () =
+  let m = trivial_machine 5 in
+  let out = Sched.round_robin m in
+  Alcotest.(check bool) "finished" true out.Sched.all_finished;
+  Alcotest.(check (list int)) "no live pids" [] (Sched.live_pids m)
+
+let test_random_completes () =
+  List.iter
+    (fun seed ->
+      let m = trivial_machine 5 in
+      let out = Sched.random ~seed m in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d finished" seed)
+        true out.Sched.all_finished)
+    [ 0; 1; 123456 ]
+
+let test_solo_ignores_others () =
+  let m = trivial_machine 4 in
+  let out = Sched.solo m 2 in
+  Alcotest.(check bool) "p2 done" true out.Sched.all_finished;
+  Alcotest.(check int) "p2 finished" 1 (Machine.passages m 2);
+  Alcotest.(check int) "p0 untouched" 0 (Machine.passages m 0)
+
+(* Determinism: two round-robin runs over fresh machines produce
+   identical traces. *)
+let test_round_robin_deterministic () =
+  let run () =
+    let m = trivial_machine 4 in
+    ignore (Sched.round_robin m);
+    Vec.to_list (Machine.trace m)
+    |> List.map (fun (e : Event.t) -> (e.Event.pid, Event.kind_tag e.Event.kind))
+  in
+  Alcotest.(check (list (pair int string))) "identical traces" (run ()) (run ())
+
+let test_random_deterministic_per_seed () =
+  let run seed =
+    let m = trivial_machine 4 in
+    ignore (Sched.random ~seed m);
+    Vec.to_list (Machine.trace m)
+    |> List.map (fun (e : Event.t) -> (e.Event.pid, Event.kind_tag e.Event.kind))
+  in
+  Alcotest.(check (list (pair int string))) "same seed, same trace" (run 7) (run 7);
+  Alcotest.(check bool) "different seeds diverge (usually)" true
+    (run 7 <> run 8)
+
+(* --- RNG ----------------------------------------------------------------- *)
+
+let test_rng_reproducible () =
+  let a = Rng.create 99 and b = Rng.create 99 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let prop_rng_in_range =
+  QCheck.Test.make ~name:"Rng.int in range" ~count:500
+    QCheck.(pair (int_bound 100000) (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let x = Rng.int r bound in
+      x >= 0 && x < bound)
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair (int_bound 100000) (list small_int))
+    (fun (seed, xs) ->
+      let r = Rng.create seed in
+      let a = Array.of_list xs in
+      let b = Rng.shuffle r a in
+      List.sort compare (Array.to_list b) = List.sort compare xs)
+
+(* --- events -------------------------------------------------------------- *)
+
+let mk kind = { Event.seq = 0; pid = 0; kind; remote = false; rmr = false; critical = false }
+
+let test_congruence_basics () =
+  let r1 = mk (Event.Read { var = 3; value = 5; src = Event.From_memory }) in
+  let r2 = mk (Event.Read { var = 3; value = 9; src = Event.From_cache }) in
+  let r3 = mk (Event.Read { var = 4; value = 5; src = Event.From_memory }) in
+  let w = mk (Event.Commit_write { var = 3; value = 5 }) in
+  Alcotest.(check bool) "same var reads congruent (values differ)" true
+    (Event.congruent r1 r2);
+  Alcotest.(check bool) "different var" false (Event.congruent r1 r3);
+  Alcotest.(check bool) "read vs commit" false (Event.congruent r1 w);
+  Alcotest.(check bool) "other pid" false
+    (Event.congruent r1 { r2 with Event.pid = 1 })
+
+let test_accessed_var () =
+  Alcotest.(check (option int)) "buffer read accesses nothing" None
+    (Event.accessed_var
+       (mk (Event.Read { var = 3; value = 5; src = Event.From_buffer })));
+  Alcotest.(check (option int)) "issue accesses nothing" None
+    (Event.accessed_var (mk (Event.Issue_write { var = 3; value = 5 })));
+  Alcotest.(check (option int)) "commit accesses" (Some 3)
+    (Event.accessed_var (mk (Event.Commit_write { var = 3; value = 5 })));
+  Alcotest.(check (option int)) "cas accesses" (Some 7)
+    (Event.accessed_var
+       (mk
+          (Event.Cas_ev
+             { var = 7; expected = 0; desired = 1; observed = 0; success = true })))
+
+let test_published () =
+  Alcotest.(check (option (pair int int))) "failed cas publishes nothing" None
+    (Event.published
+       (mk
+          (Event.Cas_ev
+             { var = 7; expected = 0; desired = 1; observed = 5; success = false })));
+  Alcotest.(check (option (pair int int))) "faa publishes sum" (Some (7, 6))
+    (Event.published (mk (Event.Faa_ev { var = 7; delta = 2; observed = 4 })))
+
+let suite =
+  [
+    Alcotest.test_case "round robin completes" `Quick
+      test_round_robin_completes;
+    Alcotest.test_case "random completes" `Quick test_random_completes;
+    Alcotest.test_case "solo ignores others" `Quick test_solo_ignores_others;
+    Alcotest.test_case "round robin deterministic" `Quick
+      test_round_robin_deterministic;
+    Alcotest.test_case "random deterministic per seed" `Quick
+      test_random_deterministic_per_seed;
+    Alcotest.test_case "rng reproducible" `Quick test_rng_reproducible;
+    Alcotest.test_case "event congruence" `Quick test_congruence_basics;
+    Alcotest.test_case "accessed_var" `Quick test_accessed_var;
+    Alcotest.test_case "published" `Quick test_published;
+    QCheck_alcotest.to_alcotest prop_rng_in_range;
+    QCheck_alcotest.to_alcotest prop_shuffle_permutation;
+  ]

@@ -1,0 +1,167 @@
+(* Trace operations and erasure-by-replay (Lemmas 1 & 4, executable). *)
+
+open Tsim
+open Tsim.Ids
+open Execution
+open Prog
+
+(* Three processes; p0 and p1 touch disjoint variables, p2 reads p0's
+   variable. Erasing p1 (invisible to everyone) must replay cleanly;
+   erasing p0 after p2 has read its committed value must diverge. *)
+let disjoint_setup () =
+  let layout = Layout.create () in
+  let a = Layout.var layout "a" in
+  let b = Layout.var layout "b" in
+  let cfg =
+    Config.make ~model:Config.Cc_wb ~check_exclusion:false ~n:3 ~layout
+      ~entry:(fun p ->
+        match p with
+        | 0 ->
+            let* () = write a 1 in
+            fence
+        | 1 ->
+            let* () = write b 2 in
+            fence
+        | _ ->
+            let* x = read a in
+            let* () = write b (x + 10) in
+            fence)
+      ~exit_section:(fun _ -> Prog.unit)
+      ()
+  in
+  (cfg, Machine.create cfg)
+
+let run_all m =
+  for p = 0 to Machine.n_procs m - 1 do
+    assert (Machine.run_until_passages m p ~target:1)
+  done
+
+let test_erase_invisible_ok () =
+  let cfg, m = disjoint_setup () in
+  run_all m;
+  let t = Trace.of_machine m in
+  let r = Erasure.erase cfg t (Pidset.singleton 1) in
+  Alcotest.(check bool) "clean replay" true (Erasure.erase_ok r);
+  Alcotest.(check int) "a unchanged" 1 (Machine.mem_value r.Erasure.machine 0)
+
+let test_erase_visible_diverges () =
+  let cfg, m = disjoint_setup () in
+  run_all m;
+  let t = Trace.of_machine m in
+  (* p2 read a=1 written by p0; erasing p0 changes what p2 reads *)
+  let r = Erasure.erase cfg t (Pidset.singleton 0) in
+  Alcotest.(check bool) "divergence detected" true
+    (r.Erasure.value_divergences > 0 || r.Erasure.mismatches <> [])
+
+let test_project_and_subexecution () =
+  let _, m = disjoint_setup () in
+  run_all m;
+  let t = Trace.of_machine m in
+  let only0 = Trace.project_pid t 0 in
+  Alcotest.(check bool) "projection is a sub-execution" true
+    (Trace.is_subexecution only0 t);
+  Alcotest.(check bool) "all events by p0" true
+    (Array.for_all (fun (e : Event.t) -> e.Event.pid = 0) (Trace.events only0));
+  let erased = Trace.erase_pids t (Pidset.singleton 0) in
+  Alcotest.(check int) "erase + project partition the trace"
+    (Trace.length t)
+    (Trace.length only0 + Trace.length erased)
+
+let test_active_finished () =
+  let _, m = disjoint_setup () in
+  (* let p0 finish, p1 only enter *)
+  assert (Machine.run_until_passages m 0 ~target:1);
+  ignore (Machine.step m 1) (* Enter *);
+  ignore (Machine.step m 1) (* issue write *);
+  let t = Trace.of_machine m in
+  Alcotest.(check bool) "p0 finished" true (Pidset.mem 0 (Trace.finished t));
+  Alcotest.(check bool) "p1 active" true (Pidset.mem 1 (Trace.active t));
+  Alcotest.(check bool) "p2 neither" true
+    ((not (Pidset.mem 2 (Trace.active t)))
+    && not (Pidset.mem 2 (Trace.finished t)));
+  Alcotest.(check int) "total contention 2" 2 (Trace.total_contention t)
+
+let test_fences_completed () =
+  let _, m = disjoint_setup () in
+  run_all m;
+  let t = Trace.of_machine m in
+  Alcotest.(check int) "p0 one fence" 1 (Trace.fences_completed t 0);
+  Alcotest.(check int) "machine agrees" (Machine.fences_completed m 0)
+    (Trace.fences_completed t 0)
+
+(* Fact 1(2): (E^{-Y})^{-Z} = E^{-(Y u Z)} — erasure composes. *)
+let test_fact1_erasure_composes () =
+  let _, m = disjoint_setup () in
+  run_all m;
+  let t = Trace.of_machine m in
+  let y = Pidset.singleton 0 and z = Pidset.singleton 1 in
+  let lhs = Trace.erase_pids (Trace.erase_pids t y) z in
+  let rhs = Trace.erase_pids t (Pidset.union y z) in
+  Alcotest.(check int) "same length" (Trace.length lhs) (Trace.length rhs);
+  Array.iteri
+    (fun i e ->
+      Alcotest.(check int)
+        (Printf.sprintf "event %d" i)
+        e.Event.seq
+        (Trace.get rhs i).Event.seq)
+    (Trace.events lhs)
+
+(* Erasure of a random subset of "spectator" processes (each touching its
+   own private variable) always replays cleanly. *)
+let prop_spectator_erasure =
+  QCheck.Test.make ~name:"erasing disjoint-variable processes replays"
+    ~count:50
+    QCheck.(pair (int_range 2 6) (int_bound 1000))
+    (fun (n, seed) ->
+      let layout = Layout.create () in
+      let vars = Layout.array layout "x" n in
+      let cfg =
+        Config.make ~model:Config.Cc_wb ~check_exclusion:false ~n ~layout
+          ~entry:(fun p ->
+            let* () = write vars.(p) (p + 1) in
+            let* () = fence in
+            let* x = read vars.(p) in
+            assert (x = p + 1);
+            unit)
+          ~exit_section:(fun _ -> Prog.unit)
+          ()
+      in
+      let m = Machine.create cfg in
+      let rng = Rng.create seed in
+      (* random fair schedule *)
+      let rec loop fuel =
+        if fuel = 0 then ()
+        else
+          let live =
+            List.filter
+              (fun p -> Machine.pending m p <> Machine.P_done)
+              (List.init n Fun.id)
+          in
+          match live with
+          | [] -> ()
+          | pids ->
+              ignore (Machine.step m (Rng.pick rng pids));
+              loop (fuel - 1)
+      in
+      loop 10_000;
+      let t = Trace.of_machine m in
+      let erased =
+        List.filter (fun _ -> Rng.bool rng) (List.init n Fun.id)
+      in
+      let r = Erasure.erase cfg t (Tutil.pidset erased) in
+      Erasure.erase_ok r)
+
+let suite =
+  [
+    Alcotest.test_case "erase invisible process" `Quick
+      test_erase_invisible_ok;
+    Alcotest.test_case "erase visible process diverges" `Quick
+      test_erase_visible_diverges;
+    Alcotest.test_case "project / sub-execution" `Quick
+      test_project_and_subexecution;
+    Alcotest.test_case "active / finished" `Quick test_active_finished;
+    Alcotest.test_case "fences per trace" `Quick test_fences_completed;
+    Alcotest.test_case "Fact 1: erasure composes" `Quick
+      test_fact1_erasure_composes;
+    QCheck_alcotest.to_alcotest prop_spectator_erasure;
+  ]

@@ -1,0 +1,61 @@
+(* Two-process classics (Dekker, Burns-Lamport): random testing plus
+   exhaustive model checking at shrunken spin fuel. *)
+
+open Tsim
+open Locks
+
+let run_lock fam schedule =
+  let lock = fam.Lock_intf.instantiate ~n:2 in
+  Harness.run_contended ~model:Config.Cc_wb ~schedule lock ~n:2 ~k:2
+
+let random_case fam =
+  Alcotest.test_case
+    (Printf.sprintf "%s: random schedules" fam.Lock_intf.family_name)
+    `Quick
+    (fun () ->
+      List.iter
+        (fun seed ->
+          let _, stats = run_lock fam (Harness.Rand seed) in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d exclusion" seed)
+            true stats.Harness.exclusion_ok;
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d both passed" seed)
+            2 stats.Harness.cs_entries)
+        [ 1; 5; 17; 23; 99; 1234 ])
+
+let rr_case fam =
+  Alcotest.test_case
+    (Printf.sprintf "%s: round robin, multi-passage" fam.Lock_intf.family_name)
+    `Quick
+    (fun () ->
+      let lock = fam.Lock_intf.instantiate ~n:2 in
+      let _, stats =
+        Harness.run_contended ~model:Config.Cc_wb ~max_passages:3 lock ~n:2
+          ~k:2
+      in
+      Alcotest.(check bool) "exclusion" true stats.Harness.exclusion_ok;
+      Alcotest.(check int) "6 passages" 6 stats.Harness.passages)
+
+let verify_case fam =
+  Alcotest.test_case
+    (Printf.sprintf "%s: exhaustively verified" fam.Lock_intf.family_name)
+    `Quick
+    (fun () ->
+      let lock = fam.Lock_intf.instantiate ~n:2 in
+      let cfg = Harness.config_of_lock ~model:Config.Cc_wb lock ~n:2 in
+      let r = Mcheck.Explore.explore ~max_nodes:3_000_000 ~spin_fuel:5 cfg in
+      Alcotest.(check bool)
+        (Printf.sprintf "verified (%d states)" r.Mcheck.Explore.nodes)
+        true r.Mcheck.Explore.verified)
+
+let test_dekker_requires_two () =
+  Alcotest.check_raises "n=3 rejected"
+    (Invalid_argument "Dekker.make: exactly 2 processes") (fun () ->
+      ignore (Dekker.make ~n:3))
+
+let suite =
+  List.concat_map
+    (fun fam -> [ random_case fam; rr_case fam; verify_case fam ])
+    Zoo.two_process
+  @ [ Alcotest.test_case "arity check" `Quick test_dekker_requires_two ]

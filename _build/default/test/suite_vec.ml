@@ -1,0 +1,78 @@
+(* Unit + property tests for the growable vector. *)
+
+open Tsim
+
+let test_push_get () =
+  let v = Vec.create 0 in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  for i = 0 to 99 do
+    Alcotest.(check int) "get" i (Vec.get v i)
+  done
+
+let test_pop () =
+  let v = Vec.create 0 in
+  Vec.push v 1;
+  Vec.push v 2;
+  Alcotest.(check int) "pop" 2 (Vec.pop v);
+  Alcotest.(check int) "len" 1 (Vec.length v);
+  Alcotest.(check int) "pop" 1 (Vec.pop v);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop") (fun () ->
+      ignore (Vec.pop v))
+
+let test_remove () =
+  let v = Vec.of_list 0 [ 10; 20; 30; 40 ] in
+  Alcotest.(check int) "removed" 20 (Vec.remove v 1);
+  Alcotest.(check (list int)) "rest" [ 10; 30; 40 ] (Vec.to_list v)
+
+let test_filter_map () =
+  let v = Vec.of_list 0 [ 1; 2; 3; 4; 5 ] in
+  let evens = Vec.filter (fun x -> x mod 2 = 0) v in
+  Alcotest.(check (list int)) "filter" [ 2; 4 ] (Vec.to_list evens);
+  let doubled = Vec.map (fun x -> 2 * x) v ~dummy:0 in
+  Alcotest.(check (list int)) "map" [ 2; 4; 6; 8; 10 ] (Vec.to_list doubled)
+
+let test_copy_independent () =
+  let v = Vec.of_list 0 [ 1; 2 ] in
+  let w = Vec.copy v in
+  Vec.push w 3;
+  Alcotest.(check int) "orig" 2 (Vec.length v);
+  Alcotest.(check int) "copy" 3 (Vec.length w)
+
+let test_misc_api () =
+  let v = Vec.of_list 0 [ 3; 1; 4; 1; 5 ] in
+  Alcotest.(check (option int)) "last" (Some 5) (Vec.last v);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 4) v);
+  Alcotest.(check bool) "not exists" false (Vec.exists (fun x -> x = 9) v);
+  Alcotest.(check bool) "for_all" true (Vec.for_all (fun x -> x < 6) v);
+  Alcotest.(check (option int)) "find" (Some 4) (Vec.find_opt (fun x -> x > 3) v);
+  Vec.set v 0 9;
+  Alcotest.(check int) "set" 9 (Vec.get v 0);
+  Vec.clear v;
+  Alcotest.(check bool) "cleared" true (Vec.is_empty v);
+  Alcotest.(check (option int)) "last empty" None (Vec.last v)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"of_list/to_list roundtrip" ~count:200
+    QCheck.(list int)
+    (fun xs -> Vec.to_list (Vec.of_list 0 xs) = xs)
+
+let prop_fold_sum =
+  QCheck.Test.make ~name:"fold computes sum" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      Vec.fold ( + ) 0 (Vec.of_list 0 xs) = List.fold_left ( + ) 0 xs)
+
+let suite =
+  [
+    Alcotest.test_case "push/get" `Quick test_push_get;
+    Alcotest.test_case "pop" `Quick test_pop;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "filter/map" `Quick test_filter_map;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "misc api" `Quick test_misc_api;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_fold_sum;
+  ]

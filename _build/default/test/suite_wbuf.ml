@@ -1,0 +1,87 @@
+(* Write-buffer semantics: FIFO commits, per-variable replacement,
+   store-to-load forwarding. *)
+
+open Tsim
+open Tsim.Ids
+
+let entry var value = { Wbuf.var; value; aw = Pidset.empty }
+
+let test_fifo () =
+  let b = Wbuf.create () in
+  Wbuf.push b (entry 0 10);
+  Wbuf.push b (entry 1 11);
+  Wbuf.push b (entry 2 12);
+  Alcotest.(check (list int)) "order" [ 0; 1; 2 ] (Wbuf.vars b);
+  Alcotest.(check int) "pop oldest" 0 (Wbuf.pop b).Wbuf.var;
+  Alcotest.(check int) "then next" 1 (Wbuf.pop b).Wbuf.var
+
+let test_replacement_in_place () =
+  let b = Wbuf.create () in
+  Wbuf.push b (entry 0 10);
+  Wbuf.push b (entry 1 11);
+  Wbuf.push b (entry 0 99);
+  (* at most one write per variable, position retained *)
+  Alcotest.(check int) "size" 2 (Wbuf.size b);
+  Alcotest.(check (list int)) "order kept" [ 0; 1 ] (Wbuf.vars b);
+  Alcotest.(check (option int)) "newest value" (Some 99) (Wbuf.find b 0)
+
+let test_forwarding () =
+  let b = Wbuf.create () in
+  Alcotest.(check (option int)) "miss" None (Wbuf.find b 7);
+  Wbuf.push b (entry 7 42);
+  Alcotest.(check (option int)) "hit" (Some 42) (Wbuf.find b 7)
+
+(* Property: after any sequence of pushes, the buffer holds at most one
+   entry per variable and [find] returns the latest value pushed. *)
+let prop_one_per_var =
+  QCheck.Test.make ~name:"at most one buffered write per variable" ~count:300
+    QCheck.(list (pair (int_bound 5) (int_bound 100)))
+    (fun writes ->
+      let b = Wbuf.create () in
+      List.iter (fun (v, x) -> Wbuf.push b (entry v x)) writes;
+      let vars = Wbuf.vars b in
+      let distinct = List.sort_uniq compare vars in
+      List.length vars = List.length distinct
+      && List.for_all
+           (fun v ->
+             let latest =
+               List.fold_left
+                 (fun acc (w, x) -> if w = v then Some x else acc)
+                 None writes
+             in
+             Wbuf.find b v = latest)
+           distinct)
+
+(* Property: pop order is issue order of the *surviving* writes. *)
+let prop_fifo_order =
+  QCheck.Test.make ~name:"pop order = first-issue order" ~count:300
+    QCheck.(list (int_bound 4))
+    (fun vars ->
+      let b = Wbuf.create () in
+      List.iteri (fun i v -> Wbuf.push b (entry v i)) vars;
+      let expected =
+        List.sort_uniq compare vars
+        |> List.map (fun v ->
+               (* first position where v appears *)
+               let rec first i = function
+                 | [] -> assert false
+                 | w :: _ when w = v -> i
+                 | _ :: tl -> first (i + 1) tl
+               in
+               (first 0 vars, v))
+        |> List.sort compare |> List.map snd
+      in
+      let rec drain acc =
+        if Wbuf.is_empty b then List.rev acc
+        else drain ((Wbuf.pop b).Wbuf.var :: acc)
+      in
+      drain [] = expected)
+
+let suite =
+  [
+    Alcotest.test_case "fifo commits" `Quick test_fifo;
+    Alcotest.test_case "replacement in place" `Quick test_replacement_in_place;
+    Alcotest.test_case "store-to-load forwarding" `Quick test_forwarding;
+    QCheck_alcotest.to_alcotest prop_one_per_var;
+    QCheck_alcotest.to_alcotest prop_fifo_order;
+  ]
