@@ -1,18 +1,62 @@
 (* Benchmark & experiment harness.
 
-     dune exec bench/main.exe            run every experiment + timings
-     dune exec bench/main.exe -- e3 e6   run selected experiments
-     dune exec bench/main.exe -- time    run only the Bechamel timings
+     dune exec bench/main.exe                 run every experiment + timings
+     dune exec bench/main.exe -- e3 e6        run selected experiments
+     dune exec bench/main.exe -- time         run only the Bechamel timings
+     dune exec bench/main.exe -- --json F     timings only, also write the
+                                              rows to F as JSON
+                                              [{"name": .., "ns_per_run": ..}]
 
    Experiment ids map to the paper's artefacts (DESIGN.md §3):
      e1 Figure 1 · e2 Theorems 1/3 · e3 Corollary 1 · e4 Corollary 2 ·
      e5 Corollary 3 · e6 lock zoo table · e7 PSO frontier (Ineq. 3) ·
      e8 Lemma 9 · e9 invariant audit *)
 
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json file rows =
+  let oc = open_out file in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  {\"name\": \"%s\", \"ns_per_run\": %.1f}%s\n"
+        (json_escape name) ns
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote %d benchmark rows to %s\n" (List.length rows) file
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let run_timings = args = [] || List.mem "time" args in
-  let selected id = args = [] || List.mem id args in
+  let rec parse json args =
+    match args with
+    | "--json" :: file :: rest -> parse (Some file) rest
+    | "--json" :: [] ->
+        prerr_endline "bench: --json requires a file argument";
+        exit 2
+    | a :: rest ->
+        let json, sel = parse json rest in
+        (json, a :: sel)
+    | [] -> (json, [])
+  in
+  let json_file, args = parse None (List.tl (Array.to_list Sys.argv)) in
+  (* --json implies timings-only unless experiments were also selected *)
+  let run_timings =
+    args = [] || List.mem "time" args || json_file <> None
+  in
+  let selected id = args = [] && json_file = None || List.mem id args in
   Printf.printf
     "Reproduction harness: \"The Price of being Adaptive\" (Ben-Baruch & \
      Hendler, PODC 2015)\n";
@@ -22,5 +66,8 @@ let () =
   if run_timings then begin
     Printf.printf "\nBechamel timings (simulator machinery)\n";
     Printf.printf "=====================================\n";
-    Timings.run ()
+    let rows = Timings.run () in
+    match json_file with
+    | Some file -> write_json file rows
+    | None -> ()
   end

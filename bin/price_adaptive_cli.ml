@@ -292,7 +292,17 @@ let verify_cmd =
   let spin_fuel =
     Arg.(value & opt int 6 & info [ "spin-fuel" ] ~doc:"busy-wait bound")
   in
-  let run name n max_nodes spin_fuel =
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ]
+          ~doc:"parallel search domains (per-domain dedup tables)")
+  in
+  let run name n max_nodes spin_fuel domains =
+    if domains < 1 then begin
+      prerr_endline "--domains must be >= 1";
+      exit 1
+    end;
     match find_lock name with
     | Error e ->
         prerr_endline e;
@@ -302,7 +312,7 @@ let verify_cmd =
         let cfg =
           Locks.Harness.config_of_lock ~model:Tsim.Config.Cc_wb lock ~n
         in
-        let r = Mcheck.Explore.explore ~max_nodes ~spin_fuel cfg in
+        let r = Mcheck.Explore.explore ~max_nodes ~spin_fuel ~domains cfg in
         Printf.printf "%s n=%d: %d states, max depth %d\n"
           lock.Locks.Lock_intf.name n r.Mcheck.Explore.nodes
           r.Mcheck.Explore.max_depth;
@@ -327,7 +337,7 @@ let verify_cmd =
         end
   in
   Cmd.v (Cmd.info "verify" ~doc)
-    Term.(const run $ lock_arg $ n $ max_nodes $ spin_fuel)
+    Term.(const run $ lock_arg $ n $ max_nodes $ spin_fuel $ domains)
 
 (* --- litmus -------------------------------------------------------------- *)
 

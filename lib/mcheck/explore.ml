@@ -10,7 +10,13 @@
 
    This is what makes the Laws-of-Order premise checkable here: removing
    the fence from a read/write mutex must produce a reachable exclusion
-   violation, and the explorer exhibits the schedule (experiment E12). *)
+   violation, and the explorer exhibits the schedule (experiment E12).
+
+   The hot path is tuned for throughput (see DESIGN.md "Exploration
+   performance"): machines run with [record_trace = false] so clones are
+   O(state); states are fingerprinted by an allocation-free FNV-1a hash
+   over packed ints instead of a built string; and [~domains:k] fans the
+   root frontier out over OCaml 5 domains. *)
 
 open Tsim
 open Tsim.Ids
@@ -62,40 +68,264 @@ let apply m = function
   | Commit p -> ignore (Machine.commit m p)
   | Commit_var (p, v) -> ignore (Machine.commit_var m p v)
 
-(* Fingerprint a machine state for duplicate detection. Continuation
-   positions are approximated by (passages, section, trace-free counters),
-   which is sound for pruning only when combined with the exact shared
-   state; to stay conservative we include each process's remaining-program
-   identity via physical hashing of the continuation closure. *)
+(* --- fingerprinting --------------------------------------------------- *)
+
+(* FNV-1a over the packed machine state, one native int at a time. No
+   intermediate string or array is materialized: per-node fingerprint cost
+   is a handful of multiplies, versus the seed engine's Buffer + Printf
+   construction which dominated its profile. *)
+let fnv_prime = 0x100000001b3
+let fnv_basis = 0x0bf29ce484222325 (* 64-bit FNV basis truncated to 63-bit int *)
+
+let[@inline] mix h x = (h lxor x) * fnv_prime
+
+(* Continuations are hashed structurally. [Hashtbl.hash] stops after 10
+   meaningful nodes, which conflates deep spin states; raise both the
+   meaningful and total traversal bounds so distinct continuation shapes
+   (different spin fuels, loop indices, captured reads) hash apart. *)
+let hash_cont c = Hashtbl.hash_param 128 256 c
+
+let pending_code (p : Machine.pending) h =
+  match p with
+  | Machine.P_enter -> mix h 1
+  | Machine.P_cs -> mix h 2
+  | Machine.P_exit -> mix h 3
+  | Machine.P_done -> mix h 4
+  | Machine.P_read v -> mix (mix h 5) v
+  | Machine.P_issue_write (v, x) -> mix (mix (mix h 6) v) x
+  | Machine.P_begin_fence -> mix h 7
+  | Machine.P_end_fence -> mix h 8
+  | Machine.P_commit v -> mix (mix h 9) v
+  | Machine.P_rmw_fence -> mix h 10
+  | Machine.P_cas (v, e, d) -> mix (mix (mix (mix h 11) v) e) d
+  | Machine.P_faa (v, d) -> mix (mix (mix h 12) v) d
+  | Machine.P_swap (v, x) -> mix (mix (mix h 13) v) x
+
 let fingerprint m =
   let n = Machine.n_procs m in
-  let buf = Buffer.create 128 in
   let layout = (Machine.config m).Config.layout in
+  let h = ref fnv_basis in
   for v = 0 to Layout.size layout - 1 do
-    Buffer.add_string buf (string_of_int (Machine.mem_value m v));
-    Buffer.add_char buf ','
+    h := mix !h (Machine.mem_value m v)
   done;
   for p = 0 to n - 1 do
     let pr = Machine.proc m p in
-    Buffer.add_string buf
-      (Printf.sprintf "|%d:%s:%b:%d" p
-         (Machine.pending_to_string (Machine.pending m p))
-         pr.Machine.in_fence
-         (Hashtbl.hash pr.Machine.cont));
+    h := pending_code (Machine.pending m p) !h;
+    h := mix !h (if pr.Machine.in_fence then 1 else 0);
+    (* section + completed passages: cheap, and strictly finer than the
+       seed scheme (two states that agree on everything else but differ
+       in remaining passages behave differently) *)
+    h :=
+      mix !h
+        (match pr.Machine.sec with
+        | Machine.Ncs -> 0
+        | Machine.Entry -> 1
+        | Machine.Exiting -> 2
+        | Machine.Finished -> 3);
+    h := mix !h pr.Machine.passages;
+    h := mix !h (hash_cont pr.Machine.cont);
     Wbuf.iter
-      (fun e ->
-        Buffer.add_string buf
-          (Printf.sprintf ";%d=%d" e.Wbuf.var e.Wbuf.value))
+      (fun e -> h := mix (mix !h e.Wbuf.var) e.Wbuf.value)
       pr.Machine.buf
   done;
-  Buffer.contents buf
+  !h
+
+(* --- search core ------------------------------------------------------ *)
+
+exception Done
+
+(* Mutable search state. One [ctx] per domain: the seen table, node
+   budget and violation cap are all domain-local, so parallel search
+   needs no synchronization. *)
+type ctx = {
+  seen : (int, unit) Hashtbl.t;
+  dedup : bool;
+  on_spin : [ `Prune | `Violation ];
+  max_nodes : int;
+  max_violations : int;
+  mutable nodes : int;
+  mutable max_depth : int;
+  mutable nviol : int;  (* = List.length violations, kept O(1) *)
+  mutable violations : violation list;  (* newest first *)
+}
+
+let make_ctx ?(seen = Hashtbl.create 4096) ~dedup ~on_spin ~max_nodes
+    ~max_violations () =
+  { seen; dedup; on_spin; max_nodes; max_violations; nodes = 0;
+    max_depth = 0; nviol = 0; violations = [] }
+
+let record_violation ctx schedule kind =
+  ctx.nviol <- ctx.nviol + 1;
+  ctx.violations <- { schedule = List.rev schedule; kind } :: ctx.violations;
+  if ctx.nviol >= ctx.max_violations then raise Done
+
+(* Expand one state: count it, then either diagnose a dead end or visit
+   each enabled move through [child]. The deadlock scan is only run when
+   there are no moves — it is O(n) and pointless otherwise. *)
+let expand ctx m schedule depth ~child =
+  if ctx.nodes >= ctx.max_nodes then raise Done;
+  ctx.nodes <- ctx.nodes + 1;
+  if depth > ctx.max_depth then ctx.max_depth <- depth;
+  let moves = enabled_moves m in
+  if moves = [] then begin
+    let n = Machine.n_procs m in
+    let unfinished = ref false in
+    for p = 0 to n - 1 do
+      if Machine.pending m p <> Machine.P_done then unfinished := true
+    done;
+    if !unfinished then record_violation ctx schedule `Deadlock
+  end
+  else
+    List.iter
+      (fun mv ->
+        let m' = Machine.clone m in
+        match apply m' mv with
+        | () ->
+            let skip =
+              ctx.dedup
+              &&
+              let fp = fingerprint m' in
+              if Hashtbl.mem ctx.seen fp then true
+              else begin
+                Hashtbl.replace ctx.seen fp ();
+                false
+              end
+            in
+            if not skip then child m' (mv :: schedule) (depth + 1)
+        | exception Machine.Exclusion_violation { holder; intruder } ->
+            record_violation ctx (mv :: schedule)
+              (`Exclusion (holder, intruder))
+        | exception Prog.Spin_exhausted _ -> (
+            match ctx.on_spin with
+            | `Prune -> ()
+            | `Violation -> record_violation ctx (mv :: schedule)
+                              `Spin_exhausted))
+      moves
+
+let rec dfs ctx m schedule depth =
+  expand ctx m schedule depth ~child:(dfs ctx)
+
+(* --- parallel driver -------------------------------------------------- *)
+
+(* Expand breadth-first from the root until at least [target] pending
+   states exist (or the space is exhausted / a violation cap fires).
+   Returns the pending frontier in deterministic (BFS) order. *)
+let bfs_frontier ctx m0 ~target =
+  let pending = Queue.create () in
+  Queue.add (m0, [], 0) pending;
+  while Queue.length pending > 0 && Queue.length pending < target do
+    let m, schedule, depth = Queue.pop pending in
+    expand ctx m schedule depth ~child:(fun m' sched d ->
+        Queue.add (m', sched, d) pending)
+  done;
+  List.of_seq (Queue.to_seq pending)
+
+(* Split [items] round-robin into [k] buckets, tagging each item with its
+   global frontier index so merged results are deterministic. *)
+let round_robin k items =
+  let buckets = Array.make k [] in
+  List.iteri
+    (fun i item -> buckets.(i mod k) <- (i, item) :: buckets.(i mod k))
+    items;
+  Array.map List.rev buckets
+
+let result_of_ctx ctx ~exhausted =
+  {
+    nodes = ctx.nodes;
+    exhausted;
+    verified = exhausted && ctx.violations = [];
+    violations = List.rev ctx.violations;
+    max_depth = ctx.max_depth;
+  }
+
+(* Per-domain worker: run each assigned frontier state to completion with
+   a domain-local seen table seeded from the BFS prefix. Violations are
+   tagged (frontier index, discovery order) for the deterministic merge. *)
+let domain_worker ~seen ~dedup ~on_spin ~max_nodes ~max_violations starts =
+  let ctx = make_ctx ~seen ~dedup ~on_spin ~max_nodes ~max_violations () in
+  let tagged = ref [] in
+  (* drain the ctx's accumulator between starts so each violation carries
+     the frontier index of the start that reached it *)
+  let drain idx =
+    List.iteri
+      (fun j v -> tagged := ((idx, j), v) :: !tagged)
+      (List.rev ctx.violations);
+    ctx.violations <- []
+  in
+  let exhausted =
+    try
+      List.iter
+        (fun (idx, (m, schedule, depth)) ->
+          match dfs ctx m schedule depth with
+          | () -> drain idx
+          | exception Done ->
+              drain idx;
+              raise Done)
+        starts;
+      true
+    with Done -> false
+  in
+  (ctx.nodes, ctx.max_depth, exhausted, List.rev !tagged)
+
+let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~on_spin cfg =
+  let ctx =
+    make_ctx ~dedup ~on_spin ~max_nodes ~max_violations ()
+  in
+  match bfs_frontier ctx (Machine.create cfg) ~target:(domains * 8) with
+  | [] -> result_of_ctx ctx ~exhausted:true  (* space smaller than frontier *)
+  | exception Done -> result_of_ctx ctx ~exhausted:false
+  | frontier ->
+      let k = min domains (List.length frontier) in
+      let buckets = round_robin k frontier in
+      let budget_left = max 0 (max_nodes - ctx.nodes) in
+      let share = budget_left / k and extra = budget_left mod k in
+      let spawned =
+        Array.mapi
+          (fun d bucket ->
+            let seen = Hashtbl.copy ctx.seen in
+            let max_nodes = share + (if d = 0 then extra else 0) in
+            Domain.spawn (fun () ->
+                domain_worker ~seen ~dedup ~on_spin ~max_nodes
+                  ~max_violations bucket))
+          buckets
+      in
+      let parts = Array.map Domain.join spawned in
+      let nodes = Array.fold_left (fun a (n, _, _, _) -> a + n) ctx.nodes parts in
+      let max_depth =
+        Array.fold_left (fun a (_, d, _, _) -> max a d) ctx.max_depth parts
+      in
+      let exhausted =
+        Array.for_all (fun (_, _, e, _) -> e) parts
+      in
+      let tagged =
+        Array.to_list parts
+        |> List.concat_map (fun (_, _, _, t) -> t)
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let merged =
+        List.rev ctx.violations
+        @ List.map snd tagged
+      in
+      let violations =
+        List.filteri (fun i _ -> i < max_violations) merged
+      in
+      {
+        nodes;
+        exhausted;
+        verified = exhausted && violations = [];
+        violations;
+        max_depth;
+      }
+
+(* --- public entry points ---------------------------------------------- *)
 
 (* [dedup] prunes states with identical fingerprints. The fingerprint
-   covers shared memory, every buffer, cache-relevant pending state and a
-   structural hash of each continuation (which includes spin fuel
-   counters), so pruning is exact up to hash collisions — verification
-   results are "no violation in the full deduplicated space", a
-   high-confidence check rather than a proof.
+   covers shared memory, every buffer, section / passage counts,
+   cache-relevant pending state and a structural hash of each continuation
+   (which includes spin fuel counters), all folded into one 63-bit FNV-1a
+   value — pruning is exact up to hash collisions, so verification results
+   are "no violation in the full deduplicated space", a high-confidence
+   check rather than a proof.
 
    [on_spin] decides what spin-fuel exhaustion means: [`Prune] (default)
    abandons the branch — sound for exclusion checking because spin
@@ -104,83 +334,30 @@ let fingerprint m =
 (* [spin_fuel] temporarily lowers [Prog.default_spin_fuel] so algorithm
    busy-waits stay shallow during exploration. *)
 let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
-    ?(on_spin = `Prune) ?(spin_fuel = 6) (cfg : Config.t) : result =
+    ?(on_spin = `Prune) ?(spin_fuel = 6) ?(record_trace = false)
+    ?(domains = 1) (cfg : Config.t) : result =
+  if domains < 1 then invalid_arg "Explore.explore: domains must be >= 1";
+  let cfg = { cfg with Config.record_trace } in
   let saved_fuel = !Prog.default_spin_fuel in
   Prog.default_spin_fuel := spin_fuel;
   Fun.protect ~finally:(fun () -> Prog.default_spin_fuel := saved_fuel)
   @@ fun () ->
-  let nodes = ref 0 in
-  let max_depth = ref 0 in
-  let violations = ref [] in
-  let seen : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
-  let budget_left () = !nodes < max_nodes in
-  let exception Done in
-  let rec go m schedule depth =
-    if not (budget_left ()) then raise Done;
-    incr nodes;
-    max_depth := max !max_depth depth;
-    let moves = enabled_moves m in
-    let unfinished =
-      List.exists
-        (fun p -> Machine.pending m p <> Machine.P_done)
-        (List.init (Machine.n_procs m) Fun.id)
+  if domains > 1 then
+    explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~on_spin cfg
+  else begin
+    let ctx = make_ctx ~dedup ~on_spin ~max_nodes ~max_violations () in
+    let exhausted =
+      try
+        dfs ctx (Machine.create cfg) [] 0;
+        true
+      with Done -> false
     in
-    if moves = [] then begin
-      if unfinished then begin
-        violations :=
-          { schedule = List.rev schedule; kind = `Deadlock } :: !violations;
-        if List.length !violations >= max_violations then raise Done
-      end
-    end
-    else
-      List.iter
-        (fun mv ->
-          let m' = Machine.clone m in
-          match apply m' mv with
-          | () ->
-              let skip =
-                dedup
-                &&
-                let fp = fingerprint m' in
-                if Hashtbl.mem seen fp then true
-                else begin
-                  Hashtbl.replace seen fp ();
-                  false
-                end
-              in
-              if not skip then go m' (mv :: schedule) (depth + 1)
-          | exception Machine.Exclusion_violation { holder; intruder } ->
-              violations :=
-                { schedule = List.rev (mv :: schedule);
-                  kind = `Exclusion (holder, intruder) }
-                :: !violations;
-              if List.length !violations >= max_violations then raise Done
-          | exception Prog.Spin_exhausted _ -> (
-              match on_spin with
-              | `Prune -> ()
-              | `Violation ->
-                  violations :=
-                    { schedule = List.rev (mv :: schedule);
-                      kind = `Spin_exhausted }
-                    :: !violations;
-                  if List.length !violations >= max_violations then raise Done))
-        moves
-  in
-  let exhausted =
-    try
-      go (Machine.create cfg) [] 0;
-      true
-    with Done -> false
-  in
-  {
-    nodes = !nodes;
-    exhausted;
-    verified = exhausted && !violations = [];
-    violations = List.rev !violations;
-    max_depth = !max_depth;
-  }
+    result_of_ctx ctx ~exhausted
+  end
 
-(* Replay a violating schedule on a fresh machine, for display. *)
+(* Replay a violating schedule on a fresh machine, for display. Uses the
+   caller's configuration unchanged (trace recording on by default), so
+   the replayed machine's trace is renderable. *)
 let replay_schedule (cfg : Config.t) (schedule : move list) =
   let m = Machine.create cfg in
   (try List.iter (apply m) schedule with

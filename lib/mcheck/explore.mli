@@ -5,11 +5,22 @@
     scheduling adversary. Reports exclusion violations (with a replayable
     schedule), deadlocks, and optionally spin exhaustion.
 
-    Duplicate states are pruned by fingerprint (shared memory + buffers +
-    pending ops + structural continuation hashes); verification verdicts
-    are therefore "no violation in the full deduplicated space" — a
-    high-confidence check, not a formal proof. Reported violations are
-    always sound: their schedules replay on a fresh machine. *)
+    Duplicate states are pruned by fingerprint: shared memory, buffers,
+    pending ops, sections, passage counts and structural continuation
+    hashes, folded into a single 63-bit FNV-1a value ({!fingerprint}).
+    Two distinct states hashing to the same value would be conflated, so
+    verification verdicts are "no violation in the full deduplicated
+    space up to 63-bit hash collisions" — a high-confidence check, not a
+    formal proof. (The seed engine had the same caveat through its
+    [Hashtbl.hash]-based continuation digests, with a far smaller
+    effective hash: continuations are now digested with
+    [Hashtbl.hash_param 128 256] so deep spin states hash apart.)
+    Reported violations are always sound: their schedules replay on a
+    fresh machine.
+
+    Machines are explored with {!Config.t.record_trace} off by default,
+    making {!Machine.clone} O(state) instead of O(depth + state); pass
+    [~record_trace:true] to cross-check against trace-recording runs. *)
 
 open Tsim
 open Tsim.Ids
@@ -36,7 +47,10 @@ type result = {
 
 val enabled_moves : Machine.t -> move list
 val apply : Machine.t -> move -> unit
-val fingerprint : Machine.t -> string
+
+val fingerprint : Machine.t -> int
+(** Packed FNV-1a state hash used for duplicate pruning (allocation-free;
+    see the module comment for the soundness caveat). *)
 
 val explore :
   ?max_nodes:int ->
@@ -44,11 +58,27 @@ val explore :
   ?dedup:bool ->
   ?on_spin:[ `Prune | `Violation ] ->
   ?spin_fuel:int ->
+  ?record_trace:bool ->
+  ?domains:int ->
   Config.t ->
   result
 (** Defaults: 500k nodes, stop at the first violation, dedup on, spin
     exhaustion prunes the branch (sound for exclusion checking: spin
-    re-reads do not change shared state), busy-wait fuel 6. *)
+    re-reads do not change shared state), busy-wait fuel 6, trace
+    recording off, one domain.
+
+    [~domains:k] with [k > 1] expands the root breadth-first until at
+    least [8k] pending states exist, then splits that frontier
+    round-robin across [k] OCaml domains. Each domain searches with its
+    own seen-table (seeded with the BFS prefix) and a fixed share of the
+    node budget, so the run is deterministic for a fixed [k]; results are
+    merged in frontier order. Cross-domain deduplication is lost, so
+    [nodes] may exceed the single-domain count, and when violations exist
+    each domain stops at its own [max_violations] cap before the merge
+    truncates to the global cap. [verified]/violation kinds agree with
+    the sequential engine. *)
 
 val replay_schedule : Config.t -> move list -> Machine.t
-(** Re-execute a (violating) schedule on a fresh machine. *)
+(** Re-execute a (violating) schedule on a fresh machine, using the given
+    configuration unchanged (so with [record_trace] on, the replayed
+    trace is renderable). *)

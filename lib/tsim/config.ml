@@ -39,11 +39,14 @@ type t = {
       (* atomic RMWs drain the store buffer and count one fence, as on x86;
          the paper's tradeoff covers comparison primitives either way *)
   check_exclusion : bool;  (* detect two simultaneously-enabled CS events *)
+  record_trace : bool;
+      (* emit events into the machine trace and passage log; exploration
+         turns this off so Machine.clone is O(state), not O(depth) *)
 }
 
 let make ?(model = Cc_wb) ?(ordering = Tso) ?(max_passages = 1)
-    ?(rmw_drains = true) ?(check_exclusion = true) ~n ~layout ~entry
-    ~exit_section () =
+    ?(rmw_drains = true) ?(check_exclusion = true) ?(record_trace = true) ~n
+    ~layout ~entry ~exit_section () =
   if n <= 0 then invalid_arg "Config.make: n must be positive";
   { n; model; ordering; layout; entry; exit_section; max_passages;
-    rmw_drains; check_exclusion }
+    rmw_drains; check_exclusion; record_trace }

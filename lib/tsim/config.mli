@@ -34,6 +34,13 @@ type t = {
           x86 (LOCK prefix) *)
   check_exclusion : bool;
       (** raise when two CS events are simultaneously enabled *)
+  record_trace : bool;
+      (** emit events into {!Machine.trace} and the per-process passage
+          logs. On by default; state-space exploration turns it off so
+          that {!Machine.clone} costs O(state) instead of O(depth +
+          state). With recording off the trace stays empty (erasure,
+          rendering and passage statistics are unavailable) and
+          [Event.seq] numbers are all 0. *)
 }
 
 val make :
@@ -42,10 +49,13 @@ val make :
   ?max_passages:int ->
   ?rmw_drains:bool ->
   ?check_exclusion:bool ->
+  ?record_trace:bool ->
   n:int ->
   layout:Layout.t ->
   entry:(Pid.t -> unit Prog.t) ->
   exit_section:(Pid.t -> unit Prog.t) ->
   unit ->
   t
-(** Defaults: [Cc_wb], [Tso], one passage, RMWs drain, exclusion checked. *)
+(** Defaults: [Cc_wb], [Tso], one passage, RMWs drain, exclusion checked,
+    trace recorded.
+    @raise Invalid_argument if [n <= 0]. *)

@@ -36,8 +36,227 @@ module Value = struct
   let pp fmt v = Format.fprintf fmt "%d" v
 end
 
+(* Immutable bitset over process ids.
+
+   Awareness propagation, Accessed(v,E) updates and contention accounting
+   touch process sets on nearly every machine event, so the representation
+   matters: sets over pids < [small_capacity] (= 62) are a single OCaml
+   int, and union/add/mem/diff are one ALU op each versus O(log n) pointer
+   chasing for [Set.Make(Int)]. That covers every model-checking workload
+   (n <= 4) and the paper's small-n experiments.
+
+   Guard and fallback: ids must be non-negative ([Invalid_argument]
+   otherwise), and a set that ever receives an id >= 62 transparently
+   widens to a multi-word bitset ([Large], 62 bits per word so word 0
+   coincides with the small form) — correct at any n, just not
+   allocation-free. Representations are kept canonical (a set whose
+   elements all fit one word is always [Small], and [Large] arrays carry
+   no trailing zero words), so structural equality coincides with set
+   equality. *)
 module Pidset = struct
-  include Set.Make (Int)
+  type elt = int
+
+  type t =
+    | Small of int  (* bit p <=> pid p, for pids 0..61 *)
+    | Large of int array
+        (* bit i of word w <=> pid (62*w + i); length >= 2, no trailing
+           zero word *)
+
+  let small_capacity = 62
+  let word p = p / small_capacity
+  let bit p = p mod small_capacity
+
+  let check p =
+    if p < 0 then invalid_arg (Printf.sprintf "Pidset: negative pid %d" p)
+
+  (* Canonicalize a word array into Small when it fits. *)
+  let of_words ws =
+    let n = Array.length ws in
+    let last = ref (n - 1) in
+    while !last > 0 && ws.(!last) = 0 do
+      decr last
+    done;
+    if !last = 0 then Small ws.(0)
+    else if !last = n - 1 then Large ws
+    else Large (Array.sub ws 0 (!last + 1))
+
+  let words = function Small b -> [| b |] | Large ws -> ws
+
+  let empty = Small 0
+  let is_empty = function Small 0 -> true | _ -> false
+
+  let mem p s =
+    p >= 0
+    &&
+    match s with
+    | Small b -> p < small_capacity && b land (1 lsl p) <> 0
+    | Large ws ->
+        let w = word p in
+        w < Array.length ws && ws.(w) land (1 lsl bit p) <> 0
+
+  let add p s =
+    check p;
+    match s with
+    | Small b when p < small_capacity -> Small (b lor (1 lsl p))
+    | _ ->
+        let ws = words s in
+        let n = max (Array.length ws) (word p + 1) in
+        let out = Array.make n 0 in
+        Array.blit ws 0 out 0 (Array.length ws);
+        out.(word p) <- out.(word p) lor (1 lsl bit p);
+        of_words out
+
+  let singleton p =
+    check p;
+    if p < small_capacity then Small (1 lsl p)
+    else add p empty
+
+  let remove p s =
+    if p < 0 then s
+    else
+      match s with
+      | Small b ->
+          if p < small_capacity then Small (b land lnot (1 lsl p)) else s
+      | Large ws ->
+          let w = word p in
+          if w >= Array.length ws then s
+          else begin
+            let out = Array.copy ws in
+            out.(w) <- out.(w) land lnot (1 lsl bit p);
+            of_words out
+          end
+
+  let union a b =
+    match (a, b) with
+    | Small x, Small y -> Small (x lor y)
+    | _ ->
+        let wa = words a and wb = words b in
+        let la = Array.length wa and lb = Array.length wb in
+        let out = Array.make (max la lb) 0 in
+        for i = 0 to Array.length out - 1 do
+          out.(i) <-
+            (if i < la then wa.(i) else 0) lor (if i < lb then wb.(i) else 0)
+        done;
+        of_words out
+
+  let inter a b =
+    match (a, b) with
+    | Small x, Small y -> Small (x land y)
+    | _ ->
+        let wa = words a and wb = words b in
+        let n = min (Array.length wa) (Array.length wb) in
+        of_words (Array.init (max n 1) (fun i ->
+            if i < n then wa.(i) land wb.(i) else 0))
+
+  let diff a b =
+    match (a, b) with
+    | Small x, Small y -> Small (x land lnot y)
+    | _ ->
+        let wa = words a and wb = words b in
+        let lb = Array.length wb in
+        of_words
+          (Array.mapi
+             (fun i x -> if i < lb then x land lnot wb.(i) else x)
+             wa)
+
+  (* canonical representations: structural comparison is set comparison *)
+  let equal (a : t) b = a = b
+  let compare (a : t) b = Stdlib.compare a b
+
+  let subset a b =
+    match (a, b) with
+    | Small x, Small y -> x land lnot y = 0
+    | _ ->
+        let wa = words a and wb = words b in
+        let lb = Array.length wb in
+        let rec go i =
+          i >= Array.length wa
+          || (wa.(i) land lnot (if i < lb then wb.(i) else 0) = 0
+             && go (i + 1))
+        in
+        go 0
+
+  let disjoint a b = is_empty (inter a b)
+
+  (* Kernighan popcount: one iteration per set bit. *)
+  let popcount b =
+    let rec go b acc = if b = 0 then acc else go (b land (b - 1)) (acc + 1) in
+    go b 0
+
+  let cardinal = function
+    | Small b -> popcount b
+    | Large ws -> Array.fold_left (fun acc w -> acc + popcount w) 0 ws
+
+  (* Index of the lowest set bit of [b], where [b = x land (-x)]. *)
+  let lowest_index b =
+    let rec go i b = if b land 1 = 1 then i else go (i + 1) (b lsr 1) in
+    go 0 b
+
+  (* Fold set bits of one word in ascending pid order. *)
+  let fold_word f base w acc =
+    let rec go b acc =
+      if b = 0 then acc
+      else go (b land (b - 1)) (f (base + lowest_index (b land -b)) acc)
+    in
+    go w acc
+
+  let fold f s acc =
+    match s with
+    | Small b -> fold_word f 0 b acc
+    | Large ws ->
+        let acc = ref acc in
+        Array.iteri
+          (fun i w -> acc := fold_word f (i * small_capacity) w !acc)
+          ws;
+        !acc
+
+  let iter f s = fold (fun p () -> f p) s ()
+  let elements s = List.rev (fold (fun p acc -> p :: acc) s [])
+  let to_list = elements
+  let of_list ps = List.fold_left (fun s p -> add p s) empty ps
+  let to_seq s = List.to_seq (elements s)
+
+  let min_elt_opt = function
+    | Small 0 -> None
+    | Small b -> Some (lowest_index (b land -b))
+    | Large ws ->
+        let rec go i =
+          if i >= Array.length ws then None
+          else if ws.(i) = 0 then go (i + 1)
+          else
+            Some
+              ((i * small_capacity) + lowest_index (ws.(i) land -ws.(i)))
+        in
+        go 0
+
+  let min_elt s =
+    match min_elt_opt s with Some p -> p | None -> raise Not_found
+
+  let highest_index w =
+    let rec go i w = if w = 1 then i else go (i + 1) (w lsr 1) in
+    go 0 w
+
+  let max_elt_opt = function
+    | Small 0 -> None
+    | Small b -> Some (highest_index b)
+    | Large ws ->
+        (* canonical: the last word is non-zero *)
+        let i = Array.length ws - 1 in
+        Some ((i * small_capacity) + highest_index ws.(i))
+
+  let max_elt s =
+    match max_elt_opt s with Some p -> p | None -> raise Not_found
+
+  let choose = min_elt
+  let choose_opt = min_elt_opt
+  let for_all pred s = fold (fun p acc -> acc && pred p) s true
+  let exists pred s = fold (fun p acc -> acc || pred p) s false
+
+  let filter pred s =
+    fold (fun p acc -> if pred p then add p acc else acc) s empty
+
+  let partition pred s = (filter pred s, filter (fun p -> not (pred p)) s)
+  let map f s = fold (fun p acc -> add (f p) acc) s empty
 
   let pp fmt s =
     Format.fprintf fmt "{%s}"

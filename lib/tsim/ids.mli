@@ -42,10 +42,63 @@ module Value : sig
   val pp : Format.formatter -> t -> unit
 end
 
-(** Sets of process ids, with a printer. *)
-module Pidset : sig
-  include Set.S with type elt = int
+(** Sets of process ids, with a printer.
 
+    Implemented as an immutable bitset: sets whose elements are all below
+    {!small_capacity} (= 62) pack into a single OCaml int, making
+    union/add/mem/diff single ALU operations — which matters because
+    awareness propagation, [Accessed(v,E)] updates and contention
+    accounting touch process sets on nearly every machine event, and
+    model-checking workloads always sit in this range.
+
+    Guard and fallback: ids must be non-negative ({!add} raises
+    [Invalid_argument] otherwise), and a set that receives an id [>= 62]
+    transparently widens to a multi-word bitset — correct at any [n]
+    (the lock zoo runs up to n = 128), just no longer allocation-free.
+    The function signatures follow [Set.S], so call sites are
+    representation-agnostic. *)
+module Pidset : sig
+  type elt = int
+  type t
+
+  val small_capacity : int
+  (** Ids [0 .. small_capacity - 1] (= [0..61]) stay in the one-word,
+      allocation-free representation. *)
+
+  val empty : t
+  val is_empty : t -> bool
+  val mem : elt -> t -> bool
+
+  val add : elt -> t -> t
+  (** @raise Invalid_argument on a negative id. *)
+
+  val singleton : elt -> t
+  val remove : elt -> t -> t
+  val union : t -> t -> t
+  val inter : t -> t -> t
+  val diff : t -> t -> t
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val subset : t -> t -> bool
+  val disjoint : t -> t -> bool
+  val cardinal : t -> int
+  val min_elt : t -> elt
+  val min_elt_opt : t -> elt option
+  val max_elt : t -> elt
+  val max_elt_opt : t -> elt option
+  val choose : t -> elt
+  val choose_opt : t -> elt option
+  val iter : (elt -> unit) -> t -> unit
+  val fold : (elt -> 'a -> 'a) -> t -> 'a -> 'a
+  val for_all : (elt -> bool) -> t -> bool
+  val exists : (elt -> bool) -> t -> bool
+  val filter : (elt -> bool) -> t -> t
+  val partition : (elt -> bool) -> t -> t * t
+  val elements : t -> elt list
+  val to_list : t -> elt list
+  val of_list : elt list -> t
+  val to_seq : t -> elt Seq.t
+  val map : (elt -> elt) -> t -> t
   val pp : Format.formatter -> t -> unit
 end
 

@@ -79,7 +79,10 @@ val create : Config.t -> t
 
 val clone : t -> t
 (** Deep copy for state-space exploration (continuations are immutable
-    and shared). *)
+    and shared). When the configuration has [record_trace = false], the
+    trace and passage logs are empty and never written, so they are
+    shared rather than copied: the clone costs O(state) instead of
+    O(depth + state). *)
 
 (** {1 Inspection} *)
 

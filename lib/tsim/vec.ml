@@ -96,7 +96,13 @@ let of_list dummy xs =
   List.iter (push t) xs;
   t
 
-let copy t = { data = Array.copy t.data; len = t.len; dummy = t.dummy }
+(* Copies trim to the live prefix: a clone should pay for its contents,
+   not for the source's slack capacity (the machine trace starts at 1024
+   slots — exploration clones must not copy 1024 slots per node). *)
+let copy t =
+  let data = Array.make (max t.len 1) t.dummy in
+  Array.blit t.data 0 data 0 t.len;
+  { data; len = t.len; dummy = t.dummy }
 
 (* Remove the element at [i], shifting the tail left: O(n). The write buffer
    is tiny in practice, so this is fine there. *)

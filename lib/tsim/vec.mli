@@ -26,6 +26,7 @@ val to_array : 'a t -> 'a array
 val to_list : 'a t -> 'a list
 val of_list : 'a -> 'a list -> 'a t
 val copy : 'a t -> 'a t
+(** Independent copy, trimmed to the live prefix (capacity = length). *)
 
 val remove : 'a t -> int -> 'a
 (** Remove index [i], shifting the tail left (O(n)). *)

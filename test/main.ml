@@ -2,6 +2,7 @@ let () =
   Alcotest.run "price_adaptive"
     [
       ("vec", Suite_vec.suite);
+      ("pidset", Suite_pidset.suite);
       ("layout", Suite_layout.suite);
       ("wbuf", Suite_wbuf.suite);
       ("machine", Suite_machine.suite);
@@ -20,5 +21,6 @@ let () =
       ("lincheck", Suite_lincheck.suite);
       ("coord", Suite_coord.suite);
       ("mcheck", Suite_mcheck.suite);
+      ("mcheck_equiv", Suite_mcheck_equiv.suite);
       ("twoproc", Suite_twoproc.suite);
     ]

@@ -1,0 +1,165 @@
+(* Cross-engine equivalence: the throughput-tuned explorer configurations
+   (trace recording off, packed FNV fingerprints, bitset awareness sets,
+   and the domain-parallel driver) must report the same verdicts as the
+   reference configuration (trace recording on, single domain — the seed
+   engine's operating point).
+
+   Node counts are NOT compared: per-domain seen tables lose cross-domain
+   deduplication, so [nodes] legitimately differs. What must agree is the
+   semantics — [verified], [exhausted] (for verifying configurations) and
+   the kind of violation found (for violating ones). *)
+
+open Tsim
+open Tsim.Prog
+
+let peterson ~fenced =
+  let layout = Layout.create () in
+  let flag = Layout.array layout ~init:0 "flag" 2 in
+  let turn = Layout.var layout ~init:0 "turn" in
+  Config.make ~model:Config.Cc_wb ~check_exclusion:true ~n:2 ~layout
+    ~entry:(fun p ->
+      let* () = write flag.(p) 1 in
+      let* () = write turn p in
+      let* () = if fenced then fence else unit in
+      let rec await fuel =
+        if fuel <= 0 then raise (Prog.Spin_exhausted turn)
+        else
+          let* f = read flag.(1 - p) in
+          if f = 0 then unit
+          else
+            let* t = read turn in
+            if t <> p then unit else await (fuel - 1)
+      in
+      await 4)
+    ~exit_section:(fun p ->
+      let* () = write flag.(p) 0 in
+      fence)
+    ()
+
+let dekker () =
+  Locks.Harness.config_of_lock ~model:Config.Cc_wb
+    (Locks.Dekker.make ~n:2) ~n:2
+
+(* Message-passing litmus encoded as exclusion reachability (cf.
+   suite_mcheck): under PSO the out-of-order commit reaches the anomaly,
+   reported as an exclusion violation. *)
+let mp_pso () =
+  let layout = Layout.create () in
+  let data = Layout.var layout "data" in
+  let flag = Layout.var layout "flag" in
+  let blocked = Layout.var layout "blocked" in
+  Config.make ~model:Config.Cc_wb ~ordering:Config.Pso ~check_exclusion:true
+    ~n:2 ~layout
+    ~entry:(fun p ->
+      if p = 0 then
+        let* () = write data 1 in
+        let* () = write flag 1 in
+        unit
+      else
+        let* f = read flag in
+        let* d = read data in
+        if f = 1 && d = 0 then unit
+        else
+          let* _ = spin_until ~fuel:1 blocked (fun x -> x = 1) in
+          unit)
+    ~exit_section:(fun _ -> Prog.unit)
+    ()
+
+type verdict = Verified | Violation of string | Inconclusive
+
+let verdict_to_string = function
+  | Verified -> "verified"
+  | Violation k -> "violation:" ^ k
+  | Inconclusive -> "inconclusive"
+
+let verdict_of (r : Mcheck.Explore.result) =
+  match r.Mcheck.Explore.violations with
+  | [] -> if r.Mcheck.Explore.verified then Verified else Inconclusive
+  | v :: _ ->
+      Violation
+        (match v.Mcheck.Explore.kind with
+        | `Exclusion _ -> "exclusion"
+        | `Deadlock -> "deadlock"
+        | `Spin_exhausted -> "spin")
+
+let verdict = Alcotest.testable
+    (fun fmt v -> Format.pp_print_string fmt (verdict_to_string v))
+    ( = )
+
+(* The three engine configurations under comparison. *)
+let engines =
+  [
+    ("reference (trace on, d=1)",
+     fun cfg ->
+       Mcheck.Explore.explore ~max_nodes:2_000_000 ~record_trace:true cfg);
+    ("fast (trace off, d=1)",
+     fun cfg -> Mcheck.Explore.explore ~max_nodes:2_000_000 cfg);
+    ("parallel (trace off, d=4)",
+     fun cfg -> Mcheck.Explore.explore ~max_nodes:2_000_000 ~domains:4 cfg);
+  ]
+
+let check_equiv name mk_cfg expected =
+  Alcotest.test_case name `Quick (fun () ->
+      List.iter
+        (fun (engine, run) ->
+          let r = run (mk_cfg ()) in
+          Alcotest.check verdict
+            (Printf.sprintf "%s on %s" engine name)
+            expected (verdict_of r);
+          (* verifying configurations must actually exhaust the space *)
+          if expected = Verified then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s exhausted on %s" engine name)
+              true r.Mcheck.Explore.exhausted;
+          (* reported exclusion schedules always replay *)
+          match r.Mcheck.Explore.violations with
+          | { Mcheck.Explore.kind = `Exclusion _; schedule } :: _ ->
+              ignore (Mcheck.Explore.replay_schedule (mk_cfg ()) schedule)
+          | _ -> ())
+        engines)
+
+(* Determinism of the parallel driver: same configuration, same k, same
+   result — including node counts, which are fixed by the per-domain
+   budget split. *)
+let test_parallel_deterministic () =
+  let run () =
+    Mcheck.Explore.explore ~max_nodes:2_000_000 ~domains:4
+      (peterson ~fenced:true)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same nodes" a.Mcheck.Explore.nodes
+    b.Mcheck.Explore.nodes;
+  Alcotest.(check int) "same depth" a.Mcheck.Explore.max_depth
+    b.Mcheck.Explore.max_depth;
+  Alcotest.(check bool) "same verdict" a.Mcheck.Explore.verified
+    b.Mcheck.Explore.verified
+
+(* Trace recording must not change what the explorer can see: with it on,
+   the machine trace grows, but verdict, node count and depth agree with
+   the trace-off engine (the fingerprint never covers the trace). *)
+let test_trace_flag_invisible () =
+  let on =
+    Mcheck.Explore.explore ~max_nodes:2_000_000 ~record_trace:true
+      (peterson ~fenced:true)
+  in
+  let off =
+    Mcheck.Explore.explore ~max_nodes:2_000_000 (peterson ~fenced:true)
+  in
+  Alcotest.(check int) "same nodes" on.Mcheck.Explore.nodes
+    off.Mcheck.Explore.nodes;
+  Alcotest.(check int) "same depth" on.Mcheck.Explore.max_depth
+    off.Mcheck.Explore.max_depth
+
+let suite =
+  [
+    check_equiv "peterson fenced" (fun () -> peterson ~fenced:true) Verified;
+    check_equiv "peterson unfenced"
+      (fun () -> peterson ~fenced:false)
+      (Violation "exclusion");
+    check_equiv "dekker" dekker Verified;
+    check_equiv "mp litmus under PSO" mp_pso (Violation "exclusion");
+    Alcotest.test_case "parallel driver is deterministic" `Quick
+      test_parallel_deterministic;
+    Alcotest.test_case "record_trace does not affect the search" `Quick
+      test_trace_flag_invisible;
+  ]

@@ -1,0 +1,114 @@
+(* QCheck properties: the bitset [Pidset] agrees with [Set.Make (Int)] on
+   every operation the codebase uses, across both representations — ids
+   below [small_capacity] (one-word bitset) and above it (the widened
+   multi-word fallback). *)
+
+open Tsim.Ids
+
+module Iset = Set.Make (Int)
+
+(* Ids are drawn from [0, 150]: comfortably straddles the 62-id boundary
+   of the one-word representation. *)
+let gen_pid = QCheck.Gen.int_range 0 150
+let gen_pids = QCheck.Gen.(list_size (int_range 0 40) gen_pid)
+
+let arb_pids = QCheck.make ~print:QCheck.Print.(list int) gen_pids
+
+let arb_pids2 =
+  QCheck.make
+    ~print:QCheck.Print.(pair (list int) (list int))
+    QCheck.Gen.(pair gen_pids gen_pids)
+
+let to_ref ps = Iset.of_list ps
+let to_bit ps = Pidset.of_list ps
+let agrees b r = Pidset.elements b = Iset.elements r
+
+let prop name arb f = QCheck.Test.make ~count:500 ~name arb f
+
+let tests =
+  [
+    prop "of_list/elements" arb_pids (fun ps ->
+        agrees (to_bit ps) (to_ref ps));
+    prop "add" arb_pids (fun ps ->
+        match ps with
+        | [] -> true
+        | p :: rest ->
+            agrees (Pidset.add p (to_bit rest)) (Iset.add p (to_ref rest)));
+    prop "remove" arb_pids (fun ps ->
+        match ps with
+        | [] -> true
+        | p :: rest ->
+            agrees
+              (Pidset.remove p (to_bit ps))
+              (Iset.remove p (to_ref ps))
+            && agrees
+                 (Pidset.remove p (to_bit rest))
+                 (Iset.remove p (to_ref rest)));
+    prop "mem" arb_pids (fun ps ->
+        List.for_all (fun p -> Pidset.mem p (to_bit ps)) ps
+        && not (Pidset.mem 151 (to_bit ps)));
+    prop "cardinal" arb_pids (fun ps ->
+        Pidset.cardinal (to_bit ps) = Iset.cardinal (to_ref ps));
+    prop "union" arb_pids2 (fun (a, b) ->
+        agrees
+          (Pidset.union (to_bit a) (to_bit b))
+          (Iset.union (to_ref a) (to_ref b)));
+    prop "inter" arb_pids2 (fun (a, b) ->
+        agrees
+          (Pidset.inter (to_bit a) (to_bit b))
+          (Iset.inter (to_ref a) (to_ref b)));
+    prop "diff" arb_pids2 (fun (a, b) ->
+        agrees
+          (Pidset.diff (to_bit a) (to_bit b))
+          (Iset.diff (to_ref a) (to_ref b)));
+    prop "subset" arb_pids2 (fun (a, b) ->
+        Pidset.subset (to_bit a) (to_bit b)
+        = Iset.subset (to_ref a) (to_ref b)
+        && Pidset.subset (to_bit a) (Pidset.union (to_bit a) (to_bit b)));
+    prop "equal respects set semantics" arb_pids2 (fun (a, b) ->
+        Pidset.equal (to_bit a) (to_bit b) = Iset.equal (to_ref a) (to_ref b));
+    prop "fold accumulates in ascending order" arb_pids (fun ps ->
+        Pidset.fold (fun p acc -> p :: acc) (to_bit ps) []
+        = Iset.fold (fun p acc -> p :: acc) (to_ref ps) []);
+    prop "iter visits each element once, ascending" arb_pids (fun ps ->
+        let seen = ref [] in
+        Pidset.iter (fun p -> seen := p :: !seen) (to_bit ps);
+        List.rev !seen = Iset.elements (to_ref ps));
+    prop "min/max/choose" arb_pids (fun ps ->
+        let b = to_bit ps and r = to_ref ps in
+        Pidset.min_elt_opt b = Iset.min_elt_opt r
+        && Pidset.max_elt_opt b = Iset.max_elt_opt r
+        && Pidset.choose_opt b = Iset.min_elt_opt r);
+    prop "filter" arb_pids (fun ps ->
+        agrees
+          (Pidset.filter (fun p -> p mod 3 = 0) (to_bit ps))
+          (Iset.filter (fun p -> p mod 3 = 0) (to_ref ps)));
+    prop "for_all/exists" arb_pids (fun ps ->
+        let b = to_bit ps and r = to_ref ps in
+        Pidset.for_all (fun p -> p < 100) b = Iset.for_all (fun p -> p < 100) r
+        && Pidset.exists (fun p -> p > 70) b
+           = Iset.exists (fun p -> p > 70) r);
+    prop "disjoint" arb_pids2 (fun (a, b) ->
+        Pidset.disjoint (to_bit a) (to_bit b)
+        = Iset.disjoint (to_ref a) (to_ref b));
+    prop "widening round-trip stays canonical" arb_pids (fun ps ->
+        (* removing every large id from a widened set must compare equal
+           to the set built from small ids only *)
+        let small = List.filter (fun p -> p < Pidset.small_capacity) ps in
+        let widened =
+          List.fold_left
+            (fun s p -> Pidset.remove p s)
+            (to_bit ps)
+            (List.filter (fun p -> p >= Pidset.small_capacity) ps)
+        in
+        Pidset.equal widened (to_bit small));
+  ]
+
+let test_negative_pid_rejected () =
+  Alcotest.check_raises "negative pid" (Invalid_argument "Pidset: negative pid -1")
+    (fun () -> ignore (Pidset.add (-1) Pidset.empty))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest tests
+  @ [ Alcotest.test_case "negative pid rejected" `Quick
+        test_negative_pid_rejected ]
