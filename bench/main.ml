@@ -5,7 +5,7 @@
      dune exec bench/main.exe -- time         run only the Bechamel timings
      dune exec bench/main.exe -- --json F     timings only, also write the
                                               rows to F as JSON
-                                              [{"name": .., "ns_per_run": ..}]
+                                              [{"name":.., "value":.., "unit":..}]
 
    Experiment ids map to the paper's artefacts (DESIGN.md §3):
      e1 Figure 1 · e2 Theorems 1/3 · e3 Corollary 1 · e4 Corollary 2 ·
@@ -30,9 +30,10 @@ let write_json file rows =
   let oc = open_out file in
   output_string oc "[\n";
   List.iteri
-    (fun i (name, ns) ->
-      Printf.fprintf oc "  {\"name\": \"%s\", \"ns_per_run\": %.1f}%s\n"
-        (json_escape name) ns
+    (fun i (name, value, unit) ->
+      Printf.fprintf oc
+        "  {\"name\": \"%s\", \"value\": %.1f, \"unit\": \"%s\"}%s\n"
+        (json_escape name) value (json_escape unit)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "]\n";

@@ -8,6 +8,7 @@
      adversary <name> [...]        run the lower-bound construction
      bounds [...]                  Theorem 1 forced-fence computation
      verify <name> [...]           exhaustive schedule exploration (small n)
+     replay <name> FILE [...]      replay a saved schedule file
      trace <name> -o FILE [...]    save an execution trace artifact
      analyze FILE                  metrics + IN-set verdict of a saved trace
      litmus [--pso]                store-buffering litmus *)
@@ -298,7 +299,23 @@ let verify_cmd =
       & info [ "domains" ]
           ~doc:"parallel search domains (per-domain dedup tables)")
   in
-  let run name n max_nodes spin_fuel domains =
+  let no_por =
+    Arg.(
+      value & flag
+      & info [ "no-por" ]
+          ~doc:
+            "disable the partial-order reduction (explore every \
+             interleaving; same verdicts, more states)")
+  in
+  let save_schedule =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save-schedule" ] ~docv:"FILE"
+          ~doc:
+            "write the first violating schedule to FILE (replayable with \
+             the replay command)")
+  in
+  let run name n max_nodes spin_fuel domains no_por save_schedule =
     if domains < 1 then begin
       prerr_endline "--domains must be >= 1";
       exit 1
@@ -312,10 +329,14 @@ let verify_cmd =
         let cfg =
           Locks.Harness.config_of_lock ~model:Tsim.Config.Cc_wb lock ~n
         in
-        let r = Mcheck.Explore.explore ~max_nodes ~spin_fuel ~domains cfg in
-        Printf.printf "%s n=%d: %d states, max depth %d\n"
-          lock.Locks.Lock_intf.name n r.Mcheck.Explore.nodes
-          r.Mcheck.Explore.max_depth;
+        let r =
+          Mcheck.Explore.explore ~max_nodes ~spin_fuel ~domains
+            ~por:(not no_por) cfg
+        in
+        Printf.printf "%s n=%d%s: %d states, max depth %d\n"
+          lock.Locks.Lock_intf.name n
+          (if no_por then " (no por)" else "")
+          r.Mcheck.Explore.nodes r.Mcheck.Explore.max_depth;
         if r.Mcheck.Explore.verified then
           print_endline "VERIFIED: no exclusion violation or deadlock in the \
                          full (deduplicated) schedule space"
@@ -333,11 +354,77 @@ let verify_cmd =
                 (String.concat "; "
                    (List.map Mcheck.Explore.move_to_string
                       v.Mcheck.Explore.schedule)))
-            r.Mcheck.Explore.violations
+            r.Mcheck.Explore.violations;
+          match (save_schedule, r.Mcheck.Explore.violations) with
+          | Some file, v :: _ ->
+              Mcheck.Explore.save_schedule file v.Mcheck.Explore.schedule;
+              Printf.printf "schedule saved to %s\n" file
+          | Some _, [] -> ()
+          | None, _ -> ()
         end
   in
   Cmd.v (Cmd.info "verify" ~doc)
-    Term.(const run $ lock_arg $ n $ max_nodes $ spin_fuel $ domains)
+    Term.(
+      const run $ lock_arg $ n $ max_nodes $ spin_fuel $ domains $ no_por
+      $ save_schedule)
+
+(* --- replay -------------------------------------------------------------- *)
+
+let replay_cmd =
+  let doc =
+    "Replay a schedule file (one move per line, as saved by verify \
+     --save-schedule) against a lock and report the outcome."
+  in
+  let lock_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LOCK")
+  in
+  let file =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE")
+  in
+  let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"number of processes") in
+  let spin_fuel =
+    Arg.(value & opt int 6 & info [ "spin-fuel" ] ~doc:"busy-wait bound")
+  in
+  let run name file n spin_fuel =
+    match find_lock name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok fam -> (
+        match Mcheck.Explore.load_schedule file with
+        | Error msg ->
+            Printf.eprintf "%s: %s\n" file msg;
+            exit 1
+        | Ok schedule ->
+            let lock = fam.Locks.Lock_intf.instantiate ~n in
+            let cfg =
+              Locks.Harness.config_of_lock ~model:Tsim.Config.Cc_wb lock ~n
+            in
+            let saved = !Tsim.Prog.default_spin_fuel in
+            Tsim.Prog.default_spin_fuel := spin_fuel;
+            let _, outcome =
+              Fun.protect
+                ~finally:(fun () -> Tsim.Prog.default_spin_fuel := saved)
+                (fun () -> Mcheck.Explore.replay cfg schedule)
+            in
+            Printf.printf "%s n=%d: %d moves\n" lock.Locks.Lock_intf.name n
+              (List.length schedule);
+            (match outcome with
+            | Mcheck.Explore.R_completed ->
+                print_endline "schedule completed without violation"
+            | Mcheck.Explore.R_exclusion (h, i) ->
+                Printf.printf
+                  "EXCLUSION VIOLATION: p%d in the critical section, p%d \
+                   entered\n"
+                  h i
+            | Mcheck.Explore.R_spin v ->
+                Printf.printf "SPIN EXHAUSTED on v%d\n" v
+            | Mcheck.Explore.R_stuck (i, msg) ->
+                Printf.printf "stuck at move %d: %s\n" i msg;
+                exit 1))
+  in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(const run $ lock_arg $ file $ n $ spin_fuel)
 
 (* --- litmus -------------------------------------------------------------- *)
 
@@ -390,4 +477,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
        [ list_cmd; lock_cmd; adversary_cmd; bounds_cmd; verify_cmd;
-         trace_cmd; analyze_cmd; show_cmd; litmus_cmd ]))
+         replay_cmd; trace_cmd; analyze_cmd; show_cmd; litmus_cmd ]))

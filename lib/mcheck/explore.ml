@@ -16,18 +16,110 @@
    performance"): machines run with [record_trace = false] so clones are
    O(state); states are fingerprinted by an allocation-free FNV-1a hash
    over packed ints instead of a built string; and [~domains:k] fans the
-   root frontier out over OCaml 5 domains. *)
+   root frontier out over OCaml 5 domains.
+
+   On top of that sits a dynamic partial-order reduction (on by default,
+   [~por:false] to disable), combining three classic ingredients over the
+   independence relation of {!Footprint}:
+
+   - singleton ample sets: when some process's only enabled move is a
+     purely-local step (no shared access, no CS check), that move is
+     globally independent, so exploring it alone covers every
+     interleaving — the other processes' moves commute past it. This is
+     what shrinks the *state space*: interleavings of local steps with
+     remote progress are never generated.
+
+   - sleep sets: after exploring move [a] at a state, sibling subtrees
+     need not re-explore executions starting with [a]-then-independent
+     prefixes; [a] is put to sleep in each later sibling's subtree until
+     a dependent move wakes it (drops it from the set).
+
+   - mask-aware state caching: the seen-table maps each fingerprint to
+     the sleep mask it was explored with. A revisit with sleep [z] against
+     a stored [z'] prunes when [z' ⊆ z] (everything the revisit would do
+     was done), and otherwise re-explores only the missing moves (sleep
+     [z ∪ ¬z']) while storing [z ∩ z']. With POR off (or a move space too
+     large to encode in a word) all masks are 0 and this degenerates to
+     exactly the plain fingerprint dedup of the previous engine.
+
+   See explore.mli for the soundness argument. *)
 
 open Tsim
 open Tsim.Ids
 
-type move = Step of Pid.t | Commit of Pid.t | Commit_var of Pid.t * Var.t
+type move = Footprint.move =
+  | Step of Pid.t
+  | Commit of Pid.t
+  | Commit_var of Pid.t * Var.t
 
 let move_to_string = function
   | Step p -> Printf.sprintf "step %s" (Pid.to_string p)
   | Commit p -> Printf.sprintf "commit %s" (Pid.to_string p)
   | Commit_var (p, v) ->
       Printf.sprintf "commit %s v%d" (Pid.to_string p) (Var.to_int v)
+
+(* Inverse of [move_to_string]. Tolerates surrounding whitespace but is
+   otherwise strict: pids are "p<i>", variables "v<i>", both >= 0. *)
+let move_of_string s =
+  let int_after prefix tok =
+    if String.length tok >= 2 && tok.[0] = prefix then
+      match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+      | Some i when i >= 0 -> Some i
+      | _ -> None
+    else None
+  in
+  let words =
+    String.split_on_char ' ' (String.trim s)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [ "step"; p ] ->
+      Option.map (fun p -> Step (Pid.of_int p)) (int_after 'p' p)
+  | [ "commit"; p ] ->
+      Option.map (fun p -> Commit (Pid.of_int p)) (int_after 'p' p)
+  | [ "commit"; p; v ] -> (
+      match (int_after 'p' p, int_after 'v' v) with
+      | Some p, Some v -> Some (Commit_var (Pid.of_int p, Var.of_int v))
+      | _ -> None)
+  | _ -> None
+
+(* --- schedule (de)serialization --------------------------------------- *)
+
+(* One move per line; '#' comments and blank lines are ignored on input so
+   corpus fixtures can carry provenance headers. *)
+
+let schedule_to_string schedule =
+  String.concat "" (List.map (fun mv -> move_to_string mv ^ "\n") schedule)
+
+let schedule_of_string text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let body =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        if String.trim body = "" then go acc (lineno + 1) rest
+        else
+          match move_of_string body with
+          | Some mv -> go (mv :: acc) (lineno + 1) rest
+          | None ->
+              Error
+                (Printf.sprintf "line %d: unparsable move %S" lineno
+                   (String.trim body)))
+  in
+  go [] 1 lines
+
+let save_schedule file schedule =
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc (schedule_to_string schedule))
+
+let load_schedule file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | text -> schedule_of_string text
+  | exception Sys_error msg -> Error msg
 
 type violation = {
   schedule : move list;  (* the decision sequence reaching the bug *)
@@ -136,10 +228,19 @@ exception Done
 
 (* Mutable search state. One [ctx] per domain: the seen table, node
    budget and violation cap are all domain-local, so parallel search
-   needs no synchronization. *)
+   needs no synchronization.
+
+   [seen] maps fingerprint -> the sleep mask the state was (last)
+   explored under; with POR off or a non-encodable move space every mask
+   is 0, and the table behaves exactly like the previous engine's
+   fingerprint set. *)
 type ctx = {
-  seen : (int, unit) Hashtbl.t;
+  seen : (int, int) Hashtbl.t;
   dedup : bool;
+  por : bool;
+  codec : Footprint.codec;
+  sleepable : bool;  (* por && codec.encodable *)
+  on_fingerprint : (int -> unit) option;
   on_spin : [ `Prune | `Violation ];
   max_nodes : int;
   max_violations : int;
@@ -149,20 +250,139 @@ type ctx = {
   mutable violations : violation list;  (* newest first *)
 }
 
-let make_ctx ?(seen = Hashtbl.create 4096) ~dedup ~on_spin ~max_nodes
-    ~max_violations () =
-  { seen; dedup; on_spin; max_nodes; max_violations; nodes = 0;
-    max_depth = 0; nviol = 0; violations = [] }
+let make_ctx ?(seen = Hashtbl.create 4096) ?on_fingerprint ~dedup ~por ~codec
+    ~on_spin ~max_nodes ~max_violations () =
+  { seen; dedup; por; codec;
+    sleepable = por && codec.Footprint.encodable; on_fingerprint; on_spin;
+    max_nodes; max_violations; nodes = 0; max_depth = 0; nviol = 0;
+    violations = [] }
 
 let record_violation ctx schedule kind =
   ctx.nviol <- ctx.nviol + 1;
   ctx.violations <- { schedule = List.rev schedule; kind } :: ctx.violations;
   if ctx.nviol >= ctx.max_violations then raise Done
 
+(* Singleton ample set: a [Step p] with a purely-local footprint (no
+   shared access, no CS check) is independent of every move of every
+   other process, now and after any interleaving — enabledness is
+   process-local and nobody else touches [p]'s local state. To be a
+   persistent set on its own it must additionally commute with [p]'s own
+   commit moves (the only other moves [p] can perform without executing
+   the step), which holds per pending event:
+
+   - [P_enter] / [P_exit]: touch section / passage bookkeeping only;
+     commits touch buffer + memory. Always commute.
+   - [P_issue_write (v, _)] with [v] not already buffered: the push
+     appends while commits pop other entries — both orders reach the
+     same buffer and memory. (With [v] buffered the push REPLACES the
+     pending entry in place, so issue/commit order changes the committed
+     value: dependent, not eligible.)
+   - [P_begin_fence] / [P_rmw_fence]: under PSO genuinely independent of
+     the (still enabled) out-of-order commits. Under TSO entering the
+     fence disables the explicit [Commit] move, which formally makes
+     them dependent — but in-fence [Step]s perform exactly the commits
+     the disabled move would have, in the same (FIFO) order, so every
+     schedule committing before the fence maps to an explored one
+     committing inside it, with identical memory trajectory and
+     CS-enabledness at every point. Eligible by that simulation.
+   - [P_end_fence]: only pending once the buffer is drained, so there
+     are no commit moves to commute with.
+   - everything else (notably a buffer-forwarded read, whose footprint
+     class would change once the forwarding entry commits): eligible
+     only when the step is [p]'s sole enabled move.
+
+   Validation is post hoc on the cloned successor: the step must not
+   make its owner CS-enabled (other processes' CS executions read that
+   predicate). A candidate that becomes CS-enabled or raises is skipped;
+   exceptions are left for the full expansion to diagnose. *)
+let singleton_eligible m p ~sole =
+  match Machine.pending m p with
+  | Machine.P_enter | Machine.P_exit | Machine.P_begin_fence
+  | Machine.P_rmw_fence | Machine.P_end_fence ->
+      true
+  | Machine.P_issue_write (v, _) ->
+      Wbuf.find (Machine.proc m p).Machine.buf v = None
+  | _ -> sole
+
+let singleton_ample ctx m moves =
+  if not ctx.por then None
+  else begin
+    let n = Machine.n_procs m in
+    let count = Array.make n 0 in
+    List.iter
+      (fun mv ->
+        let p = Footprint.move_pid mv in
+        count.(p) <- count.(p) + 1)
+      moves;
+    let rec pick = function
+      | [] -> None
+      | (Step p as mv) :: rest
+        when singleton_eligible m p ~sole:(count.(p) = 1) ->
+          if Footprint.purely_local (Footprint.of_move m mv) then begin
+            let m' = Machine.clone m in
+            match apply m' mv with
+            | () when Machine.pending m' p <> Machine.P_cs -> Some (mv, m')
+            | () -> pick rest
+            | exception (Machine.Exclusion_violation _ | Prog.Spin_exhausted _)
+              ->
+                pick rest
+          end
+          else pick rest
+      | _ :: rest -> pick rest
+    in
+    pick moves
+  end
+
+(* Child sleep set after executing [mv] from state [m]: keep the sleeping
+   moves independent of [mv]; dependent ones wake up (are explored again
+   in the subtree). Footprints of sleeping moves are computed in the
+   current state, which is exact: a sleeping move's owner has not moved
+   since it fell asleep (same-process moves are dependent and would have
+   woken it), and other processes' moves do not change its footprint. *)
+let filter_sleep ctx m mv z =
+  if z = 0 then 0
+  else begin
+    let fmv = Footprint.of_move m mv in
+    let keep = ref 0 in
+    Footprint.iter_mask ctx.codec
+      (fun code b ->
+        if Footprint.independent (Footprint.of_move m b) fmv then
+          keep := !keep lor (1 lsl code))
+      z;
+    !keep
+  end
+
+(* Visit a successor state: dedup against the seen table with the
+   mask-aware rule. A fingerprint stored with mask [z'] was explored
+   covering every execution not starting in [z']; arriving again with
+   sleep [z]:
+   - z' ⊆ z: nothing new to do, prune;
+   - otherwise re-explore only the moves slept before but wanted now
+     (sleep z ∪ ¬z') and record the new coverage (store z ∩ z'). *)
+let visit_child ctx m' schedule depth z ~child =
+  (match ctx.on_fingerprint with
+  | Some f -> f (fingerprint m')
+  | None -> ());
+  if not ctx.dedup then child m' schedule depth z
+  else begin
+    let fp = fingerprint m' in
+    match Hashtbl.find_opt ctx.seen fp with
+    | None ->
+        Hashtbl.replace ctx.seen fp z;
+        child m' schedule depth z
+    | Some z' ->
+        if z' land lnot z = 0 then ()
+        else begin
+          Hashtbl.replace ctx.seen fp (z' land z);
+          let full = Footprint.full_mask ctx.codec in
+          child m' schedule depth ((z lor lnot z') land full)
+        end
+  end
+
 (* Expand one state: count it, then either diagnose a dead end or visit
-   each enabled move through [child]. The deadlock scan is only run when
+   the selected moves through [child]. The deadlock scan is only run when
    there are no moves — it is O(n) and pointless otherwise. *)
-let expand ctx m schedule depth ~child =
+let expand ctx m schedule depth sleep ~child =
   if ctx.nodes >= ctx.max_nodes then raise Done;
   ctx.nodes <- ctx.nodes + 1;
   if depth > ctx.max_depth then ctx.max_depth <- depth;
@@ -176,47 +396,83 @@ let expand ctx m schedule depth ~child =
     if !unfinished then record_violation ctx schedule `Deadlock
   end
   else
-    List.iter
-      (fun mv ->
-        let m' = Machine.clone m in
-        match apply m' mv with
-        | () ->
-            let skip =
-              ctx.dedup
-              &&
-              let fp = fingerprint m' in
-              if Hashtbl.mem ctx.seen fp then true
-              else begin
-                Hashtbl.replace ctx.seen fp ();
-                false
-              end
+    match singleton_ample ctx m moves with
+    | Some (mv0, m'0) ->
+        (* Persistent singleton: explore it alone (unless asleep, in
+           which case everything from here is covered elsewhere).
+           Successive singletons are fused into one transition: each
+           intermediate state has exactly one explored move, so it is
+           passed through without being counted, fingerprinted or stored
+           — only the chain's endpoint becomes a search node. Chains are
+           finite (every local move strictly advances a continuation, and
+           spin reads are not chase-eligible); the fuel is a defensive
+           backstop only. *)
+        let rec chase m mv m' schedule depth z fuel =
+          let bit =
+            if ctx.sleepable then 1 lsl Footprint.encode ctx.codec mv else 0
+          in
+          if z land bit <> 0 then () (* asleep: covered elsewhere *)
+          else begin
+            let z = if ctx.sleepable then filter_sleep ctx m mv z else 0 in
+            let schedule = mv :: schedule and depth = depth + 1 in
+            if fuel = 0 then visit_child ctx m' schedule depth z ~child
+            else
+              match singleton_ample ctx m' (enabled_moves m') with
+              | Some (mv', m'') ->
+                  chase m' mv' m'' schedule depth z (fuel - 1)
+              | None -> visit_child ctx m' schedule depth z ~child
+          end
+        in
+        chase m mv0 m'0 schedule depth sleep 4096
+    | None ->
+        (* full expansion with sleep sets: skip sleeping moves; each
+           explored move falls asleep for its later siblings' subtrees *)
+        let explored = ref 0 in
+        List.iter
+          (fun mv ->
+            let bit =
+              if ctx.sleepable then 1 lsl Footprint.encode ctx.codec mv
+              else 0
             in
-            if not skip then child m' (mv :: schedule) (depth + 1)
-        | exception Machine.Exclusion_violation { holder; intruder } ->
-            record_violation ctx (mv :: schedule)
-              (`Exclusion (holder, intruder))
-        | exception Prog.Spin_exhausted _ -> (
-            match ctx.on_spin with
-            | `Prune -> ()
-            | `Violation -> record_violation ctx (mv :: schedule)
-                              `Spin_exhausted))
-      moves
+            if sleep land bit <> 0 then ()
+            else begin
+              let m' = Machine.clone m in
+              (match apply m' mv with
+              | () ->
+                  let z =
+                    if ctx.sleepable then
+                      filter_sleep ctx m mv (sleep lor !explored)
+                    else 0
+                  in
+                  visit_child ctx m' (mv :: schedule) (depth + 1) z ~child
+              | exception Machine.Exclusion_violation { holder; intruder } ->
+                  record_violation ctx (mv :: schedule)
+                    (`Exclusion (holder, intruder))
+              | exception Prog.Spin_exhausted _ -> (
+                  match ctx.on_spin with
+                  | `Prune -> ()
+                  | `Violation ->
+                      record_violation ctx (mv :: schedule) `Spin_exhausted));
+              explored := !explored lor bit
+            end)
+          moves
 
-let rec dfs ctx m schedule depth =
-  expand ctx m schedule depth ~child:(dfs ctx)
+let rec dfs ctx m schedule depth sleep =
+  expand ctx m schedule depth sleep ~child:(dfs ctx)
 
 (* --- parallel driver -------------------------------------------------- *)
 
 (* Expand breadth-first from the root until at least [target] pending
    states exist (or the space is exhausted / a violation cap fires).
-   Returns the pending frontier in deterministic (BFS) order. *)
+   Returns the pending frontier — states with their sleep masks — in
+   deterministic (BFS) order. *)
 let bfs_frontier ctx m0 ~target =
   let pending = Queue.create () in
-  Queue.add (m0, [], 0) pending;
+  Queue.add (m0, [], 0, 0) pending;
   while Queue.length pending > 0 && Queue.length pending < target do
-    let m, schedule, depth = Queue.pop pending in
-    expand ctx m schedule depth ~child:(fun m' sched d ->
-        Queue.add (m', sched, d) pending)
+    let m, schedule, depth, sleep = Queue.pop pending in
+    expand ctx m schedule depth sleep ~child:(fun m' sched d z ->
+        Queue.add (m', sched, d, z) pending)
   done;
   List.of_seq (Queue.to_seq pending)
 
@@ -241,8 +497,11 @@ let result_of_ctx ctx ~exhausted =
 (* Per-domain worker: run each assigned frontier state to completion with
    a domain-local seen table seeded from the BFS prefix. Violations are
    tagged (frontier index, discovery order) for the deterministic merge. *)
-let domain_worker ~seen ~dedup ~on_spin ~max_nodes ~max_violations starts =
-  let ctx = make_ctx ~seen ~dedup ~on_spin ~max_nodes ~max_violations () in
+let domain_worker ~seen ~dedup ~por ~codec ~on_spin ~max_nodes
+    ~max_violations starts =
+  let ctx =
+    make_ctx ~seen ~dedup ~por ~codec ~on_spin ~max_nodes ~max_violations ()
+  in
   let tagged = ref [] in
   (* drain the ctx's accumulator between starts so each violation carries
      the frontier index of the start that reached it *)
@@ -255,8 +514,8 @@ let domain_worker ~seen ~dedup ~on_spin ~max_nodes ~max_violations starts =
   let exhausted =
     try
       List.iter
-        (fun (idx, (m, schedule, depth)) ->
-          match dfs ctx m schedule depth with
+        (fun (idx, (m, schedule, depth, sleep)) ->
+          match dfs ctx m schedule depth sleep with
           | () -> drain idx
           | exception Done ->
               drain idx;
@@ -267,9 +526,10 @@ let domain_worker ~seen ~dedup ~on_spin ~max_nodes ~max_violations starts =
   in
   (ctx.nodes, ctx.max_depth, exhausted, List.rev !tagged)
 
-let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~on_spin cfg =
+let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
+    ~on_spin cfg =
   let ctx =
-    make_ctx ~dedup ~on_spin ~max_nodes ~max_violations ()
+    make_ctx ~dedup ~por ~codec ~on_spin ~max_nodes ~max_violations ()
   in
   match bfs_frontier ctx (Machine.create cfg) ~target:(domains * 8) with
   | [] -> result_of_ctx ctx ~exhausted:true  (* space smaller than frontier *)
@@ -285,7 +545,7 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~on_spin cfg =
             let seen = Hashtbl.copy ctx.seen in
             let max_nodes = share + (if d = 0 then extra else 0) in
             Domain.spawn (fun () ->
-                domain_worker ~seen ~dedup ~on_spin ~max_nodes
+                domain_worker ~seen ~dedup ~por ~codec ~on_spin ~max_nodes
                   ~max_violations bucket))
           buckets
       in
@@ -335,31 +595,61 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~on_spin cfg =
    busy-waits stay shallow during exploration. *)
 let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
     ?(on_spin = `Prune) ?(spin_fuel = 6) ?(record_trace = false)
-    ?(domains = 1) (cfg : Config.t) : result =
+    ?(domains = 1) ?(por = true) ?on_fingerprint (cfg : Config.t) : result =
   if domains < 1 then invalid_arg "Explore.explore: domains must be >= 1";
+  if domains > 1 && Option.is_some on_fingerprint then
+    invalid_arg "Explore.explore: on_fingerprint requires domains = 1";
+  let codec = Footprint.codec_of_config cfg in
   let cfg = { cfg with Config.record_trace } in
   let saved_fuel = !Prog.default_spin_fuel in
   Prog.default_spin_fuel := spin_fuel;
   Fun.protect ~finally:(fun () -> Prog.default_spin_fuel := saved_fuel)
   @@ fun () ->
   if domains > 1 then
-    explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~on_spin cfg
+    explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
+      ~on_spin cfg
   else begin
-    let ctx = make_ctx ~dedup ~on_spin ~max_nodes ~max_violations () in
+    let ctx =
+      make_ctx ?on_fingerprint ~dedup ~por ~codec ~on_spin ~max_nodes
+        ~max_violations ()
+    in
     let exhausted =
       try
-        dfs ctx (Machine.create cfg) [] 0;
+        dfs ctx (Machine.create cfg) [] 0 0;
         true
       with Done -> false
     in
     result_of_ctx ctx ~exhausted
   end
 
+(* --- replay ------------------------------------------------------------ *)
+
+type replay_outcome =
+  | R_completed
+  | R_exclusion of Pid.t * Pid.t
+  | R_spin of Var.t
+  | R_stuck of int * string  (* 0-based move index, reason *)
+
+let replay (cfg : Config.t) (schedule : move list) =
+  let m = Machine.create cfg in
+  let rec go i = function
+    | [] -> R_completed
+    | mv :: rest -> (
+        match apply m mv with
+        | () -> go (i + 1) rest
+        | exception Machine.Exclusion_violation { holder; intruder } ->
+            R_exclusion (holder, intruder)
+        | exception Prog.Spin_exhausted v -> R_spin v
+        | exception Machine.Process_finished p ->
+            R_stuck
+              (i, Printf.sprintf "%s already finished" (Pid.to_string p))
+        | exception Invalid_argument msg -> R_stuck (i, msg))
+  in
+  let outcome = go 0 schedule in
+  (m, outcome)
+
 (* Replay a violating schedule on a fresh machine, for display. Uses the
    caller's configuration unchanged (trace recording on by default), so
    the replayed machine's trace is renderable. *)
 let replay_schedule (cfg : Config.t) (schedule : move list) =
-  let m = Machine.create cfg in
-  (try List.iter (apply m) schedule with
-  | Machine.Exclusion_violation _ | Prog.Spin_exhausted _ -> ());
-  m
+  fst (replay cfg schedule)

@@ -20,17 +20,93 @@
 
     Machines are explored with {!Config.t.record_trace} off by default,
     making {!Machine.clone} O(state) instead of O(depth + state); pass
-    [~record_trace:true] to cross-check against trace-recording runs. *)
+    [~record_trace:true] to cross-check against trace-recording runs.
+
+    {2 Partial-order reduction}
+
+    With [~por:true] (the default) the explorer applies a dynamic
+    partial-order reduction built on the independence relation of
+    {!Footprint}. Soundness rests on the following facts about the
+    machine:
+
+    - {b Enabledness is process-local.} Whether a move of [p] is enabled
+      depends only on [p]'s own state (continuation, buffer, fence flag,
+      section): no move of [q] ever enables or disables a move of [p].
+      Every ample/persistent-set condition about enabledness is therefore
+      trivial here.
+
+    - {b Independence implies projected commutation.} Two moves with
+      {!Footprint.independent} footprints touch disjoint shared
+      variables, are not CS executions sensitive to each other, and
+      belong to different processes; executing them in either order from
+      any common state reaches the same state {e up to the fingerprint
+      projection} (shared memory, buffers, pending ops, fence flags,
+      sections, passage counts, continuations). Unprojected bookkeeping
+      (awareness sets, RMR/cache/contention accounting) may differ, but
+      it influences neither verdicts nor any future projected transition,
+      so the verdict set — exclusion, deadlock, spin exhaustion — is
+      preserved. Both violation channels are in the relation explicitly:
+      a CS execution is dependent on every move that may make its owner
+      CS-enabled ([may_enable_cs]) and on other CS executions, so an
+      exclusion raised (or avoided) in one order is raised (or avoided)
+      in the other; deadlocks only occur at move-less states, which the
+      reduction never skips.
+
+    - {b Singleton ample sets.} When some process's only enabled move is
+      a [Step] with a purely-local footprint (no shared access, no CS
+      check) that verifiably does not make its owner CS-enabled, that
+      move is independent of {e every} move of {e every} other process,
+      now and after any interleaving — nobody else touches the owner's
+      local state, so its footprint and successor are stable. Exploring
+      it alone is a persistent set; the skipped interleavings commute
+      into the explored ones. Validation is post hoc: the move is applied
+      to a clone and the successor's pending event inspected; candidates
+      that become CS-enabled or raise fall back to full expansion.
+      Local move chains are finite and acyclic in fingerprint space
+      (spin fuel lives in the hashed continuation, passage counts are
+      fingerprinted), so the reduction cannot postpone the other
+      processes forever (no "ignoring problem").
+
+    - {b Sleep sets with mask-aware caching.} After exploring move [a] at
+      a state, [a] is put to sleep for later siblings' subtrees and woken
+      by the first dependent move. The seen-table stores, per
+      fingerprint, the sleep mask the state was explored under; a
+      revisit under sleep [z] against stored [z'] is pruned when
+      [z' ⊆ z] and otherwise re-explores exactly the uncovered moves
+      (sleep [z ∪ ¬z']), storing the combined coverage [z ∩ z']. Sleep
+      masks are one-word bitsets over a dense move code; configurations
+      whose move space exceeds a word run with masks pinned to 0 —
+      plain fingerprint dedup, still sound, and identical to [~por:false]
+      behaviour except for singleton-ample pruning.
+
+    The reduction preserves [verified] and the {e set of violation
+    kinds}; it does not preserve node counts (that is the point), the
+    specific representative schedules, or the number of distinct
+    violations found before a cap. *)
 
 open Tsim
 open Tsim.Ids
 
-type move =
+type move = Footprint.move =
   | Step of Pid.t
   | Commit of Pid.t  (** oldest buffered write (TSO) *)
   | Commit_var of Pid.t * Var.t  (** any buffered write (PSO only) *)
 
 val move_to_string : move -> string
+
+val move_of_string : string -> move option
+(** Inverse of {!move_to_string} (["step p0"], ["commit p1"],
+    ["commit p0 v3"]); [None] on anything else. *)
+
+(** {1 Schedule files}
+
+    One move per line; blank lines and ['#'] comments are ignored when
+    reading, so fixtures can carry provenance headers. *)
+
+val schedule_to_string : move list -> string
+val schedule_of_string : string -> (move list, string) result
+val save_schedule : string -> move list -> unit
+val load_schedule : string -> (move list, string) result
 
 type violation = {
   schedule : move list;
@@ -60,12 +136,23 @@ val explore :
   ?spin_fuel:int ->
   ?record_trace:bool ->
   ?domains:int ->
+  ?por:bool ->
+  ?on_fingerprint:(int -> unit) ->
   Config.t ->
   result
 (** Defaults: 500k nodes, stop at the first violation, dedup on, spin
     exhaustion prunes the branch (sound for exclusion checking: spin
     re-reads do not change shared state), busy-wait fuel 6, trace
-    recording off, one domain.
+    recording off, one domain, partial-order reduction on.
+
+    [~por:false] disables the reduction entirely (full interleaving
+    exploration, exactly the previous engine); verdicts agree with
+    [~por:true], node counts are larger.
+
+    [~on_fingerprint] is called with the fingerprint of every successor
+    state visited (duplicates included) — a test hook for checking that
+    the reduced exploration's state set is contained in the full one.
+    Only meaningful with [~dedup:true]; rejected when [domains > 1].
 
     [~domains:k] with [k > 1] expands the root breadth-first until at
     least [8k] pending states exist, then splits that frontier
@@ -76,9 +163,24 @@ val explore :
     [nodes] may exceed the single-domain count, and when violations exist
     each domain stops at its own [max_violations] cap before the merge
     truncates to the global cap. [verified]/violation kinds agree with
-    the sequential engine. *)
+    the sequential engine. Sleep masks attached to frontier states travel
+    with them, so the reduction composes with the parallel driver
+    unchanged. *)
+
+(** {1 Replay} *)
+
+type replay_outcome =
+  | R_completed  (** every move applied *)
+  | R_exclusion of Pid.t * Pid.t  (** holder, intruder *)
+  | R_spin of Var.t
+  | R_stuck of int * string
+      (** 0-based index of the first inapplicable move, and why *)
+
+val replay : Config.t -> move list -> Machine.t * replay_outcome
+(** Re-execute a schedule on a fresh machine (configuration unchanged, so
+    with [record_trace] on the trace is renderable), reporting how far it
+    got. The machine reflects the state reached when the outcome was
+    decided. *)
 
 val replay_schedule : Config.t -> move list -> Machine.t
-(** Re-execute a (violating) schedule on a fresh machine, using the given
-    configuration unchanged (so with [record_trace] on, the replayed
-    trace is renderable). *)
+(** [fst (replay cfg schedule)] — kept for callers that only display. *)

@@ -1,0 +1,143 @@
+(* Per-move footprints and the independence relation driving the
+   explorer's partial-order reduction.
+
+   A scheduler move either steps a process or commits one of its buffered
+   writes. Its footprint over-approximates every channel through which
+   the move can influence — or be influenced by — a move of another
+   process, *restricted to the state the explorer distinguishes*: shared
+   memory, write buffers, continuations, sections and fence flags (the
+   fingerprint projection), plus the two verdict channels (the CS
+   exclusion check and deadlock detection). Channels outside that
+   projection (awareness sets, RMR/cache bookkeeping, contention
+   accounting) are deliberately ignored: they influence neither verdicts
+   nor any future projected transition.
+
+   Two moves of different processes are independent when, from any state
+   where both are enabled, (a) executing them in either order yields the
+   same projected state, and (b) neither affects the other's enabledness
+   or outcome (including whether a violation is raised). Enabledness in
+   this machine is process-local — no move of [p] ever enables or
+   disables a move of [q] — so independence reduces to footprint
+   disjointness plus two property-specific clauses:
+
+   - a CS execution reads every other process's CS-enabledness
+     ([sec = Entry], [cont = Return], [not in_fence]), so it is dependent
+     on any move that may change that predicate ([may_enable_cs]) and on
+     other CS executions;
+   - everything else is dependent exactly on shared-variable read/write
+     conflicts.
+
+   Moves of the same process are always dependent (program order, FIFO
+   buffer order, and the issue-replaces-pending-write rule). *)
+
+open Tsim
+open Tsim.Ids
+
+type move = Step of Pid.t | Commit of Pid.t | Commit_var of Pid.t * Var.t
+
+let move_pid = function Step p | Commit p | Commit_var (p, _) -> p
+
+type t = {
+  pid : Pid.t;
+  reads : int;  (* bitset of shared variables read from memory *)
+  writes : int;  (* bitset of shared variables written (committed / RMW) *)
+  cs_check : bool;  (* CS execution: reads everyone's CS-enabledness *)
+  may_enable_cs : bool;  (* may make the owner CS-enabled *)
+  global : bool;  (* conservative fallback: dependent on everything *)
+}
+
+(* Variables above the one-word bitset capacity fall back to [global]
+   (dependent on everything) — correctness never relies on the bitset. *)
+let tracked_vars = Sys.int_size - 2
+
+let local ?(may_enable_cs = false) pid =
+  { pid; reads = 0; writes = 0; cs_check = false; may_enable_cs;
+    global = false }
+
+let of_var pid ~may_enable_cs ~reads ~writes v =
+  if v < 0 || v >= tracked_vars then
+    { pid; reads = 0; writes = 0; cs_check = false; may_enable_cs;
+      global = true }
+  else
+    let b = 1 lsl v in
+    { pid; reads = (if reads then b else 0);
+      writes = (if writes then b else 0); cs_check = false; may_enable_cs;
+      global = false }
+
+let of_move m mv =
+  match mv with
+  | Step p -> (
+      let may = Machine.step_may_enable_cs m p in
+      match Machine.step_footprint m p with
+      | Machine.F_none | Machine.F_local -> local ~may_enable_cs:may p
+      | Machine.F_read v ->
+          of_var p ~may_enable_cs:may ~reads:true ~writes:false v
+      | Machine.F_write v ->
+          of_var p ~may_enable_cs:may ~reads:false ~writes:true v
+      | Machine.F_rmw v ->
+          of_var p ~may_enable_cs:may ~reads:true ~writes:true v
+      | Machine.F_cs ->
+          { pid = p; reads = 0; writes = 0; cs_check = true;
+            may_enable_cs = false; global = false })
+  | Commit p -> (
+      match Wbuf.peek (Machine.proc m p).Machine.buf with
+      | Some e ->
+          of_var p ~may_enable_cs:false ~reads:false ~writes:true e.Wbuf.var
+      | None ->
+          (* commit of an empty buffer: never enabled; stay conservative *)
+          { pid = p; reads = 0; writes = 0; cs_check = false;
+            may_enable_cs = false; global = true })
+  | Commit_var (p, v) ->
+      of_var p ~may_enable_cs:false ~reads:false ~writes:true v
+
+let independent a b =
+  (not (Pid.equal a.pid b.pid))
+  && (not a.global) && (not b.global)
+  && a.writes land (b.reads lor b.writes) = 0
+  && b.writes land a.reads = 0
+  && not (a.cs_check && (b.cs_check || b.may_enable_cs))
+  && not (b.cs_check && a.may_enable_cs)
+
+(* A purely local move touches no shared variable and cannot raise the
+   exclusion check: the candidate class for singleton ample sets. (It may
+   still carry [may_enable_cs]; the explorer validates that post hoc by
+   peeking at the successor's pending event.) *)
+let purely_local f =
+  f.reads = 0 && f.writes = 0 && (not f.cs_check) && not f.global
+
+(* --- dense move encoding (sleep-set masks) --------------------------- *)
+
+(* Moves pack into [0 .. n*(2+nvars) - 1]: per process, slot 0 is Step,
+   slot 1 is Commit, slot [2+v] is Commit_var v. Sleep sets are then
+   one-word bitsets over codes; configurations too large to encode simply
+   run without sleep sets (masks stay 0), keeping the reduction sound. *)
+type codec = { stride : int; total_bits : int; encodable : bool }
+
+let codec_of_config (cfg : Config.t) =
+  let stride = 2 + Layout.size cfg.Config.layout in
+  let total_bits = cfg.Config.n * stride in
+  { stride; total_bits; encodable = total_bits <= Sys.int_size - 2 }
+
+let encode c = function
+  | Step p -> p * c.stride
+  | Commit p -> (p * c.stride) + 1
+  | Commit_var (p, v) -> (p * c.stride) + 2 + v
+
+let decode c code =
+  let p = code / c.stride in
+  match code mod c.stride with
+  | 0 -> Step p
+  | 1 -> Commit p
+  | k -> Commit_var (p, k - 2)
+
+let full_mask c = (1 lsl c.total_bits) - 1
+
+(* Iterate the set bits of a sleep mask as decoded moves. *)
+let iter_mask c f mask =
+  let rec go code mask =
+    if mask <> 0 then begin
+      if mask land 1 <> 0 then f code (decode c code);
+      go (code + 1) (mask lsr 1)
+    end
+  in
+  go 0 (mask land full_mask c)

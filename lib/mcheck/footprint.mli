@@ -1,0 +1,59 @@
+(** Per-move footprints, the independence relation, and the dense move
+    encoding used by the explorer's partial-order reduction.
+
+    See {!Explore} for the soundness argument tying these pieces to the
+    sleep-set / ample-set machinery. *)
+
+open Tsim
+open Tsim.Ids
+
+(** One scheduler choice (mirrored by {!Explore.move}). *)
+type move =
+  | Step of Pid.t
+  | Commit of Pid.t
+  | Commit_var of Pid.t * Var.t
+
+val move_pid : move -> Pid.t
+
+(** Over-approximate footprint of a move in a given state. *)
+type t = {
+  pid : Pid.t;
+  reads : int;  (** bitset of shared variables read from memory *)
+  writes : int;  (** bitset of shared variables written *)
+  cs_check : bool;  (** CS execution: reads every process's CS-enabledness *)
+  may_enable_cs : bool;  (** may make the owner CS-enabled *)
+  global : bool;  (** conservative fallback: dependent on everything *)
+}
+
+val of_move : Machine.t -> move -> t
+(** Footprint of [mv] in machine state [m], computed without executing
+    it. Only meaningful for enabled moves; disabled ones get conservative
+    answers. *)
+
+val independent : t -> t -> bool
+(** Sound commutation check: [independent a b] implies the two moves are
+    enabled-preserving and commute up to the explorer's fingerprint
+    projection, and neither can mask or cause a violation of the other.
+    Moves of the same process are never independent. *)
+
+val purely_local : t -> bool
+(** No shared-variable access, no CS check, not global — the candidate
+    class for singleton ample sets. [may_enable_cs] may still hold; the
+    explorer validates that post hoc on the successor state. *)
+
+(** {1 Dense move encoding}
+
+    Sleep sets are one-word bitsets over move codes
+    [pid * stride + slot]. Configurations whose move space exceeds a
+    word are flagged unencodable and run without sleep sets. *)
+
+type codec = { stride : int; total_bits : int; encodable : bool }
+
+val codec_of_config : Config.t -> codec
+val encode : codec -> move -> int
+val decode : codec -> int -> move
+val full_mask : codec -> int
+(** Mask with one bit per encodable move; only valid when [encodable]. *)
+
+val iter_mask : codec -> (int -> move -> unit) -> int -> unit
+(** Apply [f code move] to every set bit of a sleep mask. *)

@@ -484,6 +484,51 @@ let step m p : Event.t =
                 ~result:(fun observed -> k observed)
                 ~new_value:(fun _ -> Some x)))
 
+(* --- footprints ------------------------------------------------------ *)
+
+(* Shared-memory footprint of the event [step m p] would execute, decided
+   from machine state without executing it. This is what lets the model
+   checker's partial-order reduction (lib/mcheck) classify moves as
+   commuting without trial execution. [F_local] means the event touches
+   only process-local state: the process's own buffer, fence flags,
+   section bookkeeping and continuation — including reads satisfied by
+   store-to-load forwarding, which never reach shared memory. *)
+type footprint =
+  | F_none  (* finished process: step would raise *)
+  | F_local  (* process-local only (buffer push, fence flags, sections) *)
+  | F_read of Var.t  (* reads [v] from shared memory *)
+  | F_write of Var.t  (* commits a buffered write to [v] *)
+  | F_rmw of Var.t  (* atomically reads and writes [v] *)
+  | F_cs  (* CS execution: reads every process's entry progress *)
+
+let step_footprint m p : footprint =
+  let pr = m.procs.(p) in
+  match pending m p with
+  | P_done -> F_none
+  | P_enter | P_exit -> F_local
+  | P_cs -> F_cs
+  | P_begin_fence | P_end_fence | P_rmw_fence -> F_local
+  | P_issue_write _ -> F_local
+  | P_commit v -> F_write v
+  | P_read v -> if Wbuf.find pr.buf v <> None then F_local else F_read v
+  | P_cas (v, _, _) | P_faa (v, _) | P_swap (v, _) -> F_rmw v
+
+(* Could [step m p] leave the process CS-enabled (in its entry section
+   with a completed entry program, outside any fence)? Conservative: true
+   whenever the event advances the continuation of a process that is (or
+   becomes) in Entry — the continuation's remainder cannot be inspected
+   without running its closures. An implicit RMW drain's EndFence leaves
+   the pending RMW in place, so it never completes the section. *)
+let step_may_enable_cs m p =
+  let pr = m.procs.(p) in
+  match pending m p with
+  | P_enter -> true
+  | P_end_fence -> pr.sec = Entry && not pr.fence_implicit
+  | P_read _ | P_issue_write _ | P_cas _ | P_faa _ | P_swap _ ->
+      pr.sec = Entry
+  | P_done | P_cs | P_exit | P_begin_fence | P_rmw_fence | P_commit _ ->
+      false
+
 (* --- classification helpers for adversaries ------------------------- *)
 
 (* Would the pending event of [p] be special (Definition 3) if executed now?

@@ -129,6 +129,31 @@ val mode : t -> Pid.t -> [ `Read | `Write ]
 
 val pending : t -> Pid.t -> pending
 
+(** Shared-memory footprint of the event {!step} would execute, decided
+    from machine state without executing it (cf. {!Prog.head_footprint}
+    for the raw program-level classification). Drives the model checker's
+    partial-order reduction. *)
+type footprint =
+  | F_none  (** finished process: {!step} would raise *)
+  | F_local
+      (** touches only process-local state: the process's buffer, fence
+          flags, section bookkeeping and continuation — including reads
+          satisfied by store-to-load forwarding *)
+  | F_read of Var.t  (** reads [v] from shared memory *)
+  | F_write of Var.t  (** commits a buffered write to [v] *)
+  | F_rmw of Var.t  (** atomically reads and writes [v] *)
+  | F_cs  (** CS execution: reads every process's entry progress *)
+
+val step_footprint : t -> Pid.t -> footprint
+
+val step_may_enable_cs : t -> Pid.t -> bool
+(** Could {!step} leave the process CS-enabled (in Entry with a completed
+    entry program, outside any fence)? Conservatively [true] whenever the
+    event advances the continuation of a process in (or entering) its
+    entry section; exact [false] answers are guaranteed sound — the CS
+    check of {!step} on {e other} processes cannot change across such an
+    event. *)
+
 (** {1 Execution} *)
 
 val commit : t -> Pid.t -> Event.t

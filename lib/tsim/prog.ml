@@ -82,6 +82,21 @@ let rec repeat_until body cond =
   let* x = body in
   if cond x then Return x else repeat_until body cond
 
+(* Shared-memory footprint of the head operation, decided without running
+   it. [`Write] covers the *issue* of a write (buffer insertion); whether
+   the issue or the eventual commit touches shared memory is the
+   machine's business ([Machine.step_footprint] refines this with buffer
+   and fence state). *)
+let head_footprint : type a. a t -> [ `Return | `Read of Var.t | `Write of Var.t | `Fence | `Rmw of Var.t ]
+    = function
+  | Return _ -> `Return
+  | Bind (Read v, _) -> `Read v
+  | Bind (Write (v, _), _) -> `Write v
+  | Bind (Fence, _) -> `Fence
+  | Bind (Cas (v, _, _), _) -> `Rmw v
+  | Bind (Faa (v, _), _) -> `Rmw v
+  | Bind (Swap (v, _), _) -> `Rmw v
+
 (* Describe the head operation of a program, for debugging output. *)
 let head_to_string : type a. a t -> string = function
   | Return _ -> "return"

@@ -73,3 +73,11 @@ val repeat_until : 'a t -> ('a -> bool) -> 'a t
 
 val head_to_string : 'a t -> string
 (** Describe the next operation of a program, for diagnostics. *)
+
+val head_footprint :
+  'a t -> [ `Return | `Read of Var.t | `Write of Var.t | `Fence | `Rmw of Var.t ]
+(** Shared-memory footprint of the next operation, decided without
+    executing it. [`Write] is the footprint of the {e issue} (a buffer
+    insertion); see {!Machine.step_footprint} for the machine-level
+    refinement that accounts for store-to-load forwarding, fences and
+    buffered commits. *)

@@ -22,5 +22,6 @@ let () =
       ("coord", Suite_coord.suite);
       ("mcheck", Suite_mcheck.suite);
       ("mcheck_equiv", Suite_mcheck_equiv.suite);
+      ("corpus", Suite_corpus.suite);
       ("twoproc", Suite_twoproc.suite);
     ]

@@ -86,16 +86,25 @@ let verdict = Alcotest.testable
     (fun fmt v -> Format.pp_print_string fmt (verdict_to_string v))
     ( = )
 
-(* The three engine configurations under comparison. *)
+(* The engine configurations under comparison: the reference point (trace
+   on, no reduction, single domain — the seed engine), then the
+   throughput features and the partial-order reduction in every
+   combination of domains. POR must be verdict-invisible everywhere. *)
 let engines =
   [
-    ("reference (trace on, d=1)",
+    ("reference (trace on, por off, d=1)",
      fun cfg ->
-       Mcheck.Explore.explore ~max_nodes:2_000_000 ~record_trace:true cfg);
-    ("fast (trace off, d=1)",
+       Mcheck.Explore.explore ~max_nodes:2_000_000 ~record_trace:true
+         ~por:false cfg);
+    ("fast (por on, d=1)",
      fun cfg -> Mcheck.Explore.explore ~max_nodes:2_000_000 cfg);
-    ("parallel (trace off, d=4)",
+    ("fast (por off, d=1)",
+     fun cfg -> Mcheck.Explore.explore ~max_nodes:2_000_000 ~por:false cfg);
+    ("parallel (por on, d=4)",
      fun cfg -> Mcheck.Explore.explore ~max_nodes:2_000_000 ~domains:4 cfg);
+    ("parallel (por off, d=4)",
+     fun cfg ->
+       Mcheck.Explore.explore ~max_nodes:2_000_000 ~domains:4 ~por:false cfg);
   ]
 
 let check_equiv name mk_cfg expected =
@@ -150,6 +159,151 @@ let test_trace_flag_invisible () =
   Alcotest.(check int) "same depth" on.Mcheck.Explore.max_depth
     off.Mcheck.Explore.max_depth
 
+(* The reduction must earn its keep: on the fenced Peterson exhaustive
+   check, POR explores at least 2x fewer nodes (the bench rows in
+   BENCH_PR2.json record the measured counts). *)
+let test_por_reduces_nodes () =
+  let on = Mcheck.Explore.explore ~max_nodes:2_000_000 (peterson ~fenced:true)
+  and off =
+    Mcheck.Explore.explore ~max_nodes:2_000_000 ~por:false
+      (peterson ~fenced:true)
+  in
+  Alcotest.(check bool) "por on: exhausted" true on.Mcheck.Explore.exhausted;
+  Alcotest.(check bool) "por off: exhausted" true off.Mcheck.Explore.exhausted;
+  Alcotest.(check bool)
+    (Printf.sprintf "por-on nodes (%d) <= por-off nodes (%d) / 2"
+       on.Mcheck.Explore.nodes off.Mcheck.Explore.nodes)
+    true
+    (2 * on.Mcheck.Explore.nodes <= off.Mcheck.Explore.nodes)
+
+(* --- differential property: POR is verdict-invisible ------------------- *)
+
+(* Random 2-process straight-line entry sections over three shared
+   variables (plus a never-set park variable for conditional spins),
+   explored exhaustively with and without the reduction under both
+   orderings. No mutual exclusion is attempted, so exclusion violations
+   abound; conditional spins make some programs spin-exhaust and some
+   verify. The engines must agree on [verified], [exhausted] and the SET
+   of violation kinds, and the reduced run's visited states must be a
+   subset of the full run's (fused chain intermediates are skipped, so
+   containment — not equality — is the invariant). *)
+
+type rop =
+  | Rwrite of int * int
+  | Rread of int
+  | Rfence
+  | Rcas of int * int * int
+  | Rguard of int * int  (* read v; park (bounded spin) if it equals x *)
+
+let rop_to_string = function
+  | Rwrite (v, x) -> Printf.sprintf "w v%d %d" v x
+  | Rread v -> Printf.sprintf "r v%d" v
+  | Rfence -> "f"
+  | Rcas (v, e, d) -> Printf.sprintf "cas v%d %d->%d" v e d
+  | Rguard (v, x) -> Printf.sprintf "guard v%d=%d" v x
+
+let gen_rop =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map2 (fun v x -> Rwrite (v, x)) (int_range 0 2) (int_range 1 3));
+        (3, map (fun v -> Rread v) (int_range 0 2));
+        (2, return Rfence);
+        (2,
+         map3
+           (fun v e d -> Rcas (v, e, d))
+           (int_range 0 2) (int_range 0 2) (int_range 1 3));
+        (2, map2 (fun v x -> Rguard (v, x)) (int_range 0 2) (int_range 0 1));
+      ])
+
+let gen_prog2 =
+  QCheck.Gen.(
+    triple
+      (list_size (int_range 1 5) gen_rop)
+      (list_size (int_range 1 5) gen_rop)
+      bool)
+
+let arb_prog2 =
+  QCheck.make
+    ~print:(fun (a, b, pso) ->
+      Printf.sprintf "p0:[%s] p1:[%s] %s"
+        (String.concat "; " (List.map rop_to_string a))
+        (String.concat "; " (List.map rop_to_string b))
+        (if pso then "PSO" else "TSO"))
+    gen_prog2
+
+let config_of_rops (ops0, ops1, pso) =
+  let layout = Layout.create () in
+  let vars = Layout.array layout ~init:0 "v" 3 in
+  let park = Layout.var layout ~init:0 "park" in
+  let rec prog = function
+    | [] -> unit
+    | Rwrite (v, x) :: rest ->
+        let* () = write vars.(v) x in
+        prog rest
+    | Rread v :: rest ->
+        let* _ = read vars.(v) in
+        prog rest
+    | Rfence :: rest ->
+        let* () = fence in
+        prog rest
+    | Rcas (v, e, d) :: rest ->
+        let* _ = cas vars.(v) ~expected:e ~desired:d in
+        prog rest
+    | Rguard (v, x) :: rest ->
+        let* y = read vars.(v) in
+        if y = x then
+          let* _ = spin_until ~fuel:1 park (fun b -> b = 1) in
+          prog rest
+        else prog rest
+  in
+  Config.make ~model:Config.Cc_wb
+    ~ordering:(if pso then Config.Pso else Config.Tso)
+    ~check_exclusion:true ~n:2 ~layout
+    ~entry:(fun p -> prog (if p = 0 then ops0 else ops1))
+    ~exit_section:(fun _ -> Prog.unit)
+    ()
+
+let kind_set (r : Mcheck.Explore.result) =
+  List.sort_uniq compare
+    (List.map
+       (fun v ->
+         match v.Mcheck.Explore.kind with
+         | `Exclusion _ -> "exclusion"
+         | `Deadlock -> "deadlock"
+         | `Spin_exhausted -> "spin")
+       r.Mcheck.Explore.violations)
+
+let prop_por_differential =
+  QCheck.Test.make ~count:120 ~name:"por on/off: same verdict, subset states"
+    arb_prog2 (fun progs ->
+      let run ~por sink =
+        Mcheck.Explore.explore ~max_nodes:500_000 ~max_violations:max_int
+          ~on_spin:`Violation ~por ~on_fingerprint:sink
+          (config_of_rops progs)
+      in
+      let fps_off = Hashtbl.create 256 and fps_on = Hashtbl.create 256 in
+      let off = run ~por:false (fun fp -> Hashtbl.replace fps_off fp ()) in
+      let on = run ~por:true (fun fp -> Hashtbl.replace fps_on fp ()) in
+      if not off.Mcheck.Explore.exhausted then
+        QCheck.Test.fail_report "full run did not exhaust";
+      if on.Mcheck.Explore.exhausted <> off.Mcheck.Explore.exhausted then
+        QCheck.Test.fail_report "exhausted disagrees";
+      if on.Mcheck.Explore.verified <> off.Mcheck.Explore.verified then
+        QCheck.Test.fail_report "verified disagrees";
+      if kind_set on <> kind_set off then
+        QCheck.Test.fail_report
+          (Printf.sprintf "violation kinds disagree: por-on {%s} vs por-off {%s}"
+             (String.concat "," (kind_set on))
+             (String.concat "," (kind_set off)));
+      Hashtbl.iter
+        (fun fp () ->
+          if not (Hashtbl.mem fps_off fp) then
+            QCheck.Test.fail_report
+              "por-on visited a state the full exploration never saw")
+        fps_on;
+      true)
+
 let suite =
   [
     check_equiv "peterson fenced" (fun () -> peterson ~fenced:true) Verified;
@@ -162,4 +316,7 @@ let suite =
       test_parallel_deterministic;
     Alcotest.test_case "record_trace does not affect the search" `Quick
       test_trace_flag_invisible;
+    Alcotest.test_case "por reduces fenced-peterson nodes >= 2x" `Quick
+      test_por_reduces_nodes;
+    QCheck_alcotest.to_alcotest prop_por_differential;
   ]
