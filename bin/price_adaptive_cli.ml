@@ -27,6 +27,18 @@ let model_conv =
   in
   Arg.conv (parse, print)
 
+let crash_semantics_conv =
+  let parse = function
+    | "drop-buffer" | "drop" -> Ok Tsim.Config.Drop_buffer
+    | "flush-buffer" | "flush" -> Ok Tsim.Config.Flush_buffer
+    | "atomic-prefix" | "prefix" -> Ok Tsim.Config.Atomic_prefix
+    | s -> Error (`Msg (Printf.sprintf "unknown crash semantics %S" s))
+  in
+  let print fmt c =
+    Format.pp_print_string fmt (Tsim.Config.crash_semantics_name c)
+  in
+  Arg.conv (parse, print)
+
 let find_lock name =
   match Locks.Zoo.find name with
   | Some fam -> Ok fam
@@ -36,7 +48,12 @@ let find_lock name =
            (String.concat ", "
               (List.map
                  (fun f -> f.Locks.Lock_intf.family_name)
-                 Locks.Zoo.all)))
+                 (Locks.Zoo.all @ Locks.Zoo.two_process
+                @ Locks.Zoo.recoverable))))
+
+(* Exit code 2 with a one-line diagnostic: the contract for bad input
+   (unknown lock names, malformed schedule files) on verify/replay. *)
+let die2 fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
 
 (* --- list -------------------------------------------------------------- *)
 
@@ -315,34 +332,58 @@ let verify_cmd =
             "write the first violating schedule to FILE (replayable with \
              the replay command)")
   in
-  let run name n max_nodes spin_fuel domains no_por save_schedule =
-    if domains < 1 then begin
-      prerr_endline "--domains must be >= 1";
-      exit 1
-    end;
+  let max_crashes =
+    Arg.(
+      value & opt int 0
+      & info [ "max-crashes" ]
+          ~doc:"crash faults the adversary may inject (default 0)")
+  in
+  let max_millis =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-millis" ] ~doc:"wall-clock budget in milliseconds")
+  in
+  let crash_semantics =
+    Arg.(
+      value & opt crash_semantics_conv Tsim.Config.Drop_buffer
+      & info [ "crash-semantics" ]
+          ~doc:
+            "write-buffer fate on crash: drop-buffer, flush-buffer, or \
+             atomic-prefix")
+  in
+  let run name n max_nodes spin_fuel domains no_por save_schedule max_crashes
+      max_millis crash_semantics =
+    if domains < 1 then die2 "--domains must be >= 1";
+    if max_crashes < 0 then die2 "--max-crashes must be >= 0";
     match find_lock name with
-    | Error e ->
-        prerr_endline e;
-        exit 1
+    | Error e -> die2 "%s" e
     | Ok fam ->
         let lock = fam.Locks.Lock_intf.instantiate ~n in
         let cfg =
-          Locks.Harness.config_of_lock ~model:Tsim.Config.Cc_wb lock ~n
+          Locks.Harness.config_of_lock ~model:Tsim.Config.Cc_wb
+            ~crash_semantics lock ~n
         in
         let r =
           Mcheck.Explore.explore ~max_nodes ~spin_fuel ~domains
-            ~por:(not no_por) cfg
+            ~por:(not no_por) ~max_crashes ?max_millis cfg
         in
-        Printf.printf "%s n=%d%s: %d states, max depth %d\n"
+        Printf.printf "%s n=%d%s%s: %d states, max depth %d\n"
           lock.Locks.Lock_intf.name n
+          (if max_crashes > 0 then
+             Printf.sprintf " crashes<=%d (%s)" max_crashes
+               (Tsim.Config.crash_semantics_name crash_semantics)
+           else "")
           (if no_por then " (no por)" else "")
           r.Mcheck.Explore.nodes r.Mcheck.Explore.max_depth;
         if r.Mcheck.Explore.verified then
           print_endline "VERIFIED: no exclusion violation or deadlock in the \
                          full (deduplicated) schedule space"
         else begin
-          (if not r.Mcheck.Explore.exhausted then
-             print_endline "space not exhausted within budget");
+          (match r.Mcheck.Explore.partial with
+          | Some reason ->
+              Printf.printf "PARTIAL: search stopped by %s\n"
+                (Mcheck.Explore.partial_reason_name reason)
+          | None -> ());
           List.iter
             (fun v ->
               (match v.Mcheck.Explore.kind with
@@ -366,7 +407,7 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
       const run $ lock_arg $ n $ max_nodes $ spin_fuel $ domains $ no_por
-      $ save_schedule)
+      $ save_schedule $ max_crashes $ max_millis $ crash_semantics)
 
 (* --- replay -------------------------------------------------------------- *)
 
@@ -385,20 +426,31 @@ let replay_cmd =
   let spin_fuel =
     Arg.(value & opt int 6 & info [ "spin-fuel" ] ~doc:"busy-wait bound")
   in
-  let run name file n spin_fuel =
+  let crash_semantics =
+    Arg.(
+      value & opt crash_semantics_conv Tsim.Config.Drop_buffer
+      & info [ "crash-semantics" ]
+          ~doc:
+            "write-buffer fate on crash moves: drop-buffer, flush-buffer, \
+             or atomic-prefix (must match the exploring run)")
+  in
+  let run name file n spin_fuel crash_semantics =
     match find_lock name with
-    | Error e ->
-        prerr_endline e;
-        exit 1
+    | Error e -> die2 "%s" e
     | Ok fam -> (
         match Mcheck.Explore.load_schedule file with
         | Error msg ->
-            Printf.eprintf "%s: %s\n" file msg;
-            exit 1
+            (* Sys_error messages already lead with the path *)
+            let prefixed =
+              String.length msg >= String.length file
+              && String.sub msg 0 (String.length file) = file
+            in
+            if prefixed then die2 "%s" msg else die2 "%s: %s" file msg
         | Ok schedule ->
             let lock = fam.Locks.Lock_intf.instantiate ~n in
             let cfg =
-              Locks.Harness.config_of_lock ~model:Tsim.Config.Cc_wb lock ~n
+              Locks.Harness.config_of_lock ~model:Tsim.Config.Cc_wb
+                ~crash_semantics lock ~n
             in
             let saved = !Tsim.Prog.default_spin_fuel in
             Tsim.Prog.default_spin_fuel := spin_fuel;
@@ -407,6 +459,11 @@ let replay_cmd =
                 ~finally:(fun () -> Tsim.Prog.default_spin_fuel := saved)
                 (fun () -> Mcheck.Explore.replay cfg schedule)
             in
+            (match outcome with
+            | Mcheck.Explore.R_bad_pid (i, p) ->
+                die2 "%s: move %d references p%d but the machine has n=%d"
+                  file i p n
+            | _ -> ());
             Printf.printf "%s n=%d: %d moves\n" lock.Locks.Lock_intf.name n
               (List.length schedule);
             (match outcome with
@@ -419,12 +476,15 @@ let replay_cmd =
                   h i
             | Mcheck.Explore.R_spin v ->
                 Printf.printf "SPIN EXHAUSTED on v%d\n" v
+            | Mcheck.Explore.R_bad_pid (i, p) ->
+                die2 "%s: move %d references p%d but the machine has n=%d"
+                  file i p n
             | Mcheck.Explore.R_stuck (i, msg) ->
                 Printf.printf "stuck at move %d: %s\n" i msg;
                 exit 1))
   in
   Cmd.v (Cmd.info "replay" ~doc)
-    Term.(const run $ lock_arg $ file $ n $ spin_fuel)
+    Term.(const run $ lock_arg $ file $ n $ spin_fuel $ crash_semantics)
 
 (* --- litmus -------------------------------------------------------------- *)
 
@@ -473,8 +533,21 @@ let () =
      PODC 2015)"
   in
   let info = Cmd.info "price_adaptive" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-       [ list_cmd; lock_cmd; adversary_cmd; bounds_cmd; verify_cmd;
-         replay_cmd; trace_cmd; analyze_cmd; show_cmd; litmus_cmd ]))
+  (* Bad input must always surface as a one-line diagnostic with exit
+     code 2, never a backtrace: catch anything the commands let through
+     (unreadable files, Invalid_argument from deep in the stack). *)
+  let code =
+    try
+      Cmd.eval
+        (Cmd.group info
+           [ list_cmd; lock_cmd; adversary_cmd; bounds_cmd; verify_cmd;
+             replay_cmd; trace_cmd; analyze_cmd; show_cmd; litmus_cmd ])
+    with
+    | Sys_error msg ->
+        prerr_endline msg;
+        2
+    | Invalid_argument msg | Failure msg ->
+        Printf.eprintf "error: %s\n" msg;
+        2
+  in
+  exit code

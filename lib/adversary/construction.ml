@@ -141,6 +141,9 @@ let advance t p : cls =
       match Machine.pending t.m p with
       | Machine.P_done -> stuckf "advance: active p%d is finished" p
       | Machine.P_enter -> stuckf "advance: active p%d back in NCS" p
+      | Machine.P_recover ->
+          stuckf "advance: active p%d crashed (construction is failure-free)"
+            p
       | Machine.P_exit ->
           stuckf "advance: p%d in exit section outside regularization" p
       | pending when not (Machine.pending_is_special t.m p) ->

@@ -85,6 +85,13 @@ let analyze (t : Trace.t) : summary =
       | Event.Enter -> Hashtbl.replace status p `Entry
       | Event.Cs -> Hashtbl.replace status p `Exit
       | Event.Exit -> Hashtbl.replace status p `Ncs
+      (* crash faults: the committed prefix already appeared as ordinary
+         Commit_write events; the wipe itself resets section and fence
+         state and is never critical *)
+      | Event.Crash _ ->
+          Hashtbl.replace status p `Ncs;
+          Hashtbl.replace in_fence p false
+      | Event.Recover -> ()
       | Event.Begin_fence _ -> Hashtbl.replace in_fence p true
       | Event.End_fence _ ->
           Hashtbl.replace in_fence p false;

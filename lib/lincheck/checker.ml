@@ -7,11 +7,20 @@
    may be linearized next; dead (remaining-set, state) pairs are memoized
    so the search is exponential only in the width of the history's
    concurrency, not its length. Histories here come from the simulator's
-   schedules (tens of operations), well within range. *)
+   schedules (tens of operations), well within range.
+
+   Aborted operations (process crashed before responding) make this a
+   strict-linearizability check (Aguilera & Frolund): such an op either
+   takes effect before its crash point — its [res] is the crash position,
+   so ordinary precedence enforces "commits before the crash" — or it is
+   dropped entirely. Both branches are explored. Dropping is restricted
+   to minimal ops without loss: a drop has no state effect, so it
+   commutes with everything linearized before it. *)
 
 type verdict = {
   linearizable : bool;
   witness : History.op list;  (* a legal linearization when found *)
+  dropped : History.op list;  (* aborted ops the witness declares unrun *)
   states_explored : int;
 }
 
@@ -32,12 +41,14 @@ let check (spec : Spec.t) (h : History.t) : verdict =
   let dead : (int64 * Spec.state, unit) Hashtbl.t = Hashtbl.create 1024 in
   let explored = ref 0 in
   let witness = ref [] in
-  (* [go remaining state acc]: true if the remaining set linearizes from
-     [state]. *)
-  let rec go remaining state acc =
+  let dropped = ref [] in
+  (* [go remaining state acc drops]: true if the remaining set
+     linearizes from [state]. *)
+  let rec go remaining state acc drops =
     incr explored;
     if remaining = 0L then begin
       witness := List.rev acc;
+      dropped := List.rev drops;
       true
     end
     else if Hashtbl.mem dead (remaining, state) then false
@@ -48,16 +59,32 @@ let check (spec : Spec.t) (h : History.t) : verdict =
         let idx = !i in
         incr i;
         if mem idx remaining
-           && Int64.logand pred_mask.(idx) remaining = 0L then
-          match spec.Spec.apply state h.(idx) with
+           && Int64.logand pred_mask.(idx) remaining = 0L then begin
+          (match spec.Spec.apply state h.(idx) with
           | Some state' ->
-              if go (Int64.logxor remaining (bit idx)) state' (h.(idx) :: acc)
+              if
+                go
+                  (Int64.logxor remaining (bit idx))
+                  state' (h.(idx) :: acc) drops
               then ok := true
-          | None -> ()
+          | None -> ());
+          if (not !ok) && h.(idx).History.aborted then
+            (* crashed before taking effect: the op never ran *)
+            if
+              go
+                (Int64.logxor remaining (bit idx))
+                state acc (h.(idx) :: drops)
+            then ok := true
+        end
       done;
       if not !ok then Hashtbl.replace dead (remaining, state) ();
       !ok
     end
   in
-  let linearizable = go full_mask spec.Spec.initial [] in
-  { linearizable; witness = !witness; states_explored = !explored }
+  let linearizable = go full_mask spec.Spec.initial [] [] in
+  {
+    linearizable;
+    witness = !witness;
+    dropped = !dropped;
+    states_explored = !explored;
+  }

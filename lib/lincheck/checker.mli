@@ -1,10 +1,21 @@
 (** Wing & Gong linearizability checking with dead-configuration
     memoization: find a total order extending real-time precedence that
-    is legal under the spec. *)
+    is legal under the spec.
+
+    Histories with {!History.op.aborted} operations are checked for
+    {e strict} linearizability: a crashed operation either takes effect
+    before its crash point (its [res]) or is dropped entirely; both
+    branches are explored. Legality of a linearized aborted op is the
+    spec's call — it sees [result = None] and should accept any effect
+    the operation could have had (see {!Spec.counter}); specs that
+    refuse [None] results under-approximate, rejecting histories whose
+    crashed op did commit. *)
 
 type verdict = {
   linearizable : bool;
   witness : History.op list;  (** a legal linearization when found *)
+  dropped : History.op list;
+      (** aborted ops the witness declares never-ran *)
   states_explored : int;
 }
 

@@ -17,6 +17,10 @@ type op = {
   inv : int;  (* trace position at invocation *)
   res : int;  (* trace position at response *)
   uid : int;  (* dense id within the history *)
+  aborted : bool;
+      (* the process crashed before responding: [res] is the crash
+         position, [result] is unknowable. Under strict linearizability
+         the op either took effect before [res] or never did. *)
 }
 
 type t = op array
@@ -34,9 +38,10 @@ let of_list ops =
 let length = Array.length
 
 let pp_op fmt o =
-  Format.fprintf fmt "%a.%s%s%s [%d,%d]" Pid.pp o.pid o.label
+  Format.fprintf fmt "%a.%s%s%s%s [%d,%d]" Pid.pp o.pid o.label
     (match o.arg with Some a -> Printf.sprintf "(%d)" a | None -> "()")
     (match o.result with Some r -> Printf.sprintf "=%d" r | None -> "")
+    (if o.aborted then "!crash" else "")
     o.inv o.res
 
 let pp fmt (h : t) =

@@ -12,6 +12,9 @@ type op = {
   inv : int;
   res : int;
   uid : int;
+  aborted : bool;
+      (** the process crashed before responding: [res] is the crash
+          position, [result] is unknowable *)
 }
 
 type t = op array

@@ -13,7 +13,9 @@ type t = {
   apply : state -> History.op -> state option;
 }
 
-(* Counter with fetch&increment: state = [current]. *)
+(* Counter with fetch&increment: state = [current]. An aborted faa (the
+   caller crashed; the return value is unknowable) is legal with any
+   observed value, so its effect is just the increment. *)
 let counter =
   {
     spec_name = "counter";
@@ -22,6 +24,7 @@ let counter =
       (fun st op ->
         match (st, op.History.label, op.History.result) with
         | [ c ], "faa", Some r when r = c -> Some [ c + 1 ]
+        | [ c ], "faa", None when op.History.aborted -> Some [ c + 1 ]
         | _ -> None);
   }
 
@@ -59,7 +62,8 @@ let queue =
         | _ -> None);
   }
 
-(* Read/write register: state = [current]. *)
+(* Read/write register: state = [current]. Aborted reads have no effect
+   and an unknowable result, so they are legal from any state. *)
 let register =
   {
     spec_name = "register";
@@ -69,5 +73,6 @@ let register =
         match (st, op.History.label, op.History.arg, op.History.result) with
         | _, "write", Some v, _ -> Some [ v ]
         | [ c ], "read", _, Some r when r = c -> Some [ c ]
+        | [ c ], "read", _, None when op.History.aborted -> Some [ c ]
         | _ -> None);
   }

@@ -18,8 +18,11 @@ let op ?arg label prog = { label; arg; prog }
 
 type schedule = Rr | Rand of int
 
-let run ?(model = Config.Cc_wb) ?(schedule = Rr) ~layout ~n ~ops_per_proc
-    (gen : Pid.t -> int -> op_spec) : History.t =
+let run ?(model = Config.Cc_wb) ?(schedule = Rr) ?(crash_prob = 0.0)
+    ?(max_crashes = 0) ?(crash_semantics = Config.Drop_buffer) ~layout ~n
+    ~ops_per_proc (gen : Pid.t -> int -> op_spec) : History.t =
+  if crash_prob > 0.0 && schedule = Rr then
+    invalid_arg "Workload.run: crash injection needs a Rand schedule";
   let mref = ref None in
   let trace_len () =
     match !mref with
@@ -27,6 +30,13 @@ let run ?(model = Config.Cc_wb) ?(schedule = Rr) ~layout ~n ~ops_per_proc
     | None -> 0
   in
   let recorded = ref [] in
+  (* Every invocation logs a completion cell; the response closure below
+     never fires for an operation interrupted by a crash (the crash wipes
+     the continuation), so cells still false at the end are crashed ops.
+     A recovered process restarts its workload from op 0: the new
+     invocations are fresh history records, the interrupted one becomes
+     an aborted record closed at the crash position. *)
+  let invocations = ref [] in
   let entry p =
     let rec ops i =
       if i >= ops_per_proc then unit
@@ -35,10 +45,13 @@ let run ?(model = Config.Cc_wb) ?(schedule = Rr) ~layout ~n ~ops_per_proc
            i.e. at the real invocation point *)
         let o = gen p i in
         let inv = trace_len () in
+        let completed = ref false in
+        invocations := (p, o.label, o.arg, inv, completed) :: !invocations;
         let* r = o.prog in
+        completed := true;
         recorded :=
           { History.pid = p; label = o.label; arg = o.arg; result = Some r;
-            inv; res = trace_len (); uid = 0 }
+            inv; res = trace_len (); uid = 0; aborted = false }
           :: !recorded;
         ops (i + 1)
       end
@@ -46,7 +59,8 @@ let run ?(model = Config.Cc_wb) ?(schedule = Rr) ~layout ~n ~ops_per_proc
     ops 0
   in
   let cfg =
-    Config.make ~model ~check_exclusion:false ~n ~layout ~entry
+    Config.make ~model ~check_exclusion:false ~crash_semantics ~n ~layout
+      ~entry
       ~exit_section:(fun _ -> Prog.unit)
       ()
   in
@@ -54,10 +68,42 @@ let run ?(model = Config.Cc_wb) ?(schedule = Rr) ~layout ~n ~ops_per_proc
   mref := Some m;
   (match schedule with
   | Rr -> ignore (Sched.round_robin m)
-  | Rand seed -> ignore (Sched.random ~seed m));
-  History.of_list !recorded
+  | Rand seed -> ignore (Sched.random ~seed ~crash_prob ~max_crashes m));
+  (* close each interrupted invocation at its process's first crash event
+     after the invocation point *)
+  let tr = Machine.trace m in
+  let crash_after p inv =
+    let len = Vec.length tr in
+    let rec go i =
+      if i >= len then None
+      else
+        let e = Vec.get tr i in
+        match e.Event.kind with
+        | Event.Crash _ when e.Event.pid = p -> Some (i + 1)
+        | _ -> go (i + 1)
+    in
+    go inv
+  in
+  let aborted =
+    List.filter_map
+      (fun (p, label, arg, inv, completed) ->
+        if !completed then None
+        else
+          match crash_after p inv with
+          | Some res ->
+              Some
+                { History.pid = p; label; arg; result = None; inv; res;
+                  uid = 0; aborted = true }
+          | None -> None (* open op at run end: not recorded, as before *))
+      !invocations
+  in
+  History.of_list (aborted @ !recorded)
 
 (* Convenience: run and check in one go. *)
-let run_and_check ?model ?schedule ~layout ~n ~ops_per_proc gen spec =
-  let h = run ?model ?schedule ~layout ~n ~ops_per_proc gen in
+let run_and_check ?model ?schedule ?crash_prob ?max_crashes ?crash_semantics
+    ~layout ~n ~ops_per_proc gen spec =
+  let h =
+    run ?model ?schedule ?crash_prob ?max_crashes ?crash_semantics ~layout ~n
+      ~ops_per_proc gen
+  in
   (h, Checker.check spec h)

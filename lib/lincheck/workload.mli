@@ -14,15 +14,28 @@ type schedule = Rr | Rand of int
 val run :
   ?model:Config.mem_model ->
   ?schedule:schedule ->
+  ?crash_prob:float ->
+  ?max_crashes:int ->
+  ?crash_semantics:Config.crash_semantics ->
   layout:Layout.t ->
   n:int ->
   ops_per_proc:int ->
   (Pid.t -> int -> op_spec) ->
   History.t
+(** With [crash_prob > 0] (requires a [Rand] schedule) up to
+    [max_crashes] crash faults are injected; an operation interrupted by
+    a crash is recorded with {!History.op.aborted} set, [result = None]
+    and [res] at the crash position, and the recovered process restarts
+    its workload from its first operation. The resulting history is
+    checked for strict linearizability by {!Checker.check}.
+    @raise Invalid_argument for [crash_prob > 0] with a [Rr] schedule. *)
 
 val run_and_check :
   ?model:Config.mem_model ->
   ?schedule:schedule ->
+  ?crash_prob:float ->
+  ?max_crashes:int ->
+  ?crash_semantics:Config.crash_semantics ->
   layout:Layout.t ->
   n:int ->
   ops_per_proc:int ->

@@ -60,6 +60,7 @@ let make ?(d0 = 4) ~n () : Lock_intf.t =
     layout;
     entry;
     exit_section;
+    recovery = None;
   }
 
 let family = Lock_intf.make_family "adaptive-tree" (fun ~n -> make ~n ())

@@ -48,6 +48,7 @@ let make ~n : Lock_intf.t =
     layout;
     entry;
     exit_section;
+    recovery = None;
   }
 
 let family = Lock_intf.make_family "anderson" (fun ~n -> make ~n)

@@ -68,6 +68,7 @@ let make ?(pso_safe = false) ~n () : Lock_intf.t =
     layout;
     entry;
     exit_section;
+    recovery = None;
   }
 
 let family = Lock_intf.make_family "bakery" (fun ~n -> make ~n ())

@@ -52,6 +52,7 @@ let make ~n : Lock_intf.t =
     layout;
     entry;
     exit_section;
+    recovery = None;
   }
 
 let family = Lock_intf.make_family "burns-lamport" (fun ~n -> make ~n)

@@ -81,6 +81,7 @@ let make ?(d0 = 4) ~n () : Lock_intf.t =
     layout;
     entry;
     exit_section;
+    recovery = None;
   }
 
 let family = Lock_intf.make_family "cascade" (fun ~n -> make ~n ())

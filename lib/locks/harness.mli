@@ -10,10 +10,14 @@ val config_of_lock :
   ?max_passages:int ->
   ?rmw_drains:bool ->
   ?check_exclusion:bool ->
+  ?crash_semantics:Config.crash_semantics ->
   Lock_intf.t ->
   n:int ->
   Config.t
-(** @raise Invalid_argument for multi-passage runs of one-time locks. *)
+(** The lock's recovery section (if any) is wired into the configuration,
+    so crash-injecting exploration runs it before re-entries. The
+    [crash_semantics] default is {!Config.Drop_buffer}.
+    @raise Invalid_argument for multi-passage runs of one-time locks. *)
 
 val machine_of_lock :
   ?model:Config.mem_model ->
@@ -21,6 +25,7 @@ val machine_of_lock :
   ?max_passages:int ->
   ?rmw_drains:bool ->
   ?check_exclusion:bool ->
+  ?crash_semantics:Config.crash_semantics ->
   Lock_intf.t ->
   n:int ->
   Machine.t

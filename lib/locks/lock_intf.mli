@@ -19,6 +19,10 @@ type t = {
   layout : Layout.t;
   entry : Pid.t -> unit Prog.t;
   exit_section : Pid.t -> unit Prog.t;
+  recovery : (Pid.t -> unit Prog.t) option;
+      (** recovery section run before the entry section on the first
+          passage after a crash ({!Tsim.Machine.crash}); [None] means the
+          lock has no crash story and restarts cold *)
 }
 
 (** A lock family: instantiate shared state for [n] processes. *)

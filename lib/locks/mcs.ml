@@ -64,6 +64,7 @@ let make ~n : Lock_intf.t =
     layout;
     entry;
     exit_section;
+    recovery = None;
   }
 
 let family = Lock_intf.make_family "mcs" (fun ~n -> make ~n)

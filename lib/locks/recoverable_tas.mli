@@ -1,0 +1,10 @@
+(** Recoverable test-and-set lock: the lock word carries the owner's
+    stamp ([p+1]), and the recovery section releases it if the owner died
+    before its release write committed. [naive_family] is the broken
+    control whose recovery frees the lock unconditionally — the model
+    checker finds its exclusion violation under a single crash fault. *)
+
+val make : n:int -> Lock_intf.t
+val make_naive : n:int -> Lock_intf.t
+val family : Lock_intf.family
+val naive_family : Lock_intf.family

@@ -31,6 +31,7 @@ let make ~n : Lock_intf.t =
     layout;
     entry;
     exit_section;
+    recovery = None;
   }
 
 let family = Lock_intf.make_family "tas" (fun ~n -> make ~n)

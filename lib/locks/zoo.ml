@@ -44,7 +44,12 @@ let multi_passage : Lock_intf.family list =
 let two_process : Lock_intf.family list =
   [ Dekker.family; Burns_lamport.family ]
 
+(* Locks with a recovery section; exercised by the crash-injecting model
+   checker rather than the failure-free sweeps. *)
+let recoverable : Lock_intf.family list =
+  [ Recoverable_tas.family; Recoverable_tas.naive_family ]
+
 let find name =
   List.find_opt
     (fun f -> String.equal f.Lock_intf.family_name name)
-    (all @ two_process)
+    (all @ two_process @ recoverable)

@@ -11,4 +11,7 @@ val multi_passage : Lock_intf.family list
 val two_process : Lock_intf.family list
 (** Two-process-only classics (Dekker, Burns-Lamport). *)
 
+val recoverable : Lock_intf.family list
+(** Locks with a recovery section, for crash-injecting exploration. *)
+
 val find : string -> Lock_intf.family option

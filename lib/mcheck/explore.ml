@@ -51,15 +51,22 @@ type move = Footprint.move =
   | Step of Pid.t
   | Commit of Pid.t
   | Commit_var of Pid.t * Var.t
+  | Crash of Pid.t * int
+  | Recover of Pid.t
 
 let move_to_string = function
   | Step p -> Printf.sprintf "step %s" (Pid.to_string p)
   | Commit p -> Printf.sprintf "commit %s" (Pid.to_string p)
   | Commit_var (p, v) ->
       Printf.sprintf "commit %s v%d" (Pid.to_string p) (Var.to_int v)
+  | Crash (p, 0) -> Printf.sprintf "crash %s" (Pid.to_string p)
+  | Crash (p, k) -> Printf.sprintf "crash %s %d" (Pid.to_string p) k
+  | Recover p -> Printf.sprintf "recover %s" (Pid.to_string p)
 
 (* Inverse of [move_to_string]. Tolerates surrounding whitespace but is
-   otherwise strict: pids are "p<i>", variables "v<i>", both >= 0. *)
+   otherwise strict: pids are "p<i>", variables "v<i>", both >= 0; a
+   crash's commit-prefix length is a bare non-negative int (omitted when
+   zero). *)
 let move_of_string s =
   let int_after prefix tok =
     if String.length tok >= 2 && tok.[0] = prefix then
@@ -67,6 +74,11 @@ let move_of_string s =
       | Some i when i >= 0 -> Some i
       | _ -> None
     else None
+  in
+  let nat tok =
+    match int_of_string_opt tok with
+    | Some i when i >= 0 -> Some i
+    | _ -> None
   in
   let words =
     String.split_on_char ' ' (String.trim s)
@@ -81,6 +93,14 @@ let move_of_string s =
       match (int_after 'p' p, int_after 'v' v) with
       | Some p, Some v -> Some (Commit_var (Pid.of_int p, Var.of_int v))
       | _ -> None)
+  | [ "crash"; p ] ->
+      Option.map (fun p -> Crash (Pid.of_int p, 0)) (int_after 'p' p)
+  | [ "crash"; p; k ] -> (
+      match (int_after 'p' p, nat k) with
+      | Some p, Some k -> Some (Crash (Pid.of_int p, k))
+      | _ -> None)
+  | [ "recover"; p ] ->
+      Option.map (fun p -> Recover (Pid.of_int p)) (int_after 'p' p)
   | _ -> None
 
 (* --- schedule (de)serialization --------------------------------------- *)
@@ -126,22 +146,47 @@ type violation = {
   kind : [ `Exclusion of Pid.t * Pid.t | `Deadlock | `Spin_exhausted ];
 }
 
+type partial_reason = [ `Nodes | `Millis | `Violations ]
+
+let partial_reason_name = function
+  | `Nodes -> "node budget"
+  | `Millis -> "time budget"
+  | `Violations -> "violation cap"
+
 type result = {
   nodes : int;  (* states expanded *)
   exhausted : bool;  (* the whole space was explored within budget *)
   verified : bool;  (* exhausted with no violations *)
   violations : violation list;
   max_depth : int;
+  partial : partial_reason option;
+      (* why the search stopped early, when it did ([None] iff exhausted) *)
 }
 
-let enabled_moves m =
+let enabled_moves ?(max_crashes = 0) m =
   let n = Machine.n_procs m in
   let pso = (Machine.config m).Config.ordering = Config.Pso in
+  let budget_left = Machine.crashes_total m < max_crashes in
+  let semantics = (Machine.config m).Config.crash_semantics in
   let moves = ref [] in
   for p = n - 1 downto 0 do
     (match Machine.pending m p with
     | Machine.P_done -> ()
-    | _ -> moves := Step p :: !moves);
+    | Machine.P_recover -> moves := Recover p :: !moves
+    | _ ->
+        moves := Step p :: !moves;
+        (* crash faults, while budget remains: the prefix length is the
+           adversary's choice under Atomic_prefix, forced otherwise *)
+        if budget_left then begin
+          let size = Wbuf.size (Machine.proc m p).Machine.buf in
+          match semantics with
+          | Config.Drop_buffer -> moves := Crash (p, 0) :: !moves
+          | Config.Flush_buffer -> moves := Crash (p, size) :: !moves
+          | Config.Atomic_prefix ->
+              for k = size downto 0 do
+                moves := Crash (p, k) :: !moves
+              done
+        end);
     (* explicit commits: under TSO only the oldest write may commit (and
        only outside fences — inside, Step already commits); under PSO the
        adversary may commit ANY buffered write at any time *)
@@ -159,6 +204,13 @@ let apply m = function
   | Step p -> ignore (Machine.step m p)
   | Commit p -> ignore (Machine.commit m p)
   | Commit_var (p, v) -> ignore (Machine.commit_var m p v)
+  | Crash (p, k) -> ignore (Machine.crash ~commit_prefix:k m p)
+  | Recover p ->
+      if Machine.pending m p <> Machine.P_recover then
+        invalid_arg
+          (Printf.sprintf "recover %s: process is not crashed"
+             (Pid.to_string p));
+      ignore (Machine.step m p)
 
 (* --- fingerprinting --------------------------------------------------- *)
 
@@ -192,6 +244,7 @@ let pending_code (p : Machine.pending) h =
   | Machine.P_cas (v, e, d) -> mix (mix (mix (mix h 11) v) e) d
   | Machine.P_faa (v, d) -> mix (mix (mix h 12) v) d
   | Machine.P_swap (v, x) -> mix (mix (mix h 13) v) x
+  | Machine.P_recover -> mix h 14
 
 let fingerprint m =
   let n = Machine.n_procs m in
@@ -213,8 +266,13 @@ let fingerprint m =
         | Machine.Ncs -> 0
         | Machine.Entry -> 1
         | Machine.Exiting -> 2
-        | Machine.Finished -> 3);
+        | Machine.Finished -> 3
+        | Machine.Crashed -> 4);
     h := mix !h pr.Machine.passages;
+    (* crash bookkeeping is behavioral state: the crash budget gates
+       enabled moves, and pending recovery changes the next entry *)
+    h := mix !h pr.Machine.crashes;
+    h := mix !h (if pr.Machine.needs_recovery then 1 else 0);
     h := mix !h (hash_cont pr.Machine.cont);
     Wbuf.iter
       (fun e -> h := mix (mix !h e.Wbuf.var) e.Wbuf.value)
@@ -244,23 +302,29 @@ type ctx = {
   on_spin : [ `Prune | `Violation ];
   max_nodes : int;
   max_violations : int;
+  max_crashes : int;  (* crash faults the adversary may inject, total *)
+  deadline : float option;  (* absolute wall-clock cutoff *)
   mutable nodes : int;
   mutable max_depth : int;
   mutable nviol : int;  (* = List.length violations, kept O(1) *)
   mutable violations : violation list;  (* newest first *)
+  mutable stopped : partial_reason option;  (* why Done was raised *)
 }
 
-let make_ctx ?(seen = Hashtbl.create 4096) ?on_fingerprint ~dedup ~por ~codec
-    ~on_spin ~max_nodes ~max_violations () =
+let make_ctx ?(seen = Hashtbl.create 4096) ?on_fingerprint ?(max_crashes = 0)
+    ?deadline ~dedup ~por ~codec ~on_spin ~max_nodes ~max_violations () =
   { seen; dedup; por; codec;
     sleepable = por && codec.Footprint.encodable; on_fingerprint; on_spin;
-    max_nodes; max_violations; nodes = 0; max_depth = 0; nviol = 0;
-    violations = [] }
+    max_nodes; max_violations; max_crashes; deadline; nodes = 0;
+    max_depth = 0; nviol = 0; violations = []; stopped = None }
 
 let record_violation ctx schedule kind =
   ctx.nviol <- ctx.nviol + 1;
   ctx.violations <- { schedule = List.rev schedule; kind } :: ctx.violations;
-  if ctx.nviol >= ctx.max_violations then raise Done
+  if ctx.nviol >= ctx.max_violations then begin
+    ctx.stopped <- Some `Violations;
+    raise Done
+  end
 
 (* Singleton ample set: a [Step p] with a purely-local footprint (no
    shared access, no CS check) is independent of every move of every
@@ -305,7 +369,14 @@ let singleton_eligible m p ~sole =
   | _ -> sole
 
 let singleton_ample ctx m moves =
-  if not ctx.por then None
+  (* Singleton ample sets (and their chase fusion) are switched off while
+     crash budget remains: a crash of the stepping process is dependent on
+     its own local step (it is enabled alongside it and wipes the state
+     the step would advance), so a lone local step is not an ample set —
+     fusing it would skip the crash-before-step interleavings. Once the
+     budget is spent no crash move is ever enabled again and the original
+     argument applies unchanged. *)
+  if (not ctx.por) || Machine.crashes_total m < ctx.max_crashes then None
   else begin
     let n = Machine.n_procs m in
     let count = Array.make n 0 in
@@ -383,10 +454,20 @@ let visit_child ctx m' schedule depth z ~child =
    the selected moves through [child]. The deadlock scan is only run when
    there are no moves — it is O(n) and pointless otherwise. *)
 let expand ctx m schedule depth sleep ~child =
-  if ctx.nodes >= ctx.max_nodes then raise Done;
+  if ctx.nodes >= ctx.max_nodes then begin
+    ctx.stopped <- Some `Nodes;
+    raise Done
+  end;
+  (* the deadline is polled every 1024 nodes: a gettimeofday per node
+     would dominate the ~2µs/node hot path *)
+  (match ctx.deadline with
+  | Some t when ctx.nodes land 1023 = 0 && Unix.gettimeofday () > t ->
+      ctx.stopped <- Some `Millis;
+      raise Done
+  | _ -> ());
   ctx.nodes <- ctx.nodes + 1;
   if depth > ctx.max_depth then ctx.max_depth <- depth;
-  let moves = enabled_moves m in
+  let moves = enabled_moves ~max_crashes:ctx.max_crashes m in
   if moves = [] then begin
     let n = Machine.n_procs m in
     let unfinished = ref false in
@@ -417,7 +498,10 @@ let expand ctx m schedule depth sleep ~child =
             let schedule = mv :: schedule and depth = depth + 1 in
             if fuel = 0 then visit_child ctx m' schedule depth z ~child
             else
-              match singleton_ample ctx m' (enabled_moves m') with
+              match
+                singleton_ample ctx m'
+                  (enabled_moves ~max_crashes:ctx.max_crashes m')
+              with
               | Some (mv', m'') ->
                   chase m' mv' m'' schedule depth z (fuel - 1)
               | None -> visit_child ctx m' schedule depth z ~child
@@ -492,15 +576,17 @@ let result_of_ctx ctx ~exhausted =
     verified = exhausted && ctx.violations = [];
     violations = List.rev ctx.violations;
     max_depth = ctx.max_depth;
+    partial = (if exhausted then None else ctx.stopped);
   }
 
 (* Per-domain worker: run each assigned frontier state to completion with
    a domain-local seen table seeded from the BFS prefix. Violations are
    tagged (frontier index, discovery order) for the deterministic merge. *)
 let domain_worker ~seen ~dedup ~por ~codec ~on_spin ~max_nodes
-    ~max_violations starts =
+    ~max_violations ~max_crashes ~deadline starts =
   let ctx =
-    make_ctx ~seen ~dedup ~por ~codec ~on_spin ~max_nodes ~max_violations ()
+    make_ctx ~seen ~max_crashes ?deadline ~dedup ~por ~codec ~on_spin
+      ~max_nodes ~max_violations ()
   in
   let tagged = ref [] in
   (* drain the ctx's accumulator between starts so each violation carries
@@ -524,12 +610,13 @@ let domain_worker ~seen ~dedup ~por ~codec ~on_spin ~max_nodes
       true
     with Done -> false
   in
-  (ctx.nodes, ctx.max_depth, exhausted, List.rev !tagged)
+  (ctx.nodes, ctx.max_depth, exhausted, ctx.stopped, List.rev !tagged)
 
 let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
-    ~on_spin cfg =
+    ~on_spin ~max_crashes ~deadline cfg =
   let ctx =
-    make_ctx ~dedup ~por ~codec ~on_spin ~max_nodes ~max_violations ()
+    make_ctx ~max_crashes ?deadline ~dedup ~por ~codec ~on_spin ~max_nodes
+      ~max_violations ()
   in
   match bfs_frontier ctx (Machine.create cfg) ~target:(domains * 8) with
   | [] -> result_of_ctx ctx ~exhausted:true  (* space smaller than frontier *)
@@ -546,20 +633,28 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
             let max_nodes = share + (if d = 0 then extra else 0) in
             Domain.spawn (fun () ->
                 domain_worker ~seen ~dedup ~por ~codec ~on_spin ~max_nodes
-                  ~max_violations bucket))
+                  ~max_violations ~max_crashes ~deadline bucket))
           buckets
       in
       let parts = Array.map Domain.join spawned in
-      let nodes = Array.fold_left (fun a (n, _, _, _) -> a + n) ctx.nodes parts in
-      let max_depth =
-        Array.fold_left (fun a (_, d, _, _) -> max a d) ctx.max_depth parts
+      let nodes =
+        Array.fold_left (fun a (n, _, _, _, _) -> a + n) ctx.nodes parts
       in
-      let exhausted =
-        Array.for_all (fun (_, _, e, _) -> e) parts
+      let max_depth =
+        Array.fold_left (fun a (_, d, _, _, _) -> max a d) ctx.max_depth parts
+      in
+      let exhausted = Array.for_all (fun (_, _, e, _, _) -> e) parts in
+      let partial =
+        if exhausted then None
+        else
+          Array.fold_left
+            (fun acc (_, _, _, s, _) ->
+              match acc with Some _ -> acc | None -> s)
+            None parts
       in
       let tagged =
         Array.to_list parts
-        |> List.concat_map (fun (_, _, _, t) -> t)
+        |> List.concat_map (fun (_, _, _, _, t) -> t)
         |> List.sort (fun (a, _) (b, _) -> compare a b)
       in
       let merged =
@@ -575,6 +670,7 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
         verified = exhausted && violations = [];
         violations;
         max_depth;
+        partial;
       }
 
 (* --- public entry points ---------------------------------------------- *)
@@ -595,11 +691,19 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
    busy-waits stay shallow during exploration. *)
 let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
     ?(on_spin = `Prune) ?(spin_fuel = 6) ?(record_trace = false)
-    ?(domains = 1) ?(por = true) ?on_fingerprint (cfg : Config.t) : result =
+    ?(domains = 1) ?(por = true) ?(max_crashes = 0) ?max_millis
+    ?on_fingerprint (cfg : Config.t) : result =
   if domains < 1 then invalid_arg "Explore.explore: domains must be >= 1";
   if domains > 1 && Option.is_some on_fingerprint then
     invalid_arg "Explore.explore: on_fingerprint requires domains = 1";
-  let codec = Footprint.codec_of_config cfg in
+  if max_crashes < 0 then
+    invalid_arg "Explore.explore: max_crashes must be >= 0";
+  let codec = Footprint.codec_of_config ~crashes:(max_crashes > 0) cfg in
+  let deadline =
+    Option.map
+      (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+      max_millis
+  in
   let cfg = { cfg with Config.record_trace } in
   let saved_fuel = !Prog.default_spin_fuel in
   Prog.default_spin_fuel := spin_fuel;
@@ -607,11 +711,11 @@ let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
   @@ fun () ->
   if domains > 1 then
     explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
-      ~on_spin cfg
+      ~on_spin ~max_crashes ~deadline cfg
   else begin
     let ctx =
-      make_ctx ?on_fingerprint ~dedup ~por ~codec ~on_spin ~max_nodes
-        ~max_violations ()
+      make_ctx ?on_fingerprint ~max_crashes ?deadline ~dedup ~por ~codec
+        ~on_spin ~max_nodes ~max_violations ()
     in
     let exhausted =
       try
@@ -628,25 +732,41 @@ type replay_outcome =
   | R_completed
   | R_exclusion of Pid.t * Pid.t
   | R_spin of Var.t
+  | R_bad_pid of int * Pid.t  (* 0-based move index, out-of-range pid *)
   | R_stuck of int * string  (* 0-based move index, reason *)
 
 let replay (cfg : Config.t) (schedule : move list) =
   let m = Machine.create cfg in
-  let rec go i = function
-    | [] -> R_completed
-    | mv :: rest -> (
-        match apply m mv with
-        | () -> go (i + 1) rest
-        | exception Machine.Exclusion_violation { holder; intruder } ->
-            R_exclusion (holder, intruder)
-        | exception Prog.Spin_exhausted v -> R_spin v
-        | exception Machine.Process_finished p ->
-            R_stuck
-              (i, Printf.sprintf "%s already finished" (Pid.to_string p))
-        | exception Invalid_argument msg -> R_stuck (i, msg))
+  (* Validate pids up front: a schedule referencing a process the machine
+     does not have is a malformed input (wrong lock, wrong -n, truncated
+     file), not a property of this configuration — report it as such
+     rather than letting the move raise a generic out-of-bounds error. *)
+  let rec scan_pids i = function
+    | [] -> None
+    | mv :: rest ->
+        let p = Footprint.move_pid mv in
+        if p < 0 || p >= cfg.Config.n then Some (R_bad_pid (i, p))
+        else scan_pids (i + 1) rest
   in
-  let outcome = go 0 schedule in
-  (m, outcome)
+  let bad_pid = scan_pids 0 schedule in
+  match bad_pid with
+  | Some outcome -> (m, outcome)
+  | None ->
+      let rec go i = function
+        | [] -> R_completed
+        | mv :: rest -> (
+            match apply m mv with
+            | () -> go (i + 1) rest
+            | exception Machine.Exclusion_violation { holder; intruder } ->
+                R_exclusion (holder, intruder)
+            | exception Prog.Spin_exhausted v -> R_spin v
+            | exception Machine.Process_finished p ->
+                R_stuck
+                  (i, Printf.sprintf "%s already finished" (Pid.to_string p))
+            | exception Invalid_argument msg -> R_stuck (i, msg))
+      in
+      let outcome = go 0 schedule in
+      (m, outcome)
 
 (* Replay a violating schedule on a fresh machine, for display. Uses the
    caller's configuration unchanged (trace recording on by default), so

@@ -91,12 +91,17 @@ type move = Footprint.move =
   | Step of Pid.t
   | Commit of Pid.t  (** oldest buffered write (TSO) *)
   | Commit_var of Pid.t * Var.t  (** any buffered write (PSO only) *)
+  | Crash of Pid.t * int
+      (** crash fault committing a [k]-entry buffer prefix
+          ({!Machine.crash}); only generated under [~max_crashes > 0] *)
+  | Recover of Pid.t  (** restart a crashed process *)
 
 val move_to_string : move -> string
 
 val move_of_string : string -> move option
 (** Inverse of {!move_to_string} (["step p0"], ["commit p1"],
-    ["commit p0 v3"]); [None] on anything else. *)
+    ["commit p0 v3"], ["crash p0"], ["crash p0 2"], ["recover p1"]);
+    [None] on anything else. *)
 
 (** {1 Schedule files}
 
@@ -113,16 +118,33 @@ type violation = {
   kind : [ `Exclusion of Pid.t * Pid.t | `Deadlock | `Spin_exhausted ];
 }
 
+(** Why a search stopped before exhausting the space. *)
+type partial_reason = [ `Nodes | `Millis | `Violations ]
+
+val partial_reason_name : partial_reason -> string
+
 type result = {
   nodes : int;
   exhausted : bool;  (** the whole (pruned) space was explored *)
   verified : bool;  (** exhausted with no violations *)
   violations : violation list;
   max_depth : int;
+  partial : partial_reason option;
+      (** the resource bound or cap that cut the search short; [None] iff
+          [exhausted] *)
 }
 
-val enabled_moves : Machine.t -> move list
+val enabled_moves : ?max_crashes:int -> Machine.t -> move list
+(** Enabled moves in a state. With [~max_crashes] above the machine's
+    {!Machine.crashes_total}, crash moves are offered for every live
+    uncrashed process (one per legal commit-prefix length under
+    [Atomic_prefix]); crashed processes offer [Recover] instead of
+    [Step]. Default [max_crashes = 0]: failure-free, as before. *)
+
 val apply : Machine.t -> move -> unit
+(** @raise Invalid_argument on a move illegal in the current state (e.g.
+    [Recover] of an uncrashed process, or a crash prefix that violates
+    the configured {!Config.crash_semantics}). *)
 
 val fingerprint : Machine.t -> int
 (** Packed FNV-1a state hash used for duplicate pruning (allocation-free;
@@ -137,13 +159,29 @@ val explore :
   ?record_trace:bool ->
   ?domains:int ->
   ?por:bool ->
+  ?max_crashes:int ->
+  ?max_millis:int ->
   ?on_fingerprint:(int -> unit) ->
   Config.t ->
   result
 (** Defaults: 500k nodes, stop at the first violation, dedup on, spin
     exhaustion prunes the branch (sound for exclusion checking: spin
     re-reads do not change shared state), busy-wait fuel 6, trace
-    recording off, one domain, partial-order reduction on.
+    recording off, one domain, partial-order reduction on, no crash
+    faults, no wall-clock bound.
+
+    [~max_crashes:k] lets the adversary inject up to [k] crash faults
+    across the whole run ({!Machine.crash}, per the configuration's
+    {!Config.crash_semantics}). Crash moves consume a shared budget, so
+    they are pairwise dependent in the reduction, and singleton-ample
+    fusion is suspended while budget remains (a process's own crash does
+    not commute with its local steps); sleep sets stay on with a widened
+    move codec. Failure-free runs ([k = 0], the default) are bit-for-bit
+    unaffected.
+
+    [~max_millis:ms] bounds wall-clock time; on expiry the result carries
+    [partial = Some `Millis] (the deadline is polled every 1024 nodes, so
+    overshoot is bounded by ~1024 node expansions).
 
     [~por:false] disables the reduction entirely (full interleaving
     exploration, exactly the previous engine); verdicts agree with
@@ -173,6 +211,10 @@ type replay_outcome =
   | R_completed  (** every move applied *)
   | R_exclusion of Pid.t * Pid.t  (** holder, intruder *)
   | R_spin of Var.t
+  | R_bad_pid of int * Pid.t
+      (** the schedule references a process the machine does not have
+          (0-based move index, offending pid) — detected by a pre-scan
+          before any move is applied *)
   | R_stuck of int * string
       (** 0-based index of the first inapplicable move, and why *)
 
@@ -180,7 +222,8 @@ val replay : Config.t -> move list -> Machine.t * replay_outcome
 (** Re-execute a schedule on a fresh machine (configuration unchanged, so
     with [record_trace] on the trace is renderable), reporting how far it
     got. The machine reflects the state reached when the outcome was
-    decided. *)
+    decided ([R_bad_pid] is decided before any move runs, so the machine
+    is still initial). *)
 
 val replay_schedule : Config.t -> move list -> Machine.t
 (** [fst (replay cfg schedule)] — kept for callers that only display. *)

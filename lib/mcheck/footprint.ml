@@ -33,16 +33,25 @@
 open Tsim
 open Tsim.Ids
 
-type move = Step of Pid.t | Commit of Pid.t | Commit_var of Pid.t * Var.t
+type move =
+  | Step of Pid.t
+  | Commit of Pid.t
+  | Commit_var of Pid.t * Var.t
+  | Crash of Pid.t * int
+  | Recover of Pid.t
 
-let move_pid = function Step p | Commit p | Commit_var (p, _) -> p
+let move_pid = function
+  | Step p | Commit p | Commit_var (p, _) | Crash (p, _) | Recover p -> p
 
 type t = {
   pid : Pid.t;
   reads : int;  (* bitset of shared variables read from memory *)
   writes : int;  (* bitset of shared variables written (committed / RMW) *)
   cs_check : bool;  (* CS execution: reads everyone's CS-enabledness *)
-  may_enable_cs : bool;  (* may make the owner CS-enabled *)
+  may_enable_cs : bool;  (* may change the owner's CS-enabledness *)
+  budget : bool;
+      (* consumes the shared crash budget: crash moves disable each other
+         once the budget runs out, so any two of them are dependent *)
   global : bool;  (* conservative fallback: dependent on everything *)
 }
 
@@ -52,17 +61,17 @@ let tracked_vars = Sys.int_size - 2
 
 let local ?(may_enable_cs = false) pid =
   { pid; reads = 0; writes = 0; cs_check = false; may_enable_cs;
-    global = false }
+    budget = false; global = false }
 
 let of_var pid ~may_enable_cs ~reads ~writes v =
   if v < 0 || v >= tracked_vars then
     { pid; reads = 0; writes = 0; cs_check = false; may_enable_cs;
-      global = true }
+      budget = false; global = true }
   else
     let b = 1 lsl v in
     { pid; reads = (if reads then b else 0);
       writes = (if writes then b else 0); cs_check = false; may_enable_cs;
-      global = false }
+      budget = false; global = false }
 
 let of_move m mv =
   match mv with
@@ -78,7 +87,7 @@ let of_move m mv =
           of_var p ~may_enable_cs:may ~reads:true ~writes:true v
       | Machine.F_cs ->
           { pid = p; reads = 0; writes = 0; cs_check = true;
-            may_enable_cs = false; global = false })
+            may_enable_cs = false; budget = false; global = false })
   | Commit p -> (
       match Wbuf.peek (Machine.proc m p).Machine.buf with
       | Some e ->
@@ -86,13 +95,35 @@ let of_move m mv =
       | None ->
           (* commit of an empty buffer: never enabled; stay conservative *)
           { pid = p; reads = 0; writes = 0; cs_check = false;
-            may_enable_cs = false; global = true })
+            may_enable_cs = false; budget = false; global = true })
   | Commit_var (p, v) ->
       of_var p ~may_enable_cs:false ~reads:false ~writes:true v
+  | Crash (p, k) ->
+      (* writes = the committed prefix (the first [k] buffered vars); the
+         wipe itself is process-local. A crash always may change the
+         owner's CS-enabledness (it un-enables a completed entry section,
+         so its order against another process's CS execution decides
+         whether a violation is observed), and it consumes the shared
+         crash budget. *)
+      let buf = (Machine.proc m p).Machine.buf in
+      let writes = ref 0 and global = ref false in
+      let i = ref 0 in
+      Wbuf.iter
+        (fun e ->
+          if !i < k then begin
+            if e.Wbuf.var >= tracked_vars then global := true
+            else writes := !writes lor (1 lsl e.Wbuf.var)
+          end;
+          incr i)
+        buf;
+      { pid = p; reads = 0; writes = !writes; cs_check = false;
+        may_enable_cs = true; budget = true; global = !global }
+  | Recover p -> local p
 
 let independent a b =
   (not (Pid.equal a.pid b.pid))
   && (not a.global) && (not b.global)
+  && (not (a.budget && b.budget))
   && a.writes land (b.reads lor b.writes) = 0
   && b.writes land a.reads = 0
   && not (a.cs_check && (b.cs_check || b.may_enable_cs))
@@ -103,32 +134,54 @@ let independent a b =
    still carry [may_enable_cs]; the explorer validates that post hoc by
    peeking at the successor's pending event.) *)
 let purely_local f =
-  f.reads = 0 && f.writes = 0 && (not f.cs_check) && not f.global
+  f.reads = 0 && f.writes = 0 && (not f.cs_check) && (not f.budget)
+  && not f.global
 
 (* --- dense move encoding (sleep-set masks) --------------------------- *)
 
-(* Moves pack into [0 .. n*(2+nvars) - 1]: per process, slot 0 is Step,
-   slot 1 is Commit, slot [2+v] is Commit_var v. Sleep sets are then
-   one-word bitsets over codes; configurations too large to encode simply
-   run without sleep sets (masks stay 0), keeping the reduction sound. *)
-type codec = { stride : int; total_bits : int; encodable : bool }
+(* Moves pack into [0 .. n*stride - 1]: per process, slot 0 is Step,
+   slot 1 is Commit, slot [2+v] is Commit_var v. When crash moves are in
+   play ([codec_of_config ~crashes:true]) the stride widens: slot 2 is
+   Recover, slots [3+v] are Commit_var, and slots [3+nvars+k] are Crash
+   with prefix [k] (0..nvars — a buffer holds at most one write per
+   variable). Sleep sets are then one-word bitsets over codes;
+   configurations too large to encode simply run without sleep sets
+   (masks stay 0), keeping the reduction sound. Crash-free explorations
+   keep the narrow stride so their encodability is unchanged. *)
+type codec = {
+  stride : int;
+  total_bits : int;
+  encodable : bool;
+  crashes : bool;
+}
 
-let codec_of_config (cfg : Config.t) =
-  let stride = 2 + Layout.size cfg.Config.layout in
+let codec_of_config ?(crashes = false) (cfg : Config.t) =
+  let nvars = Layout.size cfg.Config.layout in
+  let stride = if crashes then 4 + (2 * nvars) else 2 + nvars in
   let total_bits = cfg.Config.n * stride in
-  { stride; total_bits; encodable = total_bits <= Sys.int_size - 2 }
+  { stride; total_bits; encodable = total_bits <= Sys.int_size - 2; crashes }
 
 let encode c = function
   | Step p -> p * c.stride
   | Commit p -> (p * c.stride) + 1
-  | Commit_var (p, v) -> (p * c.stride) + 2 + v
+  | Commit_var (p, v) -> (p * c.stride) + (if c.crashes then 3 else 2) + v
+  | Recover p ->
+      if not c.crashes then invalid_arg "Footprint.encode: crash-free codec";
+      (p * c.stride) + 2
+  | Crash (p, k) ->
+      if not c.crashes then invalid_arg "Footprint.encode: crash-free codec";
+      (p * c.stride) + 3 + ((c.stride - 4) / 2) + k
 
 let decode c code =
   let p = code / c.stride in
+  let nvars = if c.crashes then (c.stride - 4) / 2 else c.stride - 2 in
   match code mod c.stride with
   | 0 -> Step p
   | 1 -> Commit p
-  | k -> Commit_var (p, k - 2)
+  | 2 when c.crashes -> Recover p
+  | s when not c.crashes -> Commit_var (p, s - 2)
+  | s when s - 3 < nvars -> Commit_var (p, s - 3)
+  | s -> Crash (p, s - 3 - nvars)
 
 let full_mask c = (1 lsl c.total_bits) - 1
 

@@ -7,11 +7,15 @@
 open Tsim
 open Tsim.Ids
 
-(** One scheduler choice (mirrored by {!Explore.move}). *)
+(** One scheduler choice (mirrored by {!Explore.move}). [Crash (p, k)]
+    injects a crash fault committing a [k]-entry buffer prefix
+    ({!Machine.crash}); [Recover p] restarts a crashed process. *)
 type move =
   | Step of Pid.t
   | Commit of Pid.t
   | Commit_var of Pid.t * Var.t
+  | Crash of Pid.t * int
+  | Recover of Pid.t
 
 val move_pid : move -> Pid.t
 
@@ -21,7 +25,10 @@ type t = {
   reads : int;  (** bitset of shared variables read from memory *)
   writes : int;  (** bitset of shared variables written *)
   cs_check : bool;  (** CS execution: reads every process's CS-enabledness *)
-  may_enable_cs : bool;  (** may make the owner CS-enabled *)
+  may_enable_cs : bool;  (** may change the owner's CS-enabledness *)
+  budget : bool;
+      (** consumes the shared crash budget; any two budget-consuming
+          moves are dependent (one can disable the other) *)
   global : bool;  (** conservative fallback: dependent on everything *)
 }
 
@@ -47,9 +54,19 @@ val purely_local : t -> bool
     [pid * stride + slot]. Configurations whose move space exceeds a
     word are flagged unencodable and run without sleep sets. *)
 
-type codec = { stride : int; total_bits : int; encodable : bool }
+type codec = {
+  stride : int;
+  total_bits : int;
+  encodable : bool;
+  crashes : bool;  (** stride widened to cover Crash/Recover slots *)
+}
 
-val codec_of_config : Config.t -> codec
+val codec_of_config : ?crashes:bool -> Config.t -> codec
+(** [~crashes:true] (default [false]) reserves code slots for [Recover]
+    and every [Crash] prefix length; crash-free explorations keep the
+    narrow stride so their encodability is unchanged. {!encode} raises
+    [Invalid_argument] on a crash move against a crash-free codec. *)
+
 val encode : codec -> move -> int
 val decode : codec -> int -> move
 val full_mask : codec -> int

@@ -81,6 +81,7 @@ let make ?(name_suffix = "") (builder : Obj_intf.builder) ~n :
     layout;
     entry;
     exit_section;
+    recovery = None;
   }
 
 let from_counter_faa ~n = make Counter.faa_provider ~n

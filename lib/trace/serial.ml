@@ -37,6 +37,9 @@ let kind_to_string = function
       Printf.sprintf "faa %d %d %d" var delta observed
   | Event.Swap_ev { var; stored; observed } ->
       Printf.sprintf "swap %d %d %d" var stored observed
+  | Event.Crash { committed; dropped } ->
+      Printf.sprintf "crash %d %d" committed dropped
+  | Event.Recover -> "recover"
 
 let kind_of_tokens = function
   | [ "enter" ] -> Event.Enter
@@ -65,6 +68,9 @@ let kind_of_tokens = function
       Event.Swap_ev
         { var = int_of_string v; stored = int_of_string x;
           observed = int_of_string o }
+  | [ "crash"; c; d ] ->
+      Event.Crash { committed = int_of_string c; dropped = int_of_string d }
+  | [ "recover" ] -> Event.Recover
   | toks -> failwith ("Serial: bad event line: " ^ String.concat " " toks)
 
 let event_to_line (e : Event.t) =

@@ -27,6 +27,26 @@ type ordering = Tso | Pso
 
 let ordering_name = function Tso -> "TSO" | Pso -> "PSO"
 
+(* What happens to a crashed process's write buffer (recoverable mutual
+   exclusion literature; cf. Chan & Woelfel and Golab & Ramaraju):
+
+   - [Drop_buffer]: pending writes vanish — crashes erase everything that
+     had not reached shared memory (the strictest model; a buffered lock
+     release is simply lost).
+   - [Flush_buffer]: the whole buffer commits atomically at the crash —
+     the hardware drains the store buffer as part of failure containment.
+   - [Atomic_prefix]: an adversary-chosen FIFO prefix of the buffer
+     commits and the rest is dropped — the general "the machine died
+     partway through the drain" model. The surviving prefix length is a
+     scheduler choice ([Machine.crash ~commit_prefix]); the explorer
+     branches over every prefix. *)
+type crash_semantics = Drop_buffer | Flush_buffer | Atomic_prefix
+
+let crash_semantics_name = function
+  | Drop_buffer -> "drop-buffer"
+  | Flush_buffer -> "flush-buffer"
+  | Atomic_prefix -> "atomic-prefix"
+
 type t = {
   n : int;  (* number of processes *)
   model : mem_model;
@@ -42,11 +62,18 @@ type t = {
   record_trace : bool;
       (* emit events into the machine trace and passage log; exploration
          turns this off so Machine.clone is O(state), not O(depth) *)
+  crash_semantics : crash_semantics;
+      (* fate of the write buffer when a process crashes *)
+  recovery : (Pid.t -> unit Prog.t) option;
+      (* recovery section run before the entry section on the first
+         passage after a crash; [None] restarts at the entry label with
+         no repair step (the non-recoverable baseline) *)
 }
 
 let make ?(model = Cc_wb) ?(ordering = Tso) ?(max_passages = 1)
-    ?(rmw_drains = true) ?(check_exclusion = true) ?(record_trace = true) ~n
-    ~layout ~entry ~exit_section () =
+    ?(rmw_drains = true) ?(check_exclusion = true) ?(record_trace = true)
+    ?(crash_semantics = Drop_buffer) ?recovery ~n ~layout ~entry
+    ~exit_section () =
   if n <= 0 then invalid_arg "Config.make: n must be positive";
   { n; model; ordering; layout; entry; exit_section; max_passages;
-    rmw_drains; check_exclusion; record_trace }
+    rmw_drains; check_exclusion; record_trace; crash_semantics; recovery }

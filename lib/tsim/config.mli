@@ -21,6 +21,15 @@ type ordering = Tso | Pso
 
 val ordering_name : ordering -> string
 
+(** Fate of a crashed process's write buffer ({!Machine.crash}); the
+    three models bracket the recoverable-mutual-exclusion literature:
+    [Drop_buffer] loses every pending write, [Flush_buffer] commits them
+    all atomically, [Atomic_prefix] commits an adversary-chosen FIFO
+    prefix and drops the rest. *)
+type crash_semantics = Drop_buffer | Flush_buffer | Atomic_prefix
+
+val crash_semantics_name : crash_semantics -> string
+
 type t = {
   n : int;
   model : mem_model;
@@ -41,6 +50,12 @@ type t = {
           state). With recording off the trace stays empty (erasure,
           rendering and passage statistics are unavailable) and
           [Event.seq] numbers are all 0. *)
+  crash_semantics : crash_semantics;
+      (** what {!Machine.crash} does to the pending write buffer *)
+  recovery : (Pid.t -> unit Prog.t) option;
+      (** recovery section prepended to the entry section on the first
+          passage a process starts after a crash; [None] means the
+          process simply restarts at the entry label *)
 }
 
 val make :
@@ -50,6 +65,8 @@ val make :
   ?rmw_drains:bool ->
   ?check_exclusion:bool ->
   ?record_trace:bool ->
+  ?crash_semantics:crash_semantics ->
+  ?recovery:(Pid.t -> unit Prog.t) ->
   n:int ->
   layout:Layout.t ->
   entry:(Pid.t -> unit Prog.t) ->
@@ -57,5 +74,5 @@ val make :
   unit ->
   t
 (** Defaults: [Cc_wb], [Tso], one passage, RMWs drain, exclusion checked,
-    trace recorded.
+    trace recorded, [Drop_buffer] crash semantics, no recovery section.
     @raise Invalid_argument if [n <= 0]. *)

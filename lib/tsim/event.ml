@@ -28,6 +28,10 @@ type kind =
                 observed : Value.t; success : bool }
   | Faa_ev of { var : Var.t; delta : Value.t; observed : Value.t }
   | Swap_ev of { var : Var.t; stored : Value.t; observed : Value.t }
+  | Crash of { committed : int; dropped : int }
+      (* crash fault: [committed] buffered writes reached memory (their
+         Commit_write events precede this one), [dropped] were lost *)
+  | Recover  (* the crashed process restarts at its recovery label *)
 
 type t = {
   seq : int;  (* position in the trace *)
@@ -51,7 +55,9 @@ let accessed_var e =
   | Read { src = From_buffer; _ } -> None
   | Commit_write { var; _ } -> Some var
   | Cas_ev { var; _ } | Faa_ev { var; _ } | Swap_ev { var; _ } -> Some var
-  | Issue_write _ | Enter | Cs | Exit | Begin_fence _ | End_fence _ -> None
+  | Issue_write _ | Enter | Cs | Exit | Begin_fence _ | End_fence _
+  | Crash _ | Recover ->
+      None
 
 (* The variable an event *mentions* (including issued writes), for
    congruence checks during replay. *)
@@ -60,10 +66,11 @@ let mentioned_var e =
   | Read { var; _ } | Issue_write { var; _ } | Commit_write { var; _ }
   | Cas_ev { var; _ } | Faa_ev { var; _ } | Swap_ev { var; _ } ->
       Some var
-  | Enter | Cs | Exit | Begin_fence _ | End_fence _ -> None
+  | Enter | Cs | Exit | Begin_fence _ | End_fence _ | Crash _ | Recover ->
+      None
 
 let is_transition e =
-  match e.kind with Enter | Cs | Exit -> true | _ -> false
+  match e.kind with Enter | Cs | Exit | Crash _ | Recover -> true | _ -> false
 
 let is_fence_event e =
   match e.kind with Begin_fence _ | End_fence _ -> true | _ -> false
@@ -86,7 +93,7 @@ let published e =
   | Faa_ev { var; delta; observed } -> Some (var, observed + delta)
   | Swap_ev { var; stored; _ } -> Some (var, stored)
   | Read _ | Issue_write _ | Enter | Cs | Exit | Begin_fence _ | End_fence _
-    ->
+  | Crash _ | Recover ->
       None
 
 (* Does the event read the shared (non-buffer) copy of a variable, and if so
@@ -96,7 +103,7 @@ let shared_read e =
   | Read { var; src = From_cache | From_memory; _ } -> Some var
   | Cas_ev { var; _ } | Faa_ev { var; _ } | Swap_ev { var; _ } -> Some var
   | Read { src = From_buffer; _ } | Issue_write _ | Commit_write _ | Enter
-  | Cs | Exit | Begin_fence _ | End_fence _ ->
+  | Cs | Exit | Begin_fence _ | End_fence _ | Crash _ | Recover ->
       None
 
 let kind_tag = function
@@ -111,6 +118,8 @@ let kind_tag = function
   | Cas_ev _ -> "cas"
   | Faa_ev _ -> "faa"
   | Swap_ev _ -> "swap"
+  | Crash _ -> "crash"
+  | Recover -> "recover"
 
 (* Congruence (paper, Section 2): same process and either the same
    transition/fence event or the same operation on the same variable.
@@ -147,6 +156,9 @@ let pp_kind fmt = function
       Format.fprintf fmt "faa v%d +%d saw %d" var delta observed
   | Swap_ev { var; stored; observed } ->
       Format.fprintf fmt "swap v%d:=%d saw %d" var stored observed
+  | Crash { committed; dropped } ->
+      Format.fprintf fmt "crash committed=%d dropped=%d" committed dropped
+  | Recover -> Format.pp_print_string fmt "recover"
 
 let pp fmt e =
   Format.fprintf fmt "#%d %a %a%s%s%s" e.seq Pid.pp e.pid pp_kind e.kind

@@ -29,6 +29,14 @@ type kind =
                 observed : Value.t; success : bool }
   | Faa_ev of { var : Var.t; delta : Value.t; observed : Value.t }
   | Swap_ev of { var : Var.t; stored : Value.t; observed : Value.t }
+  | Crash of { committed : int; dropped : int }
+      (** crash fault ({!Machine.crash}): [committed] buffered writes
+          reached memory before the wipe (their [Commit_write] events
+          immediately precede this one in the trace), [dropped] were
+          lost *)
+  | Recover
+      (** the crashed process leaves the [Crashed] section and will run
+          its recovery section (if any) before re-entering *)
 
 type t = {
   seq : int;  (** position in the trace it was produced in *)

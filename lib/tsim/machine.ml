@@ -20,13 +20,14 @@ open Ids
 exception Exclusion_violation of { holder : Pid.t; intruder : Pid.t }
 exception Process_finished of Pid.t
 
-type section = Ncs | Entry | Exiting | Finished
+type section = Ncs | Entry | Exiting | Finished | Crashed
 
 let section_name = function
   | Ncs -> "ncs"
   | Entry -> "entry"
   | Exiting -> "exit"
   | Finished -> "finished"
+  | Crashed -> "crashed"
 
 type passage_stats = {
   p_rmrs : int;
@@ -61,6 +62,9 @@ type proc = {
   mutable point_max : int;
       (* max number of simultaneously active processes during the passage *)
   passage_log : passage_stats Vec.t;  (* one entry per completed passage *)
+  mutable crashes : int;  (* crash faults injected into this process *)
+  mutable needs_recovery : bool;
+      (* the next passage must run the recovery section first *)
 }
 
 type t = {
@@ -74,6 +78,7 @@ type t = {
   trace : Event.t Vec.t;
   mutable cs_entries : int;  (* total CS events executed *)
   mutable active_count : int;  (* processes currently outside their NCS *)
+  mutable crash_count : int;  (* total crash faults injected *)
 }
 
 type pending =
@@ -90,6 +95,7 @@ type pending =
   | P_cas of Var.t * Value.t * Value.t
   | P_faa of Var.t * Value.t
   | P_swap of Var.t * Value.t
+  | P_recover  (* crashed process: the only enabled event is Recover *)
 
 let pending_to_string = function
   | P_enter -> "Enter"
@@ -105,6 +111,7 @@ let pending_to_string = function
   | P_cas (v, _, _) -> Printf.sprintf "cas v%d" v
   | P_faa (v, _) -> Printf.sprintf "faa v%d" v
   | P_swap (v, _) -> Printf.sprintf "swap v%d" v
+  | P_recover -> "recover"
 
 let create (cfg : Config.t) =
   let nvars = Layout.size cfg.layout in
@@ -131,6 +138,8 @@ let create (cfg : Config.t) =
           interval_set = Pidset.empty;
           point_max = 0;
           passage_log = Vec.create dummy_passage;
+          crashes = 0;
+          needs_recovery = false;
         })
   in
   {
@@ -147,6 +156,7 @@ let create (cfg : Config.t) =
         Event.dummy;
     cs_entries = 0;
     active_count = 0;
+    crash_count = 0;
   }
 
 (* Deep copy for state-space exploration: all mutable state is duplicated;
@@ -178,6 +188,7 @@ let clone m =
     trace = (if record then Vec.copy m.trace else m.trace);
     cs_entries = m.cs_entries;
     active_count = m.active_count;
+    crash_count = m.crash_count;
   }
 
 let config m = m.cfg
@@ -201,6 +212,9 @@ let cur_criticals m p = m.procs.(p).cur_criticals
 let cur_rmrs m p = m.procs.(p).cur_rmrs
 let passage_log m p = m.procs.(p).passage_log
 let cs_entries m = m.cs_entries
+let crashes m p = m.procs.(p).crashes
+let crashes_total m = m.crash_count
+let needs_recovery m p = m.procs.(p).needs_recovery
 
 (* Contention accounting (paper, Introduction): interval contention of the
    current passage = processes active at some point during it; point
@@ -216,6 +230,7 @@ let pending m p : pending =
   let pr = m.procs.(p) in
   match pr.sec with
   | Finished -> P_done
+  | Crashed -> P_recover
   | _ when pr.in_fence -> (
       match Wbuf.peek pr.buf with
       | Some e -> P_commit e.var
@@ -392,9 +407,71 @@ let do_rmw m pr v ~kind_of ~result ~new_value =
 
 let is_active (pr : proc) = pr.sec = Entry || pr.sec = Exiting
 
+(* --- crash faults ----------------------------------------------------- *)
+
+(* Inject a crash fault into [p]. The process's private state — its
+   continuation, fence flags and pending RMW bookkeeping — is wiped and it
+   moves to the [Crashed] section, from which its only enabled event is
+   [Recover]. The write buffer's fate follows [cfg.crash_semantics]:
+   [commit_prefix] oldest entries reach shared memory as ordinary
+   [Commit_write] events (so replay, RMR accounting and awareness stay
+   exact), the rest are discarded. The prefix length defaults per
+   semantics — 0 under [Drop_buffer], the full buffer under
+   [Flush_buffer] — and is the adversary's choice under [Atomic_prefix].
+
+   Crashing in the NCS is allowed and is the canonical lost-release
+   scenario: after [Exit] the release write may still sit in the buffer. *)
+let crash ?commit_prefix m p =
+  let pr = m.procs.(p) in
+  (match pr.sec with
+  | Finished -> invalid_arg "Machine.crash: process already finished"
+  | Crashed -> invalid_arg "Machine.crash: process already crashed"
+  | Ncs | Entry | Exiting -> ());
+  let size = Wbuf.size pr.buf in
+  let k =
+    match (m.cfg.Config.crash_semantics, commit_prefix) with
+    | Config.Drop_buffer, (None | Some 0) -> 0
+    | Config.Drop_buffer, Some _ ->
+        invalid_arg "Machine.crash: Drop_buffer commits no prefix"
+    | Config.Flush_buffer, None -> size
+    | Config.Flush_buffer, Some k when k = size -> k
+    | Config.Flush_buffer, Some _ ->
+        invalid_arg "Machine.crash: Flush_buffer commits the whole buffer"
+    | Config.Atomic_prefix, None -> 0
+    | Config.Atomic_prefix, Some k when k >= 0 && k <= size -> k
+    | Config.Atomic_prefix, Some _ ->
+        invalid_arg "Machine.crash: prefix exceeds buffer size"
+  in
+  for _ = 1 to k do
+    ignore (do_commit m pr)
+  done;
+  let dropped = Wbuf.size pr.buf in
+  Wbuf.clear pr.buf;
+  if is_active pr then m.active_count <- m.active_count - 1;
+  pr.sec <- Crashed;
+  pr.cont <- Prog.unit;
+  pr.in_fence <- false;
+  pr.fence_implicit <- false;
+  pr.rmw_fenced <- false;
+  pr.needs_recovery <- true;
+  pr.crashes <- pr.crashes + 1;
+  m.crash_count <- m.crash_count + 1;
+  emit m pr
+    (Event.Crash { committed = k; dropped })
+    ~remote:false ~rmr:false ~critical:false
+
+let do_recover m pr =
+  pr.sec <- Ncs;
+  emit m pr Event.Recover ~remote:false ~rmr:false ~critical:false
+
 let do_enter m pr =
   pr.sec <- Entry;
-  pr.cont <- m.cfg.entry pr.pid;
+  (pr.cont <-
+     (match m.cfg.Config.recovery with
+     | Some r when pr.needs_recovery ->
+         Prog.bind (r pr.pid) (fun () -> m.cfg.entry pr.pid)
+     | _ -> m.cfg.entry pr.pid));
+  pr.needs_recovery <- false;
   pr.cur_rmrs <- 0;
   pr.cur_fences <- 0;
   pr.cur_criticals <- 0;
@@ -445,6 +522,7 @@ let step m p : Event.t =
   let pr = m.procs.(p) in
   match pending m p with
   | P_done -> raise (Process_finished p)
+  | P_recover -> do_recover m pr
   | P_commit _ -> do_commit m pr
   | P_end_fence -> finish_fence m pr
   | P_enter -> do_enter m pr
@@ -505,7 +583,7 @@ let step_footprint m p : footprint =
   let pr = m.procs.(p) in
   match pending m p with
   | P_done -> F_none
-  | P_enter | P_exit -> F_local
+  | P_enter | P_exit | P_recover -> F_local
   | P_cs -> F_cs
   | P_begin_fence | P_end_fence | P_rmw_fence -> F_local
   | P_issue_write _ -> F_local
@@ -526,7 +604,8 @@ let step_may_enable_cs m p =
   | P_end_fence -> pr.sec = Entry && not pr.fence_implicit
   | P_read _ | P_issue_write _ | P_cas _ | P_faa _ | P_swap _ ->
       pr.sec = Entry
-  | P_done | P_cs | P_exit | P_begin_fence | P_rmw_fence | P_commit _ ->
+  | P_done | P_cs | P_exit | P_begin_fence | P_rmw_fence | P_commit _
+  | P_recover ->
       false
 
 (* --- classification helpers for adversaries ------------------------- *)
@@ -537,7 +616,7 @@ let pending_is_special m p =
   let pr = m.procs.(p) in
   match pending m p with
   | P_done -> false
-  | P_enter | P_cs | P_exit -> true
+  | P_enter | P_cs | P_exit | P_recover -> true
   | P_begin_fence | P_end_fence | P_rmw_fence -> true
   | P_issue_write _ -> false
   | P_read v ->

@@ -16,7 +16,12 @@ exception Exclusion_violation of { holder : Pid.t; intruder : Pid.t }
 exception Process_finished of Pid.t
 (** [step] was called on a process that completed all its passages. *)
 
-type section = Ncs | Entry | Exiting | Finished
+type section =
+  | Ncs
+  | Entry
+  | Exiting
+  | Finished
+  | Crashed  (** crash fault injected; only {!pending} event is Recover *)
 
 val section_name : section -> string
 
@@ -51,6 +56,8 @@ type proc = {
   mutable interval_set : Pidset.t;
   mutable point_max : int;
   passage_log : passage_stats Vec.t;
+  mutable crashes : int;
+  mutable needs_recovery : bool;
 }
 
 type t
@@ -70,6 +77,7 @@ type pending =
   | P_cas of Var.t * Value.t * Value.t
   | P_faa of Var.t * Value.t
   | P_swap of Var.t * Value.t
+  | P_recover  (** crashed process: its only enabled event is Recover *)
 
 val pending_to_string : pending -> string
 
@@ -115,6 +123,16 @@ val cur_criticals : t -> Pid.t -> int
 val cur_rmrs : t -> Pid.t -> int
 val passage_log : t -> Pid.t -> passage_stats Vec.t
 val cs_entries : t -> int
+
+val crashes : t -> Pid.t -> int
+(** Crash faults injected into the process so far. *)
+
+val crashes_total : t -> int
+(** Crash faults injected into the machine so far (the explorer's crash
+    budget is checked against this). *)
+
+val needs_recovery : t -> Pid.t -> bool
+(** The process's next passage will run the recovery section first. *)
 
 val interval_contention : t -> Pid.t -> int
 (** Processes active at some point during the current passage. *)
@@ -168,6 +186,20 @@ val step : t -> Pid.t -> Event.t
 (** Execute the process's next enabled event ({!pending}).
     @raise Process_finished if it has completed all passages.
     @raise Exclusion_violation per {!Config.t.check_exclusion}. *)
+
+val crash : ?commit_prefix:int -> t -> Pid.t -> Event.t
+(** Inject a crash fault: wipe the process's continuation and fence
+    state, move it to {!section.Crashed}, and apply
+    {!Config.t.crash_semantics} to its write buffer — [commit_prefix]
+    oldest entries reach shared memory as ordinary [Commit_write] events,
+    the rest are discarded. The prefix defaults to 0 under [Drop_buffer],
+    the whole buffer under [Flush_buffer], and 0 under [Atomic_prefix]
+    (where any [0 <= commit_prefix <= Wbuf.size] is legal — the prefix
+    length is the adversary's choice). The process subsequently recovers
+    via {!step} (its pending event is [P_recover]) and, on its next
+    passage, runs {!Config.t.recovery} before the entry section.
+    @raise Invalid_argument if the process is finished, already crashed,
+    or the prefix is illegal for the configured semantics. *)
 
 (** {1 Adversary helpers} *)
 

@@ -50,12 +50,25 @@ let round_robin ?(quantum = 1) ?(max_steps = 10_000_000) m =
    commit a buffered write of the chosen process even outside fences,
    exercising TSO's delayed-visibility behaviours. Under PSO ordering the
    committed write is chosen uniformly from the buffer (out-of-order
-   commits), not just the oldest. *)
-let random ?(seed = 42) ?(commit_bias = 0.3) ?(max_steps = 10_000_000) m =
+   commits), not just the oldest.
+
+   With [crash_prob > 0] and a [max_crashes] budget, the chosen process is
+   instead crashed with that probability (when it is crashable and budget
+   remains); under [Atomic_prefix] semantics the committed buffer prefix
+   length is drawn uniformly. Crashed processes stay in the live set —
+   stepping one executes its recovery transition. *)
+let random ?(seed = 42) ?(commit_bias = 0.3) ?(crash_prob = 0.0)
+    ?(max_crashes = 0) ?(max_steps = 10_000_000) m =
   let rng = Rng.create seed in
   let steps = ref 0 in
   let livelocked = ref None in
-  let pso = (Machine.config m).Config.ordering = Config.Pso in
+  let cfg = Machine.config m in
+  let pso = cfg.Config.ordering = Config.Pso in
+  let crashable p =
+    match (Machine.proc m p).Machine.sec with
+    | Machine.Ncs | Machine.Entry | Machine.Exiting -> true
+    | Machine.Crashed | Machine.Finished -> false
+  in
   (try
      let rec loop () =
        if !steps >= max_steps then ()
@@ -65,7 +78,21 @@ let random ?(seed = 42) ?(commit_bias = 0.3) ?(max_steps = 10_000_000) m =
          | pids ->
              let p = Rng.pick rng pids in
              let buf = (Machine.proc m p).Machine.buf in
-             (if (not (Wbuf.is_empty buf)) && Rng.float rng < commit_bias
+             (if
+                crash_prob > 0.0
+                && Machine.crashes_total m < max_crashes
+                && crashable p
+                && Rng.float rng < crash_prob
+              then
+                let commit_prefix =
+                  match cfg.Config.crash_semantics with
+                  | Config.Atomic_prefix ->
+                      Some (Rng.int rng (Wbuf.size buf + 1))
+                  | Config.Drop_buffer | Config.Flush_buffer -> None
+                in
+                ignore (Machine.crash ?commit_prefix m p)
+              else if
+                (not (Wbuf.is_empty buf)) && Rng.float rng < commit_bias
               then
                 if pso then
                   let v = Rng.pick rng (Wbuf.vars buf) in

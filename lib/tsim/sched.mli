@@ -17,9 +17,19 @@ val round_robin : ?quantum:int -> ?max_steps:int -> Machine.t -> outcome
 (** Cycle over live processes, [quantum] events each. *)
 
 val random :
-  ?seed:int -> ?commit_bias:float -> ?max_steps:int -> Machine.t -> outcome
+  ?seed:int ->
+  ?commit_bias:float ->
+  ?crash_prob:float ->
+  ?max_crashes:int ->
+  ?max_steps:int ->
+  Machine.t ->
+  outcome
 (** Uniformly random process choice; with probability [commit_bias] commit
-    a buffered write of the chosen process even outside fences. *)
+    a buffered write of the chosen process even outside fences. With
+    [crash_prob > 0] the chosen process is instead crashed with that
+    probability while fewer than [max_crashes] (default 0) crashes have
+    happened; crashed processes are stepped back through recovery like
+    any other live process. *)
 
 val canonical_random : ?seed:int -> ?max_steps:int -> Machine.t -> outcome
 (** The paper's canonical regime: commits happen only inside fences. *)

@@ -54,6 +54,10 @@ let pop_var (t : t) var =
   | None -> invalid_arg "Wbuf.pop_var: no pending write to that variable"
   | Some i -> Vec.remove t i
 
+(* Crash support: discard every pending write (Config.Drop_buffer, or the
+   suffix beyond a committed prefix under Atomic_prefix). *)
+let clear (t : t) = Vec.clear t
+
 let iter f (t : t) = Vec.iter f t
 let vars (t : t) = Vec.fold (fun acc e -> e.var :: acc) [] t |> List.rev
 let copy (t : t) : t = Vec.copy t

@@ -39,6 +39,9 @@ val pop_var : t -> Var.t -> entry
 (** Remove the pending write to a specific variable (PSO out-of-order
     commits). @raise Invalid_argument if there is none. *)
 
+val clear : t -> unit
+(** Discard every pending write (crash support: {!Config.Drop_buffer}). *)
+
 val iter : (entry -> unit) -> t -> unit
 val vars : t -> Var.t list
 (** Pending variables, oldest first. *)

@@ -79,6 +79,8 @@ let check_fixture file mk_cfg =
       Alcotest.(check int) "intruder p1" 1 i
   | Mcheck.Explore.R_completed -> Alcotest.failf "%s: replay completed" file
   | Mcheck.Explore.R_spin v -> Alcotest.failf "%s: spin on v%d" file v
+  | Mcheck.Explore.R_bad_pid (i, p) ->
+      Alcotest.failf "%s: move %d references unknown p%d" file i p
   | Mcheck.Explore.R_stuck (i, msg) ->
       Alcotest.failf "%s: stuck at move %d: %s" file i msg);
   Alcotest.(check bool) "deterministic outcome" true (o1 = o2);
@@ -99,6 +101,40 @@ let test_mp_fixture () =
     (List.exists
        (function Mcheck.Explore.Commit_var _ -> true | _ -> false)
        schedule)
+
+(* Crash-injection fixture: a crashed p0 whose naive recovery section
+   frees p1's lock. Pins the crash/recover schedule text, the crash
+   semantics of replay, and its determinism. *)
+let naive_rtas () =
+  Locks.Harness.config_of_lock ~model:Config.Cc_wb
+    ~crash_semantics:Config.Drop_buffer
+    (Locks.Recoverable_tas.make_naive ~n:2) ~n:2
+
+let test_crash_fixture () =
+  check_fixture "recoverable_tas_crash.sched" naive_rtas;
+  let schedule = load "recoverable_tas_crash.sched" in
+  Alcotest.(check bool) "injects a crash" true
+    (List.exists
+       (function Mcheck.Explore.Crash _ -> true | _ -> false)
+       schedule);
+  Alcotest.(check bool) "recovers the crashed process" true
+    (List.exists
+       (function Mcheck.Explore.Recover _ -> true | _ -> false)
+       schedule);
+  (* the non-naive recovery section survives the same move sequence:
+     replaying it against recoverable-tas must NOT reach the exclusion
+     (the recovery read sees p1's stamp and backs off, after which the
+     schedule's remaining moves no longer line up — stuck or spin are
+     both acceptable, an exclusion is not) *)
+  let cfg =
+    Locks.Harness.config_of_lock ~model:Config.Cc_wb
+      ~crash_semantics:Config.Drop_buffer
+      (Locks.Recoverable_tas.make ~n:2) ~n:2
+  in
+  match Mcheck.Explore.replay cfg schedule with
+  | _, Mcheck.Explore.R_exclusion _ ->
+      Alcotest.fail "proper recovery reached the exclusion"
+  | _ -> ()
 
 (* A freshly explored violation on the same configuration still finds an
    exclusion (the fixture is not the only witness, just a pinned one). *)
@@ -124,6 +160,11 @@ let gen_move =
          map2
            (fun p v -> Mcheck.Explore.Commit_var (p, v))
            (int_range 0 127) (int_range 0 200));
+        (2,
+         map2
+           (fun p k -> Mcheck.Explore.Crash (p, k))
+           (int_range 0 127) (int_range 0 8));
+        (1, map (fun p -> Mcheck.Explore.Recover p) (int_range 0 127));
       ])
 
 let arb_move = QCheck.make ~print:Mcheck.Explore.move_to_string gen_move
@@ -153,7 +194,9 @@ let test_parse_rejects () =
         true
         (Mcheck.Explore.move_of_string s = None))
     [ ""; "step"; "step q1"; "step p-1"; "commit p0 w3"; "step p0 v1";
-      "commit p0 v1 extra"; "step pp0"; "commit p0 v" ];
+      "commit p0 v1 extra"; "step pp0"; "commit p0 v"; "crash";
+      "crash q0"; "crash p0 -1"; "crash p0 1 2"; "recover";
+      "recover p0 1" ];
   match Mcheck.Explore.schedule_of_string "step p0\nnonsense\n" with
   | Error msg ->
       Alcotest.(check bool) "error names the line" true
@@ -177,6 +220,8 @@ let suite =
     Alcotest.test_case "peterson unfenced TSO fixture replays" `Quick
       test_peterson_fixture;
     Alcotest.test_case "mp PSO fixture replays" `Quick test_mp_fixture;
+    Alcotest.test_case "recoverable-tas crash fixture replays" `Quick
+      test_crash_fixture;
     Alcotest.test_case "fixture violation still reachable" `Quick
       test_fixture_still_reachable;
     Alcotest.test_case "parser rejects malformed moves" `Quick

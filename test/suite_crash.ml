@@ -1,0 +1,393 @@
+(* Crash–recovery fault injection, end to end.
+
+   Machine level: the three crash semantics do what they claim to the
+   write buffer, recovery restarts at the recovery section, and crash
+   state is visible through the accessors. Explorer level: the crash
+   adversary finds the canonical lost-release livelock of a
+   non-recoverable TAS lock and the exclusion violation of a botched
+   recovery section, while proving the properly-stamped recoverable TAS
+   safe — the acceptance scenario of the crash-injection work. Replay
+   level: crash schedules replay bit-identically (outcome and final
+   state fingerprint), including explorer-found ones under QCheck. *)
+
+open Tsim
+open Tsim.Prog
+
+(* --- machine-level crash semantics ------------------------------------- *)
+
+(* One process, one buffered write, then a crash. *)
+let one_writer ~crash_semantics ?recovery () =
+  let layout = Layout.create () in
+  let x = Layout.var layout "x" in
+  let cfg =
+    Config.make ~model:Config.Cc_wb ~check_exclusion:false ~crash_semantics
+      ?recovery ~n:1 ~layout
+      ~entry:(fun _ ->
+        let* () = write x 1 in
+        unit)
+      ~exit_section:(fun _ -> Prog.unit)
+      ()
+  in
+  (Machine.create cfg, x)
+
+let step_until_buffered m =
+  (* Enter, then issue the write (stays in the buffer: no fence) *)
+  ignore (Machine.step m 0);
+  ignore (Machine.step m 0)
+
+let test_drop_buffer () =
+  let m, x = one_writer ~crash_semantics:Config.Drop_buffer () in
+  step_until_buffered m;
+  Alcotest.(check int) "write still buffered" 0 (Machine.mem_value m x);
+  (match Machine.crash m 0 with
+  | { Event.kind = Event.Crash { committed = 0; dropped = 1 }; _ } -> ()
+  | e -> Alcotest.failf "unexpected crash event: %s" (Event.kind_tag e.Event.kind));
+  Alcotest.(check int) "buffered write dropped" 0 (Machine.mem_value m x);
+  Alcotest.(check bool) "buffer empty" true
+    (Wbuf.is_empty (Machine.proc m 0).Machine.buf);
+  Alcotest.(check int) "crash counted" 1 (Machine.crashes m 0);
+  Alcotest.(check int) "total counted" 1 (Machine.crashes_total m);
+  Alcotest.(check bool) "needs recovery" true (Machine.needs_recovery m 0)
+
+let test_flush_buffer () =
+  let m, x = one_writer ~crash_semantics:Config.Flush_buffer () in
+  step_until_buffered m;
+  (match Machine.crash m 0 with
+  | { Event.kind = Event.Crash { committed = 1; dropped = 0 }; _ } -> ()
+  | e -> Alcotest.failf "unexpected crash event: %s" (Event.kind_tag e.Event.kind));
+  Alcotest.(check int) "buffered write committed" 1 (Machine.mem_value m x)
+
+let test_atomic_prefix () =
+  (* two buffered writes to distinct vars; commit exactly the first *)
+  let layout = Layout.create () in
+  let x = Layout.var layout "x" and y = Layout.var layout "y" in
+  let cfg =
+    Config.make ~model:Config.Cc_wb ~check_exclusion:false
+      ~crash_semantics:Config.Atomic_prefix ~n:1 ~layout
+      ~entry:(fun _ ->
+        let* () = write x 1 in
+        let* () = write y 2 in
+        unit)
+      ~exit_section:(fun _ -> Prog.unit)
+      ()
+  in
+  let m = Machine.create cfg in
+  ignore (Machine.step m 0);
+  ignore (Machine.step m 0);
+  ignore (Machine.step m 0);
+  (match Machine.crash ~commit_prefix:1 m 0 with
+  | { Event.kind = Event.Crash { committed = 1; dropped = 1 }; _ } -> ()
+  | e -> Alcotest.failf "unexpected crash event: %s" (Event.kind_tag e.Event.kind));
+  Alcotest.(check int) "first write committed" 1 (Machine.mem_value m x);
+  Alcotest.(check int) "second write dropped" 0 (Machine.mem_value m y);
+  (* prefixes beyond the buffer are rejected *)
+  let m2, _ = one_writer ~crash_semantics:Config.Atomic_prefix () in
+  step_until_buffered m2;
+  Alcotest.check_raises "oversized prefix"
+    (Invalid_argument "Machine.crash: prefix exceeds buffer size") (fun () ->
+      ignore (Machine.crash ~commit_prefix:2 m2 0))
+
+let test_recovery_section_runs () =
+  let ran = ref [] in
+  let layout = Layout.create () in
+  let x = Layout.var layout "x" in
+  let marker = Layout.var layout "marker" in
+  let cfg =
+    Config.make ~model:Config.Cc_wb ~check_exclusion:false
+      ~crash_semantics:Config.Drop_buffer
+      ~recovery:(fun p ->
+        ran := p :: !ran;
+        let* () = write marker 7 in
+        fence)
+      ~n:1 ~layout
+      ~entry:(fun _ ->
+        let* () = write x 1 in
+        fence)
+      ~exit_section:(fun _ -> Prog.unit)
+      ()
+  in
+  let m = Machine.create cfg in
+  step_until_buffered m;
+  ignore (Machine.crash m 0);
+  Alcotest.(check string) "pending is recover" "recover"
+    (Machine.pending_to_string (Machine.pending m 0));
+  (match Machine.step m 0 with
+  | { Event.kind = Event.Recover; _ } -> ()
+  | e -> Alcotest.failf "expected Recover, got %s" (Event.kind_tag e.Event.kind));
+  Alcotest.(check bool) "recovery still pending until re-entry" true
+    (Machine.needs_recovery m 0);
+  (* run the process to completion: recovery then entry *)
+  while Machine.pending m 0 <> Machine.P_done do
+    ignore (Machine.step m 0)
+  done;
+  Alcotest.(check (list int)) "recovery section ran once, for p0" [ 0 ] !ran;
+  Alcotest.(check int) "recovery write landed" 7 (Machine.mem_value m marker);
+  Alcotest.(check int) "entry re-ran after recovery" 1 (Machine.mem_value m x);
+  Alcotest.(check bool) "recovery consumed" false (Machine.needs_recovery m 0)
+
+let test_crash_illegal_states () =
+  let m, _ = one_writer ~crash_semantics:Config.Drop_buffer () in
+  step_until_buffered m;
+  ignore (Machine.crash m 0);
+  Alcotest.check_raises "double crash"
+    (Invalid_argument "Machine.crash: process already crashed") (fun () ->
+      ignore (Machine.crash m 0));
+  Alcotest.check_raises "drop-buffer cannot commit a prefix"
+    (Invalid_argument "Machine.crash: Drop_buffer commits no prefix")
+    (fun () ->
+      let m2, _ = one_writer ~crash_semantics:Config.Drop_buffer () in
+      step_until_buffered m2;
+      ignore (Machine.crash ~commit_prefix:1 m2 0))
+
+(* --- the acceptance scenario: TAS under crash faults -------------------- *)
+
+let tas_cfg ~n =
+  Locks.Harness.config_of_lock ~model:Config.Cc_wb
+    ~crash_semantics:Config.Drop_buffer
+    (Locks.Tas.make ~n) ~n
+
+let rtas_cfg ~n =
+  Locks.Harness.config_of_lock ~model:Config.Cc_wb
+    ~crash_semantics:Config.Drop_buffer
+    (Locks.Recoverable_tas.make ~n) ~n
+
+let naive_cfg ~n =
+  Locks.Harness.config_of_lock ~model:Config.Cc_wb
+    ~crash_semantics:Config.Drop_buffer
+    (Locks.Recoverable_tas.make_naive ~n) ~n
+
+let has_crash_move schedule =
+  List.exists
+    (function Mcheck.Explore.Crash _ -> true | _ -> false)
+    schedule
+
+(* Non-recoverable TAS, one process, one crash: the release write is
+   dropped from the buffer, the lock word is stuck at 1, and the
+   recovered process spins on a lock nobody holds — the lost-release
+   (lost-update) violation. Crash-free, the same configuration
+   verifies. *)
+let test_tas_lost_release () =
+  let crash_free =
+    Mcheck.Explore.explore ~max_nodes:100_000 ~on_spin:`Violation
+      (tas_cfg ~n:1)
+  in
+  Alcotest.(check bool) "crash-free TAS n=1 verifies" true
+    crash_free.Mcheck.Explore.verified;
+  let r =
+    Mcheck.Explore.explore ~max_nodes:100_000 ~on_spin:`Violation
+      ~max_crashes:1 (tas_cfg ~n:1)
+  in
+  Alcotest.(check bool) "violation found" false r.Mcheck.Explore.verified;
+  match r.Mcheck.Explore.violations with
+  | [] -> Alcotest.fail "no violation reported"
+  | v :: _ ->
+      (match v.Mcheck.Explore.kind with
+      | `Spin_exhausted -> ()
+      | `Exclusion _ -> Alcotest.fail "expected spin exhaustion, got exclusion"
+      | `Deadlock -> Alcotest.fail "expected spin exhaustion, got deadlock");
+      Alcotest.(check bool) "schedule injects a crash" true
+        (has_crash_move v.Mcheck.Explore.schedule);
+      (* the violating schedule replays to the same verdict (under the
+         explorer's spin fuel — replay itself honours the global
+         default) *)
+      let saved = !Prog.default_spin_fuel in
+      Prog.default_spin_fuel := 6;
+      let _, outcome =
+        Fun.protect
+          ~finally:(fun () -> Prog.default_spin_fuel := saved)
+          (fun () ->
+            Mcheck.Explore.replay (tas_cfg ~n:1) v.Mcheck.Explore.schedule)
+      in
+      (match outcome with
+      | Mcheck.Explore.R_spin _ -> ()
+      | _ -> Alcotest.fail "replay did not reproduce the spin exhaustion")
+
+(* The recoverable variant repairs exactly that scenario. *)
+let test_recoverable_tas_safe () =
+  let r =
+    Mcheck.Explore.explore ~max_nodes:100_000 ~on_spin:`Violation
+      ~max_crashes:1 (rtas_cfg ~n:1)
+  in
+  Alcotest.(check bool) "recoverable TAS n=1 verified under crashes" true
+    r.Mcheck.Explore.verified;
+  (* two processes: no exclusion violation or deadlock either (spin
+     exhaustion is pruned — reachable even crash-free under contention) *)
+  let r2 =
+    Mcheck.Explore.explore ~max_nodes:500_000 ~max_crashes:1 (rtas_cfg ~n:2)
+  in
+  Alcotest.(check bool) "recoverable TAS n=2 verified under crashes" true
+    r2.Mcheck.Explore.verified
+
+(* The naive recovery section (unconditionally frees the lock) lets a
+   crashed process hand itself somebody else's critical section. *)
+let test_naive_recovery_exclusion () =
+  let crash_free =
+    Mcheck.Explore.explore ~max_nodes:500_000 (naive_cfg ~n:2)
+  in
+  Alcotest.(check bool) "crash-free naive variant verifies" true
+    crash_free.Mcheck.Explore.verified;
+  let r =
+    Mcheck.Explore.explore ~max_nodes:500_000 ~max_crashes:1 (naive_cfg ~n:2)
+  in
+  match r.Mcheck.Explore.violations with
+  | [] -> Alcotest.fail "naive recovery not caught"
+  | v :: _ -> (
+      (match v.Mcheck.Explore.kind with
+      | `Exclusion _ -> ()
+      | _ -> Alcotest.fail "expected an exclusion violation");
+      Alcotest.(check bool) "schedule injects a crash" true
+        (has_crash_move v.Mcheck.Explore.schedule);
+      (* deterministic replay: same outcome, same final fingerprint *)
+      let m1, o1 =
+        Mcheck.Explore.replay (naive_cfg ~n:2) v.Mcheck.Explore.schedule
+      in
+      let m2, o2 =
+        Mcheck.Explore.replay (naive_cfg ~n:2) v.Mcheck.Explore.schedule
+      in
+      Alcotest.(check bool) "same outcome" true (o1 = o2);
+      Alcotest.(check int) "same fingerprint"
+        (Mcheck.Explore.fingerprint m1)
+        (Mcheck.Explore.fingerprint m2);
+      match o1 with
+      | Mcheck.Explore.R_exclusion _ -> ()
+      | _ -> Alcotest.fail "replay did not reproduce the exclusion")
+
+(* Atomic_prefix subsumes both fixed semantics: everything the explorer
+   can reach under Drop_buffer or Flush_buffer it can reach under
+   Atomic_prefix (the adversary picks the prefix), so the naive-recovery
+   exclusion must also be found there. *)
+let test_atomic_prefix_finds_naive_exclusion () =
+  let cfg =
+    Locks.Harness.config_of_lock ~model:Config.Cc_wb
+      ~crash_semantics:Config.Atomic_prefix
+      (Locks.Recoverable_tas.make_naive ~n:2) ~n:2
+  in
+  let r = Mcheck.Explore.explore ~max_nodes:500_000 ~max_crashes:1 cfg in
+  Alcotest.(check bool) "exclusion found under atomic-prefix" true
+    (List.exists
+       (fun v ->
+         match v.Mcheck.Explore.kind with `Exclusion _ -> true | _ -> false)
+       r.Mcheck.Explore.violations)
+
+(* --- resource bounds ---------------------------------------------------- *)
+
+let test_node_budget_partial () =
+  let r = Mcheck.Explore.explore ~max_nodes:5 (naive_cfg ~n:2) in
+  Alcotest.(check bool) "not exhausted" false r.Mcheck.Explore.exhausted;
+  (match r.Mcheck.Explore.partial with
+  | Some `Nodes -> ()
+  | Some reason ->
+      Alcotest.failf "wrong partial reason: %s"
+        (Mcheck.Explore.partial_reason_name reason)
+  | None -> Alcotest.fail "partial reason missing");
+  (* exhausted searches carry no partial reason *)
+  let full = Mcheck.Explore.explore ~max_nodes:500_000 (rtas_cfg ~n:2) in
+  Alcotest.(check bool) "exhausted" true full.Mcheck.Explore.exhausted;
+  Alcotest.(check bool) "no partial reason" true
+    (full.Mcheck.Explore.partial = None)
+
+let test_time_budget_partial () =
+  (* a zero-millisecond deadline trips at the first poll *)
+  let r =
+    Mcheck.Explore.explore ~max_nodes:10_000_000 ~max_millis:0
+      ~max_crashes:2 (naive_cfg ~n:2)
+  in
+  Alcotest.(check bool) "not exhausted" false r.Mcheck.Explore.exhausted;
+  match r.Mcheck.Explore.partial with
+  | Some `Millis -> ()
+  | Some reason ->
+      Alcotest.failf "wrong partial reason: %s"
+        (Mcheck.Explore.partial_reason_name reason)
+  | None -> Alcotest.fail "partial reason missing"
+
+(* --- replay hardening --------------------------------------------------- *)
+
+let test_replay_bad_pid () =
+  let schedule = [ Mcheck.Explore.Step 0; Mcheck.Explore.Crash (5, 0) ] in
+  let m, outcome = Mcheck.Explore.replay (rtas_cfg ~n:2) schedule in
+  (match outcome with
+  | Mcheck.Explore.R_bad_pid (1, 5) -> ()
+  | Mcheck.Explore.R_bad_pid (i, p) ->
+      Alcotest.failf "wrong position: move %d, p%d" i p
+  | _ -> Alcotest.fail "bad pid not detected");
+  (* detected by pre-scan: no move was applied *)
+  Alcotest.(check int) "machine untouched"
+    (Mcheck.Explore.fingerprint (Machine.create (rtas_cfg ~n:2)))
+    (Mcheck.Explore.fingerprint m)
+
+let test_replay_illegal_crash_stuck () =
+  (* recovering a process that never crashed is R_stuck, not an escape *)
+  let schedule = [ Mcheck.Explore.Recover 0 ] in
+  let _, outcome = Mcheck.Explore.replay (rtas_cfg ~n:2) schedule in
+  match outcome with
+  | Mcheck.Explore.R_stuck (0, _) -> ()
+  | _ -> Alcotest.fail "illegal recover not reported as stuck"
+
+(* --- qcheck: explorer-found crash schedules replay bit-identically ------ *)
+
+(* Random straight-line programs (reused from the POR differential suite)
+   explored under a crash budget; every reported violation's schedule
+   must replay twice to the same outcome and the same final-state
+   fingerprint. *)
+let prop_crash_replay_deterministic =
+  QCheck.Test.make ~count:40
+    ~name:"crash schedules replay bit-identically (verdict + fingerprint)"
+    Suite_mcheck_equiv.arb_prog2 (fun progs ->
+      let r =
+        Mcheck.Explore.explore ~max_nodes:200_000 ~max_violations:8
+          ~on_spin:`Violation ~max_crashes:1
+          (Suite_mcheck_equiv.config_of_rops progs)
+      in
+      List.for_all
+        (fun v ->
+          let m1, o1 =
+            Mcheck.Explore.replay
+              (Suite_mcheck_equiv.config_of_rops progs)
+              v.Mcheck.Explore.schedule
+          in
+          let m2, o2 =
+            Mcheck.Explore.replay
+              (Suite_mcheck_equiv.config_of_rops progs)
+              v.Mcheck.Explore.schedule
+          in
+          let violated = function
+            | Mcheck.Explore.R_completed | Mcheck.Explore.R_bad_pid _
+            | Mcheck.Explore.R_stuck _ ->
+                false
+            | Mcheck.Explore.R_exclusion _ | Mcheck.Explore.R_spin _ -> true
+          in
+          o1 = o2
+          && Mcheck.Explore.fingerprint m1 = Mcheck.Explore.fingerprint m2
+          && violated o1)
+        r.Mcheck.Explore.violations)
+
+let suite =
+  [
+    Alcotest.test_case "drop-buffer crash wipes the buffer" `Quick
+      test_drop_buffer;
+    Alcotest.test_case "flush-buffer crash commits the buffer" `Quick
+      test_flush_buffer;
+    Alcotest.test_case "atomic-prefix crash commits a chosen prefix" `Quick
+      test_atomic_prefix;
+    Alcotest.test_case "recovery section runs before re-entry" `Quick
+      test_recovery_section_runs;
+    Alcotest.test_case "illegal crashes rejected" `Quick
+      test_crash_illegal_states;
+    Alcotest.test_case "TAS lost release found under one crash" `Quick
+      test_tas_lost_release;
+    Alcotest.test_case "recoverable TAS verified under one crash" `Quick
+      test_recoverable_tas_safe;
+    Alcotest.test_case "naive recovery exclusion found" `Quick
+      test_naive_recovery_exclusion;
+    Alcotest.test_case "atomic-prefix also finds the naive exclusion" `Quick
+      test_atomic_prefix_finds_naive_exclusion;
+    Alcotest.test_case "node budget yields a typed partial verdict" `Quick
+      test_node_budget_partial;
+    Alcotest.test_case "time budget yields a typed partial verdict" `Quick
+      test_time_budget_partial;
+    Alcotest.test_case "replay pre-scans for unknown pids" `Quick
+      test_replay_bad_pid;
+    Alcotest.test_case "illegal recover replays as stuck" `Quick
+      test_replay_illegal_crash_stuck;
+    QCheck_alcotest.to_alcotest prop_crash_replay_deterministic;
+  ]

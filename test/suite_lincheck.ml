@@ -7,8 +7,8 @@ open Tsim
 open Tsim.Prog
 open Lincheck
 
-let mkop ?arg ?result ~pid ~label ~inv ~res uid =
-  { History.pid; label; arg; result; inv; res; uid }
+let mkop ?arg ?result ?(aborted = false) ~pid ~label ~inv ~res uid =
+  { History.pid; label; arg; result; inv; res; uid; aborted }
 
 (* --- checker unit tests on synthetic histories ------------------------- *)
 
@@ -112,6 +112,77 @@ let test_queue_spec () =
   in
   Alcotest.(check bool) "LIFO order rejected" false
     (Checker.check Spec.queue bad).Checker.linearizable
+
+(* --- strict linearizability (crashed operations) ----------------------- *)
+
+(* A crashed faa that nobody observed: legal only by dropping it. *)
+let test_aborted_op_droppable () =
+  let h =
+    History.of_list
+      [
+        mkop ~aborted:true ~pid:0 ~label:"faa" ~inv:0 ~res:5 0;
+        mkop ~pid:1 ~label:"faa" ~result:0 ~inv:6 ~res:7 0;
+        mkop ~pid:2 ~label:"faa" ~result:1 ~inv:8 ~res:9 0;
+      ]
+  in
+  let v = Checker.check Spec.counter h in
+  Alcotest.(check bool) "strictly linearizable" true v.Checker.linearizable;
+  Alcotest.(check int) "aborted op dropped" 1 (List.length v.Checker.dropped);
+  Alcotest.(check int) "two ops linearized" 2 (List.length v.Checker.witness)
+
+(* A crashed faa whose effect WAS observed: legal only by committing it
+   before the crash. *)
+let test_aborted_op_committed () =
+  let h =
+    History.of_list
+      [
+        mkop ~aborted:true ~pid:0 ~label:"faa" ~inv:0 ~res:5 0;
+        mkop ~pid:1 ~label:"faa" ~result:1 ~inv:6 ~res:7 0;
+      ]
+  in
+  let v = Checker.check Spec.counter h in
+  Alcotest.(check bool) "strictly linearizable" true v.Checker.linearizable;
+  Alcotest.(check int) "nothing dropped" 0 (List.length v.Checker.dropped);
+  Alcotest.(check int) "both ops linearized" 2 (List.length v.Checker.witness)
+
+(* The strictness itself: plain linearizability would let the crashed op
+   take effect after the crash (between the faa=0 and the faa=2), but
+   strict linearizability pins its effect before the crash point, where
+   it contradicts the later faa=0. Must be rejected. *)
+let test_aborted_op_cannot_commit_late () =
+  let h =
+    History.of_list
+      [
+        mkop ~aborted:true ~pid:0 ~label:"faa" ~inv:0 ~res:3 0;
+        mkop ~pid:1 ~label:"faa" ~result:0 ~inv:4 ~res:5 0;
+        mkop ~pid:2 ~label:"faa" ~result:2 ~inv:6 ~res:7 0;
+      ]
+  in
+  let v = Checker.check Spec.counter h in
+  Alcotest.(check bool) "late commit rejected" false v.Checker.linearizable
+
+(* End-to-end: atomic FAA under crash injection stays strictly
+   linearizable — a crash either lands the increment before the crash
+   point or the op drops out; both are covered by the checker. *)
+let test_faa_strictly_linearizable_under_crashes () =
+  let saw_abort = ref false in
+  List.iter
+    (fun seed ->
+      let layout = Layout.create () in
+      let c = Objects.Counter.make_faa layout in
+      let h, v =
+        Workload.run_and_check ~schedule:(Workload.Rand seed) ~crash_prob:0.1
+          ~max_crashes:2 ~layout ~n:3 ~ops_per_proc:2
+          (fun p _ -> Workload.op "faa" (c.Objects.Counter.fetch_inc p))
+          Spec.counter
+      in
+      if Array.exists (fun o -> o.History.aborted) h then saw_abort := true;
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d (%d ops)" seed (History.length h))
+        true v.Checker.linearizable)
+    (List.init 20 (fun i -> (i * 13) + 1));
+  Alcotest.(check bool) "some schedule actually crashed mid-op" true
+    !saw_abort
 
 (* --- end-to-end: simulator objects are linearizable -------------------- *)
 
@@ -354,6 +425,12 @@ let suite =
       test_real_time_order_respected;
     Alcotest.test_case "stack spec" `Quick test_stack_spec;
     Alcotest.test_case "queue spec" `Quick test_queue_spec;
+    Alcotest.test_case "aborted op droppable" `Quick test_aborted_op_droppable;
+    Alcotest.test_case "aborted op committed" `Quick test_aborted_op_committed;
+    Alcotest.test_case "aborted op cannot commit late" `Quick
+      test_aborted_op_cannot_commit_late;
+    Alcotest.test_case "faa strictly linearizable under crashes" `Quick
+      test_faa_strictly_linearizable_under_crashes;
     Alcotest.test_case "faa counter linearizable" `Quick
       test_faa_counter_linearizable;
     Alcotest.test_case "cas counter linearizable" `Quick

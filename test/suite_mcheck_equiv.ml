@@ -304,6 +304,42 @@ let prop_por_differential =
         fps_on;
       true)
 
+(* Same differential under a one-crash budget: crash moves are pairwise
+   dependent (shared budget) and suspend singleton-ample fusion, so the
+   reduced crash exploration must still agree with the full one on every
+   verdict and visit only states the full run visits. *)
+let prop_por_differential_crashes =
+  QCheck.Test.make ~count:60
+    ~name:"por on/off with max_crashes=1: same verdict, subset states"
+    arb_prog2 (fun progs ->
+      let run ~por sink =
+        Mcheck.Explore.explore ~max_nodes:500_000 ~max_violations:max_int
+          ~on_spin:`Violation ~por ~max_crashes:1 ~on_fingerprint:sink
+          (config_of_rops progs)
+      in
+      let fps_off = Hashtbl.create 256 and fps_on = Hashtbl.create 256 in
+      let off = run ~por:false (fun fp -> Hashtbl.replace fps_off fp ()) in
+      let on = run ~por:true (fun fp -> Hashtbl.replace fps_on fp ()) in
+      if not off.Mcheck.Explore.exhausted then
+        QCheck.Test.fail_report "full run did not exhaust";
+      if on.Mcheck.Explore.exhausted <> off.Mcheck.Explore.exhausted then
+        QCheck.Test.fail_report "exhausted disagrees";
+      if on.Mcheck.Explore.verified <> off.Mcheck.Explore.verified then
+        QCheck.Test.fail_report "verified disagrees";
+      if kind_set on <> kind_set off then
+        QCheck.Test.fail_report
+          (Printf.sprintf
+             "violation kinds disagree: por-on {%s} vs por-off {%s}"
+             (String.concat "," (kind_set on))
+             (String.concat "," (kind_set off)));
+      Hashtbl.iter
+        (fun fp () ->
+          if not (Hashtbl.mem fps_off fp) then
+            QCheck.Test.fail_report
+              "por-on visited a state the full exploration never saw")
+        fps_on;
+      true)
+
 let suite =
   [
     check_equiv "peterson fenced" (fun () -> peterson ~fenced:true) Verified;
@@ -319,4 +355,5 @@ let suite =
     Alcotest.test_case "por reduces fenced-peterson nodes >= 2x" `Quick
       test_por_reduces_nodes;
     QCheck_alcotest.to_alcotest prop_por_differential;
+    QCheck_alcotest.to_alcotest prop_por_differential_crashes;
   ]
