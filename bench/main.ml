@@ -6,6 +6,9 @@
      dune exec bench/main.exe -- --json F     timings only, also write the
                                               rows to F as JSON
                                               [{"name":.., "value":.., "unit":..}]
+     dune exec bench/main.exe -- --obs F      timings only, also stream the
+                                              rows as NDJSON telemetry
+                                              (one bench.row instant each)
 
    Experiment ids map to the paper's artefacts (DESIGN.md §3):
      e1 Figure 1 · e2 Theorems 1/3 · e3 Corollary 1 · e4 Corollary 2 ·
@@ -40,24 +43,54 @@ let write_json file rows =
   close_out oc;
   Printf.printf "wrote %d benchmark rows to %s\n" (List.length rows) file
 
+(* Stream the rows through the telemetry layer itself: one [bench.run]
+   instant with run metadata, then one [bench.row] instant per result —
+   the same NDJSON encoding the explorer emits, so CI can archive bench
+   output and live telemetry as a single artifact format. *)
+let write_obs file rows =
+  let oc = open_out file in
+  let obs = Obs.Telemetry.create ~sinks:[ Obs.Sink.ndjson oc ] () in
+  Obs.Telemetry.instant obs "bench.run"
+    ~args:[ ("rows", Obs.Json.Int (List.length rows)) ];
+  List.iter
+    (fun (name, value, unit) ->
+      Obs.Telemetry.instant obs "bench.row"
+        ~args:
+          [
+            ("bench", Obs.Json.String name);
+            ("value", Obs.Json.Float value);
+            ("unit", Obs.Json.String unit);
+          ])
+    rows;
+  Obs.Telemetry.close obs;
+  close_out oc;
+  Printf.printf "wrote NDJSON telemetry for %d rows to %s\n"
+    (List.length rows) file
+
 let () =
-  let rec parse json args =
+  let rec parse json obs args =
     match args with
-    | "--json" :: file :: rest -> parse (Some file) rest
-    | "--json" :: [] ->
-        prerr_endline "bench: --json requires a file argument";
+    | "--json" :: file :: rest -> parse (Some file) obs rest
+    | "--obs" :: file :: rest -> parse json (Some file) rest
+    | [ "--json" ] | [ "--obs" ] ->
+        prerr_endline "bench: --json/--obs require a file argument";
         exit 2
     | a :: rest ->
-        let json, sel = parse json rest in
-        (json, a :: sel)
-    | [] -> (json, [])
+        let json, obs, sel = parse json obs rest in
+        (json, obs, a :: sel)
+    | [] -> (json, obs, [])
   in
-  let json_file, args = parse None (List.tl (Array.to_list Sys.argv)) in
-  (* --json implies timings-only unless experiments were also selected *)
+  let json_file, obs_file, args =
+    parse None None (List.tl (Array.to_list Sys.argv))
+  in
+  (* --json/--obs imply timings-only unless experiments were also selected *)
   let run_timings =
     args = [] || List.mem "time" args || json_file <> None
+    || obs_file <> None
   in
-  let selected id = args = [] && json_file = None || List.mem id args in
+  let selected id =
+    (args = [] && json_file = None && obs_file = None) || List.mem id args
+  in
   Printf.printf
     "Reproduction harness: \"The Price of being Adaptive\" (Ben-Baruch & \
      Hendler, PODC 2015)\n";
@@ -68,7 +101,10 @@ let () =
     Printf.printf "\nBechamel timings (simulator machinery)\n";
     Printf.printf "=====================================\n";
     let rows = Timings.run () in
-    match json_file with
+    (match json_file with
     | Some file -> write_json file rows
+    | None -> ());
+    match obs_file with
+    | Some file -> write_obs file rows
     | None -> ()
   end

@@ -9,9 +9,17 @@
      bounds [...]                  Theorem 1 forced-fence computation
      verify <name> [...]           exhaustive schedule exploration (small n)
      replay <name> FILE [...]      replay a saved schedule file
+     stats <name> FILE [...]       replay a schedule, print the cost breakdown
      trace <name> -o FILE [...]    save an execution trace artifact
      analyze FILE                  metrics + IN-set verdict of a saved trace
-     litmus [--pso]                store-buffering litmus *)
+     litmus [--pso]                store-buffering litmus
+
+   Exit codes for verify: 0 verified, 1 violation found, 2 bad input,
+   3 partial (a budget stopped the search with no violation found).
+
+   Telemetry: verify and adversary accept --obs FILE.ndjson (stream
+   events), --chrome-trace FILE.json (chrome://tracing / Perfetto) and
+   --obs-console (summary table on stderr). *)
 
 open Cmdliner
 
@@ -54,6 +62,60 @@ let find_lock name =
 (* Exit code 2 with a one-line diagnostic: the contract for bad input
    (unknown lock names, malformed schedule files) on verify/replay. *)
 let die2 fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+(* --- telemetry options (shared by verify and adversary) ----------------- *)
+
+let obs_term =
+  let ndjson =
+    Arg.(
+      value & opt (some string) None
+      & info [ "obs" ] ~docv:"FILE"
+          ~doc:"stream telemetry events to $(docv) as NDJSON")
+  in
+  let chrome =
+    Arg.(
+      value & opt (some string) None
+      & info [ "chrome-trace" ] ~docv:"FILE"
+          ~doc:
+            "write a Chrome trace-event JSON file to $(docv), loadable in \
+             chrome://tracing or Perfetto")
+  in
+  let console =
+    Arg.(
+      value & flag
+      & info [ "obs-console" ]
+          ~doc:"print a telemetry summary table to stderr on exit")
+  in
+  Term.(
+    const (fun ndjson chrome console -> (ndjson, chrome, console))
+    $ ndjson $ chrome $ console)
+
+(* Build a hub from the options, run [f] with it, and always flush/close
+   the sinks and their files — verdict exits go through the returned
+   code, not mid-stream [exit], so traces are complete even on
+   violations. *)
+let with_obs (ndjson, chrome, console) f =
+  let chans = ref [] in
+  let file p =
+    let oc = open_out p in
+    chans := oc :: !chans;
+    oc
+  in
+  let sinks =
+    (match ndjson with Some p -> [ Obs.Sink.ndjson (file p) ] | None -> [])
+    @ (match chrome with
+      | Some p -> [ Obs.Sink.chrome_trace (file p) ]
+      | None -> [])
+    @ if console then [ Obs.Sink.console () ] else []
+  in
+  if sinks = [] then f Obs.Telemetry.null
+  else
+    let obs = Obs.Telemetry.create ~sinks () in
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Telemetry.close obs;
+        List.iter close_out !chans)
+      (fun () -> f obs)
 
 (* --- list -------------------------------------------------------------- *)
 
@@ -158,18 +220,22 @@ let adversary_cmd =
   let verbose =
     Arg.(value & flag & info [ "verbose" ] ~doc:"print per-round details")
   in
-  let run name n audit no_is no_reg verbose =
+  let run name n audit no_is no_reg verbose obs_opts =
     match find_lock name with
     | Error e ->
         prerr_endline e;
         exit 1
     | Ok fam ->
         let lock = fam.Locks.Lock_intf.instantiate ~n in
-        let c =
-          Adversary.Construction.create ~audit ~no_independent_sets:no_is
-            ~no_regularization:no_reg lock ~n
+        let c, report =
+          with_obs obs_opts (fun obs ->
+              let c =
+                Adversary.Construction.create ~audit
+                  ~no_independent_sets:no_is ~no_regularization:no_reg ~obs
+                  lock ~n
+              in
+              (c, Adversary.Construction.run ~min_act:1 c))
         in
-        let report = Adversary.Construction.run ~min_act:1 c in
         (if verbose then Format.printf "%a" Adversary.Report.pp_verbose report
          else Format.printf "%a" Adversary.Report.pp report);
         (match Adversary.Witness.extract c with
@@ -184,7 +250,9 @@ let adversary_cmd =
         end
   in
   Cmd.v (Cmd.info "adversary" ~doc)
-    Term.(const run $ lock_arg $ n $ audit $ ablate_is $ ablate_reg $ verbose)
+    Term.(
+      const run $ lock_arg $ n $ audit $ ablate_is $ ablate_reg $ verbose
+      $ obs_term)
 
 (* --- bounds -------------------------------------------------------------- *)
 
@@ -351,8 +419,17 @@ let verify_cmd =
             "write-buffer fate on crash: drop-buffer, flush-buffer, or \
              atomic-prefix")
   in
+  let search_stats =
+    Arg.(
+      value & flag
+      & info [ "search-stats" ]
+          ~doc:
+            "print search-internals tallies (dedup hits, sleep-set and \
+             ample-set prunes, fingerprint-table occupancy, per-domain \
+             nodes)")
+  in
   let run name n max_nodes spin_fuel domains no_por save_schedule max_crashes
-      max_millis crash_semantics =
+      max_millis crash_semantics search_stats obs_opts =
     if domains < 1 then die2 "--domains must be >= 1";
     if max_crashes < 0 then die2 "--max-crashes must be >= 0";
     match find_lock name with
@@ -364,8 +441,9 @@ let verify_cmd =
             ~crash_semantics lock ~n
         in
         let r =
-          Mcheck.Explore.explore ~max_nodes ~spin_fuel ~domains
-            ~por:(not no_por) ~max_crashes ?max_millis cfg
+          with_obs obs_opts (fun obs ->
+              Mcheck.Explore.explore ~max_nodes ~spin_fuel ~domains
+                ~por:(not no_por) ~max_crashes ?max_millis ~obs cfg)
         in
         Printf.printf "%s n=%d%s%s: %d states, max depth %d\n"
           lock.Locks.Lock_intf.name n
@@ -375,39 +453,51 @@ let verify_cmd =
            else "")
           (if no_por then " (no por)" else "")
           r.Mcheck.Explore.nodes r.Mcheck.Explore.max_depth;
-        if r.Mcheck.Explore.verified then
-          print_endline "VERIFIED: no exclusion violation or deadlock in the \
-                         full (deduplicated) schedule space"
-        else begin
-          (match r.Mcheck.Explore.partial with
-          | Some reason ->
-              Printf.printf "PARTIAL: search stopped by %s\n"
-                (Mcheck.Explore.partial_reason_name reason)
-          | None -> ());
-          List.iter
-            (fun v ->
-              (match v.Mcheck.Explore.kind with
-              | `Exclusion (a, b) ->
-                  Printf.printf "EXCLUSION VIOLATION between p%d and p%d\n" a b
-              | `Deadlock -> print_endline "DEADLOCK"
-              | `Spin_exhausted -> print_endline "SPIN EXHAUSTED");
-              Printf.printf "  schedule: %s\n"
-                (String.concat "; "
-                   (List.map Mcheck.Explore.move_to_string
-                      v.Mcheck.Explore.schedule)))
-            r.Mcheck.Explore.violations;
-          match (save_schedule, r.Mcheck.Explore.violations) with
-          | Some file, v :: _ ->
-              Mcheck.Explore.save_schedule file v.Mcheck.Explore.schedule;
-              Printf.printf "schedule saved to %s\n" file
-          | Some _, [] -> ()
-          | None, _ -> ()
-        end
+        (if search_stats then
+           let s = r.Mcheck.Explore.stats in
+           Printf.printf
+             "search: dedup hits %d (resleeps %d), sleep prunes %d, ample \
+              chains %d (+%d fused), seen entries %d, crashes applied %d\n\
+              domains: %d%s, merge stall %dus\n"
+             s.Mcheck.Explore.dedup_hits s.Mcheck.Explore.resleeps
+             s.Mcheck.Explore.sleep_prunes s.Mcheck.Explore.ample_chains
+             s.Mcheck.Explore.ample_fused s.Mcheck.Explore.seen_entries
+             s.Mcheck.Explore.crashes_applied s.Mcheck.Explore.domains_used
+             (match s.Mcheck.Explore.domain_nodes with
+             | [] | [ _ ] -> ""
+             | ns ->
+                 Printf.sprintf " (nodes %s)"
+                   (String.concat "/" (List.map string_of_int ns)))
+             s.Mcheck.Explore.merge_stall_us);
+        List.iter
+          (fun v ->
+            (match v.Mcheck.Explore.kind with
+            | `Exclusion (a, b) ->
+                Printf.printf "EXCLUSION VIOLATION between p%d and p%d\n" a b
+            | `Deadlock -> print_endline "DEADLOCK"
+            | `Spin_exhausted -> print_endline "SPIN EXHAUSTED");
+            Printf.printf "  schedule: %s\n"
+              (String.concat "; "
+                 (List.map Mcheck.Explore.move_to_string
+                    v.Mcheck.Explore.schedule)))
+          r.Mcheck.Explore.violations;
+        (match (save_schedule, r.Mcheck.Explore.violations) with
+        | Some file, v :: _ ->
+            Mcheck.Explore.save_schedule file v.Mcheck.Explore.schedule;
+            Printf.printf "schedule saved to %s\n" file
+        | Some _, [] -> ()
+        | None, _ -> ());
+        (* one-line verdict; its exit code is the verify contract
+           (0 verified / 1 violation / 3 partial) *)
+        let verdict, code = Mcheck.Explore.render_verdict r in
+        print_endline verdict;
+        exit code
   in
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
       const run $ lock_arg $ n $ max_nodes $ spin_fuel $ domains $ no_por
-      $ save_schedule $ max_crashes $ max_millis $ crash_semantics)
+      $ save_schedule $ max_crashes $ max_millis $ crash_semantics
+      $ search_stats $ obs_term)
 
 (* --- replay -------------------------------------------------------------- *)
 
@@ -486,6 +576,123 @@ let replay_cmd =
   Cmd.v (Cmd.info "replay" ~doc)
     Term.(const run $ lock_arg $ file $ n $ spin_fuel $ crash_semantics)
 
+(* --- stats --------------------------------------------------------------- *)
+
+let stats_cmd =
+  let doc =
+    "Replay a saved schedule with trace recording on and print the full \
+     cost breakdown: per-process and per-passage fence / RMR / \
+     critical-event totals (recomputed from the trace and cross-checked \
+     against the machine's online counters)."
+  in
+  let lock_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LOCK")
+  in
+  let file =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE")
+  in
+  let n = Arg.(value & opt int 2 & info [ "n" ] ~doc:"number of processes") in
+  let spin_fuel =
+    Arg.(value & opt int 6 & info [ "spin-fuel" ] ~doc:"busy-wait bound")
+  in
+  let crash_semantics =
+    Arg.(
+      value & opt crash_semantics_conv Tsim.Config.Drop_buffer
+      & info [ "crash-semantics" ]
+          ~doc:"write-buffer fate on crash moves (must match the explorer)")
+  in
+  let chrome =
+    Arg.(
+      value & opt (some string) None
+      & info [ "chrome-trace" ] ~docv:"FILE"
+          ~doc:
+            "also export the replayed execution as a Chrome trace-event \
+             JSON file (one lane per process, passages and fences as \
+             spans)")
+  in
+  let run name file n spin_fuel crash_semantics chrome =
+    match find_lock name with
+    | Error e -> die2 "%s" e
+    | Ok fam -> (
+        match Mcheck.Explore.load_schedule file with
+        | Error msg -> die2 "%s: %s" file msg
+        | Ok schedule ->
+            let lock = fam.Locks.Lock_intf.instantiate ~n in
+            let cfg =
+              Locks.Harness.config_of_lock ~model:Tsim.Config.Cc_wb
+                ~crash_semantics lock ~n
+            in
+            let cfg = { cfg with Tsim.Config.record_trace = true } in
+            let saved = !Tsim.Prog.default_spin_fuel in
+            Tsim.Prog.default_spin_fuel := spin_fuel;
+            let m, outcome =
+              Fun.protect
+                ~finally:(fun () -> Tsim.Prog.default_spin_fuel := saved)
+                (fun () -> Mcheck.Explore.replay cfg schedule)
+            in
+            (match outcome with
+            | Mcheck.Explore.R_bad_pid (i, p) ->
+                die2 "%s: move %d references p%d but the machine has n=%d"
+                  file i p n
+            | Mcheck.Explore.R_stuck (i, msg) ->
+                die2 "%s: stuck at move %d: %s" file i msg
+            | Mcheck.Explore.R_completed | Mcheck.Explore.R_exclusion _
+            | Mcheck.Explore.R_spin _ ->
+                ());
+            let tr = Execution.Trace.of_machine m in
+            let metrics = Execution.Metrics.compute tr in
+            Printf.printf "%s n=%d: %d moves, %d events\n"
+              lock.Locks.Lock_intf.name n (List.length schedule)
+              (Execution.Trace.length tr);
+            (match outcome with
+            | Mcheck.Explore.R_exclusion (h, i) ->
+                Printf.printf
+                  "note: schedule ends in an exclusion violation (p%d \
+                   holds, p%d enters)\n"
+                  h i
+            | Mcheck.Explore.R_spin v ->
+                Printf.printf "note: schedule ends in spin exhaustion on \
+                               v%d\n"
+                  v
+            | _ -> ());
+            Format.printf "%a" Execution.Metrics.pp metrics;
+            List.iter
+              (fun pp ->
+                List.iter
+                  (fun mp ->
+                    Printf.printf
+                      "    passage %d of p%d: events %d rmrs %d fences %d \
+                       criticals %d\n"
+                      mp.Execution.Metrics.mp_index
+                      pp.Execution.Metrics.pp_pid
+                      mp.Execution.Metrics.mp_events
+                      mp.Execution.Metrics.mp_rmrs
+                      mp.Execution.Metrics.mp_fences
+                      mp.Execution.Metrics.mp_criticals)
+                  pp.Execution.Metrics.pp_passage_log)
+              metrics.Execution.Metrics.processes;
+            (match chrome with
+            | Some out ->
+                let oc = open_out out in
+                Execution.Chrome.export oc tr;
+                close_out oc;
+                Printf.printf "chrome trace -> %s\n" out
+            | None -> ());
+            match Execution.Metrics.cross_check m metrics with
+            | [] ->
+                print_endline
+                  "cross-check: online machine counters agree with the \
+                   trace recomputation"
+            | fails ->
+                Printf.printf "cross-check: %d mismatches\n"
+                  (List.length fails);
+                List.iter (fun f -> Printf.printf "  %s\n" f) fails;
+                exit 1)
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(
+      const run $ lock_arg $ file $ n $ spin_fuel $ crash_semantics $ chrome)
+
 (* --- litmus -------------------------------------------------------------- *)
 
 let litmus_cmd =
@@ -541,7 +748,8 @@ let () =
       Cmd.eval
         (Cmd.group info
            [ list_cmd; lock_cmd; adversary_cmd; bounds_cmd; verify_cmd;
-             replay_cmd; trace_cmd; analyze_cmd; show_cmd; litmus_cmd ])
+             replay_cmd; stats_cmd; trace_cmd; analyze_cmd; show_cmd;
+             litmus_cmd ])
     with
     | Sys_error msg ->
         prerr_endline msg;

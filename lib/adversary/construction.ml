@@ -70,11 +70,12 @@ type t = {
          because the other survivors are aware of p_max; leaving it active
          breaks IN1 and makes subsequent erasures diverge (experiment E10) *)
   mutable audit_failures : string list;
+  obs : Obs.Telemetry.t;
 }
 
 let create ?(model = Config.Cc_wb) ?(advance_fuel = 200_000) ?(audit = false)
     ?(no_independent_sets = false) ?(no_regularization = false)
-    (lock : Locks.Lock_intf.t) ~n =
+    ?(obs = Obs.Telemetry.null) (lock : Locks.Lock_intf.t) ~n =
   let cfg =
     Locks.Harness.config_of_lock ~model ~max_passages:1 ~check_exclusion:true
       lock ~n
@@ -101,6 +102,7 @@ let create ?(model = Config.Cc_wb) ?(advance_fuel = 200_000) ?(audit = false)
     no_independent_sets;
     no_regularization;
     audit_failures = [];
+    obs;
   }
 
 let machine t = t.m
@@ -176,6 +178,9 @@ let classify_all t : (Pid.t * cls) list =
    process that is visible on u or owns u, so that no information about
    invisible processes flows to [p]. *)
 let regularize t p =
+  Obs.Telemetry.span t.obs ~args:[ ("pid", Obs.Json.Int p) ]
+    "adversary.regularize"
+  @@ fun () ->
   let erased_total = ref Pidset.empty in
   let rec go fuel =
     if fuel <= 0 then stuckf "regularize: p%d exceeded fuel" p
@@ -233,7 +238,20 @@ let record_round ?(detail = "") t kind ~act_before ~erased =
       trace_len = Vec.length (Machine.trace t.m);
       detail;
     }
-    :: t.rounds_cur
+    :: t.rounds_cur;
+  if Obs.Telemetry.enabled t.obs then begin
+    let c = Obs.Telemetry.counter t.obs in
+    Obs.Telemetry.incr (c "adversary.rounds");
+    Obs.Telemetry.add (c "adversary.erased") (Pidset.cardinal erased);
+    Obs.Telemetry.set (c "adversary.act") (Pidset.cardinal t.act);
+    Obs.Telemetry.instant t.obs
+      ~args:
+        [ ("act_before", Obs.Json.Int act_before);
+          ("act_after", Obs.Json.Int (Pidset.cardinal t.act));
+          ("erased", Obs.Json.Int (Pidset.cardinal erased));
+          ("detail", Obs.Json.String detail) ]
+      ("adversary." ^ Report.round_kind_name kind)
+  end
 
 let stats_over_act t =
   Pidset.fold
@@ -291,7 +309,28 @@ let close_step t ~finished_process ~regularization_erased =
     }
     :: t.steps;
   t.rounds_cur <- [];
-  t.step_idx <- t.step_idx + 1
+  t.step_idx <- t.step_idx + 1;
+  if Obs.Telemetry.enabled t.obs then begin
+    let c = Obs.Telemetry.counter t.obs in
+    Obs.Telemetry.set (c "adversary.steps") t.step_idx;
+    Obs.Telemetry.set (c "adversary.finished") (Pidset.cardinal t.fin);
+    (* fences forced so far: every surviving active process has completed
+       at least [fmin] fences (the lower-bound currency of Theorem 2) *)
+    Obs.Telemetry.set (c "adversary.fences_forced") fmin;
+    Obs.Telemetry.flush_counters t.obs;
+    Obs.Telemetry.instant t.obs
+      ~args:
+        [ ("finished_process",
+           match finished_process with
+           | Some p -> Obs.Json.Int p
+           | None -> Obs.Json.Null);
+          ("reg_erased",
+           Obs.Json.Int (Pidset.cardinal regularization_erased));
+          ("act", Obs.Json.Int (Pidset.cardinal t.act));
+          ("min_fences", Obs.Json.Int fmin);
+          ("max_fences", Obs.Json.Int fmax) ]
+      (Printf.sprintf "adversary.step_H%d" t.step_idx)
+  end
 
 (* --- the rounds -------------------------------------------------------- *)
 
@@ -325,6 +364,9 @@ let read_round t readers =
           (Graphs.Graph.order g) (Graphs.Graph.size g) (List.length is)
           (Graphs.Turan.guaranteed_size ~order:(Graphs.Graph.order g)
              ~avg_degree:(Graphs.Graph.average_degree g));
+      if Obs.Telemetry.enabled t.obs then
+        Obs.Telemetry.gauge t.obs "adversary.independent_set"
+          (float_of_int (List.length is));
       Pidset.of_list is
     end
   in
@@ -383,7 +425,11 @@ let write_round t writers =
               (fun q -> if q <> p then Graphs.Graph.add_edge g p q)
               (Machine.accessed_set t.m v))
           chosen;
-        Pidset.of_list (Graphs.Turan.independent_set g)
+        let is = Graphs.Turan.independent_set g in
+        if Obs.Telemetry.enabled t.obs then
+          Obs.Telemetry.gauge t.obs "adversary.independent_set"
+            (float_of_int (List.length is));
+        Pidset.of_list is
       end
     in
     let erased = keep_only t w in
@@ -525,6 +571,7 @@ let cs_erase_round t cs_ready =
 (* --- the main loop ----------------------------------------------------- *)
 
 let one_round t =
+  Obs.Telemetry.span t.obs "adversary.round" @@ fun () ->
   let classes = classify_all t in
   let cs = List.filter_map (fun (p, c) -> if c = C_cs then Some p else None) classes in
   if cs <> [] then cs_erase_round t cs
@@ -589,6 +636,10 @@ let best_fences_anywhere t =
 
 let run ?(max_steps = 10_000) ?(max_rounds = 100_000) ?(min_act = 0) t :
     Report.t =
+  Obs.Telemetry.span t.obs
+    ~args:[ ("target", Obs.Json.String t.target); ("n", Obs.Json.Int t.n) ]
+    "adversary.run"
+  @@ fun () ->
   let rounds = ref 0 in
   let outcome =
     try

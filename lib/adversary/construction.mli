@@ -22,13 +22,20 @@ val create :
   ?audit:bool ->
   ?no_independent_sets:bool ->
   ?no_regularization:bool ->
+  ?obs:Obs.Telemetry.t ->
   Locks.Lock_intf.t ->
   n:int ->
   t
 (** Build H_0 (every process executes Enter only). [audit] runs IN-set
     checks at every step boundary. The two [no_*] flags are the E10
     ablations: they disable the Turán selection and the regularization
-    phase respectively, and make the run detectably unsound. *)
+    phase respectively, and make the run detectably unsound.
+
+    [obs] attaches a telemetry hub: the construction emits nested spans
+    ([adversary.run] > [adversary.round] / [adversary.regularize]), one
+    instant per round (kind, Act sizes, processes erased) and per closed
+    induction step, gauges for Turán independent-set sizes, and counters
+    for rounds / erasures / fences forced so far. Default: disabled. *)
 
 val machine : t -> Tsim.Machine.t
 val active : t -> Pidset.t

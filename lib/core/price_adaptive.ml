@@ -33,6 +33,15 @@ module Execution = struct
   module Serial = Execution.Serial
   module Metrics = Execution.Metrics
   module Render = Execution.Render
+  module Chrome = Execution.Chrome
+end
+
+module Obs = struct
+  module Json = Obs.Json
+  module Histogram = Obs.Histogram
+  module Event = Obs.Event
+  module Sink = Obs.Sink
+  module Telemetry = Obs.Telemetry
 end
 
 module Analysis = struct

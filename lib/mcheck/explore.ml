@@ -153,6 +153,30 @@ let partial_reason_name = function
   | `Millis -> "time budget"
   | `Violations -> "violation cap"
 
+(* Search-internals accounting, kept as plain int bumps on the hot path
+   (a handful of increments against a ~2µs/node budget) and surfaced both
+   in the result and — at heartbeat granularity — through the telemetry
+   hub. *)
+type stats = {
+  dedup_hits : int;  (* revisits pruned by the seen table *)
+  resleeps : int;  (* mask-aware re-explorations of a seen state *)
+  sleep_prunes : int;  (* moves skipped because asleep *)
+  ample_chains : int;  (* singleton-ample selections (chains started) *)
+  ample_fused : int;  (* local moves fused through those chains *)
+  seen_entries : int;  (* fingerprint-table occupancy (summed over domains) *)
+  crashes_applied : int;  (* crash moves executed *)
+  domains_used : int;
+  domain_nodes : int list;  (* per-domain node counts, domain order *)
+  merge_stall_us : int;
+      (* parallel mode: idle window between the first and last domain
+         finishing — load-imbalance cost paid at the join barrier *)
+}
+
+let zero_stats =
+  { dedup_hits = 0; resleeps = 0; sleep_prunes = 0; ample_chains = 0;
+    ample_fused = 0; seen_entries = 0; crashes_applied = 0; domains_used = 1;
+    domain_nodes = []; merge_stall_us = 0 }
+
 type result = {
   nodes : int;  (* states expanded *)
   exhausted : bool;  (* the whole space was explored within budget *)
@@ -161,7 +185,40 @@ type result = {
   max_depth : int;
   partial : partial_reason option;
       (* why the search stopped early, when it did ([None] iff exhausted) *)
+  stats : stats;
 }
+
+(* One-line verdict + exit code for front ends: 0 verified, 1 violations
+   found, 3 partial (budget exhausted with nothing found — NOT a
+   verification; conflating it with exit 0 was a CLI bug). *)
+let render_verdict r =
+  if r.verified then
+    ( "VERIFIED: no exclusion violation or deadlock in the full \
+       (deduplicated) schedule space",
+      0 )
+  else if r.violations <> [] then
+    let kind_name = function
+      | `Exclusion _ -> "exclusion violation"
+      | `Deadlock -> "deadlock"
+      | `Spin_exhausted -> "spin exhaustion"
+    in
+    let first =
+      match r.violations with v :: _ -> kind_name v.kind | [] -> "?"
+    in
+    ( Printf.sprintf "VIOLATION: %d found in %d states (first: %s)"
+        (List.length r.violations) r.nodes first,
+      1 )
+  else
+    let reason =
+      match r.partial with
+      | Some reason -> partial_reason_name reason
+      | None -> "search interruption"
+    in
+    ( Printf.sprintf
+        "PARTIAL: stopped by %s after %d states with no violation found — \
+         not a verification"
+        reason r.nodes,
+      3 )
 
 let enabled_moves ?(max_crashes = 0) m =
   let n = Machine.n_procs m in
@@ -304,19 +361,65 @@ type ctx = {
   max_violations : int;
   max_crashes : int;  (* crash faults the adversary may inject, total *)
   deadline : float option;  (* absolute wall-clock cutoff *)
+  obs : Obs.Telemetry.t;  (* Telemetry.null when no sink is attached *)
   mutable nodes : int;
   mutable max_depth : int;
   mutable nviol : int;  (* = List.length violations, kept O(1) *)
   mutable violations : violation list;  (* newest first *)
   mutable stopped : partial_reason option;  (* why Done was raised *)
+  (* search-internals tallies (see [stats]) *)
+  mutable c_dedup : int;
+  mutable c_resleeps : int;
+  mutable c_sleep_prunes : int;
+  mutable c_chains : int;
+  mutable c_fused : int;
+  mutable c_crashes : int;
+  (* heartbeat bookkeeping (only touched when [obs] is enabled) *)
+  mutable hb_nodes : int;
+  mutable hb_us : int;
 }
 
 let make_ctx ?(seen = Hashtbl.create 4096) ?on_fingerprint ?(max_crashes = 0)
-    ?deadline ~dedup ~por ~codec ~on_spin ~max_nodes ~max_violations () =
+    ?deadline ?(obs = Obs.Telemetry.null) ~dedup ~por ~codec ~on_spin
+    ~max_nodes ~max_violations () =
   { seen; dedup; por; codec;
     sleepable = por && codec.Footprint.encodable; on_fingerprint; on_spin;
-    max_nodes; max_violations; max_crashes; deadline; nodes = 0;
-    max_depth = 0; nviol = 0; violations = []; stopped = None }
+    max_nodes; max_violations; max_crashes; deadline; obs; nodes = 0;
+    max_depth = 0; nviol = 0; violations = []; stopped = None; c_dedup = 0;
+    c_resleeps = 0; c_sleep_prunes = 0; c_chains = 0; c_fused = 0;
+    c_crashes = 0; hb_nodes = 0; hb_us = 0 }
+
+let stats_of_ctx ctx =
+  { zero_stats with
+    dedup_hits = ctx.c_dedup; resleeps = ctx.c_resleeps;
+    sleep_prunes = ctx.c_sleep_prunes; ample_chains = ctx.c_chains;
+    ample_fused = ctx.c_fused; seen_entries = Hashtbl.length ctx.seen;
+    crashes_applied = ctx.c_crashes; domain_nodes = [ ctx.nodes ] }
+
+(* Heartbeat: every 1024 expansions (piggybacked on the deadline poll)
+   push counter snapshots, the instantaneous nodes/sec and the current
+   DFS depth to the sinks. All of this is behind [Telemetry.enabled] —
+   with no sink attached the explorer never reaches here. *)
+let heartbeat ctx depth =
+  let obs = ctx.obs in
+  let t = Obs.Telemetry.counter obs in
+  let setc name v = Obs.Telemetry.set (t name) v in
+  setc "explore.nodes" ctx.nodes;
+  setc "explore.dedup_hits" ctx.c_dedup;
+  setc "explore.sleep_prunes" ctx.c_sleep_prunes;
+  setc "explore.ample_fused" ctx.c_fused;
+  setc "explore.seen_entries" (Hashtbl.length ctx.seen);
+  setc "explore.crashes_applied" ctx.c_crashes;
+  setc "explore.violations" ctx.nviol;
+  Obs.Telemetry.flush_counters obs;
+  Obs.Telemetry.gauge obs "explore.frontier_depth" (float_of_int depth);
+  let now = Obs.Telemetry.now_us obs in
+  let dn = ctx.nodes - ctx.hb_nodes and dt = now - ctx.hb_us in
+  if dt > 0 && ctx.hb_us > 0 then
+    Obs.Telemetry.gauge obs "explore.nodes_per_sec"
+      (1e6 *. float_of_int dn /. float_of_int dt);
+  ctx.hb_nodes <- ctx.nodes;
+  ctx.hb_us <- now
 
 let record_violation ctx schedule kind =
   ctx.nviol <- ctx.nviol + 1;
@@ -442,8 +545,9 @@ let visit_child ctx m' schedule depth z ~child =
         Hashtbl.replace ctx.seen fp z;
         child m' schedule depth z
     | Some z' ->
-        if z' land lnot z = 0 then ()
+        if z' land lnot z = 0 then ctx.c_dedup <- ctx.c_dedup + 1
         else begin
+          ctx.c_resleeps <- ctx.c_resleeps + 1;
           Hashtbl.replace ctx.seen fp (z' land z);
           let full = Footprint.full_mask ctx.codec in
           child m' schedule depth ((z lor lnot z') land full)
@@ -458,13 +562,17 @@ let expand ctx m schedule depth sleep ~child =
     ctx.stopped <- Some `Nodes;
     raise Done
   end;
-  (* the deadline is polled every 1024 nodes: a gettimeofday per node
-     would dominate the ~2µs/node hot path *)
-  (match ctx.deadline with
-  | Some t when ctx.nodes land 1023 = 0 && Unix.gettimeofday () > t ->
-      ctx.stopped <- Some `Millis;
-      raise Done
-  | _ -> ());
+  (* the deadline is polled — and a telemetry heartbeat emitted — every
+     1024 nodes: a gettimeofday (or sink write) per node would dominate
+     the ~2µs/node hot path *)
+  if ctx.nodes land 1023 = 0 then begin
+    (match ctx.deadline with
+    | Some t when Unix.gettimeofday () > t ->
+        ctx.stopped <- Some `Millis;
+        raise Done
+    | _ -> ());
+    if Obs.Telemetry.enabled ctx.obs then heartbeat ctx depth
+  end;
   ctx.nodes <- ctx.nodes + 1;
   if depth > ctx.max_depth then ctx.max_depth <- depth;
   let moves = enabled_moves ~max_crashes:ctx.max_crashes m in
@@ -492,8 +600,13 @@ let expand ctx m schedule depth sleep ~child =
           let bit =
             if ctx.sleepable then 1 lsl Footprint.encode ctx.codec mv else 0
           in
-          if z land bit <> 0 then () (* asleep: covered elsewhere *)
+          if z land bit <> 0 then
+            ctx.c_sleep_prunes <- ctx.c_sleep_prunes + 1
+            (* asleep: covered elsewhere *)
           else begin
+            (match mv with
+            | Crash _ -> ctx.c_crashes <- ctx.c_crashes + 1
+            | _ -> ());
             let z = if ctx.sleepable then filter_sleep ctx m mv z else 0 in
             let schedule = mv :: schedule and depth = depth + 1 in
             if fuel = 0 then visit_child ctx m' schedule depth z ~child
@@ -503,10 +616,12 @@ let expand ctx m schedule depth sleep ~child =
                   (enabled_moves ~max_crashes:ctx.max_crashes m')
               with
               | Some (mv', m'') ->
+                  ctx.c_fused <- ctx.c_fused + 1;
                   chase m' mv' m'' schedule depth z (fuel - 1)
               | None -> visit_child ctx m' schedule depth z ~child
           end
         in
+        ctx.c_chains <- ctx.c_chains + 1;
         chase m mv0 m'0 schedule depth sleep 4096
     | None ->
         (* full expansion with sleep sets: skip sleeping moves; each
@@ -518,11 +633,15 @@ let expand ctx m schedule depth sleep ~child =
               if ctx.sleepable then 1 lsl Footprint.encode ctx.codec mv
               else 0
             in
-            if sleep land bit <> 0 then ()
+            if sleep land bit <> 0 then
+              ctx.c_sleep_prunes <- ctx.c_sleep_prunes + 1
             else begin
               let m' = Machine.clone m in
               (match apply m' mv with
               | () ->
+                  (match mv with
+                  | Crash _ -> ctx.c_crashes <- ctx.c_crashes + 1
+                  | _ -> ());
                   let z =
                     if ctx.sleepable then
                       filter_sleep ctx m mv (sleep lor !explored)
@@ -577,6 +696,7 @@ let result_of_ctx ctx ~exhausted =
     violations = List.rev ctx.violations;
     max_depth = ctx.max_depth;
     partial = (if exhausted then None else ctx.stopped);
+    stats = stats_of_ctx ctx;
   }
 
 (* Per-domain worker: run each assigned frontier state to completion with
@@ -597,6 +717,7 @@ let domain_worker ~seen ~dedup ~por ~codec ~on_spin ~max_nodes
       (List.rev ctx.violations);
     ctx.violations <- []
   in
+  let t0 = Unix.gettimeofday () in
   let exhausted =
     try
       List.iter
@@ -610,22 +731,31 @@ let domain_worker ~seen ~dedup ~por ~codec ~on_spin ~max_nodes
       true
     with Done -> false
   in
-  (ctx.nodes, ctx.max_depth, exhausted, ctx.stopped, List.rev !tagged)
+  let t1 = Unix.gettimeofday () in
+  ( ctx.nodes, ctx.max_depth, exhausted, ctx.stopped, List.rev !tagged,
+    stats_of_ctx ctx, (t0, t1) )
 
 let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
-    ~on_spin ~max_crashes ~deadline cfg =
+    ~on_spin ~max_crashes ~deadline ~obs cfg =
   let ctx =
-    make_ctx ~max_crashes ?deadline ~dedup ~por ~codec ~on_spin ~max_nodes
-      ~max_violations ()
+    make_ctx ~max_crashes ?deadline ~obs ~dedup ~por ~codec ~on_spin
+      ~max_nodes ~max_violations ()
   in
+  let bfs_t0 = Obs.Telemetry.now_us obs in
   match bfs_frontier ctx (Machine.create cfg) ~target:(domains * 8) with
   | [] -> result_of_ctx ctx ~exhausted:true  (* space smaller than frontier *)
   | exception Done -> result_of_ctx ctx ~exhausted:false
   | frontier ->
+      if Obs.Telemetry.enabled obs then
+        Obs.Telemetry.span_at obs ~ts0:bfs_t0
+          ~ts1:(Obs.Telemetry.now_us obs)
+          ~args:[ ("frontier", Obs.Json.Int (List.length frontier)) ]
+          "explore.bfs_seed";
       let k = min domains (List.length frontier) in
       let buckets = round_robin k frontier in
       let budget_left = max 0 (max_nodes - ctx.nodes) in
       let share = budget_left / k and extra = budget_left mod k in
+      let wall0 = Unix.gettimeofday () in
       let spawned =
         Array.mapi
           (fun d bucket ->
@@ -638,23 +768,26 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
       in
       let parts = Array.map Domain.join spawned in
       let nodes =
-        Array.fold_left (fun a (n, _, _, _, _) -> a + n) ctx.nodes parts
+        Array.fold_left (fun a (n, _, _, _, _, _, _) -> a + n) ctx.nodes
+          parts
       in
       let max_depth =
-        Array.fold_left (fun a (_, d, _, _, _) -> max a d) ctx.max_depth parts
+        Array.fold_left
+          (fun a (_, d, _, _, _, _, _) -> max a d)
+          ctx.max_depth parts
       in
-      let exhausted = Array.for_all (fun (_, _, e, _, _) -> e) parts in
+      let exhausted = Array.for_all (fun (_, _, e, _, _, _, _) -> e) parts in
       let partial =
         if exhausted then None
         else
           Array.fold_left
-            (fun acc (_, _, _, s, _) ->
+            (fun acc (_, _, _, s, _, _, _) ->
               match acc with Some _ -> acc | None -> s)
             None parts
       in
       let tagged =
         Array.to_list parts
-        |> List.concat_map (fun (_, _, _, _, t) -> t)
+        |> List.concat_map (fun (_, _, _, _, t, _, _) -> t)
         |> List.sort (fun (a, _) (b, _) -> compare a b)
       in
       let merged =
@@ -664,6 +797,51 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
       let violations =
         List.filteri (fun i _ -> i < max_violations) merged
       in
+      (* Merged search stats: coordinator (BFS seed) tallies plus every
+         domain's. A domain that finishes early idles until the slowest
+         one joins — that idle window, summed over domains, is the merge
+         stall. *)
+      let last_finish =
+        Array.fold_left (fun a (_, _, _, _, _, _, (_, t1)) -> max a t1)
+          wall0 parts
+      in
+      let stats =
+        Array.fold_left
+          (fun acc (_, _, _, _, _, (s : stats), (_, t1)) ->
+            { dedup_hits = acc.dedup_hits + s.dedup_hits;
+              resleeps = acc.resleeps + s.resleeps;
+              sleep_prunes = acc.sleep_prunes + s.sleep_prunes;
+              ample_chains = acc.ample_chains + s.ample_chains;
+              ample_fused = acc.ample_fused + s.ample_fused;
+              seen_entries = acc.seen_entries + s.seen_entries;
+              crashes_applied = acc.crashes_applied + s.crashes_applied;
+              domains_used = acc.domains_used;
+              domain_nodes = acc.domain_nodes @ s.domain_nodes;
+              merge_stall_us =
+                acc.merge_stall_us
+                + int_of_float (1e6 *. (last_finish -. t1)) })
+          { (stats_of_ctx ctx) with domains_used = k; domain_nodes = [] }
+          parts
+      in
+      (* Workers never touch the sinks (they are not thread-safe); the
+         coordinator replays their wall-clock windows as spans after the
+         join, one timeline lane (tid) per domain. *)
+      if Obs.Telemetry.enabled obs then begin
+        let base = Obs.Telemetry.now_us obs in
+        Array.iteri
+          (fun d (n, _, _, _, _, (s : stats), (t0, t1)) ->
+            let rel t = base - int_of_float (1e6 *. (last_finish -. t)) in
+            Obs.Telemetry.span_at obs ~tid:(d + 1) ~ts0:(rel t0)
+              ~ts1:(rel t1)
+              ~args:
+                [ ("nodes", Obs.Json.Int n);
+                  ("dedup_hits", Obs.Json.Int s.dedup_hits);
+                  ("sleep_prunes", Obs.Json.Int s.sleep_prunes) ]
+              (Printf.sprintf "explore.domain%d" d))
+          parts;
+        Obs.Telemetry.gauge obs "explore.merge_stall_us"
+          (float_of_int stats.merge_stall_us)
+      end;
       {
         nodes;
         exhausted;
@@ -671,6 +849,7 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
         violations;
         max_depth;
         partial;
+        stats;
       }
 
 (* --- public entry points ---------------------------------------------- *)
@@ -692,7 +871,7 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
 let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
     ?(on_spin = `Prune) ?(spin_fuel = 6) ?(record_trace = false)
     ?(domains = 1) ?(por = true) ?(max_crashes = 0) ?max_millis
-    ?on_fingerprint (cfg : Config.t) : result =
+    ?on_fingerprint ?(obs = Obs.Telemetry.null) (cfg : Config.t) : result =
   if domains < 1 then invalid_arg "Explore.explore: domains must be >= 1";
   if domains > 1 && Option.is_some on_fingerprint then
     invalid_arg "Explore.explore: on_fingerprint requires domains = 1";
@@ -709,21 +888,41 @@ let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
   Prog.default_spin_fuel := spin_fuel;
   Fun.protect ~finally:(fun () -> Prog.default_spin_fuel := saved_fuel)
   @@ fun () ->
+  let finish (r : result) =
+    if Obs.Telemetry.enabled obs then begin
+      let t = Obs.Telemetry.counter obs in
+      Obs.Telemetry.set (t "explore.nodes") r.nodes;
+      Obs.Telemetry.set (t "explore.dedup_hits") r.stats.dedup_hits;
+      Obs.Telemetry.set (t "explore.sleep_prunes") r.stats.sleep_prunes;
+      Obs.Telemetry.set (t "explore.ample_fused") r.stats.ample_fused;
+      Obs.Telemetry.set (t "explore.seen_entries") r.stats.seen_entries;
+      Obs.Telemetry.set (t "explore.crashes_applied") r.stats.crashes_applied;
+      Obs.Telemetry.set (t "explore.violations") (List.length r.violations);
+      Obs.Telemetry.flush_counters obs
+    end;
+    r
+  in
   if domains > 1 then
-    explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
-      ~on_spin ~max_crashes ~deadline cfg
+    finish
+      (explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por
+         ~codec ~on_spin ~max_crashes ~deadline ~obs cfg)
   else begin
     let ctx =
-      make_ctx ?on_fingerprint ~max_crashes ?deadline ~dedup ~por ~codec
+      make_ctx ?on_fingerprint ~max_crashes ?deadline ~obs ~dedup ~por ~codec
         ~on_spin ~max_nodes ~max_violations ()
     in
+    let t0 = Obs.Telemetry.now_us obs in
     let exhausted =
       try
         dfs ctx (Machine.create cfg) [] 0 0;
         true
       with Done -> false
     in
-    result_of_ctx ctx ~exhausted
+    if Obs.Telemetry.enabled obs then
+      Obs.Telemetry.span_at obs ~ts0:t0 ~ts1:(Obs.Telemetry.now_us obs)
+        ~args:[ ("nodes", Obs.Json.Int ctx.nodes) ]
+        "explore.dfs";
+    finish (result_of_ctx ctx ~exhausted)
   end
 
 (* --- replay ------------------------------------------------------------ *)

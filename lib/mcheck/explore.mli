@@ -123,6 +123,31 @@ type partial_reason = [ `Nodes | `Millis | `Violations ]
 
 val partial_reason_name : partial_reason -> string
 
+(** Search-internals tallies, kept in plain mutable ints on the hot path
+    (always on — the cost is a handful of increments per node) and
+    snapshotted into every {!result}. *)
+type stats = {
+  dedup_hits : int;  (** successor pruned: fingerprint seen with ⊆ mask *)
+  resleeps : int;
+      (** fingerprint seen but re-explored under a widened sleep mask *)
+  sleep_prunes : int;  (** moves skipped because they were asleep *)
+  ample_chains : int;  (** singleton-ample chases started *)
+  ample_fused : int;  (** extra singleton moves fused into those chases *)
+  seen_entries : int;
+      (** fingerprint-table occupancy at the end (summed across domains,
+          whose tables overlap on the BFS prefix) *)
+  crashes_applied : int;  (** crash moves executed (≠ distinct schedules) *)
+  domains_used : int;
+  domain_nodes : int list;
+      (** nodes expanded per domain, in domain order; singleton for the
+          sequential engine (coordinator BFS nodes excluded) *)
+  merge_stall_us : int;
+      (** summed idle time of early-finishing domains waiting for the
+          slowest one to join; 0 for the sequential engine *)
+}
+
+val zero_stats : stats
+
 type result = {
   nodes : int;
   exhausted : bool;  (** the whole (pruned) space was explored *)
@@ -132,7 +157,14 @@ type result = {
   partial : partial_reason option;
       (** the resource bound or cap that cut the search short; [None] iff
           [exhausted] *)
+  stats : stats;
 }
+
+val render_verdict : result -> string * int
+(** One-line human verdict and the process exit code the CLI contract
+    assigns it: [VERIFIED] → 0, [VIOLATION] → 1, [PARTIAL] (a cap or
+    deadline stopped the search with no violation found) → 3. Exit code
+    2 is reserved for bad input. *)
 
 val enabled_moves : ?max_crashes:int -> Machine.t -> move list
 (** Enabled moves in a state. With [~max_crashes] above the machine's
@@ -162,6 +194,7 @@ val explore :
   ?max_crashes:int ->
   ?max_millis:int ->
   ?on_fingerprint:(int -> unit) ->
+  ?obs:Obs.Telemetry.t ->
   Config.t ->
   result
 (** Defaults: 500k nodes, stop at the first violation, dedup on, spin
@@ -203,7 +236,15 @@ val explore :
     truncates to the global cap. [verified]/violation kinds agree with
     the sequential engine. Sleep masks attached to frontier states travel
     with them, so the reduction composes with the parallel driver
-    unchanged. *)
+    unchanged.
+
+    [~obs] attaches a telemetry hub ({!Obs.Telemetry}): the search emits
+    a heartbeat every 1024 expansions (counter snapshots, nodes/sec,
+    current depth), phase spans (BFS seeding, DFS, one lane per domain)
+    and a final counter flush. Workers never touch the hub — their
+    wall-clock windows are replayed by the coordinator after the join.
+    Default {!Obs.Telemetry.null}: every emission reduces to one
+    [enabled] check, leaving the ns/node budget intact (BENCH_PR4). *)
 
 (** {1 Replay} *)
 

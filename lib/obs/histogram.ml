@@ -1,0 +1,135 @@
+(* Log2-bucketed histograms. Bucket 0 holds the value 0; bucket i >= 1
+   holds [2^(i-1), 2^i). 64 buckets cover the whole native int range, so
+   [add] is branch-light and allocation-free. *)
+
+type t = {
+  mutable n : int;
+  mutable total : int;
+  mutable vmin : int;
+  mutable vmax : int;
+  buckets : int array;  (* 64 slots *)
+}
+
+let create () =
+  { n = 0; total = 0; vmin = max_int; vmax = 0; buckets = Array.make 64 0 }
+
+let copy t = { t with buckets = Array.copy t.buckets }
+
+let[@inline] bucket_of v =
+  (* number of significant bits of v: v in [2^(b-1), 2^b) -> bucket b *)
+  let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+  bits 0 v
+
+let add t v =
+  let v = if v < 0 then 0 else v in
+  t.n <- t.n + 1;
+  t.total <- t.total + v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v;
+  let b = bucket_of v in
+  t.buckets.(b) <- t.buckets.(b) + 1
+
+let count t = t.n
+let sum t = t.total
+let min_value t = if t.n = 0 then 0 else t.vmin
+let max_value t = t.vmax
+let mean t = if t.n = 0 then 0.0 else float_of_int t.total /. float_of_int t.n
+
+let merge a b =
+  let t = copy a in
+  let t =
+    {
+      t with
+      n = a.n + b.n;
+      total = a.total + b.total;
+      vmin = min a.vmin b.vmin;
+      vmax = max a.vmax b.vmax;
+    }
+  in
+  Array.iteri (fun i c -> t.buckets.(i) <- t.buckets.(i) + c) b.buckets;
+  t
+
+let bucket_hi = function 0 -> 0 | i -> (1 lsl i) - 1
+let bucket_lo = function 0 -> 0 | i -> 1 lsl (i - 1)
+
+let quantile t q =
+  if t.n = 0 then 0
+  else begin
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    let target =
+      let x = int_of_float (Float.ceil (q *. float_of_int t.n)) in
+      if x < 1 then 1 else if x > t.n then t.n else x
+    in
+    let rec walk i cum =
+      let cum = cum + t.buckets.(i) in
+      if cum >= target then min (bucket_hi i) t.vmax else walk (i + 1) cum
+    in
+    walk 0 0
+  end
+
+let iter_buckets f t =
+  Array.iteri
+    (fun i c -> if c > 0 then f ~lo:(bucket_lo i) ~hi:(bucket_hi i) ~count:c)
+    t.buckets
+
+let equal a b =
+  a.n = b.n && a.total = b.total
+  && (a.n = 0 || (a.vmin = b.vmin && a.vmax = b.vmax))
+  && a.buckets = b.buckets
+
+(* Serialized as sparse [bucket index, count] pairs: histograms of hot
+   counters are usually concentrated in a few buckets. *)
+let to_json t =
+  let pairs = ref [] in
+  Array.iteri
+    (fun i c -> if c > 0 then pairs := Json.List [ Json.Int i; Json.Int c ] :: !pairs)
+    t.buckets;
+  Json.Obj
+    [
+      ("count", Json.Int t.n);
+      ("sum", Json.Int t.total);
+      ("min", Json.Int (min_value t));
+      ("max", Json.Int t.vmax);
+      ("buckets", Json.List (List.rev !pairs));
+    ]
+
+let of_json j =
+  let int_field k =
+    match Json.member k j with
+    | Some (Json.Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "histogram: missing int field %S" k)
+  in
+  let ( let* ) = Result.bind in
+  let* n = int_field "count" in
+  let* total = int_field "sum" in
+  let* vmin = int_field "min" in
+  let* vmax = int_field "max" in
+  let* pairs =
+    match Json.member "buckets" j with
+    | Some (Json.List xs) ->
+        List.fold_left
+          (fun acc x ->
+            let* acc = acc in
+            match x with
+            | Json.List [ Json.Int i; Json.Int c ]
+              when i >= 0 && i < 64 && c >= 0 ->
+                Ok ((i, c) :: acc)
+            | _ -> Error "histogram: malformed bucket pair")
+          (Ok []) xs
+    | _ -> Error "histogram: missing buckets"
+  in
+  let t = create () in
+  t.n <- n;
+  t.total <- total;
+  t.vmin <- (if n = 0 then max_int else vmin);
+  t.vmax <- vmax;
+  List.iter (fun (i, c) -> t.buckets.(i) <- c) pairs;
+  Ok t
+
+let pp fmt t =
+  if t.n = 0 then Format.fprintf fmt "(empty)"
+  else begin
+    Format.fprintf fmt "n=%d sum=%d min=%d max=%d p50=%d p90=%d p99=%d" t.n
+      t.total (min_value t) t.vmax (quantile t 0.5) (quantile t 0.9)
+      (quantile t 0.99)
+  end

@@ -1,0 +1,51 @@
+(** Log-scale histograms over non-negative integers.
+
+    Values land in power-of-two buckets ([0], [1], [2..3], [4..7], ...),
+    so a histogram is a fixed 64-slot array regardless of range — cheap
+    enough to keep per metric on a hot path, precise enough for the
+    quantile summaries the telemetry sinks report. Merging is pointwise,
+    which makes per-domain histograms combinable after a parallel search.
+
+    Algebraic laws (property-tested in suite_obs): [merge] is associative
+    and commutative with [create ()] as identity; [add] increases [count]
+    by one and [sum] by the (clamped) value; [quantile] is monotone in
+    its argument and bounded by [max_value]. *)
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+
+val add : t -> int -> unit
+(** Record a value; negatives are clamped to 0. *)
+
+val count : t -> int
+val sum : t -> int
+val min_value : t -> int
+(** 0 when empty. *)
+
+val max_value : t -> int
+(** 0 when empty. *)
+
+val mean : t -> float
+(** 0.0 when empty (exact: tracked as [sum]/[count], not from buckets). *)
+
+val merge : t -> t -> t
+(** Fresh histogram holding both argument's populations. *)
+
+val quantile : t -> float -> int
+(** [quantile t q] for [q] in [0,1]: an upper estimate of the q-th
+    population quantile (the top of the bucket the quantile lands in,
+    clamped to [max_value]); 0 when empty. Monotone in [q]. *)
+
+val iter_buckets : (lo:int -> hi:int -> count:int -> unit) -> t -> unit
+(** Non-empty buckets in increasing value order. *)
+
+val equal : t -> t -> bool
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+(** Codec used by the NDJSON sink; [of_json (to_json t)] re-creates [t]
+    exactly (property-tested). *)
+
+val pp : Format.formatter -> t -> unit

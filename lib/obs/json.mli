@@ -1,0 +1,37 @@
+(** Minimal JSON values with a deterministic printer and a strict parser.
+
+    The telemetry layer cannot pull in an external JSON library (the
+    repository is zero-dependency beyond the compiler distribution), and
+    its exporters need byte-stable output for golden-file tests — object
+    fields are printed in the order given, numbers deterministically. The
+    parser exists so NDJSON streams and Chrome-trace files can be
+    round-tripped and validated in-tree. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering: no insignificant whitespace, object fields in the
+    order given, [Float] via ["%.17g"] (round-trips every finite float);
+    non-finite floats render as [null]. Strings are escaped per RFC 8259
+    (two-character escapes for the common controls, [\uXXXX] otherwise);
+    non-ASCII bytes pass through untouched. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a single JSON value (surrounding whitespace allowed).
+    Numbers with a fraction or exponent decode as [Float], others as
+    [Int] (falling back to [Float] when they exceed the native range).
+    [\uXXXX] escapes decode to UTF-8, including surrogate pairs. Errors
+    carry a character offset. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj] (first match); [None] otherwise. *)
+
+val equal : t -> t -> bool
+(** Structural equality; object fields compare order-insensitively. *)

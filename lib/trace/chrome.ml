@@ -1,0 +1,150 @@
+(* Chrome trace-event export of execution traces.
+
+   Lane model: pid 0 is the whole machine; each simulated process is a
+   tid. Spans: one "passage" per Enter..Exit window (closed early by a
+   crash, since a crashed passage never Exits) with "fence" spans nested
+   inside; everything else is an instant. Two counter tracks accumulate
+   the paper's cost measures (RMRs, critical events) per process as the
+   trace advances, which is what makes the export a cost-accounting
+   visualization rather than a plain event dump.
+
+   Timestamps are the trace positions themselves (1 event = 1 µs of
+   virtual time): deterministic, so replay exports are byte-stable. *)
+
+open Tsim
+
+let ev = Obs.Sink.chrome_event (* fixed field order, byte-stable *)
+let obj fields = Obs.Json.Obj fields
+
+(* metadata events carry no cat/ts in the wild, but including them keeps
+   every array element uniform (ph/ts/pid present — the shape the tests
+   validate) *)
+let meta ~name ~pid ~tid args =
+  ev ~name ~cat:"__metadata" ~ph:"M" ~ts:0 ~pid ~tid [ ("args", obj args) ]
+
+let events ?(name = "price_adaptive") (tr : Trace.t) : Obs.Json.t list =
+  let layout = Trace.layout tr in
+  let n =
+    1 + Trace.fold (fun acc e -> max acc e.Event.pid) 0 tr
+  in
+  let out = ref [] in
+  let put j = out := j :: !out in
+  (* metadata: name the process lane and one thread lane per pid *)
+  put (meta ~name:"process_name" ~pid:0 ~tid:0
+         [ ("name", Obs.Json.String name) ]);
+  for p = 0 to n - 1 do
+    put (meta ~name:"thread_name" ~pid:0 ~tid:p
+           [ ("name", Obs.Json.String (Printf.sprintf "p%d" p)) ])
+  done;
+  let rmrs = Array.make n 0 and crits = Array.make n 0 in
+  let in_passage = Array.make n false and in_fence = Array.make n false in
+  let counter_args counts =
+    List.init n (fun p -> (Printf.sprintf "p%d" p, Obs.Json.Int counts.(p)))
+  in
+  let vname v = Layout.name layout v in
+  let flags (e : Event.t) =
+    [
+      ("var", Obs.Json.Int (Option.value ~default:(-1) (Event.accessed_var e)));
+      ("remote", Obs.Json.Bool e.Event.remote);
+      ("rmr", Obs.Json.Bool e.Event.rmr);
+      ("critical", Obs.Json.Bool e.Event.critical);
+    ]
+  in
+  let instant ~ts ~tid nm args =
+    put (ev ~name:nm ~cat:"event" ~ph:"i" ~ts ~pid:0 ~tid
+           (("s", Obs.Json.String "t") :: [ ("args", obj args) ]))
+  in
+  let last_ts = ref 0 in
+  Trace.iteri
+    (fun i (e : Event.t) ->
+      let ts = i and p = e.Event.pid in
+      last_ts := ts;
+      match e.Event.kind with
+      | Event.Enter ->
+          in_passage.(p) <- true;
+          put (ev ~name:"passage" ~cat:"passage" ~ph:"B" ~ts ~pid:0 ~tid:p
+                 [ ("args", obj []) ])
+      | Event.Exit ->
+          in_passage.(p) <- false;
+          put (ev ~name:"passage" ~cat:"passage" ~ph:"E" ~ts ~pid:0 ~tid:p [])
+      | Event.Cs ->
+          (if e.Event.critical then begin
+             crits.(p) <- crits.(p) + 1;
+             put (ev ~name:"criticals" ~cat:"cost" ~ph:"C" ~ts ~pid:0 ~tid:0
+                    [ ("args", obj (counter_args crits)) ])
+           end);
+          instant ~ts ~tid:p "cs" (flags e)
+      | Event.Begin_fence { implicit } ->
+          in_fence.(p) <- true;
+          put (ev ~name:"fence" ~cat:"fence" ~ph:"B" ~ts ~pid:0 ~tid:p
+                 [ ("args", obj [ ("implicit", Obs.Json.Bool implicit) ]) ])
+      | Event.End_fence _ ->
+          in_fence.(p) <- false;
+          put (ev ~name:"fence" ~cat:"fence" ~ph:"E" ~ts ~pid:0 ~tid:p [])
+      | Event.Crash { committed; dropped } ->
+          if in_fence.(p) then begin
+            in_fence.(p) <- false;
+            put (ev ~name:"fence" ~cat:"fence" ~ph:"E" ~ts ~pid:0 ~tid:p [])
+          end;
+          if in_passage.(p) then begin
+            in_passage.(p) <- false;
+            put
+              (ev ~name:"passage" ~cat:"passage" ~ph:"E" ~ts ~pid:0 ~tid:p [])
+          end;
+          instant ~ts ~tid:p "crash"
+            [
+              ("committed", Obs.Json.Int committed);
+              ("dropped", Obs.Json.Int dropped);
+            ]
+      | Event.Recover -> instant ~ts ~tid:p "recover" []
+      | kind ->
+          let nm =
+            match kind with
+            | Event.Read { var; src; _ } ->
+                Printf.sprintf "read %s%s" (vname var)
+                  (match src with Event.From_buffer -> " (fwd)" | _ -> "")
+            | Event.Issue_write { var; _ } ->
+                Printf.sprintf "issue %s" (vname var)
+            | Event.Commit_write { var; _ } ->
+                Printf.sprintf "commit %s" (vname var)
+            | Event.Cas_ev { var; success; _ } ->
+                Printf.sprintf "cas %s %s" (vname var)
+                  (if success then "ok" else "fail")
+            | Event.Faa_ev { var; _ } -> Printf.sprintf "faa %s" (vname var)
+            | Event.Swap_ev { var; _ } -> Printf.sprintf "swap %s" (vname var)
+            | _ -> Event.kind_tag kind
+          in
+          if e.Event.rmr then begin
+            rmrs.(p) <- rmrs.(p) + 1;
+            put (ev ~name:"rmrs" ~cat:"cost" ~ph:"C" ~ts ~pid:0 ~tid:0
+                   [ ("args", obj (counter_args rmrs)) ])
+          end;
+          if e.Event.critical then begin
+            crits.(p) <- crits.(p) + 1;
+            put (ev ~name:"criticals" ~cat:"cost" ~ph:"C" ~ts ~pid:0 ~tid:0
+                   [ ("args", obj (counter_args crits)) ])
+          end;
+          instant ~ts ~tid:p nm (flags e))
+    tr;
+  (* close spans left open by an unfinished trace *)
+  let ts = !last_ts in
+  for p = 0 to n - 1 do
+    if in_fence.(p) then
+      put (ev ~name:"fence" ~cat:"fence" ~ph:"E" ~ts ~pid:0 ~tid:p []);
+    if in_passage.(p) then
+      put (ev ~name:"passage" ~cat:"passage" ~ph:"E" ~ts ~pid:0 ~tid:p [])
+  done;
+  List.rev !out
+
+let to_string ?name tr =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i j ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b (Obs.Json.to_string j))
+    (events ?name tr);
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b
+
+let export ?name oc tr = output_string oc (to_string ?name tr)

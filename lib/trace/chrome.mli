@@ -1,0 +1,18 @@
+(** Chrome trace-event export of machine execution traces.
+
+    Renders a recorded {!Trace.t} in the [chrome://tracing] / Perfetto
+    "JSON array" format: one timeline lane (tid) per simulated process,
+    passages and fences as nested duration spans, individual memory
+    events as instants, and cumulative per-process RMR / critical-event
+    counter tracks. Timestamps are virtual — one microsecond per trace
+    position — so the export of a replayed schedule is deterministic and
+    byte-stable (pinned by a golden file in the test corpus). *)
+
+val events : ?name:string -> Trace.t -> Obs.Json.t list
+(** The trace events, metadata first. [name] labels the process lane
+    (default ["price_adaptive"]). *)
+
+val to_string : ?name:string -> Trace.t -> string
+(** The complete file: a JSON array, one trace event per line. *)
+
+val export : ?name:string -> out_channel -> Trace.t -> unit

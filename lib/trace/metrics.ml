@@ -100,6 +100,49 @@ let compute (tr : Trace.t) : t =
 
 let find t p = List.find_opt (fun pp -> Pid.equal pp.pp_pid p) t.processes
 
+(* Online/offline agreement. The machine bumps its counters as events
+   execute; [compute] re-derives the same numbers from the recorded
+   events alone. Any disagreement means either the trace is not the one
+   this machine produced, or an instrumentation bug — both worth a
+   loud, specific message. *)
+let cross_check (m : Machine.t) (t : t) : string list =
+  let fails = ref [] in
+  let failf fmt = Printf.ksprintf (fun s -> fails := s :: !fails) fmt in
+  let zero p =
+    { pp_pid = p; pp_events = 0; pp_rmrs = 0; pp_fences = 0; pp_criticals = 0;
+      pp_passages = 0; pp_passage_log = [] }
+  in
+  for p = 0 to Machine.n_procs m - 1 do
+    let pp = Option.value ~default:(zero p) (find t p) in
+    let check name online offline =
+      if online <> offline then
+        failf "p%d %s: online %d <> trace %d" p name online offline
+    in
+    check "rmrs" (Machine.rmrs m p) pp.pp_rmrs;
+    check "fences" (Machine.fences_completed m p) pp.pp_fences;
+    check "criticals" (Machine.criticals m p) pp.pp_criticals;
+    check "passages" (Machine.passages m p) pp.pp_passages;
+    let log = Machine.passage_log m p in
+    if Vec.length log <> List.length pp.pp_passage_log then
+      failf "p%d passage log length: online %d <> trace %d" p
+        (Vec.length log)
+        (List.length pp.pp_passage_log)
+    else
+      List.iteri
+        (fun i (mp : per_passage) ->
+          let (s : Machine.passage_stats) = Vec.get log i in
+          let check name online offline =
+            if online <> offline then
+              failf "p%d passage %d %s: online %d <> trace %d" p i name
+                online offline
+          in
+          check "rmrs" s.Machine.p_rmrs mp.mp_rmrs;
+          check "fences" s.Machine.p_fences mp.mp_fences;
+          check "criticals" s.Machine.p_criticals mp.mp_criticals)
+        pp.pp_passage_log
+  done;
+  List.rev !fails
+
 let pp fmt (t : t) =
   Format.fprintf fmt
     "events %d, rmrs %d, fences %d, criticals %d over %d processes@."

@@ -32,4 +32,14 @@ type t = {
 
 val compute : Trace.t -> t
 val find : t -> Pid.t -> per_process option
+
+val cross_check : Tsim.Machine.t -> t -> string list
+(** Compare a trace-recomputed aggregation against the machine's online
+    counters: per-process RMR / fence / critical / passage totals and
+    the per-passage log. Returns human-readable mismatch descriptions —
+    empty means the two accountings agree exactly (the "cross-checkable"
+    contract above, enforced by a qcheck property in suite_obs and by
+    the CLI [stats] command). The machine must have recorded the trace
+    [t] was computed from. *)
+
 val pp : Format.formatter -> t -> unit

@@ -24,5 +24,6 @@ let () =
       ("mcheck_equiv", Suite_mcheck_equiv.suite);
       ("crash", Suite_crash.suite);
       ("corpus", Suite_corpus.suite);
+      ("obs", Suite_obs.suite);
       ("twoproc", Suite_twoproc.suite);
     ]
