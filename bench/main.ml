@@ -9,6 +9,12 @@
      dune exec bench/main.exe -- --obs F      timings only, also stream the
                                               rows as NDJSON telemetry
                                               (one bench.row instant each)
+     dune exec bench/main.exe -- --compare B  timings only, compare the
+                                              per-node rows against baseline
+                                              JSON B; exit 1 on regression
+     dune exec bench/main.exe -- --budget P   with --compare: allowed
+                                              per-node regression in percent
+                                              (default 5)
 
    Experiment ids map to the paper's artefacts (DESIGN.md §3):
      e1 Figure 1 · e2 Theorems 1/3 · e3 Corollary 1 · e4 Corollary 2 ·
@@ -43,6 +49,89 @@ let write_json file rows =
   close_out oc;
   Printf.printf "wrote %d benchmark rows to %s\n" (List.length rows) file
 
+(* Regression gate: compare this run's per-node rows against a committed
+   baseline JSON file (the [{"name":..,"value":..,"unit":..}] shape
+   --json writes). Only [ns_per_node] rows are gated — wall-clock
+   ns_per_run rows are too noisy on shared CI runners, and node-count /
+   gauge rows are covered exactly by the differential tests. A row is a
+   regression when it is more than [budget] percent slower than the
+   baseline; rows missing on either side are reported but never fail.
+   Returns [true] when every matched row fits the budget. *)
+let read_file file =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let baseline_rows file =
+  let num = function
+    | Obs.Json.Int i -> Some (float_of_int i)
+    | Obs.Json.Float f -> Some f
+    | _ -> None
+  in
+  match Obs.Json.parse (read_file file) with
+  | Error e -> Error (Printf.sprintf "%s: JSON parse error: %s" file e)
+  | Ok (Obs.Json.List rows) ->
+      Ok
+        (List.filter_map
+           (fun row ->
+             match
+               ( Obs.Json.member "name" row,
+                 Obs.Json.member "value" row,
+                 Obs.Json.member "unit" row )
+             with
+             | Some (Obs.Json.String name), Some v, Some (Obs.Json.String u)
+               -> (
+                 match num v with Some v -> Some (name, v, u) | None -> None)
+             | _ -> None)
+           rows)
+  | Ok _ -> Error (Printf.sprintf "%s: expected a JSON array of rows" file)
+
+let compare_rows ~base_file ~budget rows =
+  match baseline_rows base_file with
+  | Error e ->
+      prerr_endline ("bench: --compare: " ^ e);
+      false
+  | Ok base ->
+      Printf.printf "\nPer-node comparison vs %s (budget %+.1f%%)\n"
+        base_file budget;
+      Printf.printf "%-62s %10s %10s %8s\n" "benchmark" "base" "now" "delta";
+      let ok = ref true in
+      List.iter
+        (fun (name, now, unit) ->
+          if unit = "ns_per_node" then
+            match
+              List.find_map
+                (fun (n, v, u) ->
+                  if n = name && u = "ns_per_node" then Some v else None)
+                base
+            with
+            | None -> Printf.printf "%-62s %10s %10.1f %8s\n" name "-" now "new"
+            | Some b ->
+                let delta = (now -. b) /. b *. 100. in
+                let fail = delta > budget in
+                if fail then ok := false;
+                Printf.printf "%-62s %10.1f %10.1f %+7.1f%%%s\n" name b now
+                  delta
+                  (if fail then "  REGRESSION" else ""))
+        rows;
+      List.iter
+        (fun (name, _, u) ->
+          if
+            u = "ns_per_node"
+            && not
+                 (List.exists
+                    (fun (n, _, unit) -> n = name && unit = "ns_per_node")
+                    rows)
+          then Printf.printf "%-62s (baseline row missing from this run)\n" name)
+        base;
+      if not !ok then
+        Printf.printf
+          "bench: per-node regression beyond %.1f%% budget vs %s\n" budget
+          base_file;
+      !ok
+
 (* Stream the rows through the telemetry layer itself: one [bench.run]
    instant with run metadata, then one [bench.row] instant per result —
    the same NDJSON encoding the explorer emits, so CI can archive bench
@@ -68,28 +157,41 @@ let write_obs file rows =
     (List.length rows) file
 
 let () =
-  let rec parse json obs args =
+  let rec parse json obs cmp budget args =
     match args with
-    | "--json" :: file :: rest -> parse (Some file) obs rest
-    | "--obs" :: file :: rest -> parse json (Some file) rest
-    | [ "--json" ] | [ "--obs" ] ->
-        prerr_endline "bench: --json/--obs require a file argument";
+    | "--json" :: file :: rest -> parse (Some file) obs cmp budget rest
+    | "--obs" :: file :: rest -> parse json (Some file) cmp budget rest
+    | "--compare" :: file :: rest -> parse json obs (Some file) budget rest
+    | "--budget" :: pct :: rest -> (
+        match float_of_string_opt pct with
+        | Some b when b >= 0. -> parse json obs cmp b rest
+        | _ ->
+            prerr_endline "bench: --budget requires a non-negative percent";
+            exit 2)
+    | [ "--json" ] | [ "--obs" ] | [ "--compare" ] | [ "--budget" ] ->
+        prerr_endline
+          "bench: --json/--obs/--compare/--budget require an argument";
         exit 2
     | a :: rest ->
-        let json, obs, sel = parse json obs rest in
-        (json, obs, a :: sel)
-    | [] -> (json, obs, [])
+        let json, obs, cmp, budget, sel = parse json obs cmp budget rest in
+        (json, obs, cmp, budget, a :: sel)
+    | [] -> (json, obs, cmp, budget, [])
   in
-  let json_file, obs_file, args =
-    parse None None (List.tl (Array.to_list Sys.argv))
+  let json_file, obs_file, compare_file, budget, args =
+    parse None None None 5.0 (List.tl (Array.to_list Sys.argv))
   in
-  (* --json/--obs imply timings-only unless experiments were also selected *)
+  (* --json/--obs/--compare imply timings-only unless experiments were
+     also selected *)
   let run_timings =
     args = [] || List.mem "time" args || json_file <> None
-    || obs_file <> None
+    || obs_file <> None || compare_file <> None
   in
   let selected id =
-    (args = [] && json_file = None && obs_file = None) || List.mem id args
+    (args = []
+    && json_file = None
+    && obs_file = None
+    && compare_file = None)
+    || List.mem id args
   in
   Printf.printf
     "Reproduction harness: \"The Price of being Adaptive\" (Ben-Baruch & \
@@ -104,7 +206,11 @@ let () =
     (match json_file with
     | Some file -> write_json file rows
     | None -> ());
-    match obs_file with
+    (match obs_file with
     | Some file -> write_obs file rows
+    | None -> ());
+    match compare_file with
+    | Some base_file ->
+        if not (compare_rows ~base_file ~budget rows) then exit 1
     | None -> ()
   end

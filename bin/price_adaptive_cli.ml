@@ -426,10 +426,22 @@ let verify_cmd =
           ~doc:
             "print search-internals tallies (dedup hits, sleep-set and \
              ample-set prunes, fingerprint-table occupancy, per-domain \
-             nodes)")
+             nodes, journal depth)")
+  in
+  let engine =
+    let engine_conv =
+      Arg.enum [ ("journal", `Journal); ("clone", `Clone) ]
+    in
+    Arg.(
+      value & opt engine_conv `Journal
+      & info [ "engine" ]
+          ~doc:
+            "child-expansion engine: journal (in-place step/undo, the \
+             default) or clone (copy the machine per child); identical \
+             verdicts and node counts")
   in
   let run name n max_nodes spin_fuel domains no_por save_schedule max_crashes
-      max_millis crash_semantics search_stats obs_opts =
+      max_millis crash_semantics search_stats engine obs_opts =
     if domains < 1 then die2 "--domains must be >= 1";
     if max_crashes < 0 then die2 "--max-crashes must be >= 0";
     match find_lock name with
@@ -440,6 +452,7 @@ let verify_cmd =
           Locks.Harness.config_of_lock ~model:Tsim.Config.Cc_wb
             ~crash_semantics lock ~n
         in
+        let cfg = { cfg with Tsim.Config.engine } in
         let r =
           with_obs obs_opts (fun obs ->
               Mcheck.Explore.explore ~max_nodes ~spin_fuel ~domains
@@ -458,7 +471,8 @@ let verify_cmd =
            Printf.printf
              "search: dedup hits %d (resleeps %d), sleep prunes %d, ample \
               chains %d (+%d fused), seen entries %d, crashes applied %d\n\
-              domains: %d%s, merge stall %dus\n"
+              domains: %d%s, merge stall %dus\n\
+              journal: peak %d records, %d undo records (%.1f/node)\n"
              s.Mcheck.Explore.dedup_hits s.Mcheck.Explore.resleeps
              s.Mcheck.Explore.sleep_prunes s.Mcheck.Explore.ample_chains
              s.Mcheck.Explore.ample_fused s.Mcheck.Explore.seen_entries
@@ -468,7 +482,10 @@ let verify_cmd =
              | ns ->
                  Printf.sprintf " (nodes %s)"
                    (String.concat "/" (List.map string_of_int ns)))
-             s.Mcheck.Explore.merge_stall_us);
+             s.Mcheck.Explore.merge_stall_us s.Mcheck.Explore.journal_peak
+             s.Mcheck.Explore.undo_records
+             (float_of_int s.Mcheck.Explore.undo_records
+             /. float_of_int (max 1 r.Mcheck.Explore.nodes)));
         List.iter
           (fun v ->
             (match v.Mcheck.Explore.kind with
@@ -497,7 +514,7 @@ let verify_cmd =
     Term.(
       const run $ lock_arg $ n $ max_nodes $ spin_fuel $ domains $ no_por
       $ save_schedule $ max_crashes $ max_millis $ crash_semantics
-      $ search_stats $ obs_term)
+      $ search_stats $ engine $ obs_term)
 
 (* --- replay -------------------------------------------------------------- *)
 
@@ -542,6 +559,11 @@ let replay_cmd =
               Locks.Harness.config_of_lock ~model:Tsim.Config.Cc_wb
                 ~crash_semantics lock ~n
             in
+            (* outcome-only replay: the trace is never read, so don't pay
+               for recording it (config_of_lock defaults it on). The
+               stats command keeps recording on — it recomputes metrics
+               from the trace. *)
+            let cfg = { cfg with Tsim.Config.record_trace = false } in
             let saved = !Tsim.Prog.default_spin_fuel in
             Tsim.Prog.default_spin_fuel := spin_fuel;
             let _, outcome =

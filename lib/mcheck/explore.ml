@@ -170,12 +170,16 @@ type stats = {
   merge_stall_us : int;
       (* parallel mode: idle window between the first and last domain
          finishing — load-imbalance cost paid at the join barrier *)
+  journal_peak : int;
+      (* journal engine: high-water undo-log depth (max over domains) *)
+  undo_records : int;  (* journal engine: total undo records pushed *)
 }
 
 let zero_stats =
   { dedup_hits = 0; resleeps = 0; sleep_prunes = 0; ample_chains = 0;
     ample_fused = 0; seen_entries = 0; crashes_applied = 0; domains_used = 1;
-    domain_nodes = []; merge_stall_us = 0 }
+    domain_nodes = []; merge_stall_us = 0; journal_peak = 0;
+    undo_records = 0 }
 
 type result = {
   nodes : int;  (* states expanded *)
@@ -271,71 +275,13 @@ let apply m = function
 
 (* --- fingerprinting --------------------------------------------------- *)
 
-(* FNV-1a over the packed machine state, one native int at a time. No
-   intermediate string or array is materialized: per-node fingerprint cost
-   is a handful of multiplies, versus the seed engine's Buffer + Printf
-   construction which dominated its profile. *)
-let fnv_prime = 0x100000001b3
-let fnv_basis = 0x0bf29ce484222325 (* 64-bit FNV basis truncated to 63-bit int *)
-
-let[@inline] mix h x = (h lxor x) * fnv_prime
-
-(* Continuations are hashed structurally. [Hashtbl.hash] stops after 10
-   meaningful nodes, which conflates deep spin states; raise both the
-   meaningful and total traversal bounds so distinct continuation shapes
-   (different spin fuels, loop indices, captured reads) hash apart. *)
-let hash_cont c = Hashtbl.hash_param 128 256 c
-
-let pending_code (p : Machine.pending) h =
-  match p with
-  | Machine.P_enter -> mix h 1
-  | Machine.P_cs -> mix h 2
-  | Machine.P_exit -> mix h 3
-  | Machine.P_done -> mix h 4
-  | Machine.P_read v -> mix (mix h 5) v
-  | Machine.P_issue_write (v, x) -> mix (mix (mix h 6) v) x
-  | Machine.P_begin_fence -> mix h 7
-  | Machine.P_end_fence -> mix h 8
-  | Machine.P_commit v -> mix (mix h 9) v
-  | Machine.P_rmw_fence -> mix h 10
-  | Machine.P_cas (v, e, d) -> mix (mix (mix (mix h 11) v) e) d
-  | Machine.P_faa (v, d) -> mix (mix (mix h 12) v) d
-  | Machine.P_swap (v, x) -> mix (mix (mix h 13) v) x
-  | Machine.P_recover -> mix h 14
-
-let fingerprint m =
-  let n = Machine.n_procs m in
-  let layout = (Machine.config m).Config.layout in
-  let h = ref fnv_basis in
-  for v = 0 to Layout.size layout - 1 do
-    h := mix !h (Machine.mem_value m v)
-  done;
-  for p = 0 to n - 1 do
-    let pr = Machine.proc m p in
-    h := pending_code (Machine.pending m p) !h;
-    h := mix !h (if pr.Machine.in_fence then 1 else 0);
-    (* section + completed passages: cheap, and strictly finer than the
-       seed scheme (two states that agree on everything else but differ
-       in remaining passages behave differently) *)
-    h :=
-      mix !h
-        (match pr.Machine.sec with
-        | Machine.Ncs -> 0
-        | Machine.Entry -> 1
-        | Machine.Exiting -> 2
-        | Machine.Finished -> 3
-        | Machine.Crashed -> 4);
-    h := mix !h pr.Machine.passages;
-    (* crash bookkeeping is behavioral state: the crash budget gates
-       enabled moves, and pending recovery changes the next entry *)
-    h := mix !h pr.Machine.crashes;
-    h := mix !h (if pr.Machine.needs_recovery then 1 else 0);
-    h := mix !h (hash_cont pr.Machine.cont);
-    Wbuf.iter
-      (fun e -> h := mix (mix !h e.Wbuf.var) e.Wbuf.value)
-      pr.Machine.buf
-  done;
-  !h
+(* The fingerprint lives in {!Machine} since PR 5: a packed 63-bit XOR
+   fold of per-variable Zobrist terms and per-process terms, chosen so
+   the journal engine can maintain it incrementally from undo records
+   (O(1) per memory write plus one process-term refresh per event). The
+   state abstraction is unchanged — memory, pending events, sections,
+   passage/crash counts, continuations, buffered writes. *)
+let fingerprint = Machine.fingerprint
 
 (* --- search core ------------------------------------------------------ *)
 
@@ -355,6 +301,7 @@ type ctx = {
   por : bool;
   codec : Footprint.codec;
   sleepable : bool;  (* por && codec.encodable *)
+  paranoid : bool;  (* cross-check incremental fingerprints per node *)
   on_fingerprint : (int -> unit) option;
   on_spin : [ `Prune | `Violation ];
   max_nodes : int;
@@ -374,27 +321,31 @@ type ctx = {
   mutable c_chains : int;
   mutable c_fused : int;
   mutable c_crashes : int;
+  mutable c_jpeak : int;  (* journal engine: max undo-log depth *)
+  mutable c_jrecords : int;  (* journal engine: undo records pushed *)
   (* heartbeat bookkeeping (only touched when [obs] is enabled) *)
   mutable hb_nodes : int;
   mutable hb_us : int;
 }
 
 let make_ctx ?(seen = Hashtbl.create 4096) ?on_fingerprint ?(max_crashes = 0)
-    ?deadline ?(obs = Obs.Telemetry.null) ~dedup ~por ~codec ~on_spin
-    ~max_nodes ~max_violations () =
+    ?deadline ?(obs = Obs.Telemetry.null) ?(paranoid = false) ~dedup ~por
+    ~codec ~on_spin ~max_nodes ~max_violations () =
   { seen; dedup; por; codec;
-    sleepable = por && codec.Footprint.encodable; on_fingerprint; on_spin;
-    max_nodes; max_violations; max_crashes; deadline; obs; nodes = 0;
-    max_depth = 0; nviol = 0; violations = []; stopped = None; c_dedup = 0;
-    c_resleeps = 0; c_sleep_prunes = 0; c_chains = 0; c_fused = 0;
-    c_crashes = 0; hb_nodes = 0; hb_us = 0 }
+    sleepable = por && codec.Footprint.encodable; paranoid; on_fingerprint;
+    on_spin; max_nodes; max_violations; max_crashes; deadline; obs;
+    nodes = 0; max_depth = 0; nviol = 0; violations = []; stopped = None;
+    c_dedup = 0; c_resleeps = 0; c_sleep_prunes = 0; c_chains = 0;
+    c_fused = 0; c_crashes = 0; c_jpeak = 0; c_jrecords = 0; hb_nodes = 0;
+    hb_us = 0 }
 
 let stats_of_ctx ctx =
   { zero_stats with
     dedup_hits = ctx.c_dedup; resleeps = ctx.c_resleeps;
     sleep_prunes = ctx.c_sleep_prunes; ample_chains = ctx.c_chains;
     ample_fused = ctx.c_fused; seen_entries = Hashtbl.length ctx.seen;
-    crashes_applied = ctx.c_crashes; domain_nodes = [ ctx.nodes ] }
+    crashes_applied = ctx.c_crashes; domain_nodes = [ ctx.nodes ];
+    journal_peak = ctx.c_jpeak; undo_records = ctx.c_jrecords }
 
 (* Heartbeat: every 1024 expansions (piggybacked on the deadline poll)
    push counter snapshots, the instantaneous nodes/sec and the current
@@ -513,10 +464,9 @@ let singleton_ample ctx m moves =
    current state, which is exact: a sleeping move's owner has not moved
    since it fell asleep (same-process moves are dependent and would have
    woken it), and other processes' moves do not change its footprint. *)
-let filter_sleep ctx m mv z =
+let filter_sleep_fp ctx m fmv z =
   if z = 0 then 0
   else begin
-    let fmv = Footprint.of_move m mv in
     let keep = ref 0 in
     Footprint.iter_mask ctx.codec
       (fun code b ->
@@ -525,6 +475,9 @@ let filter_sleep ctx m mv z =
       z;
     !keep
   end
+
+let filter_sleep ctx m mv z =
+  if z = 0 then 0 else filter_sleep_fp ctx m (Footprint.of_move m mv) z
 
 (* Visit a successor state: dedup against the seen table with the
    mask-aware rule. A fingerprint stored with mask [z'] was explored
@@ -663,6 +616,221 @@ let expand ctx m schedule depth sleep ~child =
 let rec dfs ctx m schedule depth sleep =
   expand ctx m schedule depth sleep ~child:(dfs ctx)
 
+(* --- in-place (journal) engine ---------------------------------------- *)
+
+(* The journal engine mirrors [expand]/[dfs] decision-for-decision — same
+   move order, same ample/chase selection, same sleep filtering and
+   mask-aware dedup — but expands children by apply → recurse → undo on a
+   single journaling machine instead of cloning per child, and reads the
+   incrementally-maintained fingerprint instead of rehashing the state.
+   [Machine.clone] survives only for BFS frontier handoff (the parallel
+   seed), post-hoc ample validation in the clone engine, and replay.
+   Verdicts, node counts and fingerprint sets are asserted equal across
+   the engines by suite_journal's differential tests.
+
+   Invariant: every path through these functions leaves the machine's
+   journal exactly where the caller's mark put it, except when [Done]
+   aborts the whole search (the machine is then discarded). *)
+
+(* Node fingerprint: O(1) from the journal fold; [~paranoid_fp] verifies
+   it against a full rehash and fails loudly on drift. *)
+let node_fp ctx m =
+  let fp = Machine.fingerprint_fast m in
+  if ctx.paranoid then begin
+    let full = Machine.fingerprint m in
+    if fp <> full then
+      failwith
+        (Printf.sprintf
+           "Explore: incremental fingerprint drift (fast %#x, full %#x)" fp
+           full)
+  end;
+  fp
+
+(* Journal counterpart of [singleton_ample]: validates the candidate by
+   applying it on the machine itself, undoing on failure. On success the
+   machine is LEFT in the successor state (the caller owns the rollback)
+   and the returned mask is the child sleep set — filtered against the
+   pre-state, which is why it must be computed here, before the apply. *)
+let singleton_ample_journal ctx m z moves =
+  if (not ctx.por) || Machine.crashes_total m < ctx.max_crashes then None
+  else begin
+    let n = Machine.n_procs m in
+    let count = Array.make n 0 in
+    List.iter
+      (fun mv ->
+        let p = Footprint.move_pid mv in
+        count.(p) <- count.(p) + 1)
+      moves;
+    let rec pick = function
+      | [] -> None
+      | (Step p as mv) :: rest
+        when singleton_eligible m p ~sole:(count.(p) = 1) -> (
+          let fmv = Footprint.of_move m mv in
+          if Footprint.purely_local fmv then begin
+            let z_next =
+              if ctx.sleepable then filter_sleep_fp ctx m fmv z else 0
+            in
+            let mark = Machine.Journal.mark m in
+            match apply m mv with
+            | () when Machine.pending m p <> Machine.P_cs -> Some (mv, z_next)
+            | () ->
+                Machine.Journal.undo_to m mark;
+                pick rest
+            | exception (Machine.Exclusion_violation _ | Prog.Spin_exhausted _)
+              ->
+                Machine.Journal.undo_to m mark;
+                pick rest
+          end
+          else pick rest)
+      | _ :: rest -> pick rest
+    in
+    pick moves
+  end
+
+let rec dfs_journal ctx m schedule depth sleep =
+  if ctx.nodes >= ctx.max_nodes then begin
+    ctx.stopped <- Some `Nodes;
+    raise Done
+  end;
+  if ctx.nodes land 1023 = 0 then begin
+    (match ctx.deadline with
+    | Some t when Unix.gettimeofday () > t ->
+        ctx.stopped <- Some `Millis;
+        raise Done
+    | _ -> ());
+    if Obs.Telemetry.enabled ctx.obs then heartbeat ctx depth
+  end;
+  ctx.nodes <- ctx.nodes + 1;
+  if depth > ctx.max_depth then ctx.max_depth <- depth;
+  let moves = enabled_moves ~max_crashes:ctx.max_crashes m in
+  if moves = [] then begin
+    let n = Machine.n_procs m in
+    let unfinished = ref false in
+    for p = 0 to n - 1 do
+      if Machine.pending m p <> Machine.P_done then unfinished := true
+    done;
+    if !unfinished then record_violation ctx schedule `Deadlock
+  end
+  else begin
+    let mark0 = Machine.Journal.mark m in
+    match singleton_ample_journal ctx m sleep moves with
+    | Some (mv0, z0) ->
+        (* the machine is in mv0's successor state; the chase walks the
+           singleton chain in place and [undo_to mark0] unwinds the whole
+           chain in one sweep when it bottoms out (or is asleep) *)
+        ctx.c_chains <- ctx.c_chains + 1;
+        chase_journal ctx m ~chain_mark:mark0 mv0 ~z_in:sleep ~z_out:z0
+          schedule depth 4096
+    | None ->
+        let explored = ref 0 in
+        List.iter
+          (fun mv ->
+            let bit =
+              if ctx.sleepable then 1 lsl Footprint.encode ctx.codec mv
+              else 0
+            in
+            if sleep land bit <> 0 then
+              ctx.c_sleep_prunes <- ctx.c_sleep_prunes + 1
+            else begin
+              (* sleeping-move footprints must be read in the pre-state,
+                 so the child mask is computed before applying [mv] *)
+              let z =
+                if ctx.sleepable then
+                  filter_sleep ctx m mv (sleep lor !explored)
+                else 0
+              in
+              let mark = Machine.Journal.mark m in
+              (match apply m mv with
+              | () ->
+                  (match mv with
+                  | Crash _ -> ctx.c_crashes <- ctx.c_crashes + 1
+                  | _ -> ());
+                  visit_child_journal ctx m (mv :: schedule) (depth + 1) z;
+                  Machine.Journal.undo_to m mark
+              | exception Machine.Exclusion_violation { holder; intruder } ->
+                  Machine.Journal.undo_to m mark;
+                  record_violation ctx (mv :: schedule)
+                    (`Exclusion (holder, intruder))
+              | exception Prog.Spin_exhausted _ -> (
+                  Machine.Journal.undo_to m mark;
+                  match ctx.on_spin with
+                  | `Prune -> ()
+                  | `Violation ->
+                      record_violation ctx (mv :: schedule) `Spin_exhausted));
+              explored := !explored lor bit
+            end)
+          moves
+  end
+
+(* [m] is in the successor state of [mv]; [z_in] is the sleep mask the
+   move was selected under (the asleep check), [z_out] the filtered child
+   mask. Mirrors [chase] inside [expand]. *)
+and chase_journal ctx m ~chain_mark mv ~z_in ~z_out schedule depth fuel =
+  let bit =
+    if ctx.sleepable then 1 lsl Footprint.encode ctx.codec mv else 0
+  in
+  if z_in land bit <> 0 then begin
+    ctx.c_sleep_prunes <- ctx.c_sleep_prunes + 1;
+    (* asleep: covered elsewhere — abandon the whole chain *)
+    Machine.Journal.undo_to m chain_mark
+  end
+  else begin
+    (match mv with
+    | Crash _ -> ctx.c_crashes <- ctx.c_crashes + 1
+    | _ -> ());
+    let schedule = mv :: schedule and depth = depth + 1 in
+    if fuel = 0 then begin
+      visit_child_journal ctx m schedule depth z_out;
+      Machine.Journal.undo_to m chain_mark
+    end
+    else
+      match
+        singleton_ample_journal ctx m z_out
+          (enabled_moves ~max_crashes:ctx.max_crashes m)
+      with
+      | Some (mv', z') ->
+          ctx.c_fused <- ctx.c_fused + 1;
+          chase_journal ctx m ~chain_mark mv' ~z_in:z_out ~z_out:z' schedule
+            depth (fuel - 1)
+      | None ->
+          visit_child_journal ctx m schedule depth z_out;
+          Machine.Journal.undo_to m chain_mark
+  end
+
+(* Same dedup rule as [visit_child], with the fingerprint read from the
+   journal fold (computed once, shared by the hook and the table). *)
+and visit_child_journal ctx m schedule depth z =
+  let fp = node_fp ctx m in
+  (match ctx.on_fingerprint with Some f -> f fp | None -> ());
+  if not ctx.dedup then dfs_journal ctx m schedule depth z
+  else
+    match Hashtbl.find_opt ctx.seen fp with
+    | None ->
+        Hashtbl.replace ctx.seen fp z;
+        dfs_journal ctx m schedule depth z
+    | Some z' ->
+        if z' land lnot z = 0 then ctx.c_dedup <- ctx.c_dedup + 1
+        else begin
+          ctx.c_resleeps <- ctx.c_resleeps + 1;
+          Hashtbl.replace ctx.seen fp (z' land z);
+          let full = Footprint.full_mask ctx.codec in
+          dfs_journal ctx m schedule depth ((z lor lnot z') land full)
+        end
+
+(* Run one start state to completion under the configured engine,
+   folding the machine's journal gauges into the ctx even when [Done]
+   aborts mid-subtree. *)
+let run_start ctx ~engine m schedule depth sleep =
+  match engine with
+  | `Clone -> dfs ctx m schedule depth sleep
+  | `Journal ->
+      Machine.Journal.enable m;
+      Fun.protect
+        ~finally:(fun () ->
+          ctx.c_jpeak <- max ctx.c_jpeak (Machine.Journal.peak m);
+          ctx.c_jrecords <- ctx.c_jrecords + Machine.Journal.records m)
+        (fun () -> dfs_journal ctx m schedule depth sleep)
+
 (* --- parallel driver -------------------------------------------------- *)
 
 (* Expand breadth-first from the root until at least [target] pending
@@ -702,11 +870,11 @@ let result_of_ctx ctx ~exhausted =
 (* Per-domain worker: run each assigned frontier state to completion with
    a domain-local seen table seeded from the BFS prefix. Violations are
    tagged (frontier index, discovery order) for the deterministic merge. *)
-let domain_worker ~seen ~dedup ~por ~codec ~on_spin ~max_nodes
-    ~max_violations ~max_crashes ~deadline starts =
+let domain_worker ~engine ~paranoid ~seen ~dedup ~por ~codec ~on_spin
+    ~max_nodes ~max_violations ~max_crashes ~deadline starts =
   let ctx =
-    make_ctx ~seen ~max_crashes ?deadline ~dedup ~por ~codec ~on_spin
-      ~max_nodes ~max_violations ()
+    make_ctx ~seen ~max_crashes ?deadline ~paranoid ~dedup ~por ~codec
+      ~on_spin ~max_nodes ~max_violations ()
   in
   let tagged = ref [] in
   (* drain the ctx's accumulator between starts so each violation carries
@@ -722,7 +890,7 @@ let domain_worker ~seen ~dedup ~por ~codec ~on_spin ~max_nodes
     try
       List.iter
         (fun (idx, (m, schedule, depth, sleep)) ->
-          match dfs ctx m schedule depth sleep with
+          match run_start ctx ~engine m schedule depth sleep with
           | () -> drain idx
           | exception Done ->
               drain idx;
@@ -736,10 +904,14 @@ let domain_worker ~seen ~dedup ~por ~codec ~on_spin ~max_nodes
     stats_of_ctx ctx, (t0, t1) )
 
 let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
-    ~on_spin ~max_crashes ~deadline ~obs cfg =
+    ~on_spin ~max_crashes ~deadline ~obs ~paranoid cfg =
+  (* the BFS seed expands on the coordinator with the clone engine under
+     BOTH engines: frontier states must be independent machines that can
+     be handed to other domains; workers then re-enable journaling on
+     their own copies (run_start) *)
   let ctx =
-    make_ctx ~max_crashes ?deadline ~obs ~dedup ~por ~codec ~on_spin
-      ~max_nodes ~max_violations ()
+    make_ctx ~max_crashes ?deadline ~obs ~paranoid ~dedup ~por ~codec
+      ~on_spin ~max_nodes ~max_violations ()
   in
   let bfs_t0 = Obs.Telemetry.now_us obs in
   match bfs_frontier ctx (Machine.create cfg) ~target:(domains * 8) with
@@ -756,14 +928,16 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
       let budget_left = max 0 (max_nodes - ctx.nodes) in
       let share = budget_left / k and extra = budget_left mod k in
       let wall0 = Unix.gettimeofday () in
+      let engine = cfg.Config.engine in
       let spawned =
         Array.mapi
           (fun d bucket ->
             let seen = Hashtbl.copy ctx.seen in
             let max_nodes = share + (if d = 0 then extra else 0) in
             Domain.spawn (fun () ->
-                domain_worker ~seen ~dedup ~por ~codec ~on_spin ~max_nodes
-                  ~max_violations ~max_crashes ~deadline bucket))
+                domain_worker ~engine ~paranoid ~seen ~dedup ~por ~codec
+                  ~on_spin ~max_nodes ~max_violations ~max_crashes ~deadline
+                  bucket))
           buckets
       in
       let parts = Array.map Domain.join spawned in
@@ -819,7 +993,9 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
               domain_nodes = acc.domain_nodes @ s.domain_nodes;
               merge_stall_us =
                 acc.merge_stall_us
-                + int_of_float (1e6 *. (last_finish -. t1)) })
+                + int_of_float (1e6 *. (last_finish -. t1));
+              journal_peak = max acc.journal_peak s.journal_peak;
+              undo_records = acc.undo_records + s.undo_records })
           { (stats_of_ctx ctx) with domains_used = k; domain_nodes = [] }
           parts
       in
@@ -871,7 +1047,8 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
 let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
     ?(on_spin = `Prune) ?(spin_fuel = 6) ?(record_trace = false)
     ?(domains = 1) ?(por = true) ?(max_crashes = 0) ?max_millis
-    ?on_fingerprint ?(obs = Obs.Telemetry.null) (cfg : Config.t) : result =
+    ?on_fingerprint ?(obs = Obs.Telemetry.null) ?(paranoid_fp = false)
+    (cfg : Config.t) : result =
   if domains < 1 then invalid_arg "Explore.explore: domains must be >= 1";
   if domains > 1 && Option.is_some on_fingerprint then
     invalid_arg "Explore.explore: on_fingerprint requires domains = 1";
@@ -905,16 +1082,18 @@ let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
   if domains > 1 then
     finish
       (explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por
-         ~codec ~on_spin ~max_crashes ~deadline ~obs cfg)
+         ~codec ~on_spin ~max_crashes ~deadline ~obs ~paranoid:paranoid_fp
+         cfg)
   else begin
     let ctx =
-      make_ctx ?on_fingerprint ~max_crashes ?deadline ~obs ~dedup ~por ~codec
-        ~on_spin ~max_nodes ~max_violations ()
+      make_ctx ?on_fingerprint ~max_crashes ?deadline ~obs
+        ~paranoid:paranoid_fp ~dedup ~por ~codec ~on_spin ~max_nodes
+        ~max_violations ()
     in
     let t0 = Obs.Telemetry.now_us obs in
     let exhausted =
       try
-        dfs ctx (Machine.create cfg) [] 0 0;
+        run_start ctx ~engine:cfg.Config.engine (Machine.create cfg) [] 0 0;
         true
       with Done -> false
     in
@@ -936,6 +1115,11 @@ type replay_outcome =
 
 let replay (cfg : Config.t) (schedule : move list) =
   let m = Machine.create cfg in
+  (* Replays reuse the journal engine when configured: the same apply
+     path (with journaling and incremental fingerprints live) drives
+     trace-producing replays, so the Chrome-trace fixtures double as a
+     byte-level check that journaling is invisible to execution. *)
+  if cfg.Config.engine = `Journal then Machine.Journal.enable m;
   (* Validate pids up front: a schedule referencing a process the machine
      does not have is a malformed input (wrong lock, wrong -n, truncated
      file), not a property of this configuration — report it as such

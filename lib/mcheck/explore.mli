@@ -7,7 +7,9 @@
 
     Duplicate states are pruned by fingerprint: shared memory, buffers,
     pending ops, sections, passage counts and structural continuation
-    hashes, folded into a single 63-bit FNV-1a value ({!fingerprint}).
+    hashes, folded into a single packed 63-bit Zobrist-style XOR value
+    ({!Machine.fingerprint}, re-exported as {!fingerprint}; the journal
+    engine maintains it incrementally, see {!Machine.fingerprint_fast}).
     Two distinct states hashing to the same value would be conflated, so
     verification verdicts are "no violation in the full deduplicated
     space up to 63-bit hash collisions" — a high-confidence check, not a
@@ -144,6 +146,12 @@ type stats = {
   merge_stall_us : int;
       (** summed idle time of early-finishing domains waiting for the
           slowest one to join; 0 for the sequential engine *)
+  journal_peak : int;
+      (** journal engine: high-water undo-log depth in records (max over
+          domains); 0 under the clone engine *)
+  undo_records : int;
+      (** journal engine: total undo records pushed across the search
+          (summed over domains); 0 under the clone engine *)
 }
 
 val zero_stats : stats
@@ -179,8 +187,9 @@ val apply : Machine.t -> move -> unit
     the configured {!Config.crash_semantics}). *)
 
 val fingerprint : Machine.t -> int
-(** Packed FNV-1a state hash used for duplicate pruning (allocation-free;
-    see the module comment for the soundness caveat). *)
+(** Packed 63-bit state hash used for duplicate pruning — an alias of
+    {!Machine.fingerprint} (allocation-free full recompute; see the
+    module comment for the soundness caveat). *)
 
 val explore :
   ?max_nodes:int ->
@@ -195,6 +204,7 @@ val explore :
   ?max_millis:int ->
   ?on_fingerprint:(int -> unit) ->
   ?obs:Obs.Telemetry.t ->
+  ?paranoid_fp:bool ->
   Config.t ->
   result
 (** Defaults: 500k nodes, stop at the first violation, dedup on, spin
@@ -237,6 +247,20 @@ val explore :
     the sequential engine. Sleep masks attached to frontier states travel
     with them, so the reduction composes with the parallel driver
     unchanged.
+
+    The child-expansion strategy is selected by {!Config.t.engine}:
+    [`Journal] (the default) steps one machine per domain in place and
+    rolls back through {!Machine.Journal} after each subtree; [`Clone]
+    copies the machine per child (the legacy engine). The two engines
+    visit identical state spaces — same verdicts, node counts and
+    fingerprint sets. Parallel frontier hand-off always clones, under
+    either engine, so frontier machines are independent.
+
+    [~paranoid_fp:true] makes the journal engine cross-check the
+    incrementally-maintained fingerprint against a full recompute at
+    every node ({!Machine.fingerprint_fast} = {!Machine.fingerprint}),
+    failing loudly on drift. A debug mode; off by default. No effect
+    under the clone engine.
 
     [~obs] attaches a telemetry hub ({!Obs.Telemetry}): the search emits
     a heartbeat every 1024 expansions (counter snapshots, nodes/sec,

@@ -47,6 +47,18 @@ let crash_semantics_name = function
   | Flush_buffer -> "flush-buffer"
   | Atomic_prefix -> "atomic-prefix"
 
+(* How the explorer expands children:
+
+   - [`Journal]: step the node's machine in place, recurse, then roll it
+     back through the mutation journal (Machine.Journal) — O(touched
+     words) per node instead of O(state), with incrementally-maintained
+     fingerprints. The default.
+   - [`Clone]: copy the machine per child (the pre-PR5 engine); kept
+     selectable for differential testing and as a fallback. *)
+type engine = [ `Clone | `Journal ]
+
+let engine_name = function `Clone -> "clone" | `Journal -> "journal"
+
 type t = {
   n : int;  (* number of processes *)
   model : mem_model;
@@ -68,12 +80,15 @@ type t = {
       (* recovery section run before the entry section on the first
          passage after a crash; [None] restarts at the entry label with
          no repair step (the non-recoverable baseline) *)
+  engine : engine;
+      (* exploration child-expansion strategy (journal vs clone) *)
 }
 
 let make ?(model = Cc_wb) ?(ordering = Tso) ?(max_passages = 1)
     ?(rmw_drains = true) ?(check_exclusion = true) ?(record_trace = true)
-    ?(crash_semantics = Drop_buffer) ?recovery ~n ~layout ~entry
-    ~exit_section () =
+    ?(crash_semantics = Drop_buffer) ?recovery ?(engine = `Journal) ~n
+    ~layout ~entry ~exit_section () =
   if n <= 0 then invalid_arg "Config.make: n must be positive";
   { n; model; ordering; layout; entry; exit_section; max_passages;
-    rmw_drains; check_exclusion; record_trace; crash_semantics; recovery }
+    rmw_drains; check_exclusion; record_trace; crash_semantics; recovery;
+    engine }

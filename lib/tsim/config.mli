@@ -30,6 +30,15 @@ type crash_semantics = Drop_buffer | Flush_buffer | Atomic_prefix
 
 val crash_semantics_name : crash_semantics -> string
 
+(** Exploration child-expansion strategy: [`Journal] steps one machine in
+    place and rolls back through the mutation journal ({!Machine.Journal},
+    the default — O(touched words) per node); [`Clone] copies the machine
+    per child (the legacy engine, kept selectable for differential
+    testing). The two engines visit identical state spaces. *)
+type engine = [ `Clone | `Journal ]
+
+val engine_name : engine -> string
+
 type t = {
   n : int;
   model : mem_model;
@@ -56,6 +65,7 @@ type t = {
       (** recovery section prepended to the entry section on the first
           passage a process starts after a crash; [None] means the
           process simply restarts at the entry label *)
+  engine : engine;  (** exploration child-expansion strategy *)
 }
 
 val make :
@@ -67,6 +77,7 @@ val make :
   ?record_trace:bool ->
   ?crash_semantics:crash_semantics ->
   ?recovery:(Pid.t -> unit Prog.t) ->
+  ?engine:engine ->
   n:int ->
   layout:Layout.t ->
   entry:(Pid.t -> unit Prog.t) ->
@@ -74,5 +85,5 @@ val make :
   unit ->
   t
 (** Defaults: [Cc_wb], [Tso], one passage, RMWs drain, exclusion checked,
-    trace recorded, [Drop_buffer] crash semantics, no recovery section.
-    @raise Invalid_argument if [n <= 0]. *)
+    trace recorded, [Drop_buffer] crash semantics, no recovery section,
+    [`Journal] engine. @raise Invalid_argument if [n <= 0]. *)

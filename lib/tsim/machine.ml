@@ -67,6 +67,63 @@ type proc = {
       (* the next passage must run the recovery section first *)
 }
 
+(* --- mutation journal: undo records ---------------------------------- *)
+
+(* Snapshot of one process's scalar fields, taken at the head of every
+   public mutator ([step] / [commit] / [commit_var] / [crash]). A single
+   event only ever touches a handful of these, but snapshotting all ~17
+   words in one record is cheaper than one tagged record per field and
+   makes the undo path trivially exact. Aggregate state (write buffer,
+   remote-read table, passage log) is journaled per-operation instead. *)
+type psnap = {
+  s_sec : section;
+  s_cont : unit Prog.t;
+  s_in_fence : bool;
+  s_fence_implicit : bool;
+  s_rmw_fenced : bool;
+  s_aw : Pidset.t;
+  s_passages : int;
+  s_rmrs : int;
+  s_fences : int;
+  s_criticals : int;
+  s_cur_rmrs : int;
+  s_cur_fences : int;
+  s_cur_criticals : int;
+  s_interval_set : Pidset.t;
+  s_point_max : int;
+  s_crashes : int;
+  s_needs_recovery : bool;
+}
+
+(* One undo record per individual state write. [Machine.undo_to] pops
+   these in reverse order; each record restores the exact old value, so a
+   rollback is byte-exact regardless of what the mutator did (including
+   partial mutations before an exception). *)
+type undo =
+  | U_head of {
+      hpid : Pid.t;
+      snap : psnap;
+      h_fp : int;  (* incremental fingerprint before the mutator *)
+      h_fp_proc : int;  (* the stepping process's fingerprint term *)
+      h_cs : int;
+      h_active : int;
+      h_crash : int;
+    }  (* pushed at the head of each public mutator *)
+  | U_mem of Var.t * Value.t  (* old shared-memory value *)
+  | U_writer of Var.t * Pid.t option * Pidset.t
+  | U_accessed of Var.t * Pidset.t
+  | U_cache_packed of Var.t * int  (* cache column, <= 31 procs *)
+  | U_cache_col of Var.t * string  (* cache column, wide machines *)
+  | U_remote_read of Pid.t * Var.t  (* first remote read: undo removes *)
+  | U_buf_set of Pid.t * int * Wbuf.entry  (* issue replaced a pending write *)
+  | U_buf_drop_last of Pid.t  (* issue appended a pending write *)
+  | U_buf_insert of Pid.t * int * Wbuf.entry  (* commit popped this entry *)
+  | U_buf_restore of Pid.t * Wbuf.entry array  (* crash cleared the buffer *)
+  | U_contention of Pid.t * Pidset.t * int
+      (* do_enter touched another process's interval_set / point_max *)
+  | U_trace_pop  (* emit pushed a trace event (record_trace only) *)
+  | U_passage_pop of Pid.t  (* do_exit pushed a passage-log entry *)
+
 type t = {
   cfg : Config.t;
   mem : Value.t array;
@@ -79,6 +136,13 @@ type t = {
   mutable cs_entries : int;  (* total CS events executed *)
   mutable active_count : int;  (* processes currently outside their NCS *)
   mutable crash_count : int;  (* total crash faults injected *)
+  (* journal / incremental-fingerprint state (see module Journal) *)
+  jlog : undo Vec.t;
+  mutable journaling : bool;
+  fp_proc : int array;  (* per-process fingerprint terms (XOR fold) *)
+  mutable fp : int;  (* incrementally-maintained state fingerprint *)
+  mutable j_peak : int;  (* high-water journal depth *)
+  mutable j_records : int;  (* undo records pushed since enable *)
 }
 
 type pending =
@@ -157,6 +221,12 @@ let create (cfg : Config.t) =
     cs_entries = 0;
     active_count = 0;
     crash_count = 0;
+    jlog = Vec.create ~capacity:1 U_trace_pop;
+    journaling = false;
+    fp_proc = Array.make cfg.n 0;
+    fp = 0;
+    j_peak = 0;
+    j_records = 0;
   }
 
 (* Deep copy for state-space exploration: all mutable state is duplicated;
@@ -189,6 +259,15 @@ let clone m =
     cs_entries = m.cs_entries;
     active_count = m.active_count;
     crash_count = m.crash_count;
+    (* clones never inherit an active journal: parallel frontier handoff
+       and counterexample materialization want plain machines; a worker
+       re-enables journaling on its own copy *)
+    jlog = Vec.create ~capacity:1 U_trace_pop;
+    journaling = false;
+    fp_proc = Array.copy m.fp_proc;
+    fp = m.fp;
+    j_peak = 0;
+    j_records = 0;
   }
 
 let config m = m.cfg
@@ -252,6 +331,237 @@ let pending m p : pending =
           | Prog.Swap (v, x) ->
               if rmw_needs_fence then P_rmw_fence else P_swap (v, x)))
 
+(* --- fingerprints ----------------------------------------------------- *)
+
+(* Packed 63-bit state fingerprint, shared by both exploration engines.
+
+   Structure: an XOR fold of independent terms — one Zobrist-style term
+   per shared variable and one term per process —
+
+     fp = basis  XOR  (XOR_v zmix v mem.(v))  XOR  (XOR_p proc_term p)
+
+   XOR makes the fingerprint incrementally maintainable: when an event
+   overwrites mem.(v) the journal applies
+   [fp <- fp lxor zmix v old lxor zmix v new], and since each public
+   mutator only ever changes the stepping process's own term (pending,
+   section, continuation, buffer, ... are all process-local), one
+   [proc_term] recomputation per event keeps fp exact. Every term is
+   passed through a splitmix-style finalizer ([zfin]) before entering
+   the fold so that the XOR of many terms stays well distributed.
+
+   The state abstraction matches the previous sequential FNV-1a
+   fingerprint: memory values, per-process pending event, fence flag,
+   section, passage/crash counts, recovery flag, continuation structure
+   and buffered writes. Cost counters, awareness sets and the cache are
+   deliberately excluded — they are accounting, not behavior. *)
+
+let fnv_prime = 0x100000001b3
+let fnv_basis = 0x0bf29ce484222325 (* 64-bit FNV basis truncated to 63-bit int *)
+
+let[@inline] mix h x = (h lxor x) * fnv_prime
+
+(* splitmix64-style finalizer, truncated to OCaml's 63-bit int range. *)
+let[@inline] zfin x =
+  let x = x lxor (x lsr 30) in
+  let x = x * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 27) in
+  let x = x * 0x369DEA0F31A53F85 in
+  (x lxor (x lsr 31)) land max_int
+
+(* Zobrist term for "variable [v] holds [x]". *)
+let[@inline] zmix v x = zfin (mix (mix fnv_basis (v + 1)) x)
+
+(* Continuations are hashed structurally. [Hashtbl.hash] stops after 10
+   meaningful nodes, which conflates deep spin states; raise both the
+   meaningful and total traversal bounds so distinct continuation shapes
+   (different spin fuels, loop indices, captured reads) hash apart. *)
+let hash_cont c = Hashtbl.hash_param 128 256 c
+
+let pending_code (p : pending) h =
+  match p with
+  | P_enter -> mix h 1
+  | P_cs -> mix h 2
+  | P_exit -> mix h 3
+  | P_done -> mix h 4
+  | P_read v -> mix (mix h 5) v
+  | P_issue_write (v, x) -> mix (mix (mix h 6) v) x
+  | P_begin_fence -> mix h 7
+  | P_end_fence -> mix h 8
+  | P_commit v -> mix (mix h 9) v
+  | P_rmw_fence -> mix h 10
+  | P_cas (v, e, d) -> mix (mix (mix (mix h 11) v) e) d
+  | P_faa (v, d) -> mix (mix (mix h 12) v) d
+  | P_swap (v, x) -> mix (mix (mix h 13) v) x
+  | P_recover -> mix h 14
+
+let sec_code = function
+  | Ncs -> 0
+  | Entry -> 1
+  | Exiting -> 2
+  | Finished -> 3
+  | Crashed -> 4
+
+(* Fingerprint term of one process; depends only on that process's own
+   state (pending inspects pr.sec / in_fence / buffer head / cont, all
+   local), which is what makes the per-event refresh sound. *)
+let proc_term m p =
+  let pr = m.procs.(p) in
+  let h = mix fnv_basis (p + 0x7f) in
+  let h = pending_code (pending m p) h in
+  let h = mix h (if pr.in_fence then 1 else 0) in
+  let h = mix h (sec_code pr.sec) in
+  let h = mix h pr.passages in
+  let h = mix h pr.crashes in
+  let h = mix h (if pr.needs_recovery then 1 else 0) in
+  let h = mix h (hash_cont pr.cont) in
+  let h = ref h in
+  Wbuf.iter (fun e -> h := mix (mix !h e.Wbuf.var) e.Wbuf.value) pr.buf;
+  zfin !h
+
+(* Full recompute: the reference implementation for both engines and the
+   paranoid cross-check for the incremental fold. *)
+let fingerprint m =
+  let h = ref (fnv_basis land max_int) in
+  for v = 0 to Array.length m.mem - 1 do
+    h := !h lxor zmix v m.mem.(v)
+  done;
+  for p = 0 to Array.length m.procs - 1 do
+    h := !h lxor proc_term m p
+  done;
+  !h
+
+let fingerprint_fast m = if m.journaling then m.fp else fingerprint m
+
+(* --- journal bookkeeping --------------------------------------------- *)
+
+let[@inline] jpush m u =
+  Vec.push m.jlog u;
+  m.j_records <- m.j_records + 1;
+  let d = Vec.length m.jlog in
+  if d > m.j_peak then m.j_peak <- d
+
+let psnap_of (pr : proc) =
+  {
+    s_sec = pr.sec;
+    s_cont = pr.cont;
+    s_in_fence = pr.in_fence;
+    s_fence_implicit = pr.fence_implicit;
+    s_rmw_fenced = pr.rmw_fenced;
+    s_aw = pr.aw;
+    s_passages = pr.passages;
+    s_rmrs = pr.rmrs;
+    s_fences = pr.fences;
+    s_criticals = pr.criticals;
+    s_cur_rmrs = pr.cur_rmrs;
+    s_cur_fences = pr.cur_fences;
+    s_cur_criticals = pr.cur_criticals;
+    s_interval_set = pr.interval_set;
+    s_point_max = pr.point_max;
+    s_crashes = pr.crashes;
+    s_needs_recovery = pr.needs_recovery;
+  }
+
+(* Head of every public mutator: snapshot the stepping process and the
+   machine-global scalars, including the fingerprint state, so undo can
+   restore them wholesale. *)
+let[@inline] j_head m (pr : proc) =
+  if m.journaling then
+    jpush m
+      (U_head
+         {
+           hpid = pr.pid;
+           snap = psnap_of pr;
+           h_fp = m.fp;
+           h_fp_proc = m.fp_proc.(pr.pid);
+           h_cs = m.cs_entries;
+           h_active = m.active_count;
+           h_crash = m.crash_count;
+         })
+
+(* Tail of every public mutator: fold the stepping process's refreshed
+   fingerprint term into fp (memory deltas were applied inline). *)
+let[@inline] j_refresh m (pr : proc) =
+  if m.journaling then begin
+    let t = proc_term m pr.pid in
+    m.fp <- m.fp lxor m.fp_proc.(pr.pid) lxor t;
+    m.fp_proc.(pr.pid) <- t
+  end
+
+let[@inline] set_mem m v x =
+  if m.journaling then begin
+    let old = m.mem.(v) in
+    jpush m (U_mem (v, old));
+    m.fp <- m.fp lxor zmix v old lxor zmix v x
+  end;
+  m.mem.(v) <- x
+
+let[@inline] j_writer m v =
+  if m.journaling then jpush m (U_writer (v, m.writer.(v), m.writer_aw.(v)))
+
+(* The CC protocols mutate one variable's cache column (invalidate /
+   downgrade across every process); DSM never touches the cache. *)
+let j_cache m v =
+  if m.journaling && m.cfg.Config.model <> Config.Dsm then
+    if m.cfg.Config.n <= Cache.pack_max_procs then
+      jpush m (U_cache_packed (v, Cache.col_packed m.cache v))
+    else jpush m (U_cache_col (v, Cache.col m.cache v))
+
+let apply_undo m = function
+  | U_head { hpid; snap; h_fp; h_fp_proc; h_cs; h_active; h_crash } ->
+      let pr = m.procs.(hpid) in
+      pr.sec <- snap.s_sec;
+      pr.cont <- snap.s_cont;
+      pr.in_fence <- snap.s_in_fence;
+      pr.fence_implicit <- snap.s_fence_implicit;
+      pr.rmw_fenced <- snap.s_rmw_fenced;
+      pr.aw <- snap.s_aw;
+      pr.passages <- snap.s_passages;
+      pr.rmrs <- snap.s_rmrs;
+      pr.fences <- snap.s_fences;
+      pr.criticals <- snap.s_criticals;
+      pr.cur_rmrs <- snap.s_cur_rmrs;
+      pr.cur_fences <- snap.s_cur_fences;
+      pr.cur_criticals <- snap.s_cur_criticals;
+      pr.interval_set <- snap.s_interval_set;
+      pr.point_max <- snap.s_point_max;
+      pr.crashes <- snap.s_crashes;
+      pr.needs_recovery <- snap.s_needs_recovery;
+      m.cs_entries <- h_cs;
+      m.active_count <- h_active;
+      m.crash_count <- h_crash;
+      m.fp <- h_fp;
+      m.fp_proc.(hpid) <- h_fp_proc
+  | U_mem (v, x) -> m.mem.(v) <- x
+  | U_writer (v, w, aw) ->
+      m.writer.(v) <- w;
+      m.writer_aw.(v) <- aw
+  | U_accessed (v, s) -> m.accessed.(v) <- s
+  | U_cache_packed (v, w) -> Cache.restore_col_packed m.cache v w
+  | U_cache_col (v, s) -> Cache.restore_col m.cache v s
+  | U_remote_read (p, v) -> Hashtbl.remove m.procs.(p).remote_reads v
+  | U_buf_set (p, i, e) -> Wbuf.set m.procs.(p).buf i e
+  | U_buf_drop_last p -> Wbuf.drop_last m.procs.(p).buf
+  | U_buf_insert (p, i, e) -> Wbuf.insert m.procs.(p).buf i e
+  | U_buf_restore (p, es) ->
+      let buf = m.procs.(p).buf in
+      Array.iteri (fun i e -> Wbuf.insert buf i e) es
+  | U_contention (p, iset, pmax) ->
+      let pr = m.procs.(p) in
+      pr.interval_set <- iset;
+      pr.point_max <- pmax
+  | U_trace_pop -> ignore (Vec.pop m.trace)
+  | U_passage_pop p -> ignore (Vec.pop m.procs.(p).passage_log)
+
+let undo_to m mark =
+  if not m.journaling then
+    invalid_arg "Machine.undo_to: journaling is not enabled";
+  let len = Vec.length m.jlog in
+  if mark < 0 || mark > len then invalid_arg "Machine.undo_to: bad mark";
+  for i = len - 1 downto mark do
+    apply_undo m (Vec.get m.jlog i)
+  done;
+  Vec.truncate m.jlog mark
+
 (* --- event emission ------------------------------------------------- *)
 
 let emit m pr kind ~remote ~rmr ~critical =
@@ -259,7 +569,10 @@ let emit m pr kind ~remote ~rmr ~critical =
     { Event.seq = Vec.length m.trace; pid = pr.pid; kind; remote; rmr;
       critical }
   in
-  if m.cfg.Config.record_trace then Vec.push m.trace e;
+  if m.cfg.Config.record_trace then begin
+    Vec.push m.trace e;
+    if m.journaling then jpush m U_trace_pop
+  end;
   if rmr then begin
     pr.rmrs <- pr.rmrs + 1;
     pr.cur_rmrs <- pr.cur_rmrs + 1
@@ -280,13 +593,18 @@ let absorb_awareness m pr v =
       pr.aw <- Pidset.add q (Pidset.union pr.aw m.writer_aw.(v))
 
 let note_access m pr v =
+  if m.journaling then jpush m (U_accessed (v, m.accessed.(v)));
   m.accessed.(v) <- Pidset.add pr.pid m.accessed.(v)
 
 (* A remote read is critical iff it is the process's first remote read of
-   that variable (Definition 2). *)
-let read_criticality pr v ~remote =
+   that variable (Definition 2). Only first insertions are journaled:
+   replacing an existing binding is a no-op. *)
+let read_criticality m pr v ~remote =
   let critical = remote && not (Hashtbl.mem pr.remote_reads v) in
-  if remote then Hashtbl.replace pr.remote_reads v ();
+  if remote then begin
+    if critical && m.journaling then jpush m (U_remote_read (pr.pid, v));
+    Hashtbl.replace pr.remote_reads v ()
+  end;
   critical
 
 (* --- executing events ------------------------------------------------ *)
@@ -295,8 +613,10 @@ let commit_entry m pr (entry : Wbuf.entry) =
   let v = entry.Wbuf.var in
   let remote = is_remote m pr.pid v in
   let critical = remote && m.writer.(v) <> Some pr.pid in
+  j_cache m v;
   let rmr = Memmodel.write_rmr m.cfg.model m.cache pr.pid v ~remote in
-  m.mem.(v) <- entry.Wbuf.value;
+  set_mem m v entry.Wbuf.value;
+  j_writer m v;
   m.writer.(v) <- Some pr.pid;
   m.writer_aw.(v) <- entry.Wbuf.aw;
   note_access m pr v;
@@ -304,12 +624,18 @@ let commit_entry m pr (entry : Wbuf.entry) =
     (Event.Commit_write { var = v; value = entry.Wbuf.value })
     ~remote ~rmr ~critical
 
-let do_commit m pr = commit_entry m pr (Wbuf.pop pr.buf)
+let do_commit m pr =
+  let entry = Wbuf.pop pr.buf in
+  if m.journaling then jpush m (U_buf_insert (pr.pid, 0, entry));
+  commit_entry m pr entry
 
 let commit m p =
   let pr = m.procs.(p) in
   if Wbuf.is_empty pr.buf then invalid_arg "Machine.commit: empty buffer";
-  do_commit m pr
+  j_head m pr;
+  let e = do_commit m pr in
+  j_refresh m pr;
+  e
 
 (* PSO only: commit the pending write to [v] out of order. Under TSO the
    write buffer is FIFO and only the oldest write may become visible. *)
@@ -317,7 +643,12 @@ let commit_var m p v =
   if m.cfg.ordering <> Config.Pso then
     invalid_arg "Machine.commit_var: only allowed under PSO ordering";
   let pr = m.procs.(p) in
-  commit_entry m pr (Wbuf.pop_var pr.buf v)
+  j_head m pr;
+  let i, entry = Wbuf.pop_var' pr.buf v in
+  if m.journaling then jpush m (U_buf_insert (pr.pid, i, entry));
+  let e = commit_entry m pr entry in
+  j_refresh m pr;
+  e
 
 let finish_fence m pr =
   let implicit = pr.fence_implicit in
@@ -347,8 +678,9 @@ let do_read m pr v k =
       e
   | None ->
       let remote = is_remote m pr.pid v in
+      j_cache m v;
       let rmr, src = Memmodel.read_rmr m.cfg.model m.cache pr.pid v ~remote in
-      let critical = read_criticality pr v ~remote in
+      let critical = read_criticality m pr v ~remote in
       absorb_awareness m pr v;
       note_access m pr v;
       let x = m.mem.(v) in
@@ -361,7 +693,9 @@ let do_read m pr v k =
       e
 
 let do_issue_write m pr v x k =
-  Wbuf.push pr.buf { Wbuf.var = v; value = x; aw = pr.aw };
+  (match Wbuf.push' pr.buf { Wbuf.var = v; value = x; aw = pr.aw } with
+  | Some (i, old) -> if m.journaling then jpush m (U_buf_set (pr.pid, i, old))
+  | None -> if m.journaling then jpush m (U_buf_drop_last pr.pid));
   let e =
     emit m pr
       (Event.Issue_write { var = v; value = x })
@@ -382,7 +716,7 @@ let do_begin_fence m pr ~implicit =
    buffer was drained first when [rmw_drains] is set). Criticality follows
    the same rules as a read followed by a write commit. *)
 let rmw_criticality m pr v ~remote ~writes =
-  let read_crit = read_criticality pr v ~remote in
+  let read_crit = read_criticality m pr v ~remote in
   let write_crit = writes && remote && m.writer.(v) <> Some pr.pid in
   read_crit || write_crit
 
@@ -391,12 +725,14 @@ let do_rmw m pr v ~kind_of ~result ~new_value =
   let observed = m.mem.(v) in
   let writes = match new_value observed with Some _ -> true | None -> false in
   let critical = rmw_criticality m pr v ~remote ~writes in
+  j_cache m v;
   let rmr = Memmodel.rmw_rmr m.cfg.model m.cache pr.pid v ~remote in
   absorb_awareness m pr v;
   note_access m pr v;
   (match new_value observed with
   | Some x ->
-      m.mem.(v) <- x;
+      set_mem m v x;
+      j_writer m v;
       m.writer.(v) <- Some pr.pid;
       m.writer_aw.(v) <- pr.aw
   | None -> ());
@@ -442,10 +778,13 @@ let crash ?commit_prefix m p =
     | Config.Atomic_prefix, Some _ ->
         invalid_arg "Machine.crash: prefix exceeds buffer size"
   in
+  j_head m pr;
   for _ = 1 to k do
     ignore (do_commit m pr)
   done;
   let dropped = Wbuf.size pr.buf in
+  if m.journaling && dropped > 0 then
+    jpush m (U_buf_restore (pr.pid, Wbuf.entries pr.buf));
   Wbuf.clear pr.buf;
   if is_active pr then m.active_count <- m.active_count - 1;
   pr.sec <- Crashed;
@@ -456,9 +795,13 @@ let crash ?commit_prefix m p =
   pr.needs_recovery <- true;
   pr.crashes <- pr.crashes + 1;
   m.crash_count <- m.crash_count + 1;
-  emit m pr
-    (Event.Crash { committed = k; dropped })
-    ~remote:false ~rmr:false ~critical:false
+  let e =
+    emit m pr
+      (Event.Crash { committed = k; dropped })
+      ~remote:false ~rmr:false ~critical:false
+  in
+  j_refresh m pr;
+  e
 
 let do_recover m pr =
   pr.sec <- Ncs;
@@ -469,7 +812,11 @@ let do_enter m pr =
   (pr.cont <-
      (match m.cfg.Config.recovery with
      | Some r when pr.needs_recovery ->
-         Prog.bind (r pr.pid) (fun () -> m.cfg.entry pr.pid)
+         (* capture only immutable data: closing over [m] (or [pr]) here
+            would make the continuation's structural hash — part of the
+            state fingerprint — depend on the machine's mutable state *)
+         let entry = m.cfg.entry and pid = pr.pid in
+         Prog.bind (r pid) (fun () -> entry pid)
      | _ -> m.cfg.entry pr.pid));
   pr.needs_recovery <- false;
   pr.cur_rmrs <- 0;
@@ -484,6 +831,8 @@ let do_enter m pr =
   Array.iter
     (fun (q : proc) ->
       if is_active q && not (Pid.equal q.pid pr.pid) then begin
+        if m.journaling then
+          jpush m (U_contention (q.pid, q.interval_set, q.point_max));
         q.interval_set <- Pidset.add pr.pid q.interval_set;
         q.point_max <- max q.point_max m.active_count;
         pr.interval_set <- Pidset.add q.pid pr.interval_set
@@ -508,20 +857,21 @@ let do_cs m pr =
 
 let do_exit m pr =
   pr.passages <- pr.passages + 1;
-  if m.cfg.Config.record_trace then
+  if m.cfg.Config.record_trace then begin
     Vec.push pr.passage_log
       { p_rmrs = pr.cur_rmrs; p_fences = pr.cur_fences;
         p_criticals = pr.cur_criticals;
         p_interval = Pidset.cardinal pr.interval_set;
         p_point = pr.point_max };
+    if m.journaling then jpush m (U_passage_pop pr.pid)
+  end;
   pr.sec <- (if pr.passages >= m.cfg.max_passages then Finished else Ncs);
   m.active_count <- m.active_count - 1;
   emit m pr Event.Exit ~remote:false ~rmr:false ~critical:false
 
-let step m p : Event.t =
-  let pr = m.procs.(p) in
-  match pending m p with
-  | P_done -> raise (Process_finished p)
+let exec_pending m (pr : proc) (pd : pending) : Event.t =
+  match pd with
+  | P_done -> assert false (* filtered by [step] *)
   | P_recover -> do_recover m pr
   | P_commit _ -> do_commit m pr
   | P_end_fence -> finish_fence m pr
@@ -561,6 +911,22 @@ let step m p : Event.t =
                   Event.Swap_ev { var = v; stored = x; observed })
                 ~result:(fun observed -> k observed)
                 ~new_value:(fun _ -> Some x)))
+
+(* The journal head is pushed after the [P_done] check (so a raising call
+   leaves no record) but before execution: if the event itself raises
+   mid-mutation (Exclusion_violation from [do_cs], or a lock program's
+   spin-guard exception escaping a continuation), the caller's
+   [undo_to mark] still restores the pre-step state exactly — the head
+   snapshot plus the fine-grained records cover every partial write. *)
+let step m p : Event.t =
+  let pr = m.procs.(p) in
+  match pending m p with
+  | P_done -> raise (Process_finished p)
+  | pd ->
+      j_head m pr;
+      let e = exec_pending m pr pd in
+      j_refresh m pr;
+      e
 
 (* --- footprints ------------------------------------------------------ *)
 
@@ -665,3 +1031,79 @@ let run_until_passages ?(fuel = 1_000_000) m p ~target =
           go (fuel - 1)
   in
   go fuel
+
+(* --- journal public interface ---------------------------------------- *)
+
+module Journal = struct
+  type mark = int
+
+  let enable m =
+    if not m.journaling then begin
+      Vec.clear m.jlog;
+      m.journaling <- true;
+      m.j_peak <- 0;
+      m.j_records <- 0;
+      for p = 0 to Array.length m.procs - 1 do
+        m.fp_proc.(p) <- proc_term m p
+      done;
+      m.fp <- fingerprint m
+    end
+
+  let disable m =
+    m.journaling <- false;
+    Vec.clear m.jlog
+
+  let enabled m = m.journaling
+  let mark m = Vec.length m.jlog
+  let undo_to m (mk : mark) = undo_to m mk
+  let depth m = Vec.length m.jlog
+  let peak m = m.j_peak
+  let records m = m.j_records
+end
+
+(* --- structural equality ---------------------------------------------- *)
+
+(* Structural equality of machine {e state} (journal bookkeeping and the
+   configuration are excluded). Continuations are compared physically:
+   closures have no structural equality, and both [clone] and the journal
+   restore the very same continuation value, which is exactly the
+   guarantee the journal tests need. *)
+let entry_equal (a : Wbuf.entry) (b : Wbuf.entry) =
+  Var.equal a.Wbuf.var b.Wbuf.var
+  && Value.equal a.Wbuf.value b.Wbuf.value
+  && Pidset.equal a.Wbuf.aw b.Wbuf.aw
+
+let proc_equal (a : proc) (b : proc) =
+  Pid.equal a.pid b.pid && a.sec = b.sec && a.cont == b.cont
+  && a.in_fence = b.in_fence
+  && a.fence_implicit = b.fence_implicit
+  && a.rmw_fenced = b.rmw_fenced
+  && Pidset.equal a.aw b.aw
+  && a.passages = b.passages && a.rmrs = b.rmrs && a.fences = b.fences
+  && a.criticals = b.criticals && a.cur_rmrs = b.cur_rmrs
+  && a.cur_fences = b.cur_fences
+  && a.cur_criticals = b.cur_criticals
+  && Pidset.equal a.interval_set b.interval_set
+  && a.point_max = b.point_max
+  && a.crashes = b.crashes
+  && a.needs_recovery = b.needs_recovery
+  && (let ea = Wbuf.entries a.buf and eb = Wbuf.entries b.buf in
+      Array.length ea = Array.length eb && Array.for_all2 entry_equal ea eb)
+  && Hashtbl.length a.remote_reads = Hashtbl.length b.remote_reads
+  && Hashtbl.fold
+       (fun v () acc -> acc && Hashtbl.mem b.remote_reads v)
+       a.remote_reads true
+  && Vec.to_array a.passage_log = Vec.to_array b.passage_log
+
+let equal a b =
+  Array.length a.mem = Array.length b.mem
+  && Array.length a.procs = Array.length b.procs
+  && a.mem = b.mem && a.writer = b.writer
+  && Array.for_all2 Pidset.equal a.writer_aw b.writer_aw
+  && Array.for_all2 Pidset.equal a.accessed b.accessed
+  && Array.for_all2 proc_equal a.procs b.procs
+  && Cache.equal a.cache b.cache
+  && a.cs_entries = b.cs_entries
+  && a.active_count = b.active_count
+  && a.crash_count = b.crash_count
+  && Vec.to_array a.trace = Vec.to_array b.trace

@@ -90,7 +90,16 @@ val clone : t -> t
     and shared). When the configuration has [record_trace = false], the
     trace and passage logs are empty and never written, so they are
     shared rather than copied: the clone costs O(state) instead of
-    O(depth + state). *)
+    O(depth + state). A clone never inherits an active journal
+    ({!Journal.enabled} is false on the copy). *)
+
+val equal : t -> t -> bool
+(** Structural equality of machine state: memory, writers, awareness,
+    access sets, cache lines, every process's scalars, buffer, remote
+    reads, passage log, and the trace. Continuations are compared
+    physically ([==]) — both {!clone} and {!Journal} rollback preserve
+    the continuation value itself. Journal bookkeeping and the
+    configuration are not compared. *)
 
 (** {1 Inspection} *)
 
@@ -200,6 +209,66 @@ val crash : ?commit_prefix:int -> t -> Pid.t -> Event.t
     passage, runs {!Config.t.recovery} before the entry section.
     @raise Invalid_argument if the process is finished, already crashed,
     or the prefix is illegal for the configured semantics. *)
+
+(** {1 Fingerprints and the mutation journal}
+
+    The packed 63-bit state fingerprint is an XOR fold of one Zobrist
+    term per shared variable plus one term per process (pending event,
+    section, fence flag, passage/crash counts, continuation structure,
+    buffered writes — the behavioral state; cost counters, awareness and
+    the cache are excluded). Because the fold is XOR and each event only
+    changes the stepping process's own term plus some memory cells, the
+    journal maintains it incrementally: O(1) XOR deltas per memory write
+    and one term recomputation per event. *)
+
+val fingerprint : t -> int
+(** Full recompute from the current state. Engine-independent: journal
+    and clone exploration see identical fingerprint sets. *)
+
+val fingerprint_fast : t -> int
+(** The incrementally-maintained fingerprint when journaling is enabled
+    (O(1)); falls back to {!fingerprint} otherwise. Always equal to
+    {!fingerprint} — the [~paranoid_fp] explorer mode asserts this per
+    node. *)
+
+(** Speculative execution support: with journaling enabled, every state
+    write performed by {!step} / {!commit} / {!commit_var} / {!crash}
+    pushes an undo record onto a reusable log, and {!Journal.undo_to}
+    rolls the machine back to a previously-taken mark exactly — including
+    after an exception escaped mid-event (e.g. {!Exclusion_violation}).
+    The in-place DFS engine expands children as step → recurse → undo on
+    a single machine instead of cloning per node. *)
+module Journal : sig
+  type mark
+
+  val enable : t -> unit
+  (** Start journaling on this machine (clears any stale log, initializes
+      the incremental fingerprint). Idempotent. *)
+
+  val disable : t -> unit
+  (** Stop journaling and drop the log. *)
+
+  val enabled : t -> bool
+
+  val mark : t -> mark
+  (** The current log position; pass to {!undo_to} to roll back. O(1). *)
+
+  val undo_to : t -> mark -> unit
+  (** Pop and apply undo records down to [mark], restoring the machine —
+      state, trace, and fingerprint — to what it was when the mark was
+      taken. @raise Invalid_argument if journaling is disabled or the
+      mark is beyond the current log. *)
+
+  val depth : t -> int
+  (** Current log length (records). *)
+
+  val peak : t -> int
+  (** High-water log depth since {!enable}. *)
+
+  val records : t -> int
+  (** Total undo records pushed since {!enable} (monotone; not reduced
+      by {!undo_to}). *)
+end
 
 (** {1 Adversary helpers} *)
 

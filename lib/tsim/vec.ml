@@ -15,10 +15,28 @@ let length t = t.len
 
 let is_empty t = t.len = 0
 
+let capacity t = Array.length t.data
+
 let grow t =
   let data = Array.make (2 * Array.length t.data) t.dummy in
   Array.blit t.data 0 data 0 t.len;
   t.data <- data
+
+(* Shrink the backing array once the live prefix drops below a quarter of
+   capacity, so long-lived vectors (journal logs, frontier queues) stop
+   pinning their peak memory. The new capacity is twice the live length
+   (with a small floor), which keeps both grow and shrink amortized O(1):
+   after a shrink the vector must double before growing or quarter before
+   shrinking again. *)
+let min_capacity = 16
+
+let maybe_shrink t =
+  let cap = Array.length t.data in
+  if cap > min_capacity && 4 * t.len < cap then begin
+    let data = Array.make (max (2 * t.len) min_capacity) t.dummy in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
 
 let push t x =
   if t.len = Array.length t.data then grow t;
@@ -40,11 +58,30 @@ let pop t =
   t.len <- t.len - 1;
   let x = t.data.(t.len) in
   t.data.(t.len) <- t.dummy;
+  maybe_shrink t;
   x
 
 let clear t =
   Array.fill t.data 0 t.len t.dummy;
-  t.len <- 0
+  t.len <- 0;
+  maybe_shrink t
+
+(* Drop everything at index [n] and beyond: O(len - n). Bulk rollback for
+   the mutation journal ([Machine.undo_to] truncates to the mark). *)
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Vec.truncate";
+  Array.fill t.data n (t.len - n) t.dummy;
+  t.len <- n;
+  maybe_shrink t
+
+(* Insert [x] at index [i], shifting the tail right: O(n). Undo partner of
+   [remove]; only used on tiny vectors (write buffers). *)
+let insert t i x =
+  if i < 0 || i > t.len then invalid_arg "Vec.insert";
+  if t.len = Array.length t.data then grow t;
+  Array.blit t.data i t.data (i + 1) (t.len - i);
+  t.data.(i) <- x;
+  t.len <- t.len + 1
 
 let iter f t =
   for i = 0 to t.len - 1 do
@@ -112,4 +149,5 @@ let remove t i =
   Array.blit t.data (i + 1) t.data i (t.len - i - 1);
   t.len <- t.len - 1;
   t.data.(t.len) <- t.dummy;
+  maybe_shrink t;
   x

@@ -8,6 +8,10 @@ val create : ?capacity:int -> 'a -> 'a t
 
 val length : 'a t -> int
 val is_empty : 'a t -> bool
+
+val capacity : 'a t -> int
+(** Current size of the backing array (for shrink tests / introspection). *)
+
 val push : 'a t -> 'a -> unit
 val get : 'a t -> int -> 'a
 val set : 'a t -> int -> 'a -> unit
@@ -30,3 +34,15 @@ val copy : 'a t -> 'a t
 
 val remove : 'a t -> int -> 'a
 (** Remove index [i], shifting the tail left (O(n)). *)
+
+val insert : 'a t -> int -> 'a -> unit
+(** Insert at index [i], shifting the tail right (O(n)); undo partner of
+    {!remove}. [i] may equal [length t] (append). *)
+
+val truncate : 'a t -> int -> unit
+(** Drop every element at index [n] and beyond (bulk journal rollback). *)
+
+(** Shrinking: [pop], [remove], [truncate] and [clear] release backing
+    storage once the live prefix drops below a quarter of capacity (new
+    capacity [max (2 * length) 16]), so long-lived journal/frontier
+    vectors do not pin their peak memory. *)

@@ -37,10 +37,20 @@ let index_of (t : t) var =
 let find (t : t) var =
   match index_of t var with None -> None | Some i -> Some (Vec.get t i).value
 
-let push (t : t) entry =
+(* Journal-aware issue: reports the replaced entry (and its index) so the
+   mutation journal can restore it on undo, or [None] when the write was
+   appended (undo = drop the last entry). *)
+let push' (t : t) entry =
   match index_of t entry.var with
-  | Some i -> Vec.set t i entry
-  | None -> Vec.push t entry
+  | Some i ->
+      let old = Vec.get t i in
+      Vec.set t i entry;
+      Some (i, old)
+  | None ->
+      Vec.push t entry;
+      None
+
+let push (t : t) entry = ignore (push' t entry)
 
 let peek (t : t) = if Vec.is_empty t then None else Some (Vec.get t 0)
 
@@ -48,11 +58,21 @@ let pop (t : t) =
   if Vec.is_empty t then invalid_arg "Wbuf.pop: empty buffer";
   Vec.remove t 0
 
-(* Remove the pending write to [var] out of order (PSO commits). *)
-let pop_var (t : t) var =
+(* Journal-aware PSO commit: also reports the index the entry occupied, so
+   undo can re-insert it in order. *)
+let pop_var' (t : t) var =
   match index_of t var with
   | None -> invalid_arg "Wbuf.pop_var: no pending write to that variable"
-  | Some i -> Vec.remove t i
+  | Some i -> (i, Vec.remove t i)
+
+(* Remove the pending write to [var] out of order (PSO commits). *)
+let pop_var (t : t) var = snd (pop_var' t var)
+
+(* Undo primitives: raw positional restore of journaled mutations. *)
+let set (t : t) i entry = Vec.set t i entry
+let insert (t : t) i entry = Vec.insert t i entry
+let drop_last (t : t) = ignore (Vec.pop t)
+let entries (t : t) = Vec.to_array t
 
 (* Crash support: discard every pending write (Config.Drop_buffer, or the
    suffix beyond a committed prefix under Atomic_prefix). *)

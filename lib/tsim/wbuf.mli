@@ -28,6 +28,11 @@ val find : t -> Var.t -> Value.t option
 val push : t -> entry -> unit
 (** Issue a write (replacing any pending write to the same variable). *)
 
+val push' : t -> entry -> (int * entry) option
+(** Journal-aware {!push}: [Some (i, old)] when the write replaced the
+    pending entry [old] at index [i] (undo restores it with {!set}),
+    [None] when it was appended (undo is {!drop_last}). *)
+
 val peek : t -> entry option
 (** The oldest pending write. *)
 
@@ -38,6 +43,25 @@ val pop : t -> entry
 val pop_var : t -> Var.t -> entry
 (** Remove the pending write to a specific variable (PSO out-of-order
     commits). @raise Invalid_argument if there is none. *)
+
+val pop_var' : t -> Var.t -> int * entry
+(** Journal-aware {!pop_var}: also reports the index the entry occupied,
+    so undo can {!insert} it back in order. *)
+
+val set : t -> int -> entry -> unit
+(** Undo primitive: overwrite the entry at an index (restores a replaced
+    write journaled by {!push'}). *)
+
+val insert : t -> int -> entry -> unit
+(** Undo primitive: re-insert an entry at the index it was popped from. *)
+
+val drop_last : t -> unit
+(** Undo primitive: drop the newest entry (reverts an appending
+    {!push'}). *)
+
+val entries : t -> entry array
+(** Snapshot of the pending entries, oldest first (crash undo, equality,
+    fingerprints). *)
 
 val clear : t -> unit
 (** Discard every pending write (crash support: {!Config.Drop_buffer}). *)

@@ -22,6 +22,7 @@ let () =
       ("coord", Suite_coord.suite);
       ("mcheck", Suite_mcheck.suite);
       ("mcheck_equiv", Suite_mcheck_equiv.suite);
+      ("journal", Suite_journal.suite);
       ("crash", Suite_crash.suite);
       ("corpus", Suite_corpus.suite);
       ("obs", Suite_obs.suite);

@@ -1,0 +1,298 @@
+(* The mutation journal (Machine.Journal) and the in-place DFS engine.
+
+   Three layers of evidence that stepping-in-place is equivalent to
+   cloning:
+
+   - a random-walk property: from any reachable state, apply one enabled
+     move (including crash/recover and PSO out-of-order commits) and roll
+     it back through the journal — the machine must be structurally
+     [Machine.equal] to a clone taken before the move, with the same
+     fingerprint, and the incrementally-maintained fingerprint must agree
+     with the full recompute at every visited state;
+
+   - a differential check over the golden workloads: the clone and
+     journal engines, at 1 and 4 domains, with and without the reduction,
+     produce identical verdicts, node counts, and (sequentially, via
+     [~on_fingerprint]) identical fingerprint multisets;
+
+   - byte-level invisibility: replaying the corpus fixture with trace
+     recording on under either engine produces the byte-identical Chrome
+     export pinned by test/corpus/peterson_unfenced_tso.trace.json. *)
+
+open Tsim
+open Tsim.Prog
+module E = Mcheck.Explore
+
+(* --- workloads (duplicated on purpose, like suite_corpus) --------------- *)
+
+let peterson_unfenced () =
+  let layout = Layout.create () in
+  let flag = Layout.array layout ~init:0 "flag" 2 in
+  let turn = Layout.var layout ~init:0 "turn" in
+  Config.make ~model:Config.Cc_wb ~check_exclusion:true ~n:2 ~layout
+    ~entry:(fun p ->
+      let* () = write flag.(p) 1 in
+      let* () = write turn p in
+      let rec await fuel =
+        if fuel <= 0 then raise (Prog.Spin_exhausted turn)
+        else
+          let* f = read flag.(1 - p) in
+          if f = 0 then unit
+          else
+            let* t = read turn in
+            if t <> p then unit else await (fuel - 1)
+      in
+      await 4)
+    ~exit_section:(fun p ->
+      let* () = write flag.(p) 0 in
+      fence)
+    ()
+
+let mp_pso () =
+  let layout = Layout.create () in
+  let data = Layout.var layout "data" in
+  let flag = Layout.var layout "flag" in
+  let blocked = Layout.var layout "blocked" in
+  Config.make ~model:Config.Cc_wb ~ordering:Config.Pso ~check_exclusion:true
+    ~n:2 ~layout
+    ~entry:(fun p ->
+      if p = 0 then
+        let* () = write data 1 in
+        let* () = write flag 1 in
+        unit
+      else
+        let* f = read flag in
+        let* d = read data in
+        if f = 1 && d = 0 then unit
+        else
+          let* _ = spin_until ~fuel:1 blocked (fun x -> x = 1) in
+          unit)
+    ~exit_section:(fun _ -> Prog.unit)
+    ()
+
+let rtas ~crash_semantics () =
+  Locks.Harness.config_of_lock ~model:Config.Cc_wb ~crash_semantics
+    (Locks.Recoverable_tas.make ~n:2) ~n:2
+
+(* --- random walk: step; undo_to restores the state exactly ------------- *)
+
+(* One walk: journal on, repeatedly pick a random enabled move; before
+   applying it, snapshot (clone + full fingerprint + mark); apply (the
+   move may raise Exclusion_violation / Spin_exhausted mid-mutation —
+   exactly the exception paths the DFS engine must roll back from); undo;
+   check the machine is structurally identical to the snapshot with both
+   fingerprints agreeing; then re-apply the move to advance. *)
+let walk_restores cfg seed =
+  let rng = Random.State.make [| seed |] in
+  let m = Machine.create cfg in
+  Machine.Journal.enable m;
+  let steps = ref 0 in
+  let continue = ref true in
+  while !continue && !steps < 60 do
+    incr steps;
+    match E.enabled_moves ~max_crashes:2 m with
+    | [] -> continue := false
+    | moves ->
+        let mv = List.nth moves (Random.State.int rng (List.length moves)) in
+        let snap = Machine.clone m in
+        let fp_before = Machine.fingerprint m in
+        if Machine.fingerprint_fast m <> fp_before then
+          Alcotest.failf "incremental fingerprint drifted before %s"
+            (E.move_to_string mv);
+        let mark = Machine.Journal.mark m in
+        let raised =
+          try
+            E.apply m mv;
+            false
+          with Machine.Exclusion_violation _ | Prog.Spin_exhausted _ -> true
+        in
+        Machine.Journal.undo_to m mark;
+        if not (Machine.equal m snap) then
+          Alcotest.failf "undo after %s did not restore the state (step %d)"
+            (E.move_to_string mv) !steps;
+        Alcotest.(check int) "full fingerprint restored" fp_before
+          (Machine.fingerprint m);
+        Alcotest.(check int) "incremental fingerprint restored" fp_before
+          (Machine.fingerprint_fast m);
+        (* advance: exception-raising moves end the walk (the machine was
+           rolled back, so the exploration frontier ends here too) *)
+        if raised then continue := false else E.apply m mv
+  done;
+  true
+
+let prop_walk name cfg =
+  QCheck.Test.make ~count:60 ~name QCheck.small_nat (fun seed ->
+      walk_restores cfg seed)
+
+let walk_props =
+  [
+    prop_walk "walk/undo: peterson unfenced TSO" (peterson_unfenced ());
+    prop_walk "walk/undo: mp PSO" (mp_pso ());
+    prop_walk "walk/undo: rtas drop-buffer"
+      (rtas ~crash_semantics:Config.Drop_buffer ());
+    prop_walk "walk/undo: rtas flush-buffer"
+      (rtas ~crash_semantics:Config.Flush_buffer ());
+    prop_walk "walk/undo: rtas atomic-prefix"
+      (rtas ~crash_semantics:Config.Atomic_prefix ());
+    prop_walk "walk/undo: peterson with trace recording"
+      { (peterson_unfenced ()) with Config.record_trace = true };
+    prop_walk "walk/undo: rtas atomic-prefix with trace recording"
+      {
+        (rtas ~crash_semantics:Config.Atomic_prefix ()) with
+        Config.record_trace = true;
+      };
+  ]
+
+(* --- engine differential ------------------------------------------------ *)
+
+let kind_name = function
+  | `Exclusion (a, b) -> Printf.sprintf "exclusion(%d,%d)" a b
+  | `Deadlock -> "deadlock"
+  | `Spin_exhausted -> "spin"
+
+let explore_with ~engine ~domains ~por ?on_fingerprint ?max_crashes cfg =
+  E.explore ~max_nodes:200_000 ~domains ~por ?on_fingerprint ?max_crashes
+    { cfg with Config.engine }
+
+(* Clone vs journal at the same (domains, por): same verdict, same node
+   count, same violation kinds, same exhaustion. *)
+let check_engines name ?max_crashes cfg =
+  List.iter
+    (fun (domains, por) ->
+      let rc = explore_with ~engine:`Clone ~domains ~por ?max_crashes cfg in
+      let rj = explore_with ~engine:`Journal ~domains ~por ?max_crashes cfg in
+      let tag =
+        Printf.sprintf "%s domains=%d por=%b" name domains por
+      in
+      Alcotest.(check bool) (tag ^ ": verified") rc.E.verified rj.E.verified;
+      Alcotest.(check bool)
+        (tag ^ ": exhausted") rc.E.exhausted rj.E.exhausted;
+      Alcotest.(check int) (tag ^ ": nodes") rc.E.nodes rj.E.nodes;
+      Alcotest.(check int)
+        (tag ^ ": max depth") rc.E.max_depth rj.E.max_depth;
+      Alcotest.(check (list string))
+        (tag ^ ": violation kinds")
+        (List.map (fun v -> kind_name v.E.kind) rc.E.violations)
+        (List.map (fun v -> kind_name v.E.kind) rj.E.violations))
+    [ (1, true); (1, false); (4, true); (4, false) ]
+
+let test_engines_peterson () = check_engines "peterson" (peterson_unfenced ())
+let test_engines_mp_pso () = check_engines "mp_pso" (mp_pso ())
+
+let test_engines_rtas () =
+  check_engines "rtas" ~max_crashes:1
+    (rtas ~crash_semantics:Config.Drop_buffer ())
+
+(* Sequentially the two engines must visit the same fingerprint multiset,
+   not just the same number of nodes. *)
+let fp_multiset ~engine ?max_crashes cfg =
+  let tbl = Hashtbl.create 1024 in
+  let r =
+    explore_with ~engine ~domains:1 ~por:true ?max_crashes
+      ~on_fingerprint:(fun fp ->
+        Hashtbl.replace tbl fp
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl fp)))
+      cfg
+  in
+  (r, tbl)
+
+let check_fp_sets name ?max_crashes cfg =
+  let rc, tc = fp_multiset ~engine:`Clone ?max_crashes cfg in
+  let rj, tj = fp_multiset ~engine:`Journal ?max_crashes cfg in
+  Alcotest.(check int) (name ^ ": nodes") rc.E.nodes rj.E.nodes;
+  Alcotest.(check int)
+    (name ^ ": distinct fingerprints")
+    (Hashtbl.length tc) (Hashtbl.length tj);
+  Hashtbl.iter
+    (fun fp n ->
+      match Hashtbl.find_opt tj fp with
+      | Some n' when n = n' -> ()
+      | Some n' ->
+          Alcotest.failf "%s: fingerprint %#x visited %d (clone) vs %d \
+                          (journal) times"
+            name fp n n'
+      | None ->
+          Alcotest.failf "%s: fingerprint %#x visited by clone only" name fp)
+    tc
+
+let test_fp_sets_peterson () = check_fp_sets "peterson" (peterson_unfenced ())
+
+let test_fp_sets_rtas () =
+  check_fp_sets "rtas" ~max_crashes:1
+    (rtas ~crash_semantics:Config.Atomic_prefix ())
+
+(* Paranoid mode recomputes the full fingerprint at every node and fails
+   on drift — a whole-space version of the walk property. *)
+let test_paranoid () =
+  List.iter
+    (fun (name, max_crashes, cfg) ->
+      let r =
+        E.explore ~max_nodes:200_000 ~max_crashes ~paranoid_fp:true cfg
+      in
+      Alcotest.(check bool) (name ^ ": explored") true (r.E.nodes > 0))
+    [
+      ("peterson", 0, peterson_unfenced ());
+      ("mp_pso", 0, mp_pso ());
+      ("rtas", 1, rtas ~crash_semantics:Config.Atomic_prefix ());
+    ]
+
+(* Journal gauges surface in stats under the journal engine only. *)
+let test_journal_stats () =
+  let cfg = peterson_unfenced () in
+  let rj = E.explore ~max_nodes:200_000 cfg in
+  let rc = E.explore ~max_nodes:200_000 { cfg with Config.engine = `Clone } in
+  Alcotest.(check bool) "journal pushes records" true
+    (rj.E.stats.E.undo_records > 0);
+  Alcotest.(check bool) "journal has a peak" true
+    (rj.E.stats.E.journal_peak > 0);
+  Alcotest.(check int) "clone pushes none" 0 rc.E.stats.E.undo_records;
+  Alcotest.(check int) "clone has no peak" 0 rc.E.stats.E.journal_peak
+
+(* --- byte-identical Chrome export under the journal engine ------------- *)
+
+let test_chrome_byte_identical () =
+  let schedule =
+    match
+      E.load_schedule (Filename.concat "corpus" "peterson_unfenced_tso.sched")
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "fixture schedule: %s" e
+  in
+  let export engine =
+    let cfg =
+      { (peterson_unfenced ()) with Config.record_trace = true; engine }
+    in
+    let m, outcome = E.replay cfg schedule in
+    (match outcome with
+    | E.R_exclusion _ -> ()
+    | _ -> Alcotest.fail "fixture replay should end in the exclusion");
+    Execution.Chrome.to_string (Execution.Trace.of_machine m)
+  in
+  let golden =
+    In_channel.with_open_bin
+      (Filename.concat "corpus" "peterson_unfenced_tso.trace.json")
+      In_channel.input_all
+  in
+  Alcotest.(check string) "journal replay matches the golden bytes" golden
+    (export `Journal);
+  Alcotest.(check string) "clone replay matches the golden bytes" golden
+    (export `Clone)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest walk_props
+  @ [
+      Alcotest.test_case "engines agree: peterson" `Quick
+        test_engines_peterson;
+      Alcotest.test_case "engines agree: mp PSO" `Quick test_engines_mp_pso;
+      Alcotest.test_case "engines agree: rtas crashes<=1" `Quick
+        test_engines_rtas;
+      Alcotest.test_case "fingerprint sets agree: peterson" `Quick
+        test_fp_sets_peterson;
+      Alcotest.test_case "fingerprint sets agree: rtas" `Quick
+        test_fp_sets_rtas;
+      Alcotest.test_case "paranoid fingerprint cross-check" `Quick
+        test_paranoid;
+      Alcotest.test_case "journal gauges in stats" `Quick test_journal_stats;
+      Alcotest.test_case "chrome export byte-identical across engines"
+        `Quick test_chrome_byte_identical;
+    ]

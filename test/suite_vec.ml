@@ -54,6 +54,58 @@ let test_misc_api () =
   Alcotest.(check bool) "cleared" true (Vec.is_empty v);
   Alcotest.(check (option int)) "last empty" None (Vec.last v)
 
+let test_insert_truncate () =
+  let v = Vec.of_list 0 [ 10; 30 ] in
+  Vec.insert v 1 20;
+  Vec.insert v 3 40;
+  Alcotest.(check (list int)) "insert" [ 10; 20; 30; 40 ] (Vec.to_list v);
+  Alcotest.check_raises "insert oob" (Invalid_argument "Vec.insert")
+    (fun () -> Vec.insert v 9 0);
+  Vec.truncate v 2;
+  Alcotest.(check (list int)) "truncate" [ 10; 20 ] (Vec.to_list v);
+  Vec.truncate v 2;
+  Alcotest.(check (list int)) "truncate noop" [ 10; 20 ] (Vec.to_list v);
+  Alcotest.check_raises "truncate oob" (Invalid_argument "Vec.truncate")
+    (fun () -> Vec.truncate v 3)
+
+(* The shrink policy: capacity is released exactly when the live prefix
+   drops strictly below a quarter of it, to [max (2 * length) 16] — so a
+   vector hovering around the boundary does not thrash (hysteresis: after
+   a shrink it is half full), and small vectors never shrink below the
+   16-slot floor. *)
+let test_shrink_threshold () =
+  let v = Vec.create 0 in
+  for i = 1 to 1024 do
+    Vec.push v i
+  done;
+  let cap = Vec.capacity v in
+  Alcotest.(check bool) "capacity >= length" true (cap >= 1024);
+  (* drain to exactly a quarter: no shrink yet (strict inequality) *)
+  while 4 * Vec.length v > cap do
+    ignore (Vec.pop v)
+  done;
+  Alcotest.(check int) "at exactly 1/4: kept" cap (Vec.capacity v);
+  (* one more pop crosses the threshold *)
+  ignore (Vec.pop v);
+  let len = Vec.length v in
+  Alcotest.(check int) "below 1/4: shrunk to 2*len" (2 * len)
+    (Vec.capacity v);
+  (* half-full after the shrink: the next pop must not shrink again *)
+  ignore (Vec.pop v);
+  Alcotest.(check int) "hysteresis" (2 * len) (Vec.capacity v);
+  (* the floor: draining to empty stops at the 16-slot minimum *)
+  Vec.clear v;
+  Alcotest.(check int) "floor" 16 (Vec.capacity v);
+  (* truncate shrinks too *)
+  let w = Vec.create 0 in
+  for i = 1 to 1024 do
+    Vec.push w i
+  done;
+  Vec.truncate w 3;
+  Alcotest.(check int) "truncate shrinks" 16 (Vec.capacity w);
+  Alcotest.(check (list int)) "truncate keeps prefix" [ 1; 2; 3 ]
+    (Vec.to_list w)
+
 let prop_roundtrip =
   QCheck.Test.make ~name:"of_list/to_list roundtrip" ~count:200
     QCheck.(list int)
@@ -73,6 +125,8 @@ let suite =
     Alcotest.test_case "filter/map" `Quick test_filter_map;
     Alcotest.test_case "copy independence" `Quick test_copy_independent;
     Alcotest.test_case "misc api" `Quick test_misc_api;
+    Alcotest.test_case "insert/truncate" `Quick test_insert_truncate;
+    Alcotest.test_case "shrink threshold" `Quick test_shrink_threshold;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_fold_sum;
   ]
