@@ -5,7 +5,8 @@
      dune exec bench/main.exe -- time         run only the Bechamel timings
      dune exec bench/main.exe -- --json F     timings only, also write the
                                               rows to F as JSON
-                                              [{"name":.., "value":.., "unit":..}]
+                                              [{"name":.., "value":.., "unit":..,
+                                                "domains"?:.., "nodes_per_sec"?:..}]
      dune exec bench/main.exe -- --obs F      timings only, also stream the
                                               rows as NDJSON telemetry
                                               (one bench.row instant each)
@@ -39,10 +40,16 @@ let write_json file rows =
   let oc = open_out file in
   output_string oc "[\n";
   List.iteri
-    (fun i (name, value, unit) ->
-      Printf.fprintf oc
-        "  {\"name\": \"%s\", \"value\": %.1f, \"unit\": \"%s\"}%s\n"
-        (json_escape name) value (json_escape unit)
+    (fun i (r : Timings.row) ->
+      Printf.fprintf oc "  {\"name\": \"%s\", \"value\": %.1f, \"unit\": \"%s\"%s%s}%s\n"
+        (json_escape r.Timings.r_name) r.Timings.r_value
+        (json_escape r.Timings.r_unit)
+        (match r.Timings.r_domains with
+        | Some d -> Printf.sprintf ", \"domains\": %d" d
+        | None -> "")
+        (match r.Timings.r_nps with
+        | Some nps -> Printf.sprintf ", \"nodes_per_sec\": %.1f" nps
+        | None -> "")
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "]\n";
@@ -51,12 +58,14 @@ let write_json file rows =
 
 (* Regression gate: compare this run's per-node rows against a committed
    baseline JSON file (the [{"name":..,"value":..,"unit":..}] shape
-   --json writes). Only [ns_per_node] rows are gated — wall-clock
-   ns_per_run rows are too noisy on shared CI runners, and node-count /
-   gauge rows are covered exactly by the differential tests. A row is a
-   regression when it is more than [budget] percent slower than the
-   baseline; rows missing on either side are reported but never fail.
-   Returns [true] when every matched row fits the budget. *)
+   --json writes). Only [ns_per_node] rows at domains <= 1 are gated —
+   wall-clock ns_per_run rows are too noisy on shared CI runners,
+   node-count / gauge rows are covered exactly by the differential
+   tests, and parallel-scaling rows depend on how many cores the runner
+   happens to have. A row is a regression when it is more than [budget]
+   percent slower than the baseline; rows missing on either side are
+   reported but never fail. Returns [true] when every matched row fits
+   the budget. *)
 let read_file file =
   let ic = open_in_bin file in
   let n = in_channel_length ic in
@@ -97,10 +106,15 @@ let compare_rows ~base_file ~budget rows =
       Printf.printf "\nPer-node comparison vs %s (budget %+.1f%%)\n"
         base_file budget;
       Printf.printf "%-62s %10s %10s %8s\n" "benchmark" "base" "now" "delta";
+      let gated (r : Timings.row) =
+        r.Timings.r_unit = "ns_per_node"
+        && match r.Timings.r_domains with Some d -> d <= 1 | None -> true
+      in
       let ok = ref true in
       List.iter
-        (fun (name, now, unit) ->
-          if unit = "ns_per_node" then
+        (fun (r : Timings.row) ->
+          if gated r then
+            let name = r.Timings.r_name and now = r.Timings.r_value in
             match
               List.find_map
                 (fun (n, v, u) ->
@@ -122,7 +136,9 @@ let compare_rows ~base_file ~budget rows =
             u = "ns_per_node"
             && not
                  (List.exists
-                    (fun (n, _, unit) -> n = name && unit = "ns_per_node")
+                    (fun (r : Timings.row) ->
+                      r.Timings.r_name = name
+                      && r.Timings.r_unit = "ns_per_node")
                     rows)
           then Printf.printf "%-62s (baseline row missing from this run)\n" name)
         base;
@@ -142,14 +158,21 @@ let write_obs file rows =
   Obs.Telemetry.instant obs "bench.run"
     ~args:[ ("rows", Obs.Json.Int (List.length rows)) ];
   List.iter
-    (fun (name, value, unit) ->
+    (fun (r : Timings.row) ->
       Obs.Telemetry.instant obs "bench.row"
         ~args:
-          [
-            ("bench", Obs.Json.String name);
-            ("value", Obs.Json.Float value);
-            ("unit", Obs.Json.String unit);
-          ])
+          ([
+             ("bench", Obs.Json.String r.Timings.r_name);
+             ("value", Obs.Json.Float r.Timings.r_value);
+             ("unit", Obs.Json.String r.Timings.r_unit);
+           ]
+          @ (match r.Timings.r_domains with
+            | Some d -> [ ("domains", Obs.Json.Int d) ]
+            | None -> [])
+          @
+          match r.Timings.r_nps with
+          | Some nps -> [ ("nodes_per_sec", Obs.Json.Float nps) ]
+          | None -> []))
     rows;
   Obs.Telemetry.close obs;
   close_out oc;

@@ -382,7 +382,37 @@ let verify_cmd =
     Arg.(
       value & opt int 1
       & info [ "domains" ]
-          ~doc:"parallel search domains (per-domain dedup tables)")
+          ~doc:
+            "parallel search domains (one shared lock-free fingerprint \
+             store, work-stealing load balancing)")
+  in
+  let store =
+    let store_conv =
+      Arg.enum [ ("exact", `Exact); ("bitstate", `Bitstate); ("bounded", `Bounded) ]
+    in
+    Arg.(
+      value & opt store_conv `Exact
+      & info [ "store" ]
+          ~doc:
+            "seen-state memory policy: exact (every state stored, the \
+             default), bitstate (SPIN-style supertrace hashing — bounded \
+             memory, verdicts carry a measured omission probability), or \
+             bounded (fixed slot count with eviction — exhaustive, pays \
+             re-exploration)")
+  in
+  let store_bits =
+    Arg.(
+      value & opt (some int) None
+      & info [ "store-bits" ]
+          ~doc:
+            "log2 of the store size: bits of the bitstate array (default \
+             26 = 8 MiB) or slots of the bounded table (default 20)")
+  in
+  let store_hashes =
+    Arg.(
+      value & opt int 3
+      & info [ "store-hashes" ]
+          ~doc:"bitstate mode: hash functions per state (1-8, default 3)")
   in
   let no_por =
     Arg.(
@@ -425,8 +455,9 @@ let verify_cmd =
       & info [ "search-stats" ]
           ~doc:
             "print search-internals tallies (dedup hits, sleep-set and \
-             ample-set prunes, fingerprint-table occupancy, per-domain \
-             nodes, journal depth)")
+             ample-set prunes, fingerprint-store occupancy, per-domain \
+             nodes, steals, evictions/drops/omission probability of the \
+             memory-bounded stores, journal depth)")
   in
   let engine =
     let engine_conv =
@@ -441,9 +472,28 @@ let verify_cmd =
              verdicts and node counts")
   in
   let run name n max_nodes spin_fuel domains no_por save_schedule max_crashes
-      max_millis crash_semantics search_stats engine obs_opts =
+      max_millis crash_semantics search_stats engine store store_bits
+      store_hashes obs_opts =
     if domains < 1 then die2 "--domains must be >= 1";
     if max_crashes < 0 then die2 "--max-crashes must be >= 0";
+    let store_mode =
+      (* the record update below bypasses Config.make's validation, so
+         check the ranges it would enforce here *)
+      match store with
+      | `Exact -> Tsim.Config.Store_exact
+      | `Bitstate ->
+          let log2_bits = Option.value store_bits ~default:26 in
+          if log2_bits < 10 || log2_bits > 36 then
+            die2 "--store-bits must be in [10, 36] for bitstate";
+          if store_hashes < 1 || store_hashes > 8 then
+            die2 "--store-hashes must be in [1, 8]";
+          Tsim.Config.Store_bitstate { log2_bits; hashes = store_hashes }
+      | `Bounded ->
+          let log2_slots = Option.value store_bits ~default:20 in
+          if log2_slots < 8 || log2_slots > 30 then
+            die2 "--store-bits must be in [8, 30] for bounded";
+          Tsim.Config.Store_bounded { log2_slots }
+    in
     match find_lock name with
     | Error e -> die2 "%s" e
     | Ok fam ->
@@ -452,7 +502,9 @@ let verify_cmd =
           Locks.Harness.config_of_lock ~model:Tsim.Config.Cc_wb
             ~crash_semantics lock ~n
         in
-        let cfg = { cfg with Tsim.Config.engine } in
+        let cfg =
+          { cfg with Tsim.Config.engine; Tsim.Config.store = store_mode }
+        in
         let r =
           with_obs obs_opts (fun obs ->
               Mcheck.Explore.explore ~max_nodes ~spin_fuel ~domains
@@ -471,7 +523,8 @@ let verify_cmd =
            Printf.printf
              "search: dedup hits %d (resleeps %d), sleep prunes %d, ample \
               chains %d (+%d fused), seen entries %d, crashes applied %d\n\
-              domains: %d%s, merge stall %dus\n\
+              domains: %d%s, merge stall %dus, steals %d\n\
+              store: %s, evictions %d, drops %d%s\n\
               journal: peak %d records, %d undo records (%.1f/node)\n"
              s.Mcheck.Explore.dedup_hits s.Mcheck.Explore.resleeps
              s.Mcheck.Explore.sleep_prunes s.Mcheck.Explore.ample_chains
@@ -482,8 +535,14 @@ let verify_cmd =
              | ns ->
                  Printf.sprintf " (nodes %s)"
                    (String.concat "/" (List.map string_of_int ns)))
-             s.Mcheck.Explore.merge_stall_us s.Mcheck.Explore.journal_peak
-             s.Mcheck.Explore.undo_records
+             s.Mcheck.Explore.merge_stall_us s.Mcheck.Explore.steals
+             (Tsim.Config.store_mode_name store_mode)
+             s.Mcheck.Explore.store_evictions s.Mcheck.Explore.store_drops
+             (if s.Mcheck.Explore.omission_prob > 0.0 then
+                Printf.sprintf ", omission probability %.2e"
+                  s.Mcheck.Explore.omission_prob
+              else "")
+             s.Mcheck.Explore.journal_peak s.Mcheck.Explore.undo_records
              (float_of_int s.Mcheck.Explore.undo_records
              /. float_of_int (max 1 r.Mcheck.Explore.nodes)));
         List.iter
@@ -514,7 +573,7 @@ let verify_cmd =
     Term.(
       const run $ lock_arg $ n $ max_nodes $ spin_fuel $ domains $ no_por
       $ save_schedule $ max_crashes $ max_millis $ crash_semantics
-      $ search_stats $ engine $ obs_term)
+      $ search_stats $ engine $ store $ store_bits $ store_hashes $ obs_term)
 
 (* --- replay -------------------------------------------------------------- *)
 

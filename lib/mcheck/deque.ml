@@ -1,0 +1,80 @@
+(* Chase–Lev work-stealing deque over OCaml 5 atomics.
+
+   Invariants (the 2005 paper's, restated for this encoding):
+   - [top <= bottom + 1]; elements live at indices [top, bottom).
+   - Only the owner writes [bottom] and the ring cells; thieves advance
+     [top] by CAS, the owner CASes [top] only for the final element.
+   - The ring (cells + mask) is published as ONE mutable pointer so a
+     thief never observes a new array paired with an old mask; an old
+     ring still holds every element in [top, bottom) at publication time
+     (grow copies before publishing, and the owner never writes index i
+     of the old ring after publishing the new one), so a thief racing a
+     grow reads a stale but correct cell and the top-CAS arbitrates.
+
+   All Atomic operations in OCaml are sequentially consistent, which
+   subsumes the fences of the original algorithm. *)
+
+type 'a ring = { cells : 'a option Atomic.t array; mask : int }
+
+type 'a t = {
+  mutable ring : 'a ring;  (* owner-written, racily read by thieves *)
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+}
+
+let make_ring cap = { cells = Array.init cap (fun _ -> Atomic.make None);
+                      mask = cap - 1 }
+
+let create () = { ring = make_ring 16; top = Atomic.make 0;
+                  bottom = Atomic.make 0 }
+
+let size q = max 0 (Atomic.get q.bottom - Atomic.get q.top)
+
+let grow q b t =
+  let old = q.ring in
+  let next = make_ring ((old.mask + 1) * 2) in
+  for i = t to b - 1 do
+    Atomic.set next.cells.(i land next.mask)
+      (Atomic.get old.cells.(i land old.mask))
+  done;
+  q.ring <- next
+
+let push q v =
+  let b = Atomic.get q.bottom and t = Atomic.get q.top in
+  if b - t > q.ring.mask then grow q b t;
+  let r = q.ring in
+  Atomic.set r.cells.(b land r.mask) (Some v);
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  let r = q.ring in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* empty: restore the canonical empty shape *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else if b > t then Atomic.get r.cells.(b land r.mask)
+  else begin
+    (* last element: race thieves for it via top *)
+    let v =
+      if Atomic.compare_and_set q.top t (t + 1) then
+        Atomic.get r.cells.(b land r.mask)
+      else None
+    in
+    Atomic.set q.bottom (t + 1);
+    v
+  end
+
+let rec steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then None
+  else begin
+    let r = q.ring in
+    let v = Atomic.get r.cells.(t land r.mask) in
+    if Atomic.compare_and_set q.top t (t + 1) then v
+    else steal q  (* lost to another thief or the owner's last-pop *)
+  end

@@ -1,0 +1,31 @@
+(** Chase–Lev work-stealing deque.
+
+    One owner domain pushes and pops at the bottom (LIFO, so the owner
+    keeps depth-first locality); any number of thief domains steal from
+    the top (FIFO, so thieves take the oldest — largest — subtrees).
+    The classic algorithm (Chase & Lev, SPAA 2005), on OCaml [Atomic]s
+    (sequentially consistent, so no fence subtleties carry over).
+
+    Push and pop must only be called by the owning domain; steal and
+    size are safe from anywhere. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner only: add at the bottom, growing the ring buffer as needed. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: remove the most recently pushed element, racing thieves
+    for the last one. *)
+
+val steal : 'a t -> 'a option
+(** Any domain: remove the oldest element, or [None] when (momentarily)
+    empty. Internally retries CAS failures — a failure means another
+    thief or the owner made progress, so the loop is wait-free in
+    aggregate. *)
+
+val size : 'a t -> int
+(** Snapshot of the element count; exact for the owner between its own
+    operations, advisory for everyone else. *)

@@ -16,7 +16,9 @@
    performance"): machines run with [record_trace = false] so clones are
    O(state); states are fingerprinted by an allocation-free FNV-1a hash
    over packed ints instead of a built string; and [~domains:k] fans the
-   root frontier out over OCaml 5 domains.
+   root frontier out over OCaml 5 domains, which share one lock-free
+   fingerprint store ({!Fpstore}) and load-balance through Chase–Lev
+   work-stealing deques ({!Deque}) — see DESIGN.md §5f.
 
    On top of that sits a dynamic partial-order reduction (on by default,
    [~por:false] to disable), combining three classic ingredients over the
@@ -158,12 +160,12 @@ let partial_reason_name = function
    in the result and — at heartbeat granularity — through the telemetry
    hub. *)
 type stats = {
-  dedup_hits : int;  (* revisits pruned by the seen table *)
+  dedup_hits : int;  (* revisits pruned by the seen store *)
   resleeps : int;  (* mask-aware re-explorations of a seen state *)
   sleep_prunes : int;  (* moves skipped because asleep *)
   ample_chains : int;  (* singleton-ample selections (chains started) *)
   ample_fused : int;  (* local moves fused through those chains *)
-  seen_entries : int;  (* fingerprint-table occupancy (summed over domains) *)
+  seen_entries : int;  (* seen-store occupancy (shared store: global) *)
   crashes_applied : int;  (* crash moves executed *)
   domains_used : int;
   domain_nodes : int list;  (* per-domain node counts, domain order *)
@@ -173,13 +175,20 @@ type stats = {
   journal_peak : int;
       (* journal engine: high-water undo-log depth (max over domains) *)
   undo_records : int;  (* journal engine: total undo records pushed *)
+  steals : int;  (* parallel mode: work items taken from other domains *)
+  store_evictions : int;  (* bounded store: states evicted under pressure *)
+  store_drops : int;  (* shared store: states left unstored (window full) *)
+  omission_prob : float;
+      (* bitstate store: estimated probability that the next distinct
+         state falsely aliases as seen — (ones/m)^k at final fill *)
 }
 
 let zero_stats =
   { dedup_hits = 0; resleeps = 0; sleep_prunes = 0; ample_chains = 0;
     ample_fused = 0; seen_entries = 0; crashes_applied = 0; domains_used = 1;
     domain_nodes = []; merge_stall_us = 0; journal_peak = 0;
-    undo_records = 0 }
+    undo_records = 0; steals = 0; store_evictions = 0; store_drops = 0;
+    omission_prob = 0.0 }
 
 type result = {
   nodes : int;  (* states expanded *)
@@ -287,16 +296,29 @@ let fingerprint = Machine.fingerprint
 
 exception Done
 
-(* Mutable search state. One [ctx] per domain: the seen table, node
-   budget and violation cap are all domain-local, so parallel search
-   needs no synchronization.
+(* Seen-state memory. The sequential default is the mask-aware hash
+   table (fingerprint -> sleep mask last explored under). Parallel
+   search — and the memory-bounded modes at any domain count — use the
+   shared lock-free store instead ({!Fpstore}), which expresses the same
+   rule as atomic claims on a per-state "remaining moves" word. *)
+type seen_store =
+  | Seen_tbl of (int, int) Hashtbl.t
+  | Seen_shared of Fpstore.t
 
-   [seen] maps fingerprint -> the sleep mask the state was (last)
-   explored under; with POR off or a non-encodable move space every mask
-   is 0, and the table behaves exactly like the previous engine's
-   fingerprint set. *)
+(* Mutable search state, one [ctx] per domain. Violation caps and tallies
+   are domain-local; the seen store and the node-budget pool (parallel
+   mode) are the only shared structures.
+
+   [quota] is the locally claimed slice of the node budget; when it runs
+   out the ctx claims another chunk from [pool] (CAS), or stops when
+   [pool] is [None] (sequential: quota IS the budget) or drained.
+
+   [delegate] is installed by parallel workers: called with a successor
+   state that has just been admitted by the seen store, it may park the
+   subtree on the worker's deque (for thieves to steal) instead of
+   recursing. *)
 type ctx = {
-  seen : (int, int) Hashtbl.t;
+  seen : seen_store;
   dedup : bool;
   por : bool;
   codec : Footprint.codec;
@@ -304,11 +326,14 @@ type ctx = {
   paranoid : bool;  (* cross-check incremental fingerprints per node *)
   on_fingerprint : (int -> unit) option;
   on_spin : [ `Prune | `Violation ];
-  max_nodes : int;
+  pool : int Atomic.t option;  (* parallel mode: shared budget pool *)
   max_violations : int;
   max_crashes : int;  (* crash faults the adversary may inject, total *)
   deadline : float option;  (* absolute wall-clock cutoff *)
   obs : Obs.Telemetry.t;  (* Telemetry.null when no sink is attached *)
+  mutable quota : int;  (* locally claimed node budget remaining *)
+  mutable delegate :
+    (must_clone:bool -> Machine.t -> move list -> int -> int -> bool) option;
   mutable nodes : int;
   mutable max_depth : int;
   mutable nviol : int;  (* = List.length violations, kept O(1) *)
@@ -323,29 +348,74 @@ type ctx = {
   mutable c_crashes : int;
   mutable c_jpeak : int;  (* journal engine: max undo-log depth *)
   mutable c_jrecords : int;  (* journal engine: undo records pushed *)
+  mutable c_steals : int;  (* work items stolen from other domains *)
   (* heartbeat bookkeeping (only touched when [obs] is enabled) *)
   mutable hb_nodes : int;
   mutable hb_us : int;
 }
 
-let make_ctx ?(seen = Hashtbl.create 4096) ?on_fingerprint ?(max_crashes = 0)
-    ?deadline ?(obs = Obs.Telemetry.null) ?(paranoid = false) ~dedup ~por
-    ~codec ~on_spin ~max_nodes ~max_violations () =
+let make_ctx ?seen ?pool ?on_fingerprint ?(max_crashes = 0) ?deadline
+    ?(obs = Obs.Telemetry.null) ?(paranoid = false) ~dedup ~por ~codec
+    ~on_spin ~max_nodes ~max_violations () =
+  let seen =
+    match seen with Some s -> s | None -> Seen_tbl (Hashtbl.create 4096)
+  in
   { seen; dedup; por; codec;
     sleepable = por && codec.Footprint.encodable; paranoid; on_fingerprint;
-    on_spin; max_nodes; max_violations; max_crashes; deadline; obs;
+    on_spin; pool; max_violations; max_crashes; deadline; obs;
+    quota = max_nodes; delegate = None;
     nodes = 0; max_depth = 0; nviol = 0; violations = []; stopped = None;
     c_dedup = 0; c_resleeps = 0; c_sleep_prunes = 0; c_chains = 0;
-    c_fused = 0; c_crashes = 0; c_jpeak = 0; c_jrecords = 0; hb_nodes = 0;
-    hb_us = 0 }
+    c_fused = 0; c_crashes = 0; c_jpeak = 0; c_jrecords = 0; c_steals = 0;
+    hb_nodes = 0; hb_us = 0 }
+
+let seen_len ctx =
+  match ctx.seen with
+  | Seen_tbl tbl -> Hashtbl.length tbl
+  | Seen_shared st -> Fpstore.entries st
 
 let stats_of_ctx ctx =
+  let store_evictions, store_drops, omission_prob =
+    match ctx.seen with
+    | Seen_tbl _ -> (0, 0, 0.0)
+    | Seen_shared st ->
+        (Fpstore.evictions st, Fpstore.drops st, Fpstore.omission_prob st)
+  in
   { zero_stats with
     dedup_hits = ctx.c_dedup; resleeps = ctx.c_resleeps;
     sleep_prunes = ctx.c_sleep_prunes; ample_chains = ctx.c_chains;
-    ample_fused = ctx.c_fused; seen_entries = Hashtbl.length ctx.seen;
+    ample_fused = ctx.c_fused; seen_entries = seen_len ctx;
     crashes_applied = ctx.c_crashes; domain_nodes = [ ctx.nodes ];
-    journal_peak = ctx.c_jpeak; undo_records = ctx.c_jrecords }
+    journal_peak = ctx.c_jpeak; undo_records = ctx.c_jrecords;
+    steals = ctx.c_steals; store_evictions; store_drops; omission_prob }
+
+(* Charge the node budget for one expansion: burn local quota, then
+   claim another chunk from the shared pool. Chunked claims (256 nodes)
+   keep the pool CAS off the hot path while bounding how far the global
+   budget can be overshot (k domains × one chunk each). *)
+let budget_chunk = 256
+
+let charge ctx =
+  if ctx.quota > 0 then begin
+    ctx.quota <- ctx.quota - 1;
+    true
+  end
+  else
+    match ctx.pool with
+    | None -> false
+    | Some pool ->
+        let rec claim () =
+          let avail = Atomic.get pool in
+          if avail <= 0 then false
+          else
+            let take = if avail < budget_chunk then avail else budget_chunk in
+            if Atomic.compare_and_set pool avail (avail - take) then begin
+              ctx.quota <- take - 1;
+              true
+            end
+            else claim ()
+        in
+        claim ()
 
 (* Heartbeat: every 1024 expansions (piggybacked on the deadline poll)
    push counter snapshots, the instantaneous nodes/sec and the current
@@ -359,7 +429,7 @@ let heartbeat ctx depth =
   setc "explore.dedup_hits" ctx.c_dedup;
   setc "explore.sleep_prunes" ctx.c_sleep_prunes;
   setc "explore.ample_fused" ctx.c_fused;
-  setc "explore.seen_entries" (Hashtbl.length ctx.seen);
+  setc "explore.seen_entries" (seen_len ctx);
   setc "explore.crashes_applied" ctx.c_crashes;
   setc "explore.violations" ctx.nviol;
   Obs.Telemetry.flush_counters obs;
@@ -479,39 +549,83 @@ let filter_sleep_fp ctx m fmv z =
 let filter_sleep ctx m mv z =
   if z = 0 then 0 else filter_sleep_fp ctx m (Footprint.of_move m mv) z
 
-(* Visit a successor state: dedup against the seen table with the
+(* Admit a successor state through the seen store, dedup'ing with the
    mask-aware rule. A fingerprint stored with mask [z'] was explored
    covering every execution not starting in [z']; arriving again with
    sleep [z]:
-   - z' ⊆ z: nothing new to do, prune;
+   - z' ⊆ z: nothing new to do, prune ([None]);
    - otherwise re-explore only the moves slept before but wanted now
-     (sleep z ∪ ¬z') and record the new coverage (store z ∩ z'). *)
+     (sleep z ∪ ¬z') and record the new coverage (store z ∩ z').
+
+   The shared store expresses the same rule as claims on the "remaining
+   moves" word: this visit's cover is ¬z (∩ full), the fetch-and hands
+   back exactly the not-yet-owed intersection [fresh], and the child
+   re-explores under sleep ¬fresh — for a fresh state (remaining was
+   all-ones) that is z itself, and coverage merging is the commutative
+   intersection the sequential rule computes in order. *)
+let seen_admit ctx fp z =
+  if not ctx.dedup then Some z
+  else
+    match ctx.seen with
+    | Seen_tbl tbl -> (
+        match Hashtbl.find_opt tbl fp with
+        | None ->
+            Hashtbl.replace tbl fp z;
+            Some z
+        | Some z' ->
+            if z' land lnot z = 0 then begin
+              ctx.c_dedup <- ctx.c_dedup + 1;
+              None
+            end
+            else begin
+              ctx.c_resleeps <- ctx.c_resleeps + 1;
+              Hashtbl.replace tbl fp (z' land z);
+              let full = Footprint.full_mask ctx.codec in
+              Some ((z lor lnot z') land full)
+            end)
+    | Seen_shared st -> (
+        let cover =
+          if ctx.sleepable then lnot z land Footprint.full_mask ctx.codec
+          else -1
+        in
+        match Fpstore.visit st ~fp ~cover with
+        | Fpstore.New -> Some z
+        | Fpstore.Covered ->
+            ctx.c_dedup <- ctx.c_dedup + 1;
+            None
+        | Fpstore.Partial fresh ->
+            if fresh <> cover then ctx.c_resleeps <- ctx.c_resleeps + 1;
+            if ctx.sleepable then
+              Some (lnot fresh land Footprint.full_mask ctx.codec)
+            else Some 0)
+
+(* Hand a just-admitted subtree to the worker's deque when a delegate is
+   installed (parallel mode) and willing; [~must_clone] marks machines
+   that are stepped in place (journal engine) and so cannot be parked
+   as-is. *)
+let try_delegate ctx ~must_clone m schedule depth z =
+  match ctx.delegate with
+  | None -> false
+  | Some f -> f ~must_clone m schedule depth z
+
 let visit_child ctx m' schedule depth z ~child =
   (match ctx.on_fingerprint with
   | Some f -> f (fingerprint m')
   | None -> ());
-  if not ctx.dedup then child m' schedule depth z
-  else begin
-    let fp = fingerprint m' in
-    match Hashtbl.find_opt ctx.seen fp with
-    | None ->
-        Hashtbl.replace ctx.seen fp z;
+  let admitted =
+    if ctx.dedup then seen_admit ctx (fingerprint m') z else Some z
+  in
+  match admitted with
+  | None -> ()
+  | Some z ->
+      if not (try_delegate ctx ~must_clone:false m' schedule depth z) then
         child m' schedule depth z
-    | Some z' ->
-        if z' land lnot z = 0 then ctx.c_dedup <- ctx.c_dedup + 1
-        else begin
-          ctx.c_resleeps <- ctx.c_resleeps + 1;
-          Hashtbl.replace ctx.seen fp (z' land z);
-          let full = Footprint.full_mask ctx.codec in
-          child m' schedule depth ((z lor lnot z') land full)
-        end
-  end
 
 (* Expand one state: count it, then either diagnose a dead end or visit
    the selected moves through [child]. The deadlock scan is only run when
    there are no moves — it is O(n) and pointless otherwise. *)
 let expand ctx m schedule depth sleep ~child =
-  if ctx.nodes >= ctx.max_nodes then begin
+  if not (charge ctx) then begin
     ctx.stopped <- Some `Nodes;
     raise Done
   end;
@@ -688,7 +802,7 @@ let singleton_ample_journal ctx m z moves =
   end
 
 let rec dfs_journal ctx m schedule depth sleep =
-  if ctx.nodes >= ctx.max_nodes then begin
+  if not (charge ctx) then begin
     ctx.stopped <- Some `Nodes;
     raise Done
   end;
@@ -798,24 +912,18 @@ and chase_journal ctx m ~chain_mark mv ~z_in ~z_out schedule depth fuel =
   end
 
 (* Same dedup rule as [visit_child], with the fingerprint read from the
-   journal fold (computed once, shared by the hook and the table). *)
+   journal fold (computed once, shared by the hook and the store). A
+   delegated subtree clones the machine — the clone sheds the active
+   journal (see {!Machine.clone}), and the popping worker re-enables it
+   through [run_start]. *)
 and visit_child_journal ctx m schedule depth z =
   let fp = node_fp ctx m in
   (match ctx.on_fingerprint with Some f -> f fp | None -> ());
-  if not ctx.dedup then dfs_journal ctx m schedule depth z
-  else
-    match Hashtbl.find_opt ctx.seen fp with
-    | None ->
-        Hashtbl.replace ctx.seen fp z;
+  match seen_admit ctx fp z with
+  | None -> ()
+  | Some z ->
+      if not (try_delegate ctx ~must_clone:true m schedule depth z) then
         dfs_journal ctx m schedule depth z
-    | Some z' ->
-        if z' land lnot z = 0 then ctx.c_dedup <- ctx.c_dedup + 1
-        else begin
-          ctx.c_resleeps <- ctx.c_resleeps + 1;
-          Hashtbl.replace ctx.seen fp (z' land z);
-          let full = Footprint.full_mask ctx.codec in
-          dfs_journal ctx m schedule depth ((z lor lnot z') land full)
-        end
 
 (* Run one start state to completion under the configured engine,
    folding the machine's journal gauges into the ctx even when [Done]
@@ -847,15 +955,6 @@ let bfs_frontier ctx m0 ~target =
   done;
   List.of_seq (Queue.to_seq pending)
 
-(* Split [items] round-robin into [k] buckets, tagging each item with its
-   global frontier index so merged results are deterministic. *)
-let round_robin k items =
-  let buckets = Array.make k [] in
-  List.iteri
-    (fun i item -> buckets.(i mod k) <- (i, item) :: buckets.(i mod k))
-    items;
-  Array.map List.rev buckets
-
 let result_of_ctx ctx ~exhausted =
   {
     nodes = ctx.nodes;
@@ -867,51 +966,158 @@ let result_of_ctx ctx ~exhausted =
     stats = stats_of_ctx ctx;
   }
 
-(* Per-domain worker: run each assigned frontier state to completion with
-   a domain-local seen table seeded from the BFS prefix. Violations are
-   tagged (frontier index, discovery order) for the deterministic merge. *)
-let domain_worker ~engine ~paranoid ~seen ~dedup ~por ~codec ~on_spin
-    ~max_nodes ~max_violations ~max_crashes ~deadline starts =
+(* A parked subtree: an independent machine plus the search coordinates
+   to resume it. [w_idx] is the frontier index of the BFS start the
+   subtree descends from — violations inherit it so the merge stays
+   deterministic no matter which domain ends up exploring the subtree.
+   Every parked item has already been admitted by the shared store (its
+   state is claimed), so the popping worker resumes with [run_start]
+   directly. *)
+type work_item = {
+  w_idx : int;
+  w_m : Machine.t;
+  w_sched : move list;
+  w_depth : int;
+  w_sleep : int;
+}
+
+type worker_out = {
+  o_nodes : int;
+  o_depth : int;
+  o_exhausted : bool;
+  o_stopped : partial_reason option;
+  o_tagged : ((int * move list) * violation) list;
+      (* key: (frontier index, root-first schedule) — a total order
+         independent of which domain found the violation or when *)
+  o_stats : stats;
+  o_t0 : float;
+  o_t1 : float;
+}
+
+(* How eagerly a worker parks subtrees for thieves: only when its own
+   deque has run low, and at most one park per [delegate_period] nodes so
+   the clone cost (journal engine: O(state) per park) stays far off the
+   per-node budget while stealable work is replenished every ~64 nodes. *)
+let deque_low_water = 4
+
+let delegate_period_mask = 63
+
+(* Per-domain worker: pop own deque LIFO (depth-first locality), steal
+   FIFO from others when empty. Termination: items are only ever pushed
+   to the pusher's OWN deque, so a worker draining its own deque before
+   exiting guarantees every parked item is processed by someone; the
+   [busy] count (workers currently holding work) lets idle thieves
+   distinguish "momentarily empty" from "globally done". *)
+let shared_worker ~engine ~paranoid ~store ~pool ~deques ~busy ~d ~dedup ~por
+    ~codec ~on_spin ~max_violations ~max_crashes ~deadline () =
   let ctx =
-    make_ctx ~seen ~max_crashes ?deadline ~paranoid ~dedup ~por ~codec
-      ~on_spin ~max_nodes ~max_violations ()
+    make_ctx ~seen:(Seen_shared store) ~pool ~max_crashes
+      ?deadline ~paranoid ~dedup ~por ~codec ~on_spin ~max_nodes:0
+      ~max_violations ()
   in
+  let own = deques.(d) in
+  let k = Array.length deques in
+  let cur_idx = ref 0 in
+  ctx.delegate <-
+    Some
+      (fun ~must_clone m sched depth z ->
+        if
+          Deque.size own >= deque_low_water
+          || ctx.nodes land delegate_period_mask <> 0
+        then false
+        else begin
+          let m = if must_clone then Machine.clone m else m in
+          Deque.push own
+            { w_idx = !cur_idx; w_m = m; w_sched = sched; w_depth = depth;
+              w_sleep = z };
+          true
+        end);
   let tagged = ref [] in
-  (* drain the ctx's accumulator between starts so each violation carries
-     the frontier index of the start that reached it *)
   let drain idx =
-    List.iteri
-      (fun j v -> tagged := ((idx, j), v) :: !tagged)
+    List.iter
+      (fun v -> tagged := ((idx, v.schedule), v) :: !tagged)
       (List.rev ctx.violations);
     ctx.violations <- []
+  in
+  let run_item it =
+    cur_idx := it.w_idx;
+    match run_start ctx ~engine it.w_m it.w_sched it.w_depth it.w_sleep with
+    | () -> drain it.w_idx
+    | exception Done ->
+        drain it.w_idx;
+        raise Done
+  in
+  let steal_sweep () =
+    let rec go i =
+      if i >= k then None
+      else
+        match Deque.steal deques.((d + i) mod k) with
+        | Some it ->
+            ctx.c_steals <- ctx.c_steals + 1;
+            Some it
+        | None -> go (i + 1)
+    in
+    go 1
+  in
+  (* The worker holds a [busy] token whenever it owns work. Releasing it
+     before hunting (and re-acquiring on a successful steal) makes
+     [busy = 0 ∧ all deques empty] a sound termination signal: nobody
+     busy means nobody can push again. A worker that exits the hunt on a
+     momentarily-true signal while a thief is mid-steal is still sound —
+     parked work always drains through its owner's deque. *)
+  let acquire () =
+    match Deque.pop own with
+    | Some it -> Some it
+    | None ->
+        Atomic.decr busy;
+        let rec hunt () =
+          match steal_sweep () with
+          | Some it ->
+              Atomic.incr busy;
+              Some it
+          | None ->
+              if Atomic.get busy = 0 then None
+              else begin
+                Domain.cpu_relax ();
+                hunt ()
+              end
+        in
+        hunt ()
   in
   let t0 = Unix.gettimeofday () in
   let exhausted =
     try
-      List.iter
-        (fun (idx, (m, schedule, depth, sleep)) ->
-          match run_start ctx ~engine m schedule depth sleep with
-          | () -> drain idx
-          | exception Done ->
-              drain idx;
-              raise Done)
-        starts;
+      let rec go () =
+        match acquire () with
+        | None -> ()
+        | Some it ->
+            run_item it;
+            go ()
+      in
+      go ();
       true
-    with Done -> false
+    with Done ->
+      Atomic.decr busy;
+      false
   in
   let t1 = Unix.gettimeofday () in
-  ( ctx.nodes, ctx.max_depth, exhausted, ctx.stopped, List.rev !tagged,
-    stats_of_ctx ctx, (t0, t1) )
+  { o_nodes = ctx.nodes; o_depth = ctx.max_depth; o_exhausted = exhausted;
+    o_stopped = ctx.stopped; o_tagged = List.rev !tagged;
+    o_stats = stats_of_ctx ctx; o_t0 = t0; o_t1 = t1 }
 
 let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
     ~on_spin ~max_crashes ~deadline ~obs ~paranoid cfg =
   (* the BFS seed expands on the coordinator with the clone engine under
      BOTH engines: frontier states must be independent machines that can
      be handed to other domains; workers then re-enable journaling on
-     their own copies (run_start) *)
+     their own copies (run_start). The seed shares the store with the
+     workers, so frontier states are already claimed when parked. *)
+  let store =
+    Fpstore.create ~mode:cfg.Config.store ~expected:max_nodes
+  in
   let ctx =
-    make_ctx ~max_crashes ?deadline ~obs ~paranoid ~dedup ~por ~codec
-      ~on_spin ~max_nodes ~max_violations ()
+    make_ctx ~seen:(Seen_shared store) ~max_crashes ?deadline ~obs ~paranoid
+      ~dedup ~por ~codec ~on_spin ~max_nodes ~max_violations ()
   in
   let bfs_t0 = Obs.Telemetry.now_us obs in
   match bfs_frontier ctx (Machine.create cfg) ~target:(domains * 8) with
@@ -924,80 +1130,90 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
           ~args:[ ("frontier", Obs.Json.Int (List.length frontier)) ]
           "explore.bfs_seed";
       let k = min domains (List.length frontier) in
-      let buckets = round_robin k frontier in
-      let budget_left = max 0 (max_nodes - ctx.nodes) in
-      let share = budget_left / k and extra = budget_left mod k in
+      let deques = Array.init k (fun _ -> Deque.create ()) in
+      List.iteri
+        (fun i (m, sched, depth, sleep) ->
+          Deque.push deques.(i mod k)
+            { w_idx = i; w_m = m; w_sched = sched; w_depth = depth;
+              w_sleep = sleep })
+        frontier;
+      (* the budget not consumed by the BFS seed becomes a shared pool
+         the workers claim from in chunks — work stealing makes any
+         static split meaningless *)
+      let pool = Atomic.make (max 0 ctx.quota) in
+      let busy = Atomic.make k in
       let wall0 = Unix.gettimeofday () in
       let engine = cfg.Config.engine in
       let spawned =
-        Array.mapi
-          (fun d bucket ->
-            let seen = Hashtbl.copy ctx.seen in
-            let max_nodes = share + (if d = 0 then extra else 0) in
-            Domain.spawn (fun () ->
-                domain_worker ~engine ~paranoid ~seen ~dedup ~por ~codec
-                  ~on_spin ~max_nodes ~max_violations ~max_crashes ~deadline
-                  bucket))
-          buckets
+        Array.init k (fun d ->
+            Domain.spawn
+              (shared_worker ~engine ~paranoid ~store ~pool ~deques ~busy ~d
+                 ~dedup ~por ~codec ~on_spin ~max_violations ~max_crashes
+                 ~deadline))
       in
       let parts = Array.map Domain.join spawned in
       let nodes =
-        Array.fold_left (fun a (n, _, _, _, _, _, _) -> a + n) ctx.nodes
-          parts
+        Array.fold_left (fun a p -> a + p.o_nodes) ctx.nodes parts
       in
       let max_depth =
-        Array.fold_left
-          (fun a (_, d, _, _, _, _, _) -> max a d)
-          ctx.max_depth parts
+        Array.fold_left (fun a p -> max a p.o_depth) ctx.max_depth parts
       in
-      let exhausted = Array.for_all (fun (_, _, e, _, _, _, _) -> e) parts in
+      let exhausted = Array.for_all (fun p -> p.o_exhausted) parts in
       let partial =
         if exhausted then None
         else
           Array.fold_left
-            (fun acc (_, _, _, s, _, _, _) ->
-              match acc with Some _ -> acc | None -> s)
+            (fun acc p ->
+              match acc with Some _ -> acc | None -> p.o_stopped)
             None parts
       in
+      (* Deterministic merge: sort by (frontier index, schedule) — a key
+         intrinsic to the violation, not to the domain or instant that
+         found it — then drop duplicates (a store race may hand the same
+         subtree to two domains; dedup keeps the reported set stable). *)
       let tagged =
         Array.to_list parts
-        |> List.concat_map (fun (_, _, _, _, t, _, _) -> t)
-        |> List.sort (fun (a, _) (b, _) -> compare a b)
+        |> List.concat_map (fun p -> p.o_tagged)
+        |> List.sort_uniq (fun (a, _) (b, _) -> compare a b)
       in
-      let merged =
-        List.rev ctx.violations
-        @ List.map snd tagged
-      in
-      let violations =
-        List.filteri (fun i _ -> i < max_violations) merged
-      in
+      let merged = List.rev ctx.violations @ List.map snd tagged in
+      let violations = List.filteri (fun i _ -> i < max_violations) merged in
       (* Merged search stats: coordinator (BFS seed) tallies plus every
          domain's. A domain that finishes early idles until the slowest
          one joins — that idle window, summed over domains, is the merge
-         stall. *)
+         stall. Store-level tallies (occupancy, evictions, drops,
+         omission) are global: read once from the shared store, not
+         summed. *)
       let last_finish =
-        Array.fold_left (fun a (_, _, _, _, _, _, (_, t1)) -> max a t1)
-          wall0 parts
+        Array.fold_left (fun a p -> max a p.o_t1) wall0 parts
       in
       let stats =
         Array.fold_left
-          (fun acc (_, _, _, _, _, (s : stats), (_, t1)) ->
-            { dedup_hits = acc.dedup_hits + s.dedup_hits;
+          (fun acc p ->
+            let s = p.o_stats in
+            { acc with
+              dedup_hits = acc.dedup_hits + s.dedup_hits;
               resleeps = acc.resleeps + s.resleeps;
               sleep_prunes = acc.sleep_prunes + s.sleep_prunes;
               ample_chains = acc.ample_chains + s.ample_chains;
               ample_fused = acc.ample_fused + s.ample_fused;
-              seen_entries = acc.seen_entries + s.seen_entries;
               crashes_applied = acc.crashes_applied + s.crashes_applied;
-              domains_used = acc.domains_used;
               domain_nodes = acc.domain_nodes @ s.domain_nodes;
               merge_stall_us =
                 acc.merge_stall_us
-                + int_of_float (1e6 *. (last_finish -. t1));
+                + int_of_float (1e6 *. (last_finish -. p.o_t1));
               journal_peak = max acc.journal_peak s.journal_peak;
-              undo_records = acc.undo_records + s.undo_records })
+              undo_records = acc.undo_records + s.undo_records;
+              steals = acc.steals + s.steals })
           { (stats_of_ctx ctx) with domains_used = k; domain_nodes = [] }
           parts
+      in
+      let stats =
+        { stats with
+          seen_entries = Fpstore.entries store;
+          store_evictions = Fpstore.evictions store;
+          store_drops = Fpstore.drops store;
+          omission_prob = Fpstore.omission_prob store }
       in
       (* Workers never touch the sinks (they are not thread-safe); the
          coordinator replays their wall-clock windows as spans after the
@@ -1005,14 +1221,15 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
       if Obs.Telemetry.enabled obs then begin
         let base = Obs.Telemetry.now_us obs in
         Array.iteri
-          (fun d (n, _, _, _, _, (s : stats), (t0, t1)) ->
+          (fun d p ->
             let rel t = base - int_of_float (1e6 *. (last_finish -. t)) in
-            Obs.Telemetry.span_at obs ~tid:(d + 1) ~ts0:(rel t0)
-              ~ts1:(rel t1)
+            Obs.Telemetry.span_at obs ~tid:(d + 1) ~ts0:(rel p.o_t0)
+              ~ts1:(rel p.o_t1)
               ~args:
-                [ ("nodes", Obs.Json.Int n);
-                  ("dedup_hits", Obs.Json.Int s.dedup_hits);
-                  ("sleep_prunes", Obs.Json.Int s.sleep_prunes) ]
+                [ ("nodes", Obs.Json.Int p.o_nodes);
+                  ("dedup_hits", Obs.Json.Int p.o_stats.dedup_hits);
+                  ("sleep_prunes", Obs.Json.Int p.o_stats.sleep_prunes);
+                  ("steals", Obs.Json.Int p.o_stats.steals) ]
               (Printf.sprintf "explore.domain%d" d))
           parts;
         Obs.Telemetry.gauge obs "explore.merge_stall_us"
@@ -1075,7 +1292,12 @@ let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
       Obs.Telemetry.set (t "explore.seen_entries") r.stats.seen_entries;
       Obs.Telemetry.set (t "explore.crashes_applied") r.stats.crashes_applied;
       Obs.Telemetry.set (t "explore.violations") (List.length r.violations);
-      Obs.Telemetry.flush_counters obs
+      Obs.Telemetry.set (t "explore.steals") r.stats.steals;
+      Obs.Telemetry.set (t "explore.store_evictions") r.stats.store_evictions;
+      Obs.Telemetry.set (t "explore.store_drops") r.stats.store_drops;
+      Obs.Telemetry.flush_counters obs;
+      if r.stats.omission_prob > 0.0 then
+        Obs.Telemetry.gauge obs "explore.omission_prob" r.stats.omission_prob
     end;
     r
   in
@@ -1085,8 +1307,17 @@ let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
          ~codec ~on_spin ~max_crashes ~deadline ~obs ~paranoid:paranoid_fp
          cfg)
   else begin
+    (* one domain: the hash table serves the exact mode (no
+       synchronization to pay for); the memory-bounded modes go through
+       the shared store even sequentially, so their semantics do not
+       depend on the domain count *)
+    let seen =
+      match cfg.Config.store with
+      | Config.Store_exact -> Seen_tbl (Hashtbl.create 4096)
+      | mode -> Seen_shared (Fpstore.create ~mode ~expected:max_nodes)
+    in
     let ctx =
-      make_ctx ?on_fingerprint ~max_crashes ?deadline ~obs
+      make_ctx ~seen ?on_fingerprint ~max_crashes ?deadline ~obs
         ~paranoid:paranoid_fp ~dedup ~por ~codec ~on_spin ~max_nodes
         ~max_violations ()
     in

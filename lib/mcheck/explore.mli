@@ -136,8 +136,10 @@ type stats = {
   ample_chains : int;  (** singleton-ample chases started *)
   ample_fused : int;  (** extra singleton moves fused into those chases *)
   seen_entries : int;
-      (** fingerprint-table occupancy at the end (summed across domains,
-          whose tables overlap on the BFS prefix) *)
+      (** seen-store occupancy at the end. Sequential exact mode: hash
+          table size; shared store (parallel, or any memory-bounded
+          mode): the ONE global store's occupancy — domains share it, so
+          this is a global count, not a per-domain sum *)
   crashes_applied : int;  (** crash moves executed (≠ distinct schedules) *)
   domains_used : int;
   domain_nodes : int list;
@@ -152,6 +154,20 @@ type stats = {
   undo_records : int;
       (** journal engine: total undo records pushed across the search
           (summed over domains); 0 under the clone engine *)
+  steals : int;
+      (** parallel mode: work items taken from another domain's deque
+          (load-balancing events); 0 for the sequential engine *)
+  store_evictions : int;
+      (** [Store_bounded]: states evicted from the full store; each may
+          cost one re-exploration of its subtree, never soundness *)
+  store_drops : int;
+      (** shared store: states left unstored (probe window or eviction
+          retries exhausted) and therefore re-explored on every visit *)
+  omission_prob : float;
+      (** [Store_bitstate]: estimated probability that the next distinct
+          state falsely aliases as already-seen at the final bit-array
+          fill — [(ones/m)^k] ({!Fpstore.omission_prob}); 0.0 in the
+          exact and bounded modes *)
 }
 
 val zero_stats : stats
@@ -233,20 +249,41 @@ val explore :
     [~on_fingerprint] is called with the fingerprint of every successor
     state visited (duplicates included) — a test hook for checking that
     the reduced exploration's state set is contained in the full one.
-    Only meaningful with [~dedup:true]; rejected when [domains > 1].
+    Only meaningful with [~dedup:true]. {b Restriction:} the hook is a
+    single closure that cannot be invoked from concurrent domains, so it
+    requires [domains = 1].
+    @raise Invalid_argument if [~on_fingerprint] is combined with
+    [domains > 1] (and for [domains < 1] or [max_crashes < 0]).
 
     [~domains:k] with [k > 1] expands the root breadth-first until at
-    least [8k] pending states exist, then splits that frontier
-    round-robin across [k] OCaml domains. Each domain searches with its
-    own seen-table (seeded with the BFS prefix) and a fixed share of the
-    node budget, so the run is deterministic for a fixed [k]; results are
-    merged in frontier order. Cross-domain deduplication is lost, so
-    [nodes] may exceed the single-domain count, and when violations exist
-    each domain stops at its own [max_violations] cap before the merge
-    truncates to the global cap. [verified]/violation kinds agree with
-    the sequential engine. Sleep masks attached to frontier states travel
-    with them, so the reduction composes with the parallel driver
-    unchanged.
+    least [8k] pending states exist, then parks that frontier on [k]
+    work-stealing deques ({!Deque}, round-robin) served by [k] OCaml
+    domains. All domains dedup against ONE shared lock-free fingerprint
+    store ({!Fpstore}) — every reachable state is claimed by exactly one
+    visitor, so [nodes] matches the sequential count when sleep masks
+    are trivial ([~por:false], or a non-encodable move space) and the
+    search is not cut by a cap. Domains load-balance by stealing parked
+    subtrees from each other and draw node budget from a shared pool in
+    chunks (the budget may overshoot by at most one chunk per domain).
+
+    Determinism under [k > 1]: [verified], [exhausted] and the set of
+    violations are independent of scheduling — violations are merged in
+    (frontier index, schedule) order, a key intrinsic to the violation
+    — but [max_depth], [stats] tallies and (under nontrivial sleep
+    masks) [nodes] may vary run to run, because which visitor reaches a
+    state first changes re-exploration, not coverage. When violations
+    exist, each domain stops at its own [max_violations] cap before the
+    merge truncates to the global cap, so the surviving set is the
+    least-tagged violations found. Sleep masks attached to frontier
+    states travel with them, so the reduction composes with the parallel
+    driver unchanged (see DESIGN.md §5f for the soundness argument).
+
+    The seen-state memory policy is selected by {!Config.t.store}:
+    [Store_exact] (default), or the memory-bounded [Store_bitstate] /
+    [Store_bounded] modes, which run through the shared store at every
+    domain count — bitstate verdicts of [verified] carry the
+    [omission_prob] caveat; bounded mode stays exhaustive and pays
+    re-exploration for evictions.
 
     The child-expansion strategy is selected by {!Config.t.engine}:
     [`Journal] (the default) steps one machine per domain in place and

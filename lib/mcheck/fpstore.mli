@@ -1,0 +1,102 @@
+(** Shared lock-free fingerprint store for parallel exploration.
+
+    One store is shared by every exploration domain. It answers a single
+    question on the hot path — "has this state been explored, and if only
+    partially, which moves are still owed?" — with the same mask-aware
+    semantics as the sequential seen table in {!Explore}, but safe (and
+    cheap) under concurrent visitors.
+
+    {2 Layout}
+
+    The store is a flat [Bigarray] of untagged native ints, accessed
+    through C stubs wrapping [__atomic] builtins (fpstore_stubs.c). In
+    the exact and bounded modes each slot is a pair of words:
+
+    - the {b fingerprint word}: 0 = empty, otherwise the packed 63-bit
+      Zobrist fingerprint (a real fingerprint of 0 is remapped to a fixed
+      nonzero constant);
+    - the {b remaining word}: the set of move codes {e not yet explored}
+      from that state, initialized to all-ones.
+
+    Slots are fingerprint-partitioned into shards (high fingerprint bits
+    select the shard; probing is linear within the shard), which keeps a
+    probe sequence inside one small cache region and spreads unrelated
+    fingerprints across regions. Statistics counters are striped across
+    cache lines for the same reason.
+
+    {2 Protocol}
+
+    A visitor arrives with its [cover] — the move set it is prepared to
+    explore ([lnot sleep land full] under POR, all-ones otherwise):
+
+    - {b empty slot}: store all-ones in the remaining word, then CAS the
+      fingerprint word from 0. The winner owns the state ([New]); losers
+      fall through to the found path.
+    - {b found}: [fetch_and remaining (lnot cover)] atomically claims the
+      intersection. If the returned prior value shares no bits with
+      [cover] the state is fully covered ([Covered]); otherwise the
+      visitor owes exactly the [Partial] fresh bits it claimed.
+
+    Every race falls to the sound side: a concurrent all-ones
+    re-initialization can only {e resurrect} remaining bits (causing
+    re-exploration, never a missed interleaving), and a visitor that
+    observes its slot stolen by an eviction after the fetch-and restores
+    all-ones and re-explores its full cover itself. See DESIGN.md §5f for
+    the full argument.
+
+    {2 Modes}
+
+    - [Store_exact]: sized from the node budget; on (rare, counted)
+      shard-window overflow a state is simply left unstored and explored.
+    - [Store_bounded]: fixed 2^log2_slots capacity; overflow evicts the
+      home slot of the probe window (re-exploration, counted).
+    - [Store_bitstate]: SPIN-style supertrace — k hash bits per state in
+      a fixed bit array; no masks, so a revisit always prunes. Distinct
+      states may alias; {!omission_prob} reports the fill-dependent
+      false-positive estimate [(ones/m)^k]. *)
+
+type t
+
+(** Verdict for one visited state. [Partial fresh] means: re-explore
+    exactly the moves in [fresh] (a subset of the visit's cover); the
+    caller's child sleep mask is [lnot fresh land full]. *)
+type visit = New | Covered | Partial of int
+
+val create : mode:Tsim.Config.store_mode -> expected:int -> t
+(** [create ~mode ~expected] allocates a store. [expected] (the node
+    budget) sizes the exact mode: the slot count is the next power of two
+    above 1.4 × [expected], clamped to [2^12, 2^23] slots. Bitstate and
+    bounded modes take their fixed size from the mode itself. *)
+
+val visit : t -> fp:int -> cover:int -> visit
+(** Visit a state. Safe to call from any number of domains
+    concurrently. [cover] is the move set this visitor will explore when
+    told [New] or granted a [Partial] superset; use [-1] (all moves)
+    when sleep-set masking is off. *)
+
+val entries : t -> int
+(** Distinct states currently claimed (bitstate: states that set at
+    least one new bit). Approximate only while visitors are concurrently
+    inserting; exact once they have joined. *)
+
+val evictions : t -> int
+(** Bounded mode: states evicted to make room (each may cost one
+    re-exploration of its subtree). 0 in other modes. *)
+
+val drops : t -> int
+(** States left unstored: an exact-mode shard whose probe window filled
+    up, or a bounded-mode eviction abandoned after repeated CAS races.
+    Each visit of such a state re-explores it. Always 0 in bitstate
+    mode. *)
+
+val omission_prob : t -> float
+(** Bitstate mode: the probability that the {e next} distinct state
+    aliases an already-set bit pattern and is wrongly pruned —
+    [(ones/m)^k] at the current fill. 0.0 in exact and bounded modes
+    (which never alias beyond the 63-bit fingerprint itself). *)
+
+val capacity : t -> int
+(** Slots (exact/bounded) or usable bits (bitstate). *)
+
+val mode_name : t -> string
+(** Human-readable mode + size, for logs and stats dumps. *)

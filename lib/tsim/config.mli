@@ -39,6 +39,27 @@ type engine = [ `Clone | `Journal ]
 
 val engine_name : engine -> string
 
+(** Exploration seen-state memory policy:
+
+    - [Store_exact]: every distinct fingerprint is remembered (the
+      default). Exact dedup; memory grows with the reachable space.
+    - [Store_bitstate { log2_bits; hashes }]: SPIN-style
+      bitstate/supertrace hashing — [hashes] hash functions into a bit
+      array of [2^log2_bits] bits. Fixed memory; distinct states may
+      alias, so the search under-approximates coverage and the explorer
+      reports an omission-probability estimate
+      ({!Mcheck.Explore.stats.omission_prob} in lib/mcheck).
+    - [Store_bounded { log2_slots }]: exact fingerprints in a fixed
+      table of [2^log2_slots] slots with eviction under collision
+      pressure. Fixed memory, still exhaustive — evicted states reached
+      again are re-explored (time, never soundness). *)
+type store_mode =
+  | Store_exact
+  | Store_bitstate of { log2_bits : int; hashes : int }
+  | Store_bounded of { log2_slots : int }
+
+val store_mode_name : store_mode -> string
+
 type t = {
   n : int;
   model : mem_model;
@@ -66,6 +87,7 @@ type t = {
           passage a process starts after a crash; [None] means the
           process simply restarts at the entry label *)
   engine : engine;  (** exploration child-expansion strategy *)
+  store : store_mode;  (** exploration seen-state memory policy *)
 }
 
 val make :
@@ -78,6 +100,7 @@ val make :
   ?crash_semantics:crash_semantics ->
   ?recovery:(Pid.t -> unit Prog.t) ->
   ?engine:engine ->
+  ?store:store_mode ->
   n:int ->
   layout:Layout.t ->
   entry:(Pid.t -> unit Prog.t) ->
@@ -86,4 +109,7 @@ val make :
   t
 (** Defaults: [Cc_wb], [Tso], one passage, RMWs drain, exclusion checked,
     trace recorded, [Drop_buffer] crash semantics, no recovery section,
-    [`Journal] engine. @raise Invalid_argument if [n <= 0]. *)
+    [`Journal] engine, [Store_exact] seen-state store.
+    @raise Invalid_argument if [n <= 0] or a [store] parameter is out of
+    range ([log2_bits] outside [10, 36], [hashes] outside [1, 8],
+    [log2_slots] outside [8, 30]). *)

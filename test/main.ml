@@ -23,6 +23,7 @@ let () =
       ("mcheck", Suite_mcheck.suite);
       ("mcheck_equiv", Suite_mcheck_equiv.suite);
       ("journal", Suite_journal.suite);
+      ("fpstore", Suite_fpstore.suite);
       ("crash", Suite_crash.suite);
       ("corpus", Suite_corpus.suite);
       ("obs", Suite_obs.suite);

@@ -12,8 +12,10 @@
 
    - a differential check over the golden workloads: the clone and
      journal engines, at 1 and 4 domains, with and without the reduction,
-     produce identical verdicts, node counts, and (sequentially, via
-     [~on_fingerprint]) identical fingerprint multisets;
+     produce identical verdicts (node counts and depths too at one
+     domain; at 4 the shared store makes those timing-dependent), and
+     sequentially, via [~on_fingerprint], identical fingerprint
+     multisets;
 
    - byte-level invisibility: replaying the corpus fixture with trace
      recording on under either engine produces the byte-identical Chrome
@@ -154,8 +156,13 @@ let explore_with ~engine ~domains ~por ?on_fingerprint ?max_crashes cfg =
   E.explore ~max_nodes:200_000 ~domains ~por ?on_fingerprint ?max_crashes
     { cfg with Config.engine }
 
-(* Clone vs journal at the same (domains, por): same verdict, same node
-   count, same violation kinds, same exhaustion. *)
+(* Clone vs journal at the same (domains, por): same verdict, same
+   violation kinds, same exhaustion. Node counts and max depth are only
+   compared sequentially: with the shared fingerprint store, which
+   domain claims a state first decides the depth it is recorded at (and,
+   under nontrivial sleep masks, how much mask-aware re-exploration
+   happens), so those tallies are timing-dependent at domains > 1 —
+   deliberately outside the determinism contract (explore.mli). *)
 let check_engines name ?max_crashes cfg =
   List.iter
     (fun (domains, por) ->
@@ -167,9 +174,11 @@ let check_engines name ?max_crashes cfg =
       Alcotest.(check bool) (tag ^ ": verified") rc.E.verified rj.E.verified;
       Alcotest.(check bool)
         (tag ^ ": exhausted") rc.E.exhausted rj.E.exhausted;
-      Alcotest.(check int) (tag ^ ": nodes") rc.E.nodes rj.E.nodes;
-      Alcotest.(check int)
-        (tag ^ ": max depth") rc.E.max_depth rj.E.max_depth;
+      if domains = 1 then begin
+        Alcotest.(check int) (tag ^ ": nodes") rc.E.nodes rj.E.nodes;
+        Alcotest.(check int)
+          (tag ^ ": max depth") rc.E.max_depth rj.E.max_depth
+      end;
       Alcotest.(check (list string))
         (tag ^ ": violation kinds")
         (List.map (fun v -> kind_name v.E.kind) rc.E.violations)

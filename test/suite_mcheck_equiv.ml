@@ -4,8 +4,9 @@
    reference configuration (trace recording on, single domain — the seed
    engine's operating point).
 
-   Node counts are NOT compared: per-domain seen tables lose cross-domain
-   deduplication, so [nodes] legitimately differs. What must agree is the
+   Node counts are NOT compared across engines: the reduction exists to
+   change them, and under nontrivial sleep masks the shared-store claim
+   races make parallel counts timing-dependent. What must agree is the
    semantics — [verified], [exhausted] (for verifying configurations) and
    the kind of violation found (for violating ones). *)
 
@@ -86,10 +87,24 @@ let verdict = Alcotest.testable
     (fun fmt v -> Format.pp_print_string fmt (verdict_to_string v))
     ( = )
 
+let kind_set (r : Mcheck.Explore.result) =
+  List.sort_uniq compare
+    (List.map
+       (fun v ->
+         match v.Mcheck.Explore.kind with
+         | `Exclusion _ -> "exclusion"
+         | `Deadlock -> "deadlock"
+         | `Spin_exhausted -> "spin")
+       r.Mcheck.Explore.violations)
+
 (* The engine configurations under comparison: the reference point (trace
    on, no reduction, single domain — the seed engine), then the
    throughput features and the partial-order reduction in every
-   combination of domains. POR must be verdict-invisible everywhere. *)
+   combination of domains, under both child-expansion engines (clone and
+   journal) now that all domain counts share one fingerprint store. POR
+   must be verdict-invisible everywhere. *)
+let with_engine engine cfg = { cfg with Config.engine }
+
 let engines =
   [
     ("reference (trace on, por off, d=1)",
@@ -105,6 +120,16 @@ let engines =
     ("parallel (por off, d=4)",
      fun cfg ->
        Mcheck.Explore.explore ~max_nodes:2_000_000 ~domains:4 ~por:false cfg);
+    ("parallel (por on, d=8)",
+     fun cfg -> Mcheck.Explore.explore ~max_nodes:2_000_000 ~domains:8 cfg);
+    ("parallel clone (por on, d=4)",
+     fun cfg ->
+       Mcheck.Explore.explore ~max_nodes:2_000_000 ~domains:4
+         (with_engine `Clone cfg));
+    ("parallel clone (por off, d=8)",
+     fun cfg ->
+       Mcheck.Explore.explore ~max_nodes:2_000_000 ~domains:8 ~por:false
+         (with_engine `Clone cfg));
   ]
 
 let check_equiv name mk_cfg expected =
@@ -127,21 +152,77 @@ let check_equiv name mk_cfg expected =
           | _ -> ())
         engines)
 
-(* Determinism of the parallel driver: same configuration, same k, same
-   result — including node counts, which are fixed by the per-domain
-   budget split. *)
+(* Determinism of the parallel driver, per the explore.mli contract:
+   [verified]/[exhausted] and the violation set are always deterministic;
+   node counts additionally so when sleep masks are trivial ([por:false])
+   and no cap cuts the search — each state is then claimed exactly once
+   in the shared store, so [nodes] equals the state-space size regardless
+   of domain timing. [max_depth] records the first-arrival depth of each
+   claimed state and is deliberately NOT compared: which path wins the
+   claim race varies run to run. *)
 let test_parallel_deterministic () =
-  let run () =
-    Mcheck.Explore.explore ~max_nodes:2_000_000 ~domains:4
+  let run ~por () =
+    Mcheck.Explore.explore ~max_nodes:2_000_000 ~domains:4 ~por
       (peterson ~fenced:true)
   in
-  let a = run () and b = run () in
-  Alcotest.(check int) "same nodes" a.Mcheck.Explore.nodes
+  let a = run ~por:false () and b = run ~por:false () in
+  Alcotest.(check int) "por off: same nodes" a.Mcheck.Explore.nodes
     b.Mcheck.Explore.nodes;
-  Alcotest.(check int) "same depth" a.Mcheck.Explore.max_depth
-    b.Mcheck.Explore.max_depth;
-  Alcotest.(check bool) "same verdict" a.Mcheck.Explore.verified
-    b.Mcheck.Explore.verified
+  Alcotest.(check bool) "por off: same verdict" a.Mcheck.Explore.verified
+    b.Mcheck.Explore.verified;
+  let a = run ~por:true () and b = run ~por:true () in
+  Alcotest.(check bool) "por on: same verdict" a.Mcheck.Explore.verified
+    b.Mcheck.Explore.verified;
+  Alcotest.(check bool) "por on: same exhausted" a.Mcheck.Explore.exhausted
+    b.Mcheck.Explore.exhausted
+
+(* Under a widened violation cap, every engine must surface the same SET
+   of violation kinds — the cap no longer truncates the interesting part
+   of the space, so the kind set is part of the determinism contract. *)
+let test_kind_set_equiv () =
+  List.iter
+    (fun (name, mk_cfg) ->
+      let expected =
+        kind_set
+          (Mcheck.Explore.explore ~max_nodes:2_000_000 ~max_violations:8
+             ~por:false (mk_cfg ()))
+      in
+      List.iter
+        (fun (engine, domains, por) ->
+          let r =
+            Mcheck.Explore.explore ~max_nodes:2_000_000 ~max_violations:8
+              ~domains ~por
+              (with_engine engine (mk_cfg ()))
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s kinds (%s d=%d por=%b)" name
+               (match engine with `Clone -> "clone" | `Journal -> "journal")
+               domains por)
+            expected (kind_set r))
+        [ (`Journal, 1, true); (`Journal, 4, true); (`Journal, 8, false);
+          (`Clone, 4, false) ])
+    [ ("peterson unfenced", fun () -> peterson ~fenced:false);
+      ("mp pso", mp_pso) ]
+
+(* The ~on_fingerprint hook is a single closure that cannot be shared by
+   concurrent domains; combining it with domains > 1 must be rejected
+   loudly rather than racing (documented in explore.mli). *)
+let test_on_fingerprint_rejects_domains () =
+  Alcotest.check_raises "on_fingerprint + domains=4 rejected"
+    (Invalid_argument "Explore.explore: on_fingerprint requires domains = 1")
+    (fun () ->
+      ignore
+        (Mcheck.Explore.explore ~max_nodes:1000 ~domains:4
+           ~on_fingerprint:(fun _ -> ())
+           (peterson ~fenced:true)));
+  (* and at domains = 1 it still works, duplicates included *)
+  let n = ref 0 in
+  let r =
+    Mcheck.Explore.explore ~max_nodes:2_000_000
+      ~on_fingerprint:(fun _ -> incr n)
+      (peterson ~fenced:true)
+  in
+  Alcotest.(check bool) "d=1 hook fired" true (!n >= r.Mcheck.Explore.nodes)
 
 (* Trace recording must not change what the explorer can see: with it on,
    the machine trace grows, but verdict, node count and depth agree with
@@ -264,16 +345,6 @@ let config_of_rops (ops0, ops1, pso) =
     ~exit_section:(fun _ -> Prog.unit)
     ()
 
-let kind_set (r : Mcheck.Explore.result) =
-  List.sort_uniq compare
-    (List.map
-       (fun v ->
-         match v.Mcheck.Explore.kind with
-         | `Exclusion _ -> "exclusion"
-         | `Deadlock -> "deadlock"
-         | `Spin_exhausted -> "spin")
-       r.Mcheck.Explore.violations)
-
 let prop_por_differential =
   QCheck.Test.make ~count:120 ~name:"por on/off: same verdict, subset states"
     arb_prog2 (fun progs ->
@@ -350,6 +421,10 @@ let suite =
     check_equiv "mp litmus under PSO" mp_pso (Violation "exclusion");
     Alcotest.test_case "parallel driver is deterministic" `Quick
       test_parallel_deterministic;
+    Alcotest.test_case "violation kind sets agree at max_violations=8" `Quick
+      test_kind_set_equiv;
+    Alcotest.test_case "on_fingerprint requires domains=1" `Quick
+      test_on_fingerprint_rejects_domains;
     Alcotest.test_case "record_trace does not affect the search" `Quick
       test_trace_flag_invisible;
     Alcotest.test_case "por reduces fenced-peterson nodes >= 2x" `Quick
