@@ -203,11 +203,27 @@ type result = {
 
 (* One-line verdict + exit code for front ends: 0 verified, 1 violations
    found, 3 partial (budget exhausted with nothing found — NOT a
-   verification; conflating it with exit 0 was a CLI bug). *)
+   verification; conflating it with exit 0 was a CLI bug). A "verified"
+   whose coverage is qualified — bitstate aliasing, or an exact store
+   that saturated and fell back to re-exploration — carries the
+   confession on the verdict line itself, not only in --search-stats. *)
 let render_verdict r =
   if r.verified then
     ( "VERIFIED: no exclusion violation or deadlock in the full \
-       (deduplicated) schedule space",
+       (deduplicated) schedule space"
+      ^ (if r.stats.omission_prob > 0.0 then
+           Printf.sprintf
+             " (bitstate: distinct states may have aliased, omission \
+              probability %.2e)"
+             r.stats.omission_prob
+         else "")
+      ^
+      (if r.stats.store_drops > 0 then
+         Printf.sprintf
+           " (seen store saturated: %d states never stored, re-explored \
+            on every visit — consider --store bounded)"
+           r.stats.store_drops
+       else ""),
       0 )
   else if r.violations <> [] then
     let kind_name = function
@@ -583,21 +599,39 @@ let seen_admit ctx fp z =
               let full = Footprint.full_mask ctx.codec in
               Some ((z lor lnot z') land full)
             end)
-    | Seen_shared st -> (
-        let cover =
-          if ctx.sleepable then lnot z land Footprint.full_mask ctx.codec
-          else -1
-        in
-        match Fpstore.visit st ~fp ~cover with
-        | Fpstore.New -> Some z
-        | Fpstore.Covered ->
-            ctx.c_dedup <- ctx.c_dedup + 1;
-            None
-        | Fpstore.Partial fresh ->
-            if fresh <> cover then ctx.c_resleeps <- ctx.c_resleeps + 1;
-            if ctx.sleepable then
-              Some (lnot fresh land Footprint.full_mask ctx.codec)
-            else Some 0)
+    | Seen_shared st ->
+        if not (Fpstore.masks st) then (
+          (* Bitstate keeps one seen-bit per state, no mask: the FIRST
+             visit decides coverage forever, so it must cover the full
+             move set — admit with an empty sleep mask, sacrificing the
+             sleep-set reduction at this subtree root. A revisit then
+             prunes soundly up to hash aliasing, which is exactly what
+             omission_prob accounts for; admitting under a nonempty
+             sleep would instead lose slept interleavings with no
+             accounting at all. *)
+          match Fpstore.visit st ~fp ~cover:(-1) with
+          | Fpstore.New -> Some 0
+          | Fpstore.Covered | Fpstore.Partial _ ->
+              ctx.c_dedup <- ctx.c_dedup + 1;
+              None)
+        else (
+          (* max_int, not -1: the store masks covers to their 63-bit
+             magnitude, so an already-positive all-moves cover keeps the
+             [fresh = cover] comparisons below exact *)
+          let cover =
+            if ctx.sleepable then lnot z land Footprint.full_mask ctx.codec
+            else max_int
+          in
+          match Fpstore.visit st ~fp ~cover with
+          | Fpstore.New -> Some z
+          | Fpstore.Covered ->
+              ctx.c_dedup <- ctx.c_dedup + 1;
+              None
+          | Fpstore.Partial fresh ->
+              if fresh <> cover then ctx.c_resleeps <- ctx.c_resleeps + 1;
+              if ctx.sleepable then
+                Some (lnot fresh land Footprint.full_mask ctx.codec)
+              else Some 0)
 
 (* Hand a just-admitted subtree to the worker's deque when a delegate is
    installed (parallel mode) and willing; [~must_clone] marks machines

@@ -188,7 +188,10 @@ val render_verdict : result -> string * int
 (** One-line human verdict and the process exit code the CLI contract
     assigns it: [VERIFIED] → 0, [VIOLATION] → 1, [PARTIAL] (a cap or
     deadline stopped the search with no violation found) → 3. Exit code
-    2 is reserved for bad input. *)
+    2 is reserved for bad input. A [VERIFIED] line confesses qualified
+    coverage inline: nonzero [omission_prob] (bitstate aliasing) and
+    nonzero [store_drops] (a saturated exact store that fell back to
+    re-exploration) are appended rather than hidden in the stats. *)
 
 val enabled_moves : ?max_crashes:int -> Machine.t -> move list
 (** Enabled moves in a state. With [~max_crashes] above the machine's
@@ -283,7 +286,12 @@ val explore :
     [Store_bounded] modes, which run through the shared store at every
     domain count — bitstate verdicts of [verified] carry the
     [omission_prob] caveat; bounded mode stays exhaustive and pays
-    re-exploration for evictions.
+    re-exploration for evictions. Under bitstate the sleep-set
+    reduction is suspended at each newly-admitted state (the one-bit
+    store cannot remember which moves were slept, so first-visit
+    coverage must be full — see {!Fpstore.masks}); hash aliasing is
+    then the {e only} omission channel, and it is the one
+    [omission_prob] measures.
 
     The child-expansion strategy is selected by {!Config.t.engine}:
     [`Journal] (the default) steps one machine per domain in place and

@@ -6,7 +6,10 @@
      a visitor who then explores them) or RESURRECTS bits (a store of
      all-ones), never silently discards them — so for every state, the
      union of move sets handed out over time covers the union of move
-     sets requested, and a lost race costs re-exploration, not coverage.
+     sets requested. Exact mode never resurrects (its masks only ever
+     shrink), so there each bit is granted exactly once and the node
+     count is race-free; bounded mode resurrects around evictions, so a
+     lost race there costs re-exploration, never coverage.
 
    The flat region is a Bigarray of kind [int]: untagged native words,
    malloc'd outside the OCaml heap (stable pointer, shareable across
@@ -27,6 +30,8 @@ external a_fetch_or : buf -> int -> int -> int = "pa_fps_fetch_or"
 external a_fetch_add : buf -> int -> int -> int = "pa_fps_fetch_add"
   [@@noalloc]
 
+external a_fence : unit -> unit = "pa_fps_fence" [@@noalloc]
+
 type kind =
   | K_exact
   | K_bounded
@@ -38,6 +43,9 @@ type t = {
       (* exact/bounded: 2 words per slot (fp, remaining); bitstate: the
          bit array, 32 usable bits per word *)
   stats : buf;  (* striped counters, one 8-cell cache line per stripe *)
+  evseq : buf;
+      (* bounded: per-shard eviction seqlock — a start counter and a
+         finish counter, each on its own cache line (see [evict]) *)
   slots : int;  (* exact/bounded; 0 for bitstate *)
   n_shards : int;
   shard_size : int;  (* slots / n_shards, a power of two *)
@@ -73,10 +81,14 @@ let total t off =
 (* murmur3-style finalizer over the native int, result forced positive.
    Fingerprints are already Zobrist-uniform, but the store indexes with
    LOW bits while the shard uses HIGH bits, and bitstate mode needs k
-   independent remixes — one strong mixer serves all three. *)
+   independent remixes — one strong mixer serves all three. The
+   multipliers are the canonical 64-bit fmix constants reduced to 63
+   bits (shifted right one hex digit) with the low bit forced to 1: an
+   even multiplier would zero the low result bit of the first stage,
+   and the slot index is taken from exactly those low bits. *)
 let mix x =
   let x = x lxor (x lsr 33) in
-  let x = x * 0xFF51AFD7ED558CC in
+  let x = x * 0xFF51AFD7ED558CD in
   let x = x lxor (x lsr 29) in
   let x = x * 0xC4CEB9FE1A85EC5 in
   (x lxor (x lsr 32)) land max_int
@@ -87,6 +99,24 @@ let mix x =
 let canonical fp =
   let fp = fp land max_int in
   if fp = 0 then 0x2B992DDFA232 else fp
+
+(* Mid-eviction marker for the fingerprint word. Canonical fingerprints
+   are nonnegative and the empty sentinel is 0, so a negative value can
+   never collide with either; a probing visitor treats it like any other
+   mismatch and a found-path visitor's recheck treats it as "slot stolen
+   underneath me". *)
+let tombstone = min_int
+
+(* The remaining word's sign bit doubles as an "initialized" marker:
+   covers are stripped to their 62 nonnegative bits on entry, so every
+   claim leaves the sign bit set and an initialized-but-fully-claimed
+   word is [min_int], never 0 again. That keeps the one-shot pristine →
+   all-ones CAS initialization in [visit_slots] sound — a visitor
+   stalled across the whole claim cycle cannot re-initialize the word
+   and resurrect already-granted bits — which in turn makes each move
+   bit granted EXACTLY once in exact mode (the [nodes] determinism the
+   .mli promises for trivial masks: one expansion per state). *)
+let strip cover = cover land max_int
 
 let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
 
@@ -103,8 +133,8 @@ let create ~mode ~expected =
     let n_shards = max 1 (min 64 (slots / 64)) in
     let shard_size = slots / n_shards in
     { kind; data = make_buf (2 * slots); stats = make_buf (n_stripes * 8);
-      slots; n_shards; shard_size; shard_bits = log2 n_shards;
-      window = min shard_size 64 }
+      evseq = make_buf (n_shards * 16); slots; n_shards; shard_size;
+      shard_bits = log2 n_shards; window = min shard_size 64 }
   in
   match (mode : Tsim.Config.store_mode) with
   | Tsim.Config.Store_exact ->
@@ -115,8 +145,8 @@ let create ~mode ~expected =
   | Tsim.Config.Store_bitstate { log2_bits; hashes } ->
       let words = max 32 (1 lsl (log2_bits - 5)) in
       { kind = K_bits { words; hashes }; data = make_buf words;
-        stats = make_buf (n_stripes * 8); slots = 0; n_shards = 1;
-        shard_size = 0; shard_bits = 0; window = 0 }
+        stats = make_buf (n_stripes * 8); evseq = make_buf 16; slots = 0;
+        n_shards = 1; shard_size = 0; shard_bits = 0; window = 0 }
 
 (* --- bitstate ---------------------------------------------------------- *)
 
@@ -142,27 +172,59 @@ let visit_bits t ~words ~hashes fp =
 
 (* --- exact / bounded --------------------------------------------------- *)
 
-(* Consume [cover] from a found slot. The fetch_and atomically claims
-   remaining ∩ cover for this visitor. Bounded mode must then re-check
-   the fingerprint word: if an eviction reused the slot underneath us,
-   the fetch_and hit the NEW state's remaining word — restore all-ones
-   (resurrection is sound, it only causes re-exploration) and serve our
-   own cover ourselves, trusting nothing. *)
-let found t ~recheck ~ci fp cover =
+(* Per-shard eviction seqlock. Slot recycling is the one place a found
+   visitor can be handed the WRONG state's remaining word, and the
+   fingerprint-word recheck alone cannot close it: the slot can cycle
+   victim → fp' → victim between a visitor's fetch_and and its recheck
+   (the same fingerprint legitimately re-inserted through a second
+   eviction), so the recheck passes while the claimed bits belonged to
+   a dead incarnation — an ABA that silently un-owes moves. Each shard
+   therefore counts evictions twice: [ev_start] is bumped before an
+   eviction touches the slot and [ev_finish] after it has published.
+   A found visitor in bounded mode trusts its fetch_and only if no
+   eviction was in flight before it (start = finish) and none started
+   before its recheck (start unchanged); otherwise it resurrects the
+   word and serves its own cover (re-exploration, sound). The counters
+   live a cache line apart per shard, and false alarms (an eviction of
+   an unrelated slot in the same shard) only cost re-exploration. *)
+let ev_start shard = shard * 16
+let ev_finish shard = (shard * 16) + 8
+
+(* Consume [cover] from a found slot: the fetch_and atomically claims
+   remaining ∩ cover for this visitor. Exact mode never recycles slots,
+   so the claim is trustworthy as-is. *)
+let found_exact t ~ci cover =
   let old = a_fetch_and t.data (ci + 1) (lnot cover) in
-  if recheck && a_get t.data ci <> fp then begin
-    a_set t.data (ci + 1) (-1);
-    Partial cover
+  let fresh = old land cover in
+  if fresh = 0 then Covered else Partial fresh
+
+(* Bounded mode wraps the same claim in the shard seqlock (above) plus
+   the fingerprint recheck; any doubt falls to self-service. *)
+let found_bounded t ~shard ~ci fp cover =
+  let s1 = a_get t.evseq (ev_start shard) in
+  let f1 = a_get t.evseq (ev_finish shard) in
+  if s1 <> f1 then Partial cover  (* eviction in flight: touch nothing *)
+  else begin
+    let old = a_fetch_and t.data (ci + 1) (lnot cover) in
+    a_fence ();
+    if a_get t.data ci <> fp || a_get t.evseq (ev_start shard) <> s1
+    then begin
+      (* the slot may have been recycled underneath the fetch_and:
+         resurrect whatever we clawed (a stale clear only ever costs
+         the new occupant re-exploration) and self-serve *)
+      a_set t.data (ci + 1) (-1);
+      Partial cover
+    end
+    else
+      let fresh = old land cover in
+      if fresh = 0 then Covered else Partial fresh
   end
-  else
-    let fresh = old land cover in
-    if fresh = 0 then Covered else Partial fresh
 
 let visit_slots t fp cover =
+  let cover = strip cover in
   let shard = (fp lsr (62 - t.shard_bits)) land (t.n_shards - 1) in
   let base = shard * t.shard_size in
   let home = mix fp land (t.shard_size - 1) in
-  let recheck = t.kind = K_bounded in
   (* [attempt] bounds eviction retries: each retry means another visitor
      just won a CAS on the home slot, so progress is global even when we
      personally give up and fall back to an unstored exploration. *)
@@ -172,20 +234,32 @@ let visit_slots t fp cover =
       let s = base + ((home + i) land (t.shard_size - 1)) in
       let ci = 2 * s in
       let stored = a_get t.data ci in
-      if stored = fp then found t ~recheck ~ci fp cover
+      if stored = fp then
+        match t.kind with
+        | K_bounded -> found_bounded t ~shard ~ci fp cover
+        | K_exact | K_bits _ -> found_exact t ~ci cover
       else if stored = 0 then begin
-        (* all-ones BEFORE publishing the fingerprint: a racer that
-           loses the CAS and lands in [found] must never read the
-           zero-initialized remaining word as "everything explored" *)
-        a_set t.data (ci + 1) (-1);
+        (* Initialize the remaining word to all-ones exactly once (CAS
+           from pristine 0 — see [strip]) BEFORE publishing the
+           fingerprint: a racer that loses the fingerprint CAS and lands
+           in the found path must never read zeros as "everything
+           explored", and a blind store here instead of a CAS would let
+           a stalled racer resurrect bits already granted. The winner
+           then claims its cover through the same fetch_and everyone
+           else uses, so racing same-fingerprint visitors partition the
+           cover instead of double-exploring it. *)
+        ignore (a_cas t.data (ci + 1) 0 (-1));
         if a_cas t.data ci 0 fp then begin
           bump t fp o_entries 1;
-          ignore (a_fetch_and t.data (ci + 1) (lnot cover));
-          New
+          let old = a_fetch_and t.data (ci + 1) (lnot cover) in
+          let fresh = old land cover in
+          if fresh = cover then New
+          else if fresh = 0 then Covered  (* racers claimed it all *)
+          else Partial fresh
         end
         else probe i attempt  (* lost the claim: re-read this slot *)
       end
-      else probe (i + 1) attempt
+      else probe (i + 1) attempt  (* mismatch or tombstone: move on *)
     end
   and overflow attempt =
     match t.kind with
@@ -200,20 +274,35 @@ let visit_slots t fp cover =
           Partial cover
         end
         else begin
-          (* evict the window's home slot: all-ones first (stale readers
-             of the old state's mask then only ever resurrect), then CAS
-             the fingerprint over whatever is there. A CAS failure means
-             a concurrent claim/eviction won — re-run the whole probe,
-             the slot may now even hold our fingerprint. *)
+          (* Two-phase eviction of the window's home slot, inside the
+             shard seqlock: (1) CAS the fingerprint word to a tombstone
+             — from here no new visitor can match the victim, and the
+             CAS grants this evictor exclusive ownership of the slot
+             against other evictors; (2) rebuild the remaining word from
+             scratch with our own cover already claimed; (3) publish the
+             new fingerprint. Publishing BEFORE the rebuild (or skipping
+             the tombstone) would let a victim visitor's in-flight claim
+             survive into the new state's mask, pruning moves nobody
+             explored. Victim visitors racing any of this are caught by
+             their recheck/seqlock and self-serve. *)
           let ci = 2 * (base + home) in
-          a_set t.data (ci + 1) (-1);
+          ignore (a_fetch_add t.evseq (ev_start shard) 1);
           let victim = a_get t.data ci in
-          if victim <> fp && a_cas t.data ci victim fp then begin
-            bump t fp o_evictions 1;
-            ignore (a_fetch_and t.data (ci + 1) (lnot cover));
-            New
-          end
+          let claimed =
+            victim <> fp && victim <> tombstone && victim <> 0
+            && a_cas t.data ci victim tombstone
+          in
+          if claimed then begin
+            a_set t.data (ci + 1) (lnot cover);
+            a_fence ();
+            a_set t.data ci fp;
+            bump t fp o_evictions 1
+          end;
+          ignore (a_fetch_add t.evseq (ev_finish shard) 1);
+          if claimed then New
           else probe 0 (attempt + 1)
+            (* the slot is busy (our fp arriving via a racer, a foreign
+               tombstone, or a lost CAS): re-run the probe *)
         end
   in
   probe 0 0
@@ -241,6 +330,9 @@ let omission_prob t =
       let m = float_of_int (32 * words) in
       let ones = float_of_int (total t o_ones) in
       (ones /. m) ** float_of_int hashes
+
+let masks t =
+  match t.kind with K_exact | K_bounded -> true | K_bits _ -> false
 
 let capacity t =
   match t.kind with

@@ -27,33 +27,48 @@
     {2 Protocol}
 
     A visitor arrives with its [cover] — the move set it is prepared to
-    explore ([lnot sleep land full] under POR, all-ones otherwise):
+    explore ([lnot sleep land full] under POR, all moves otherwise;
+    covers are masked to their 63-bit nonnegative magnitude, the word's
+    sign bit being reserved as an initialized marker):
 
-    - {b empty slot}: store all-ones in the remaining word, then CAS the
-      fingerprint word from 0. The winner owns the state ([New]); losers
-      fall through to the found path.
+    - {b empty slot}: CAS the remaining word from its pristine 0 to
+      all-ones (a one-shot initialization — fully-claimed words keep the
+      sign bit, so 0 never recurs and no racer can resurrect granted
+      bits), then CAS the fingerprint word from 0. The winner owns the
+      state and claims its cover through the same fetch_and as everyone
+      else, so racing same-fingerprint visitors partition the cover
+      ([New]/[Partial]/[Covered]) rather than double-explore it.
     - {b found}: [fetch_and remaining (lnot cover)] atomically claims the
       intersection. If the returned prior value shares no bits with
       [cover] the state is fully covered ([Covered]); otherwise the
       visitor owes exactly the [Partial] fresh bits it claimed.
 
-    Every race falls to the sound side: a concurrent all-ones
-    re-initialization can only {e resurrect} remaining bits (causing
-    re-exploration, never a missed interleaving), and a visitor that
-    observes its slot stolen by an eviction after the fetch-and restores
-    all-ones and re-explores its full cover itself. See DESIGN.md §5f for
-    the full argument.
+    In exact mode masks only ever shrink, so every move bit is granted
+    to exactly one visitor — which is what makes the explored node count
+    independent of domain timing under trivial masks. Bounded mode adds
+    eviction, whose races fall to the sound side: a visitor that may
+    have straddled a slot recycle restores all-ones ({e resurrecting}
+    remaining bits — re-exploration, never a missed interleaving) and
+    explores its full cover itself. See DESIGN.md §5f for the full
+    argument.
 
     {2 Modes}
 
     - [Store_exact]: sized from the node budget; on (rare, counted)
       shard-window overflow a state is simply left unstored and explored.
     - [Store_bounded]: fixed 2^log2_slots capacity; overflow evicts the
-      home slot of the probe window (re-exploration, counted).
+      home slot of the probe window (re-exploration, counted). Eviction
+      recycles slots, so the found path is additionally guarded by a
+      tombstoned two-phase swap and a per-shard eviction seqlock: a
+      visitor whose claim may have straddled an eviction resurrects the
+      remaining word and explores its own cover itself.
     - [Store_bitstate]: SPIN-style supertrace — k hash bits per state in
-      a fixed bit array; no masks, so a revisit always prunes. Distinct
-      states may alias; {!omission_prob} reports the fill-dependent
-      false-positive estimate [(ones/m)^k]. *)
+      a fixed bit array; {!masks} is [false], a revisit always prunes,
+      and the FIRST visit decides coverage forever, so the caller must
+      explore the full move set when told [New] (ignore any sleep mask;
+      {!Explore} does exactly that). Distinct states may alias;
+      {!omission_prob} reports the fill-dependent false-positive
+      estimate [(ones/m)^k]. *)
 
 type t
 
@@ -65,8 +80,14 @@ type visit = New | Covered | Partial of int
 val create : mode:Tsim.Config.store_mode -> expected:int -> t
 (** [create ~mode ~expected] allocates a store. [expected] (the node
     budget) sizes the exact mode: the slot count is the next power of two
-    above 1.4 × [expected], clamped to [2^12, 2^23] slots. Bitstate and
-    bounded modes take their fixed size from the mode itself. *)
+    above 1.4 × [expected], clamped to [2^12, 2^23] slots (128 MiB).
+    Beyond the cap the exact mode degrades gracefully but measurably —
+    overflowing states are left unstored and re-explored on every visit
+    (counted in {!drops}, surfaced in the verdict line) — which diverges
+    from the uncapped sequential [Hashtbl] path at [domains = 1] with
+    [Store_exact]; prefer [Store_bounded] for spaces past ~8M states.
+    Bitstate and bounded modes take their fixed size from the mode
+    itself. *)
 
 val visit : t -> fp:int -> cover:int -> visit
 (** Visit a state. Safe to call from any number of domains
@@ -93,7 +114,18 @@ val omission_prob : t -> float
 (** Bitstate mode: the probability that the {e next} distinct state
     aliases an already-set bit pattern and is wrongly pruned —
     [(ones/m)^k] at the current fill. 0.0 in exact and bounded modes
-    (which never alias beyond the 63-bit fingerprint itself). *)
+    (which never alias beyond the 63-bit fingerprint itself). The
+    estimate accounts for {e all} bitstate omissions only if callers
+    honor the full-cover-on-[New] contract (see {!masks}). *)
+
+val masks : t -> bool
+(** Whether the store tracks a per-state remaining-moves mask ([true]
+    for exact and bounded modes). When [false] (bitstate), [cover] is
+    ignored, [Partial] is never returned, and a caller doing sleep-set
+    POR must explore the {e full} move set on [New]: the single seen-bit
+    cannot record that some moves were slept, so a first visit under a
+    nonempty sleep mask would otherwise prune interleavings that no
+    omission estimate accounts for. *)
 
 val capacity : t -> int
 (** Slots (exact/bounded) or usable bits (bitstate). *)

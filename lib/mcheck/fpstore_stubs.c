@@ -61,3 +61,14 @@ CAMLprim value pa_fps_fetch_add(value ba, value i, value v)
   return Val_long(__atomic_fetch_add(cell(ba, i), Long_val(v),
                                      __ATOMIC_ACQ_REL));
 }
+
+/* Sequentially-consistent fence. The bounded store's eviction seqlock
+ * needs a store-load ordering point (the visitor's mask RMW must be
+ * globally ordered before its validation re-reads of the fingerprint
+ * word and the shard eviction counter), which acq_rel on two different
+ * locations does not by itself provide on weakly-ordered hardware. */
+CAMLprim value pa_fps_fence(value unit)
+{
+  __atomic_thread_fence(__ATOMIC_SEQ_CST);
+  return Val_unit;
+}

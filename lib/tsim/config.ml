@@ -63,12 +63,17 @@ let engine_name = function `Clone -> "clone" | `Journal -> "journal"
 
    - [Store_exact]: every distinct fingerprint is kept (a hash table at
      one domain, the shared lock-free store in parallel mode). Exact
-     dedup; memory grows with the reachable space. The default.
+     dedup; memory grows with the reachable space. The default. The
+     shared store caps at 2^23 slots: past ~8M states parallel exact
+     mode drops (counts, confesses in the verdict) overflowing states
+     and re-explores them, where the sequential hash table just grows —
+     prefer [Store_bounded] for spaces that big.
    - [Store_bitstate]: SPIN-style bitstate/supertrace hashing — [hashes]
      hash functions into a bit array of 2^[log2_bits] bits. Memory is
      fixed; distinct states may alias (the search then under-approximates
      coverage), and the explorer reports a measured omission-probability
-     estimate in its stats.
+     estimate in its stats. Sleep-set pruning is suspended at admitted
+     states under this mode, so aliasing is the only omission source.
    - [Store_bounded]: exact fingerprints in a fixed table of
      2^[log2_slots] slots with eviction on collision-window overflow.
      Memory is fixed and the search stays exhaustive: an evicted state

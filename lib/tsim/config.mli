@@ -48,7 +48,10 @@ val engine_name : engine -> string
       array of [2^log2_bits] bits. Fixed memory; distinct states may
       alias, so the search under-approximates coverage and the explorer
       reports an omission-probability estimate
-      ({!Mcheck.Explore.stats.omission_prob} in lib/mcheck).
+      ({!Mcheck.Explore.stats.omission_prob} in lib/mcheck). The
+      explorer suspends sleep-set pruning at each newly-admitted state
+      under this mode (a one-bit store cannot remember slept moves), so
+      aliasing is the only omission source the estimate must cover.
     - [Store_bounded { log2_slots }]: exact fingerprints in a fixed
       table of [2^log2_slots] slots with eviction under collision
       pressure. Fixed memory, still exhaustive — evicted states reached

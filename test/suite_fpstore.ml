@@ -125,6 +125,85 @@ let test_concurrent_no_lost_cover () =
   Alcotest.(check int) "entries = distinct fingerprints" n_fps (F.entries s);
   Alcotest.(check int) "no drops at this load" 0 (F.drops s)
 
+(* A bounded store under deterministic (sequential) eviction pressure:
+   256 slots = 4 shards of 64; fingerprints below 2^60 all land in shard
+   0, so 64 of them fill it exactly and the 65th must evict. The victim
+   is gone — re-visiting the original 64 re-inserts every missing one
+   (each a counted eviction, answered New = re-explore), and never
+   invents coverage: every answer is New or Covered, no drops. *)
+let test_bounded_evict_sequential () =
+  let s = F.create ~mode:(Config.Store_bounded { log2_slots = 8 }) ~expected:0 in
+  for i = 1 to 64 do
+    match F.visit s ~fp:i ~cover:(-1) with
+    | F.New -> ()
+    | _ -> Alcotest.failf "fp %d: first visit must be New" i
+  done;
+  Alcotest.(check int) "shard full, no evictions yet" 0 (F.evictions s);
+  (match F.visit s ~fp:65 ~cover:(-1) with
+  | F.New -> ()
+  | _ -> Alcotest.fail "overflowing insert must still be New");
+  Alcotest.(check int) "one eviction" 1 (F.evictions s);
+  Alcotest.(check int) "occupancy unchanged by eviction" 64 (F.entries s);
+  (match F.visit s ~fp:65 ~cover:(-1) with
+  | F.Covered -> ()
+  | _ -> Alcotest.fail "evicting insert must be remembered");
+  let news = ref 0 in
+  for i = 1 to 64 do
+    match F.visit s ~fp:i ~cover:(-1) with
+    | F.New -> incr news
+    | F.Covered -> ()
+    | F.Partial _ -> Alcotest.failf "fp %d: unexpected Partial" i
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "at least the victim re-explored (%d)" !news)
+    true (!news >= 1);
+  (* sequentially every re-insert evicts in one attempt: evictions track
+     the re-explorations exactly *)
+  Alcotest.(check int) "evictions = 1 + re-inserts" (1 + !news)
+    (F.evictions s);
+  Alcotest.(check int) "nothing dropped" 0 (F.drops s)
+
+(* The no-lost-cover hammer against a store 8x smaller than the
+   fingerprint set: eviction churn on every probe window, from 4 domains
+   at once. This is the regression test for the eviction race the review
+   caught — a single-CAS eviction let bits claimed for the victim leak
+   into the new occupant's remaining word, i.e. moves counted as granted
+   that nobody was ever handed; the union check below fails in that
+   world. With the two-phase tombstone + shard seqlock, grants may
+   duplicate (re-exploration) but must still union to every requested
+   cover. *)
+let test_concurrent_bounded_no_lost_cover () =
+  let n_domains = 4 and n_fps = 2048 and rounds = 50 in
+  let s = F.create ~mode:(Config.Store_bounded { log2_slots = 8 }) ~expected:0 in
+  let fp_of i = ((i + 1) * 0x2545F4914F6CDD1D) land max_int in
+  let grants = Array.init n_domains (fun _ -> Array.make n_fps 0) in
+  let covers = Array.init n_domains (fun d -> 1 lsl (d * 2 mod 6)) in
+  let worker d () =
+    let mine = grants.(d) in
+    for _ = 1 to rounds do
+      for i = 0 to n_fps - 1 do
+        let cover = covers.(d) lor 0b1000000 in
+        match F.visit s ~fp:(fp_of i) ~cover with
+        | F.New -> mine.(i) <- mine.(i) lor cover
+        | F.Partial fresh -> mine.(i) <- mine.(i) lor fresh
+        | F.Covered -> ()
+      done
+    done
+  in
+  let ds = Array.init n_domains (fun d -> Domain.spawn (worker d)) in
+  Array.iter Domain.join ds;
+  let want = Array.fold_left (fun acc c -> acc lor c) 0b1000000 covers in
+  for i = 0 to n_fps - 1 do
+    let got = Array.fold_left (fun acc g -> acc lor g.(i)) 0 grants in
+    if got <> want then
+      Alcotest.failf "fp %d: granted cover %x <> requested union %x under \
+                      eviction churn" i got want
+  done;
+  let ev = F.evictions s in
+  Alcotest.(check bool)
+    (Printf.sprintf "eviction churn really happened (%d)" ev)
+    true (ev > 0)
+
 (* --- deque ------------------------------------------------------------- *)
 
 let test_deque_owner_lifo () =
@@ -306,40 +385,75 @@ let test_bitstate_parallel () =
   Alcotest.(check bool) "omission_prob > 0" true
     (r.Mcheck.Explore.stats.Mcheck.Explore.omission_prob > 0.0)
 
+(* Unfenced Peterson: the classic TSO counterexample workload. *)
+let unfenced_peterson () =
+  let layout = Layout.create () in
+  let flag = Layout.array layout ~init:0 "flag" 2 in
+  let turn = Layout.var layout ~init:0 "turn" in
+  Config.make ~model:Config.Cc_wb ~check_exclusion:true ~n:2 ~layout
+    ~entry:(fun p ->
+      let* () = write flag.(p) 1 in
+      let* () = write turn p in
+      let rec await fuel =
+        if fuel <= 0 then raise (Prog.Spin_exhausted turn)
+        else
+          let* f = read flag.(1 - p) in
+          if f = 0 then unit
+          else
+            let* t = read turn in
+            if t <> p then unit else await (fuel - 1)
+      in
+      await 4)
+    ~exit_section:(fun p ->
+      let* () = write flag.(p) 0 in
+      fence)
+    ()
+
 (* Violations must survive the bitstate mode: aliasing only ever prunes
    states, and an unfenced Peterson violation is reachable along many
    schedules, so a generously-sized bit array still finds it. *)
 let test_bitstate_finds_violation () =
-  let layout = Layout.create () in
-  let flag = Layout.array layout ~init:0 "flag" 2 in
-  let turn = Layout.var layout ~init:0 "turn" in
   let cfg =
-    Config.make ~model:Config.Cc_wb ~check_exclusion:true ~n:2 ~layout
-      ~entry:(fun p ->
-        let* () = write flag.(p) 1 in
-        let* () = write turn p in
-        let rec await fuel =
-          if fuel <= 0 then raise (Prog.Spin_exhausted turn)
-          else
-            let* f = read flag.(1 - p) in
-            if f = 0 then unit
-            else
-              let* t = read turn in
-              if t <> p then unit else await (fuel - 1)
-        in
-        await 4)
-      ~exit_section:(fun p ->
-        let* () = write flag.(p) 0 in
-        fence)
-      ()
-  in
-  let cfg =
-    with_store (Config.Store_bitstate { log2_bits = 20; hashes = 3 }) cfg
+    with_store
+      (Config.Store_bitstate { log2_bits = 20; hashes = 3 })
+      (unfenced_peterson ())
   in
   let r = Mcheck.Explore.explore ~max_nodes:2_000_000 ~por:false cfg in
   match r.Mcheck.Explore.violations with
   | { Mcheck.Explore.kind = `Exclusion _; _ } :: _ -> ()
   | _ -> Alcotest.fail "unfenced peterson violation lost under bitstate"
+
+(* Bitstate composed with sleep-set POR. A one-bit store makes the first
+   visit's coverage permanent, so the explorer must admit every state
+   with the FULL move set (sleep mask zeroed on New) — otherwise a state
+   first reached with a nonempty sleep mask hides its slept moves from
+   every later path, an omission the (ones/m)^k estimate knows nothing
+   about. With an array generously larger than the space, aliasing is
+   negligible and bitstate+POR must reproduce the exact verdicts: the
+   fenced lock verifies, the unfenced one still yields its violation. *)
+let test_bitstate_por_matches_exact () =
+  let bits = Config.Store_bitstate { log2_bits = 20; hashes = 3 } in
+  let exact_r =
+    Mcheck.Explore.explore ~max_nodes:2_000_000 ~por:true
+      (peterson ~passages:1 ())
+  in
+  Alcotest.(check bool) "exact+por verifies" true
+    exact_r.Mcheck.Explore.verified;
+  let r =
+    Mcheck.Explore.explore ~max_nodes:2_000_000 ~por:true
+      (with_store bits (peterson ~passages:1 ()))
+  in
+  Alcotest.(check bool) "bitstate+por verifies too" true
+    r.Mcheck.Explore.verified;
+  Alcotest.(check bool) "exhausted" true r.Mcheck.Explore.exhausted;
+  let v =
+    Mcheck.Explore.explore ~max_nodes:2_000_000 ~por:true
+      (with_store bits (unfenced_peterson ()))
+  in
+  match v.Mcheck.Explore.violations with
+  | { Mcheck.Explore.kind = `Exclusion _; _ } :: _ -> ()
+  | _ ->
+      Alcotest.fail "unfenced peterson violation lost under bitstate + por"
 
 let suite =
   [
@@ -352,6 +466,11 @@ let suite =
       test_exact_distinct_fps;
     Alcotest.test_case "concurrent: no cover bit lost across 4 domains"
       `Quick test_concurrent_no_lost_cover;
+    Alcotest.test_case "bounded: deterministic eviction accounting" `Quick
+      test_bounded_evict_sequential;
+    Alcotest.test_case
+      "concurrent: no cover bit lost under bounded eviction churn" `Quick
+      test_concurrent_bounded_no_lost_cover;
     Alcotest.test_case "deque: owner pops LIFO" `Quick test_deque_owner_lifo;
     Alcotest.test_case "deque: thief steals FIFO" `Quick
       test_deque_thief_fifo;
@@ -366,4 +485,6 @@ let suite =
       `Quick test_bitstate_parallel;
     Alcotest.test_case "bitstate: violations survive aliasing" `Quick
       test_bitstate_finds_violation;
+    Alcotest.test_case "bitstate: full cover on admit keeps POR sound"
+      `Quick test_bitstate_por_matches_exact;
   ]
