@@ -461,15 +461,18 @@ let verify_cmd =
   in
   let engine =
     let engine_conv =
-      Arg.enum [ ("journal", `Journal); ("clone", `Clone) ]
+      Arg.enum
+        [ ("journal", `Journal); ("clone", `Clone); ("compiled", `Compiled) ]
     in
     Arg.(
       value & opt engine_conv `Journal
       & info [ "engine" ]
           ~doc:
             "child-expansion engine: journal (in-place step/undo, the \
-             default) or clone (copy the machine per child); identical \
-             verdicts and node counts")
+             default), clone (copy the machine per child), or compiled \
+             (journal plus compile-ahead program execution; locks whose \
+             programs are not declared pure fall back to the journal \
+             interpreter); identical verdicts and node counts")
   in
   let run name n max_nodes spin_fuel domains no_por save_schedule max_crashes
       max_millis crash_semantics search_stats engine store store_bits

@@ -43,6 +43,7 @@ let make ~n : Lock_intf.t =
   {
     Lock_intf.name = "anderson";
     uses_rmw = true;
+    pure = false;  (* per-passage scratch array *)
     one_time = false;
     adaptive = false;
     layout;

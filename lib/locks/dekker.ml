@@ -51,6 +51,7 @@ let make ~n : Lock_intf.t =
   {
     Lock_intf.name = "dekker";
     uses_rmw = false;
+    pure = true;
     one_time = false;
     adaptive = false;
     layout;

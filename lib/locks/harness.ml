@@ -11,9 +11,9 @@ let config_of_lock ?(model = Config.Cc_wb) ?(ordering = Config.Tso)
       (Printf.sprintf "%s is a one-time lock; max_passages must be 1"
          lock.Lock_intf.name);
   Config.make ~model ~ordering ~max_passages ~rmw_drains ~check_exclusion
-    ~crash_semantics ?recovery:lock.Lock_intf.recovery ~n
-    ~layout:lock.Lock_intf.layout ~entry:lock.Lock_intf.entry
-    ~exit_section:lock.Lock_intf.exit_section ()
+    ~crash_semantics ?recovery:lock.Lock_intf.recovery
+    ~pure_programs:lock.Lock_intf.pure ~n ~layout:lock.Lock_intf.layout
+    ~entry:lock.Lock_intf.entry ~exit_section:lock.Lock_intf.exit_section ()
 
 let machine_of_lock ?model ?ordering ?max_passages ?rmw_drains
     ?check_exclusion ?crash_semantics (lock : Lock_intf.t) ~n =

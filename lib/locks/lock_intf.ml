@@ -17,6 +17,11 @@ type t = {
   uses_rmw : bool;  (* uses comparison primitives (CAS/FAA/SWAP)? *)
   one_time : bool;  (* only supports a single passage per process *)
   adaptive : bool;  (* RMR complexity a function of contention? *)
+  pure : bool;
+      (* programs are effect-free (no per-passage scratch arrays): the
+         compile-ahead engine may cache and reuse their continuations
+         (Config.pure_programs). Locks that smuggle a ticket/slot from
+         entry to exit through a mutable array must say false. *)
   layout : Layout.t;
   entry : Pid.t -> unit Prog.t;
   exit_section : Pid.t -> unit Prog.t;

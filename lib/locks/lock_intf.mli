@@ -16,6 +16,11 @@ type t = {
   uses_rmw : bool;  (** uses comparison primitives (CAS/FAA/SWAP)? *)
   one_time : bool;  (** supports a single passage per process only *)
   adaptive : bool;  (** RMR complexity a function of contention? *)
+  pure : bool;
+      (** programs are effect-free (no per-passage scratch arrays), so
+          the compile-ahead engine may cache their continuations
+          ({!Tsim.Config.t.pure_programs}); locks that pass scratch from
+          entry to exit through mutable arrays must declare [false] *)
   layout : Layout.t;
   entry : Pid.t -> unit Prog.t;
   exit_section : Pid.t -> unit Prog.t;

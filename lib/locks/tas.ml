@@ -26,6 +26,7 @@ let make ~n : Lock_intf.t =
   {
     Lock_intf.name = "tas";
     uses_rmw = true;
+    pure = true;
     one_time = false;
     adaptive = false;
     layout;

@@ -79,6 +79,7 @@ let make ?(pso_safe = false) ~n () : Lock_intf.t =
   {
     Lock_intf.name = (if pso_safe then "tournament-pso" else "tournament");
     uses_rmw = false;
+    pure = true;
     one_time = false;
     adaptive = false;
     layout;

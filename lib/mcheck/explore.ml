@@ -249,6 +249,22 @@ let render_verdict r =
         reason r.nodes,
       3 )
 
+(* Move values are immutable, so the ubiquitous [Step p] / [Commit p] /
+   [Recover p] boxes are shared across calls (and domains) instead of
+   being re-allocated by every [enabled_moves]; [Commit_var] and [Crash]
+   carry state-dependent payloads and stay per-call. *)
+let boxed_pids = 64
+let step_box = Array.init boxed_pids (fun p -> Step (Pid.of_int p))
+let commit_box = Array.init boxed_pids (fun p -> Commit (Pid.of_int p))
+let recover_box = Array.init boxed_pids (fun p -> Recover (Pid.of_int p))
+let[@inline] step_move p = if p < boxed_pids then step_box.(p) else Step p
+
+let[@inline] commit_move p =
+  if p < boxed_pids then commit_box.(p) else Commit p
+
+let[@inline] recover_move p =
+  if p < boxed_pids then recover_box.(p) else Recover p
+
 let enabled_moves ?(max_crashes = 0) m =
   let n = Machine.n_procs m in
   let pso = (Machine.config m).Config.ordering = Config.Pso in
@@ -256,11 +272,11 @@ let enabled_moves ?(max_crashes = 0) m =
   let semantics = (Machine.config m).Config.crash_semantics in
   let moves = ref [] in
   for p = n - 1 downto 0 do
-    (match Machine.pending m p with
-    | Machine.P_done -> ()
-    | Machine.P_recover -> moves := Recover p :: !moves
+    (match Machine.pending_class m p with
+    | Machine.K_done -> ()
+    | Machine.K_recover -> moves := recover_move p :: !moves
     | _ ->
-        moves := Step p :: !moves;
+        moves := step_move p :: !moves;
         (* crash faults, while budget remains: the prefix length is the
            adversary's choice under Atomic_prefix, forced otherwise *)
         if budget_left then begin
@@ -282,7 +298,7 @@ let enabled_moves ?(max_crashes = 0) m =
         (fun v -> moves := Commit_var (p, v) :: !moves)
         (Wbuf.vars pr.Machine.buf)
     else if (not pr.Machine.in_fence) && not (Wbuf.is_empty pr.Machine.buf)
-    then moves := Commit p :: !moves
+    then moves := commit_move p :: !moves
   done;
   !moves
 
@@ -312,13 +328,69 @@ let fingerprint = Machine.fingerprint
 
 exception Done
 
+(* Open-addressing fingerprint -> sleep-mask table for the sequential
+   seen store. Fingerprints are already finalizer-mixed 63-bit values
+   (always >= 0, see {!Machine.fingerprint}), so the raw low bits probe
+   well and -1 can mark empty slots. Replaces [Hashtbl]: no 4-word entry
+   allocation per insert, no bucket-list chasing per lookup — the
+   admission probe is one or two cache lines. *)
+module Seenmap = struct
+  type t = {
+    mutable keys : int array;  (* -1 = empty; fingerprints are >= 0 *)
+    mutable vals : int array;  (* sleep mask last explored under *)
+    mutable mask : int;  (* capacity - 1; capacity a power of two *)
+    mutable count : int;
+  }
+
+  let create () =
+    { keys = Array.make 1024 (-1); vals = Array.make 1024 0;
+      mask = 1023; count = 0 }
+
+  let length t = t.count
+
+  (* Slot holding [fp], or the empty slot where it belongs (linear
+     probing; load factor capped at 1/2 so the scan terminates fast). *)
+  let rec probe keys mask fp i =
+    let k = Array.unsafe_get keys i in
+    if k = fp || k < 0 then i else probe keys mask fp ((i + 1) land mask)
+
+  let[@inline] lookup t fp = probe t.keys t.mask fp (fp land t.mask)
+  let[@inline] key t i = Array.unsafe_get t.keys i
+  let[@inline] value t i = Array.unsafe_get t.vals i
+  let[@inline] set_value t i z = Array.unsafe_set t.vals i z
+
+  let grow t =
+    let ncap = 2 * (t.mask + 1) in
+    let keys = Array.make ncap (-1) and vals = Array.make ncap 0 in
+    let nmask = ncap - 1 in
+    let okeys = t.keys and ovals = t.vals in
+    for i = 0 to Array.length okeys - 1 do
+      let k = Array.unsafe_get okeys i in
+      if k >= 0 then begin
+        let j = probe keys nmask k (k land nmask) in
+        Array.unsafe_set keys j k;
+        Array.unsafe_set vals j (Array.unsafe_get ovals i)
+      end
+    done;
+    t.keys <- keys;
+    t.vals <- vals;
+    t.mask <- nmask
+
+  (* [i] must be the empty slot [lookup] returned for [fp]. *)
+  let insert t i fp z =
+    Array.unsafe_set t.keys i fp;
+    Array.unsafe_set t.vals i z;
+    t.count <- t.count + 1;
+    if 2 * t.count > t.mask then grow t
+end
+
 (* Seen-state memory. The sequential default is the mask-aware hash
    table (fingerprint -> sleep mask last explored under). Parallel
    search — and the memory-bounded modes at any domain count — use the
    shared lock-free store instead ({!Fpstore}), which expresses the same
    rule as atomic claims on a per-state "remaining moves" word. *)
 type seen_store =
-  | Seen_tbl of (int, int) Hashtbl.t
+  | Seen_tbl of Seenmap.t
   | Seen_shared of Fpstore.t
 
 (* Mutable search state, one [ctx] per domain. Violation caps and tallies
@@ -347,7 +419,15 @@ type ctx = {
   max_crashes : int;  (* crash faults the adversary may inject, total *)
   deadline : float option;  (* absolute wall-clock cutoff *)
   obs : Obs.Telemetry.t;  (* Telemetry.null when no sink is attached *)
+  decoded : move array;
+      (* [decode codec] memoized per code — sleeping moves are revisited
+         every [filter_sleep], and decoding allocates *)
+  fp_a : Footprint.t;  (* scratch footprints for {!Footprint.of_move_into} *)
+  fp_b : Footprint.t;
   mutable quota : int;  (* locally claimed node budget remaining *)
+  mutable pid_counts : int array;
+      (* scratch for [singleton_ample]'s per-pid move tally, grown on
+         demand — the explorer's only per-node [Array.make] was here *)
   mutable delegate :
     (must_clone:bool -> Machine.t -> move list -> int -> int -> bool) option;
   mutable nodes : int;
@@ -374,12 +454,19 @@ let make_ctx ?seen ?pool ?on_fingerprint ?(max_crashes = 0) ?deadline
     ?(obs = Obs.Telemetry.null) ?(paranoid = false) ~dedup ~por ~codec
     ~on_spin ~max_nodes ~max_violations () =
   let seen =
-    match seen with Some s -> s | None -> Seen_tbl (Hashtbl.create 4096)
+    match seen with Some s -> s | None -> Seen_tbl (Seenmap.create ())
+  in
+  let sleepable = por && codec.Footprint.encodable in
+  let decoded =
+    if sleepable then
+      Array.init codec.Footprint.total_bits (Footprint.decode codec)
+    else [||]
   in
   { seen; dedup; por; codec;
-    sleepable = por && codec.Footprint.encodable; paranoid; on_fingerprint;
+    sleepable; decoded; fp_a = Footprint.make_scratch ();
+    fp_b = Footprint.make_scratch (); paranoid; on_fingerprint;
     on_spin; pool; max_violations; max_crashes; deadline; obs;
-    quota = max_nodes; delegate = None;
+    quota = max_nodes; pid_counts = [||]; delegate = None;
     nodes = 0; max_depth = 0; nviol = 0; violations = []; stopped = None;
     c_dedup = 0; c_resleeps = 0; c_sleep_prunes = 0; c_chains = 0;
     c_fused = 0; c_crashes = 0; c_jpeak = 0; c_jrecords = 0; c_steals = 0;
@@ -387,7 +474,7 @@ let make_ctx ?seen ?pool ?on_fingerprint ?(max_crashes = 0) ?deadline
 
 let seen_len ctx =
   match ctx.seen with
-  | Seen_tbl tbl -> Hashtbl.length tbl
+  | Seen_tbl tbl -> Seenmap.length tbl
   | Seen_shared st -> Fpstore.entries st
 
 let stats_of_ctx ctx =
@@ -500,13 +587,28 @@ let record_violation ctx schedule kind =
    predicate). A candidate that becomes CS-enabled or raises is skipped;
    exceptions are left for the full expansion to diagnose. *)
 let singleton_eligible m p ~sole =
-  match Machine.pending m p with
-  | Machine.P_enter | Machine.P_exit | Machine.P_begin_fence
-  | Machine.P_rmw_fence | Machine.P_end_fence ->
+  match Machine.pending_class m p with
+  | Machine.K_enter | Machine.K_exit | Machine.K_begin_fence
+  | Machine.K_rmw_fence | Machine.K_end_fence ->
       true
-  | Machine.P_issue_write (v, _) ->
-      Wbuf.find (Machine.proc m p).Machine.buf v = None
+  | Machine.K_issue_write ->
+      not (Wbuf.mem (Machine.proc m p).Machine.buf (Machine.pending_var m p))
   | _ -> sole
+
+(* Per-pid enabled-move tally into a ctx-owned scratch array. *)
+let rec tally_pids counts = function
+  | [] -> ()
+  | mv :: rest ->
+      let p = Footprint.move_pid mv in
+      counts.(p) <- counts.(p) + 1;
+      tally_pids counts rest
+
+let pid_counts ctx m moves =
+  let n = Machine.n_procs m in
+  if Array.length ctx.pid_counts < n then ctx.pid_counts <- Array.make n 0
+  else Array.fill ctx.pid_counts 0 n 0;
+  tally_pids ctx.pid_counts moves;
+  ctx.pid_counts
 
 let singleton_ample ctx m moves =
   (* Singleton ample sets (and their chase fusion) are switched off while
@@ -518,21 +620,17 @@ let singleton_ample ctx m moves =
      argument applies unchanged. *)
   if (not ctx.por) || Machine.crashes_total m < ctx.max_crashes then None
   else begin
-    let n = Machine.n_procs m in
-    let count = Array.make n 0 in
-    List.iter
-      (fun mv ->
-        let p = Footprint.move_pid mv in
-        count.(p) <- count.(p) + 1)
-      moves;
+    let count = pid_counts ctx m moves in
     let rec pick = function
       | [] -> None
       | (Step p as mv) :: rest
         when singleton_eligible m p ~sole:(count.(p) = 1) ->
-          if Footprint.purely_local (Footprint.of_move m mv) then begin
+          Footprint.of_move_into ctx.fp_a m mv;
+          if Footprint.purely_local ctx.fp_a then begin
             let m' = Machine.clone m in
             match apply m' mv with
-            | () when Machine.pending m' p <> Machine.P_cs -> Some (mv, m')
+            | () when Machine.pending_class m' p <> Machine.K_cs ->
+                Some (mv, m')
             | () -> pick rest
             | exception (Machine.Exclusion_violation _ | Prog.Spin_exhausted _)
               ->
@@ -550,20 +648,35 @@ let singleton_ample ctx m moves =
    current state, which is exact: a sleeping move's owner has not moved
    since it fell asleep (same-process moves are dependent and would have
    woken it), and other processes' moves do not change its footprint. *)
-let filter_sleep_fp ctx m fmv z =
-  if z = 0 then 0
+(* Bit index of an isolated bit [x = 1 lsl k]. *)
+let log2_bit x =
+  let rec go k x = if x <= 1 then k else go (k + 1) (x lsr 1) in
+  go 0 x
+
+(* [fmv] is conventionally [ctx.fp_a] (the executed move's footprint);
+   sleeping moves are refilled one at a time into [ctx.fp_b], so the two
+   scratches never alias. The decoded-move table spares a [decode]
+   allocation per sleeping bit. *)
+let rec sleep_keep ctx m fmv rest keep =
+  if rest = 0 then keep
   else begin
-    let keep = ref 0 in
-    Footprint.iter_mask ctx.codec
-      (fun code b ->
-        if Footprint.independent (Footprint.of_move m b) fmv then
-          keep := !keep lor (1 lsl code))
-      z;
-    !keep
+    let bit = rest land -rest in
+    Footprint.of_move_into ctx.fp_b m ctx.decoded.(log2_bit bit);
+    let keep =
+      if Footprint.independent ctx.fp_b fmv then keep lor bit else keep
+    in
+    sleep_keep ctx m fmv (rest land (rest - 1)) keep
   end
 
+let filter_sleep_fp ctx m fmv z =
+  if z = 0 then 0 else sleep_keep ctx m fmv z 0
+
 let filter_sleep ctx m mv z =
-  if z = 0 then 0 else filter_sleep_fp ctx m (Footprint.of_move m mv) z
+  if z = 0 then 0
+  else begin
+    Footprint.of_move_into ctx.fp_a m mv;
+    filter_sleep_fp ctx m ctx.fp_a z
+  end
 
 (* Admit a successor state through the seen store, dedup'ing with the
    mask-aware rule. A fingerprint stored with mask [z'] was explored
@@ -579,26 +692,34 @@ let filter_sleep ctx m mv z =
    re-explores under sleep ¬fresh — for a fresh state (remaining was
    all-ones) that is z itself, and coverage merging is the commutative
    intersection the sequential rule computes in order. *)
+let admit_pruned = min_int
+(* [seen_admit] returns the child sleep mask, or [admit_pruned] when the
+   revisit is covered — an int sentinel rather than an option so the
+   per-edge admission allocates nothing (masks are always >= 0). *)
+
 let seen_admit ctx fp z =
-  if not ctx.dedup then Some z
+  if not ctx.dedup then z
   else
     match ctx.seen with
-    | Seen_tbl tbl -> (
-        match Hashtbl.find_opt tbl fp with
-        | None ->
-            Hashtbl.replace tbl fp z;
-            Some z
-        | Some z' ->
-            if z' land lnot z = 0 then begin
-              ctx.c_dedup <- ctx.c_dedup + 1;
-              None
-            end
-            else begin
-              ctx.c_resleeps <- ctx.c_resleeps + 1;
-              Hashtbl.replace tbl fp (z' land z);
-              let full = Footprint.full_mask ctx.codec in
-              Some ((z lor lnot z') land full)
-            end)
+    | Seen_tbl tbl ->
+        let i = Seenmap.lookup tbl fp in
+        if Seenmap.key tbl i < 0 then begin
+          Seenmap.insert tbl i fp z;
+          z
+        end
+        else begin
+          let z' = Seenmap.value tbl i in
+          if z' land lnot z = 0 then begin
+            ctx.c_dedup <- ctx.c_dedup + 1;
+            admit_pruned
+          end
+          else begin
+            ctx.c_resleeps <- ctx.c_resleeps + 1;
+            Seenmap.set_value tbl i (z' land z);
+            let full = Footprint.full_mask ctx.codec in
+            (z lor lnot z') land full
+          end
+        end
     | Seen_shared st ->
         if not (Fpstore.masks st) then (
           (* Bitstate keeps one seen-bit per state, no mask: the FIRST
@@ -610,10 +731,10 @@ let seen_admit ctx fp z =
              sleep would instead lose slept interleavings with no
              accounting at all. *)
           match Fpstore.visit st ~fp ~cover:(-1) with
-          | Fpstore.New -> Some 0
+          | Fpstore.New -> 0
           | Fpstore.Covered | Fpstore.Partial _ ->
               ctx.c_dedup <- ctx.c_dedup + 1;
-              None)
+              admit_pruned)
         else (
           (* max_int, not -1: the store masks covers to their 63-bit
              magnitude, so an already-positive all-moves cover keeps the
@@ -623,15 +744,14 @@ let seen_admit ctx fp z =
             else max_int
           in
           match Fpstore.visit st ~fp ~cover with
-          | Fpstore.New -> Some z
+          | Fpstore.New -> z
           | Fpstore.Covered ->
               ctx.c_dedup <- ctx.c_dedup + 1;
-              None
+              admit_pruned
           | Fpstore.Partial fresh ->
               if fresh <> cover then ctx.c_resleeps <- ctx.c_resleeps + 1;
-              if ctx.sleepable then
-                Some (lnot fresh land Footprint.full_mask ctx.codec)
-              else Some 0)
+              if ctx.sleepable then lnot fresh land Footprint.full_mask ctx.codec
+              else 0)
 
 (* Hand a just-admitted subtree to the worker's deque when a delegate is
    installed (parallel mode) and willing; [~must_clone] marks machines
@@ -647,13 +767,13 @@ let visit_child ctx m' schedule depth z ~child =
   | Some f -> f (fingerprint m')
   | None -> ());
   let admitted =
-    if ctx.dedup then seen_admit ctx (fingerprint m') z else Some z
+    if ctx.dedup then seen_admit ctx (fingerprint m') z else z
   in
-  match admitted with
-  | None -> ()
-  | Some z ->
-      if not (try_delegate ctx ~must_clone:false m' schedule depth z) then
-        child m' schedule depth z
+  if admitted <> admit_pruned then begin
+    let z = admitted in
+    if not (try_delegate ctx ~must_clone:false m' schedule depth z) then
+      child m' schedule depth z
+  end
 
 (* Expand one state: count it, then either diagnose a dead end or visit
    the selected moves through [child]. The deadlock scan is only run when
@@ -681,7 +801,7 @@ let expand ctx m schedule depth sleep ~child =
     let n = Machine.n_procs m in
     let unfinished = ref false in
     for p = 0 to n - 1 do
-      if Machine.pending m p <> Machine.P_done then unfinished := true
+      if Machine.pending_class m p <> Machine.K_done then unfinished := true
     done;
     if !unfinished then record_violation ctx schedule `Deadlock
   end
@@ -799,41 +919,32 @@ let node_fp ctx m =
    machine is LEFT in the successor state (the caller owns the rollback)
    and the returned mask is the child sleep set — filtered against the
    pre-state, which is why it must be computed here, before the apply. *)
+let rec ample_pick_journal ctx m z count = function
+  | [] -> None
+  | (Step p as mv) :: rest when singleton_eligible m p ~sole:(count.(p) = 1)
+    -> (
+      Footprint.of_move_into ctx.fp_a m mv;
+      if Footprint.purely_local ctx.fp_a then begin
+        let z_next =
+          if ctx.sleepable then filter_sleep_fp ctx m ctx.fp_a z else 0
+        in
+        let mark = Machine.Journal.mark m in
+        match apply m mv with
+        | () when Machine.pending_class m p <> Machine.K_cs ->
+            Some (mv, z_next)
+        | () ->
+            Machine.Journal.undo_to m mark;
+            ample_pick_journal ctx m z count rest
+        | exception (Machine.Exclusion_violation _ | Prog.Spin_exhausted _) ->
+            Machine.Journal.undo_to m mark;
+            ample_pick_journal ctx m z count rest
+      end
+      else ample_pick_journal ctx m z count rest)
+  | _ :: rest -> ample_pick_journal ctx m z count rest
+
 let singleton_ample_journal ctx m z moves =
   if (not ctx.por) || Machine.crashes_total m < ctx.max_crashes then None
-  else begin
-    let n = Machine.n_procs m in
-    let count = Array.make n 0 in
-    List.iter
-      (fun mv ->
-        let p = Footprint.move_pid mv in
-        count.(p) <- count.(p) + 1)
-      moves;
-    let rec pick = function
-      | [] -> None
-      | (Step p as mv) :: rest
-        when singleton_eligible m p ~sole:(count.(p) = 1) -> (
-          let fmv = Footprint.of_move m mv in
-          if Footprint.purely_local fmv then begin
-            let z_next =
-              if ctx.sleepable then filter_sleep_fp ctx m fmv z else 0
-            in
-            let mark = Machine.Journal.mark m in
-            match apply m mv with
-            | () when Machine.pending m p <> Machine.P_cs -> Some (mv, z_next)
-            | () ->
-                Machine.Journal.undo_to m mark;
-                pick rest
-            | exception (Machine.Exclusion_violation _ | Prog.Spin_exhausted _)
-              ->
-                Machine.Journal.undo_to m mark;
-                pick rest
-          end
-          else pick rest)
-      | _ :: rest -> pick rest
-    in
-    pick moves
-  end
+  else ample_pick_journal ctx m z (pid_counts ctx m moves) moves
 
 let rec dfs_journal ctx m schedule depth sleep =
   if not (charge ctx) then begin
@@ -855,7 +966,7 @@ let rec dfs_journal ctx m schedule depth sleep =
     let n = Machine.n_procs m in
     let unfinished = ref false in
     for p = 0 to n - 1 do
-      if Machine.pending m p <> Machine.P_done then unfinished := true
+      if Machine.pending_class m p <> Machine.K_done then unfinished := true
     done;
     if !unfinished then record_violation ctx schedule `Deadlock
   end
@@ -869,46 +980,49 @@ let rec dfs_journal ctx m schedule depth sleep =
         ctx.c_chains <- ctx.c_chains + 1;
         chase_journal ctx m ~chain_mark:mark0 mv0 ~z_in:sleep ~z_out:z0
           schedule depth 4096
-    | None ->
-        let explored = ref 0 in
-        List.iter
-          (fun mv ->
-            let bit =
-              if ctx.sleepable then 1 lsl Footprint.encode ctx.codec mv
-              else 0
-            in
-            if sleep land bit <> 0 then
-              ctx.c_sleep_prunes <- ctx.c_sleep_prunes + 1
-            else begin
-              (* sleeping-move footprints must be read in the pre-state,
-                 so the child mask is computed before applying [mv] *)
-              let z =
-                if ctx.sleepable then
-                  filter_sleep ctx m mv (sleep lor !explored)
-                else 0
-              in
-              let mark = Machine.Journal.mark m in
-              (match apply m mv with
-              | () ->
-                  (match mv with
-                  | Crash _ -> ctx.c_crashes <- ctx.c_crashes + 1
-                  | _ -> ());
-                  visit_child_journal ctx m (mv :: schedule) (depth + 1) z;
-                  Machine.Journal.undo_to m mark
-              | exception Machine.Exclusion_violation { holder; intruder } ->
-                  Machine.Journal.undo_to m mark;
-                  record_violation ctx (mv :: schedule)
-                    (`Exclusion (holder, intruder))
-              | exception Prog.Spin_exhausted _ -> (
-                  Machine.Journal.undo_to m mark;
-                  match ctx.on_spin with
-                  | `Prune -> ()
-                  | `Violation ->
-                      record_violation ctx (mv :: schedule) `Spin_exhausted));
-              explored := !explored lor bit
-            end)
-          moves
+    | None -> dfs_journal_moves ctx m schedule depth sleep 0 moves
   end
+
+(* The per-move expansion loop, a (closure-free) recursion over the
+   enabled moves; [explored] accumulates the already-expanded moves'
+   codes for the sibling sleep sets. *)
+and dfs_journal_moves ctx m schedule depth sleep explored = function
+  | [] -> ()
+  | mv :: rest ->
+      let bit =
+        if ctx.sleepable then 1 lsl Footprint.encode ctx.codec mv else 0
+      in
+      if sleep land bit <> 0 then begin
+        ctx.c_sleep_prunes <- ctx.c_sleep_prunes + 1;
+        dfs_journal_moves ctx m schedule depth sleep explored rest
+      end
+      else begin
+        (* sleeping-move footprints must be read in the pre-state, so the
+           child mask is computed before applying [mv] *)
+        let z =
+          if ctx.sleepable then filter_sleep ctx m mv (sleep lor explored)
+          else 0
+        in
+        let mark = Machine.Journal.mark m in
+        (match apply m mv with
+        | () ->
+            (match mv with
+            | Crash _ -> ctx.c_crashes <- ctx.c_crashes + 1
+            | _ -> ());
+            visit_child_journal ctx m (mv :: schedule) (depth + 1) z;
+            Machine.Journal.undo_to m mark
+        | exception Machine.Exclusion_violation { holder; intruder } ->
+            Machine.Journal.undo_to m mark;
+            record_violation ctx (mv :: schedule)
+              (`Exclusion (holder, intruder))
+        | exception Prog.Spin_exhausted _ -> (
+            Machine.Journal.undo_to m mark;
+            match ctx.on_spin with
+            | `Prune -> ()
+            | `Violation ->
+                record_violation ctx (mv :: schedule) `Spin_exhausted));
+        dfs_journal_moves ctx m schedule depth sleep (explored lor bit) rest
+      end
 
 (* [m] is in the successor state of [mv]; [z_in] is the sleep mask the
    move was selected under (the asleep check), [z_out] the filtered child
@@ -953,19 +1067,31 @@ and chase_journal ctx m ~chain_mark mv ~z_in ~z_out schedule depth fuel =
 and visit_child_journal ctx m schedule depth z =
   let fp = node_fp ctx m in
   (match ctx.on_fingerprint with Some f -> f fp | None -> ());
-  match seen_admit ctx fp z with
-  | None -> ()
-  | Some z ->
-      if not (try_delegate ctx ~must_clone:true m schedule depth z) then
-        dfs_journal ctx m schedule depth z
+  let admitted = seen_admit ctx fp z in
+  if admitted <> admit_pruned then begin
+    let z = admitted in
+    if not (try_delegate ctx ~must_clone:true m schedule depth z) then
+      dfs_journal ctx m schedule depth z
+  end
 
 (* Run one start state to completion under the configured engine,
    folding the machine's journal gauges into the ctx even when [Done]
    aborts mid-subtree. *)
+(* Root machine for a search. Search machines run lean
+   ({!Machine.set_lean}): no search consumer reads the RMR / awareness /
+   cache / contention accounting (violations are re-executed by [replay]
+   on a fresh, fully-accounting machine), and freezing it roughly halves
+   the per-step journal volume. Verdicts, node counts and fingerprints
+   are unchanged — see the soundness note on [Machine.set_lean]. *)
+let search_machine cfg =
+  let m = Machine.create cfg in
+  if not cfg.Config.record_trace then Machine.set_lean m true;
+  m
+
 let run_start ctx ~engine m schedule depth sleep =
-  match engine with
+  match (engine : Config.engine) with
   | `Clone -> dfs ctx m schedule depth sleep
-  | `Journal ->
+  | `Journal | `Compiled ->
       Machine.Journal.enable m;
       Fun.protect
         ~finally:(fun () ->
@@ -1154,7 +1280,7 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
       ~dedup ~por ~codec ~on_spin ~max_nodes ~max_violations ()
   in
   let bfs_t0 = Obs.Telemetry.now_us obs in
-  match bfs_frontier ctx (Machine.create cfg) ~target:(domains * 8) with
+  match bfs_frontier ctx (search_machine cfg) ~target:(domains * 8) with
   | [] -> result_of_ctx ctx ~exhausted:true  (* space smaller than frontier *)
   | exception Done -> result_of_ctx ctx ~exhausted:false
   | frontier ->
@@ -1347,7 +1473,7 @@ let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
        depend on the domain count *)
     let seen =
       match cfg.Config.store with
-      | Config.Store_exact -> Seen_tbl (Hashtbl.create 4096)
+      | Config.Store_exact -> Seen_tbl (Seenmap.create ())
       | mode -> Seen_shared (Fpstore.create ~mode ~expected:max_nodes)
     in
     let ctx =
@@ -1358,7 +1484,7 @@ let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
     let t0 = Obs.Telemetry.now_us obs in
     let exhausted =
       try
-        run_start ctx ~engine:cfg.Config.engine (Machine.create cfg) [] 0 0;
+        run_start ctx ~engine:cfg.Config.engine (search_machine cfg) [] 0 0;
         true
       with Done -> false
     in
@@ -1384,7 +1510,9 @@ let replay (cfg : Config.t) (schedule : move list) =
      path (with journaling and incremental fingerprints live) drives
      trace-producing replays, so the Chrome-trace fixtures double as a
      byte-level check that journaling is invisible to execution. *)
-  if cfg.Config.engine = `Journal then Machine.Journal.enable m;
+  (match cfg.Config.engine with
+  | `Journal | `Compiled -> Machine.Journal.enable m
+  | `Clone -> ());
   (* Validate pids up front: a schedule referencing a process the machine
      does not have is a malformed input (wrong lock, wrong -n, truncated
      file), not a property of this configuration — report it as such

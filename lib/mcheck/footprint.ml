@@ -43,16 +43,21 @@ type move =
 let move_pid = function
   | Step p | Commit p | Commit_var (p, _) | Crash (p, _) | Recover p -> p
 
+(* Fields are mutable solely for [of_move_into]'s in-place refill of a
+   scratch record on the explorer hot path; every other producer builds a
+   fresh record and no consumer ever writes one. *)
 type t = {
-  pid : Pid.t;
-  reads : int;  (* bitset of shared variables read from memory *)
-  writes : int;  (* bitset of shared variables written (committed / RMW) *)
-  cs_check : bool;  (* CS execution: reads everyone's CS-enabledness *)
-  may_enable_cs : bool;  (* may change the owner's CS-enabledness *)
-  budget : bool;
+  mutable pid : Pid.t;
+  mutable reads : int;  (* bitset of shared variables read from memory *)
+  mutable writes : int;
+      (* bitset of shared variables written (committed / RMW) *)
+  mutable cs_check : bool;
+      (* CS execution: reads everyone's CS-enabledness *)
+  mutable may_enable_cs : bool;  (* may change the owner's CS-enabledness *)
+  mutable budget : bool;
       (* consumes the shared crash budget: crash moves disable each other
          once the budget runs out, so any two of them are dependent *)
-  global : bool;  (* conservative fallback: dependent on everything *)
+  mutable global : bool;  (* conservative fallback: dependent on everything *)
 }
 
 (* Variables above the one-word bitset capacity fall back to [global]
@@ -119,6 +124,86 @@ let of_move m mv =
       { pid = p; reads = 0; writes = !writes; cs_check = false;
         may_enable_cs = true; budget = true; global = !global }
   | Recover p -> local p
+
+(* --- allocation-free refill (explorer hot path) ---------------------- *)
+
+(* [of_move] costs ~14 words per call (the [pending] payload, the
+   [step_footprint] constructor, the record itself); with several calls
+   per node that was a measurable slice of the explorer's minor-GC
+   pressure. [of_move_into] computes the same footprint into a caller-
+   owned scratch record with zero allocation, via
+   {!Machine.step_footprint_packed}. *)
+
+let make_scratch () =
+  { pid = Pid.of_int 0; reads = 0; writes = 0; cs_check = false;
+    may_enable_cs = false; budget = false; global = false }
+
+let[@inline] fill f pid ~reads ~writes ~cs_check ~may_enable_cs ~budget
+    ~global =
+  f.pid <- pid;
+  f.reads <- reads;
+  f.writes <- writes;
+  f.cs_check <- cs_check;
+  f.may_enable_cs <- may_enable_cs;
+  f.budget <- budget;
+  f.global <- global
+
+let[@inline] fill_var f pid ~may_enable_cs ~reads ~writes v =
+  if v < 0 || v >= tracked_vars then
+    fill f pid ~reads:0 ~writes:0 ~cs_check:false ~may_enable_cs
+      ~budget:false ~global:true
+  else
+    let b = 1 lsl v in
+    fill f pid
+      ~reads:(if reads then b else 0)
+      ~writes:(if writes then b else 0)
+      ~cs_check:false ~may_enable_cs ~budget:false ~global:false
+
+let of_move_into f m mv =
+  match mv with
+  | Step p -> (
+      let may = Machine.step_may_enable_cs m p in
+      let packed = Machine.step_footprint_packed m p in
+      let v = packed lsr 3 in
+      match packed land 7 with
+      | 0 | 1 ->
+          (* F_none / F_local *)
+          fill f p ~reads:0 ~writes:0 ~cs_check:false ~may_enable_cs:may
+            ~budget:false ~global:false
+      | 2 -> fill_var f p ~may_enable_cs:may ~reads:true ~writes:false v
+      | 3 -> fill_var f p ~may_enable_cs:may ~reads:false ~writes:true v
+      | 4 -> fill_var f p ~may_enable_cs:may ~reads:true ~writes:true v
+      | _ ->
+          (* F_cs *)
+          fill f p ~reads:0 ~writes:0 ~cs_check:true ~may_enable_cs:false
+            ~budget:false ~global:false)
+  | Commit p ->
+      let buf = (Machine.proc m p).Machine.buf in
+      if Wbuf.is_empty buf then
+        fill f p ~reads:0 ~writes:0 ~cs_check:false ~may_enable_cs:false
+          ~budget:false ~global:true
+      else
+        fill_var f p ~may_enable_cs:false ~reads:false ~writes:true
+          (Wbuf.peek_var buf)
+  | Commit_var (p, v) ->
+      fill_var f p ~may_enable_cs:false ~reads:false ~writes:true v
+  | Crash (p, k) ->
+      let buf = (Machine.proc m p).Machine.buf in
+      let writes = ref 0 and global = ref false in
+      let i = ref 0 in
+      Wbuf.iter
+        (fun e ->
+          if !i < k then begin
+            if e.Wbuf.var >= tracked_vars then global := true
+            else writes := !writes lor (1 lsl e.Wbuf.var)
+          end;
+          incr i)
+        buf;
+      fill f p ~reads:0 ~writes:!writes ~cs_check:false ~may_enable_cs:true
+        ~budget:true ~global:!global
+  | Recover p ->
+      fill f p ~reads:0 ~writes:0 ~cs_check:false ~may_enable_cs:false
+        ~budget:false ~global:false
 
 let independent a b =
   (not (Pid.equal a.pid b.pid))

@@ -19,23 +19,37 @@ type move =
 
 val move_pid : move -> Pid.t
 
-(** Over-approximate footprint of a move in a given state. *)
+(** Over-approximate footprint of a move in a given state. Fields are
+    mutable solely so {!of_move_into} can refill a scratch record without
+    allocating; treat values as immutable unless you own the scratch. *)
 type t = {
-  pid : Pid.t;
-  reads : int;  (** bitset of shared variables read from memory *)
-  writes : int;  (** bitset of shared variables written *)
-  cs_check : bool;  (** CS execution: reads every process's CS-enabledness *)
-  may_enable_cs : bool;  (** may change the owner's CS-enabledness *)
-  budget : bool;
+  mutable pid : Pid.t;
+  mutable reads : int;  (** bitset of shared variables read from memory *)
+  mutable writes : int;  (** bitset of shared variables written *)
+  mutable cs_check : bool;
+      (** CS execution: reads every process's CS-enabledness *)
+  mutable may_enable_cs : bool;
+      (** may change the owner's CS-enabledness *)
+  mutable budget : bool;
       (** consumes the shared crash budget; any two budget-consuming
           moves are dependent (one can disable the other) *)
-  global : bool;  (** conservative fallback: dependent on everything *)
+  mutable global : bool;  (** conservative fallback: dependent on everything *)
 }
 
 val of_move : Machine.t -> move -> t
 (** Footprint of [mv] in machine state [m], computed without executing
     it. Only meaningful for enabled moves; disabled ones get conservative
     answers. *)
+
+val make_scratch : unit -> t
+(** A scratch record for {!of_move_into} (initially an empty local
+    footprint of pid 0). *)
+
+val of_move_into : t -> Machine.t -> move -> unit
+(** [of_move_into f m mv] computes [of_move m mv] into [f] in place,
+    allocating nothing (explorer hot path). The previous contents of [f]
+    are overwritten; results from earlier fills must not be read after a
+    refill. *)
 
 val independent : t -> t -> bool
 (** Sound commutation check: [independent a b] implies the two moves are

@@ -54,10 +54,28 @@ let crash_semantics_name = function
      words) per node instead of O(state), with incrementally-maintained
      fingerprints. The default.
    - [`Clone]: copy the machine per child (the pre-PR5 engine); kept
-     selectable for differential testing and as a fallback. *)
-type engine = [ `Clone | `Journal ]
+     selectable for differential testing and as a fallback.
+   - [`Compiled]: journal engine on top of compile-ahead program
+     execution (Compile): continuations interned into a flat instruction
+     array, cached structural hashes, allocation-free steps. Verdicts,
+     node counts and fingerprints are identical to [`Journal]. *)
+type engine = [ `Clone | `Journal | `Compiled ]
 
-let engine_name = function `Clone -> "clone" | `Journal -> "journal"
+let engine_name = function
+  | `Clone -> "clone"
+  | `Journal -> "journal"
+  | `Compiled -> "compiled"
+
+(* Default engine for configurations that do not pick one explicitly.
+   The PA_ENGINE environment variable overrides it ("journal", "clone",
+   "compiled") so CI can run every existing suite under another engine
+   without touching the suites; unknown values fall back to the
+   journal engine. *)
+let default_engine () : engine =
+  match Sys.getenv_opt "PA_ENGINE" with
+  | Some "compiled" -> `Compiled
+  | Some "clone" -> `Clone
+  | Some _ | None -> `Journal
 
 (* How the explorer remembers visited states:
 
@@ -114,15 +132,30 @@ type t = {
          no repair step (the non-recoverable baseline) *)
   engine : engine;
       (* exploration child-expansion strategy (journal vs clone) *)
+  pure_programs : bool;
+      (* declared promise that [entry]/[exit_section]/[recovery] and every
+         continuation they build are effect-free: constructing a program
+         twice yields structurally identical terms and applying a
+         continuation has no observable effect besides its result. The
+         compile-ahead engine ([`Compiled]) caches interned continuations
+         and applies them at most once each, which is only faithful under
+         this promise — locks that pass per-passage scratch through
+         mutable OCaml arrays (ticket, CLH, the adaptive tree) must leave
+         it false, and [`Compiled] then degrades to the journal
+         interpreter for them *)
   store : store_mode;
       (* exploration seen-state memory policy (exact vs memory-bounded) *)
 }
 
 let make ?(model = Cc_wb) ?(ordering = Tso) ?(max_passages = 1)
     ?(rmw_drains = true) ?(check_exclusion = true) ?(record_trace = true)
-    ?(crash_semantics = Drop_buffer) ?recovery ?(engine = `Journal)
-    ?(store = Store_exact) ~n ~layout ~entry ~exit_section () =
+    ?(crash_semantics = Drop_buffer) ?recovery ?engine
+    ?(pure_programs = false) ?(store = Store_exact) ~n ~layout ~entry
+    ~exit_section () =
   if n <= 0 then invalid_arg "Config.make: n must be positive";
+  let engine =
+    match engine with Some e -> e | None -> default_engine ()
+  in
   (match store with
   | Store_exact -> ()
   | Store_bitstate { log2_bits; hashes } ->
@@ -135,4 +168,4 @@ let make ?(model = Cc_wb) ?(ordering = Tso) ?(max_passages = 1)
         invalid_arg "Config.make: bounded log2_slots must be in [8, 30]");
   { n; model; ordering; layout; entry; exit_section; max_passages;
     rmw_drains; check_exclusion; record_trace; crash_semantics; recovery;
-    engine; store }
+    engine; pure_programs; store }

@@ -34,10 +34,20 @@ val crash_semantics_name : crash_semantics -> string
     place and rolls back through the mutation journal ({!Machine.Journal},
     the default — O(touched words) per node); [`Clone] copies the machine
     per child (the legacy engine, kept selectable for differential
-    testing). The two engines visit identical state spaces. *)
-type engine = [ `Clone | `Journal ]
+    testing); [`Compiled] is the journal engine on top of compile-ahead
+    program execution ({!Compile}: continuations interned into a flat
+    instruction array, cached structural hashes, allocation-free steps).
+    The three engines visit identical state spaces with identical
+    verdicts and fingerprints. *)
+type engine = [ `Clone | `Journal | `Compiled ]
 
 val engine_name : engine -> string
+
+val default_engine : unit -> engine
+(** The engine {!make} uses when [?engine] is omitted: [`Journal], unless
+    the [PA_ENGINE] environment variable selects another ("journal",
+    "clone", "compiled") — the hook CI uses to run every suite under a
+    different engine. *)
 
 (** Exploration seen-state memory policy:
 
@@ -90,6 +100,16 @@ type t = {
           passage a process starts after a crash; [None] means the
           process simply restarts at the entry label *)
   engine : engine;  (** exploration child-expansion strategy *)
+  pure_programs : bool;
+      (** declared promise that the program constructors and every
+          continuation they build are effect-free (constructing a program
+          twice yields structurally identical terms; applying a
+          continuation has no observable effect besides its result). The
+          [`Compiled] engine caches interned continuations and applies
+          each at most once, which is faithful only under this promise;
+          configurations that do not declare it degrade [`Compiled] to
+          the journal interpreter. Locks passing per-passage scratch
+          through mutable OCaml arrays must leave it [false]. *)
   store : store_mode;  (** exploration seen-state memory policy *)
 }
 
@@ -103,6 +123,7 @@ val make :
   ?crash_semantics:crash_semantics ->
   ?recovery:(Pid.t -> unit Prog.t) ->
   ?engine:engine ->
+  ?pure_programs:bool ->
   ?store:store_mode ->
   n:int ->
   layout:Layout.t ->
@@ -112,7 +133,8 @@ val make :
   t
 (** Defaults: [Cc_wb], [Tso], one passage, RMWs drain, exclusion checked,
     trace recorded, [Drop_buffer] crash semantics, no recovery section,
-    [`Journal] engine, [Store_exact] seen-state store.
+    {!default_engine} (journal unless [PA_ENGINE] overrides it), programs
+    not declared pure, [Store_exact] seen-state store.
     @raise Invalid_argument if [n <= 0] or a [store] parameter is out of
     range ([log2_bits] outside [10, 36], [hashes] outside [1, 8],
     [log2_slots] outside [8, 30]). *)

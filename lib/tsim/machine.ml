@@ -44,6 +44,11 @@ type proc = {
   pid : Pid.t;
   mutable sec : section;
   mutable cont : unit Prog.t;
+  mutable pc : int;
+      (* compiled engine: [Compile] pc of [cont], or -1 when this process
+         is (temporarily) on the interpreter path. Invariant: [pc >= 0]
+         implies [cont == Compile.rep code pc]. Always -1 under the
+         interpreter engines. *)
   buf : Wbuf.t;
   mutable in_fence : bool;  (* issued BeginFence, not yet EndFence *)
   mutable fence_implicit : bool;  (* current fence is an RMW drain *)
@@ -67,62 +72,47 @@ type proc = {
       (* the next passage must run the recovery section first *)
 }
 
-(* --- mutation journal: undo records ---------------------------------- *)
+(* --- mutation journal: flat undo records ------------------------------ *)
 
-(* Snapshot of one process's scalar fields, taken at the head of every
-   public mutator ([step] / [commit] / [commit_var] / [crash]). A single
-   event only ever touches a handful of these, but snapshotting all ~17
-   words in one record is cheaper than one tagged record per field and
-   makes the undo path trivially exact. Aggregate state (write buffer,
-   remote-read table, passage log) is journaled per-operation instead. *)
-type psnap = {
-  s_sec : section;
-  s_cont : unit Prog.t;
-  s_in_fence : bool;
-  s_fence_implicit : bool;
-  s_rmw_fenced : bool;
-  s_aw : Pidset.t;
-  s_passages : int;
-  s_rmrs : int;
-  s_fences : int;
-  s_criticals : int;
-  s_cur_rmrs : int;
-  s_cur_fences : int;
-  s_cur_criticals : int;
-  s_interval_set : Pidset.t;
-  s_point_max : int;
-  s_crashes : int;
-  s_needs_recovery : bool;
-}
-
-(* One undo record per individual state write. [Machine.undo_to] pops
-   these in reverse order; each record restores the exact old value, so a
+(* Undo records live in a Flatstate log: unboxed ints plus typed side
+   stacks, pushed operands-first / header-last so [undo_to] pops the
+   header and then the operands in reverse push order. One record per
+   individual state write; each restores the exact old value, so a
    rollback is byte-exact regardless of what the mutator did (including
-   partial mutations before an exception). *)
-type undo =
-  | U_head of {
-      hpid : Pid.t;
-      snap : psnap;
-      h_fp : int;  (* incremental fingerprint before the mutator *)
-      h_fp_proc : int;  (* the stepping process's fingerprint term *)
-      h_cs : int;
-      h_active : int;
-      h_crash : int;
-    }  (* pushed at the head of each public mutator *)
-  | U_mem of Var.t * Value.t  (* old shared-memory value *)
-  | U_writer of Var.t * Pid.t option * Pidset.t
-  | U_accessed of Var.t * Pidset.t
-  | U_cache_packed of Var.t * int  (* cache column, <= 31 procs *)
-  | U_cache_col of Var.t * string  (* cache column, wide machines *)
-  | U_remote_read of Pid.t * Var.t  (* first remote read: undo removes *)
-  | U_buf_set of Pid.t * int * Wbuf.entry  (* issue replaced a pending write *)
-  | U_buf_drop_last of Pid.t  (* issue appended a pending write *)
-  | U_buf_insert of Pid.t * int * Wbuf.entry  (* commit popped this entry *)
-  | U_buf_restore of Pid.t * Wbuf.entry array  (* crash cleared the buffer *)
-  | U_contention of Pid.t * Pidset.t * int
-      (* do_enter touched another process's interval_set / point_max *)
-  | U_trace_pop  (* emit pushed a trace event (record_trace only) *)
-  | U_passage_pop of Pid.t  (* do_exit pushed a passage-log entry *)
+   partial mutations before an exception). The header word packs
+   [tag lor (aux lsl 4)] where [aux] is the record's pid or variable.
+
+   [t_head] is the per-mutator head snapshot: every public mutator
+   ([step] / [commit] / [commit_var] / [crash]) opens with a full
+   snapshot of the stepping process's scalar fields plus the machine
+   scalars — a single event only touches a handful, but one 18-word
+   flat record is cheaper than tagged records per field and keeps the
+   undo path trivially exact. Aggregate state (write buffer, remote-read
+   table, passage log) is journaled per-operation instead. *)
+let t_head = 0
+let t_mem = 1  (* aux=v; int: old value *)
+let t_writer = 2  (* aux=v; int: old writer (-1 none); set: old writer_aw *)
+let t_accessed = 3  (* aux=v; set: old accessed *)
+let t_cache_packed = 4  (* aux=v; int: old cache column word *)
+let t_cache_col = 5  (* aux=v; col: old cache column (wide machines) *)
+let t_remote_read = 6  (* aux=p; int: v — first remote read, undo removes *)
+let t_buf_set = 7  (* aux=p; int: i; entry: old — issue replaced a write *)
+let t_buf_drop_last = 8  (* aux=p — issue appended a write *)
+let t_buf_insert = 9  (* aux=p; int: i; entry — commit popped this entry *)
+let t_buf_restore = 10  (* aux=p; entries — crash cleared the buffer *)
+let t_contention = 11  (* aux=p; int: old point_max; set: old interval_set *)
+let t_trace_pop = 12  (* emit pushed a trace event (record_trace only) *)
+let t_passage_pop = 13  (* aux=p — do_exit pushed a passage-log entry *)
+
+let t_head_lean = 14
+(* lean-mode head: the accounting state (awareness, interval/point
+   contention, RMR / fence / critical counters) is frozen while [lean]
+   is set, so the snapshot omits it — about half the words of [t_head] *)
+
+let t_head_mini = 15
+(* lean-mode head for events that cannot touch the passage / crash /
+   CS-entry / activity counters (reads, issues, commits, fences, RMWs):
+   pc, fp, fp_proc and the flag word only *)
 
 type t = {
   cfg : Config.t;
@@ -136,8 +126,21 @@ type t = {
   mutable cs_entries : int;  (* total CS events executed *)
   mutable active_count : int;  (* processes currently outside their NCS *)
   mutable crash_count : int;  (* total crash faults injected *)
+  code : Compile.t option;  (* compiled programs ([`Compiled] engine) *)
+  mutable quiet : bool;
+      (* [`Compiled] with trace recording off, or [lean]: emission skips
+         even the event-record allocation and returns [Event.dummy] (the
+         RMR / critical counters are still maintained) *)
+  mutable lean : bool;
+      (* exploration mode: skip every piece of accounting the explorer
+         never reads — cache-directory transitions, awareness sets,
+         access sets, remote-read criticality, RMR / fence / critical
+         counters, contention tracking. All of it is excluded from the
+         fingerprint and from verdicts (exclusion, deadlock, footprints),
+         so verdicts, node counts and fingerprints are identical with the
+         flag on or off — see [set_lean] *)
   (* journal / incremental-fingerprint state (see module Journal) *)
-  jlog : undo Vec.t;
+  flog : Flatstate.t;
   mutable journaling : bool;
   fp_proc : int array;  (* per-process fingerprint terms (XOR fold) *)
   mutable fp : int;  (* incrementally-maintained state fingerprint *)
@@ -180,12 +183,23 @@ let pending_to_string = function
 let create (cfg : Config.t) =
   let nvars = Layout.size cfg.layout in
   let mem = Array.init nvars (fun v -> Layout.init cfg.layout v) in
+  let code =
+    (* compile-ahead caches continuations and applies each at most once,
+       which is only faithful to the interpreter for declared-pure
+       programs; without the declaration [`Compiled] runs the journal
+       interpreter *)
+    match cfg.engine with
+    | `Compiled when cfg.pure_programs -> Some (Compile.get cfg)
+    | `Compiled | `Clone | `Journal -> None
+  in
+  let pc0 = match code with Some c -> Compile.unit_pc c | None -> -1 in
   let procs =
     Array.init cfg.n (fun p ->
         {
           pid = p;
           sec = Ncs;
           cont = Prog.unit;
+          pc = pc0;
           buf = Wbuf.create ();
           in_fence = false;
           fence_implicit = false;
@@ -221,7 +235,10 @@ let create (cfg : Config.t) =
     cs_entries = 0;
     active_count = 0;
     crash_count = 0;
-    jlog = Vec.create ~capacity:1 U_trace_pop;
+    code;
+    quiet = Option.is_some code && not cfg.record_trace;
+    lean = false;
+    flog = Flatstate.create ();
     journaling = false;
     fp_proc = Array.make cfg.n 0;
     fp = 0;
@@ -259,10 +276,13 @@ let clone m =
     cs_entries = m.cs_entries;
     active_count = m.active_count;
     crash_count = m.crash_count;
+    code = m.code;  (* compiled code is immutable-shaped and shared *)
+    quiet = m.quiet;
+    lean = m.lean;
     (* clones never inherit an active journal: parallel frontier handoff
        and counterexample materialization want plain machines; a worker
        re-enables journaling on its own copy *)
-    jlog = Vec.create ~capacity:1 U_trace_pop;
+    flog = Flatstate.create ();
     journaling = false;
     fp_proc = Array.copy m.fp_proc;
     fp = m.fp;
@@ -270,6 +290,23 @@ let clone m =
     j_records = 0;
   }
 
+(* Lean exploration mode. While set, [step] / [commit] / [crash] freeze
+   every accounting channel the explorer never reads: cache-directory
+   transitions, awareness propagation, access sets, remote-read
+   criticality, the RMR / fence / critical counters, contention tracking
+   and the passage log. None of that state enters the fingerprint, the
+   footprints or the verdict checks, so verdicts, node counts and
+   fingerprints are bit-identical with the flag on or off — but a step
+   sheds roughly half its journal volume and all of its per-event side
+   structure maintenance. Lean machines also emit quietly ([Event.dummy]);
+   they cannot record traces. *)
+let set_lean m b =
+  if b && m.cfg.Config.record_trace then
+    invalid_arg "Machine.set_lean: incompatible with record_trace";
+  m.lean <- b;
+  m.quiet <- (b || Option.is_some m.code) && not m.cfg.Config.record_trace
+
+let lean m = m.lean
 let config m = m.cfg
 let trace m = m.trace
 let cache m = m.cache
@@ -331,6 +368,62 @@ let pending m p : pending =
           | Prog.Swap (v, x) ->
               if rmw_needs_fence then P_rmw_fence else P_swap (v, x)))
 
+(* Allocation-free projection of [pending]: constant constructors only,
+   for the explorer's per-node classification loops where materializing
+   [P_read v] / [P_issue_write (v, x)] payloads was measurable. Must
+   discriminate exactly like [pending]; [pending_var] recovers the
+   variable for the classes that carry one. *)
+type pending_class =
+  | K_enter
+  | K_cs
+  | K_exit
+  | K_done
+  | K_read
+  | K_issue_write
+  | K_begin_fence
+  | K_end_fence
+  | K_commit
+  | K_rmw_fence
+  | K_cas
+  | K_faa
+  | K_swap
+  | K_recover
+
+let pending_class m p : pending_class =
+  let pr = m.procs.(p) in
+  match pr.sec with
+  | Finished -> K_done
+  | Crashed -> K_recover
+  | _ when pr.in_fence -> if Wbuf.is_empty pr.buf then K_end_fence else K_commit
+  | Ncs -> K_enter
+  | Entry | Exiting -> (
+      match pr.cont with
+      | Prog.Return () -> if pr.sec = Entry then K_cs else K_exit
+      | Prog.Bind (op, _) -> (
+          let rmw_needs_fence = m.cfg.rmw_drains && not pr.rmw_fenced in
+          match op with
+          | Prog.Read _ -> K_read
+          | Prog.Write _ -> K_issue_write
+          | Prog.Fence -> K_begin_fence
+          | Prog.Cas _ -> if rmw_needs_fence then K_rmw_fence else K_cas
+          | Prog.Faa _ -> if rmw_needs_fence then K_rmw_fence else K_faa
+          | Prog.Swap _ -> if rmw_needs_fence then K_rmw_fence else K_swap))
+
+(* The variable of the pending event, for the classes that have one
+   ([K_read], [K_issue_write], [K_cas]/[K_faa]/[K_swap], [K_commit]). *)
+let pending_var m p : Var.t =
+  let pr = m.procs.(p) in
+  if pr.in_fence then Wbuf.peek_var pr.buf
+  else
+    match pr.cont with
+    | Prog.Bind (Prog.Read v, _)
+    | Prog.Bind (Prog.Write (v, _), _)
+    | Prog.Bind (Prog.Cas (v, _, _), _)
+    | Prog.Bind (Prog.Faa (v, _), _)
+    | Prog.Bind (Prog.Swap (v, _), _) ->
+        v
+    | _ -> invalid_arg "Machine.pending_var: pending event has no variable"
+
 (* --- fingerprints ----------------------------------------------------- *)
 
 (* Packed 63-bit state fingerprint, shared by both exploration engines.
@@ -371,28 +464,11 @@ let[@inline] zfin x =
 (* Zobrist term for "variable [v] holds [x]". *)
 let[@inline] zmix v x = zfin (mix (mix fnv_basis (v + 1)) x)
 
-(* Continuations are hashed structurally. [Hashtbl.hash] stops after 10
-   meaningful nodes, which conflates deep spin states; raise both the
-   meaningful and total traversal bounds so distinct continuation shapes
-   (different spin fuels, loop indices, captured reads) hash apart. *)
-let hash_cont c = Hashtbl.hash_param 128 256 c
-
-let pending_code (p : pending) h =
-  match p with
-  | P_enter -> mix h 1
-  | P_cs -> mix h 2
-  | P_exit -> mix h 3
-  | P_done -> mix h 4
-  | P_read v -> mix (mix h 5) v
-  | P_issue_write (v, x) -> mix (mix (mix h 6) v) x
-  | P_begin_fence -> mix h 7
-  | P_end_fence -> mix h 8
-  | P_commit v -> mix (mix h 9) v
-  | P_rmw_fence -> mix h 10
-  | P_cas (v, e, d) -> mix (mix (mix (mix h 11) v) e) d
-  | P_faa (v, d) -> mix (mix (mix h 12) v) d
-  | P_swap (v, x) -> mix (mix (mix h 13) v) x
-  | P_recover -> mix h 14
+(* Continuations are hashed structurally (see Compile.hash_cont: raised
+   traversal bounds so distinct continuation shapes hash apart). The
+   compiled engine reads the hash from the instruction array instead of
+   re-traversing the continuation — same value, cached at interning. *)
+let hash_cont = Compile.hash_cont
 
 let sec_code = function
   | Ncs -> 0
@@ -401,22 +477,81 @@ let sec_code = function
   | Finished -> 3
   | Crashed -> 4
 
+let sec_of_code = function
+  | 0 -> Ncs
+  | 1 -> Entry
+  | 2 -> Exiting
+  | 3 -> Finished
+  | _ -> Crashed
+
+(* Pending-event term of the fingerprint. Folds one code per event shape
+   (Enter=1, CS=2, Exit=3, done=4, read=5·v, issue=6·v·x, begin-fence=7,
+   end-fence=8, commit=9·v, rmw-fence=10, cas=11·v·e·d, faa=12·v·d,
+   swap=13·v·x, recover=14) directly instead of materializing the
+   {!pending} variant — this runs once per journaled event
+   ([j_refresh]), where the variant allocation was measurable. Must
+   classify exactly like {!pending}. *)
+let pending_hash m p h =
+  let pr = m.procs.(p) in
+  match pr.sec with
+  | Finished -> mix h 4
+  | Crashed -> mix h 14
+  | _ when pr.in_fence ->
+      if Wbuf.is_empty pr.buf then mix h 8
+      else mix (mix h 9) (Wbuf.peek_var pr.buf)
+  | Ncs -> mix h 1
+  | Entry | Exiting -> (
+      match pr.cont with
+      | Prog.Return () -> if pr.sec = Entry then mix h 2 else mix h 3
+      | Prog.Bind (op, _) -> (
+          let rmw_needs_fence = m.cfg.Config.rmw_drains && not pr.rmw_fenced in
+          match op with
+          | Prog.Read v -> mix (mix h 5) v
+          | Prog.Write (v, x) -> mix (mix (mix h 6) v) x
+          | Prog.Fence -> mix h 7
+          | Prog.Cas (v, e, d) ->
+              if rmw_needs_fence then mix h 10
+              else mix (mix (mix (mix h 11) v) e) d
+          | Prog.Faa (v, d) ->
+              if rmw_needs_fence then mix h 10
+              else mix (mix (mix h 12) v) d
+          | Prog.Swap (v, x) ->
+              if rmw_needs_fence then mix h 10
+              else mix (mix (mix h 13) v) x))
+
+(* Non-capturing buffer fold (a closure over [Wbuf.iter] would allocate
+   per call). *)
+let rec buf_hash buf h i n =
+  if i >= n then h
+  else
+    let e = Wbuf.get buf i in
+    buf_hash buf (mix (mix h e.Wbuf.var) e.Wbuf.value) (i + 1) n
+
 (* Fingerprint term of one process; depends only on that process's own
    state (pending inspects pr.sec / in_fence / buffer head / cont, all
    local), which is what makes the per-event refresh sound. *)
 let proc_term m p =
   let pr = m.procs.(p) in
   let h = mix fnv_basis (p + 0x7f) in
-  let h = pending_code (pending m p) h in
-  let h = mix h (if pr.in_fence then 1 else 0) in
-  let h = mix h (sec_code pr.sec) in
-  let h = mix h pr.passages in
-  let h = mix h pr.crashes in
-  let h = mix h (if pr.needs_recovery then 1 else 0) in
-  let h = mix h (hash_cont pr.cont) in
-  let h = ref h in
-  Wbuf.iter (fun e -> h := mix (mix !h e.Wbuf.var) e.Wbuf.value) pr.buf;
-  zfin !h
+  let h = pending_hash m p h in
+  (* the five scalar fields pack into one word (passage / crash counts
+     are budget-bounded, far below their 29-bit fields): one mix instead
+     of five on the per-event refresh path *)
+  let h =
+    mix h
+      (sec_code pr.sec
+      lor (if pr.in_fence then 8 else 0)
+      lor (if pr.needs_recovery then 16 else 0)
+      lor (pr.passages lsl 5)
+      lor (pr.crashes lsl 34))
+  in
+  let h =
+    mix h
+      (match m.code with
+      | Some code when pr.pc >= 0 -> Compile.key code pr.pc
+      | _ -> hash_cont pr.cont)
+  in
+  zfin (buf_hash pr.buf h 0 (Wbuf.size pr.buf))
 
 (* Full recompute: the reference implementation for both engines and the
    paranoid cross-check for the incremental fold. *)
@@ -434,49 +569,103 @@ let fingerprint_fast m = if m.journaling then m.fp else fingerprint m
 
 (* --- journal bookkeeping --------------------------------------------- *)
 
-let[@inline] jpush m u =
-  Vec.push m.jlog u;
+(* Record accounting: bump the record count and the high-water mark
+   (in log words) after each completed record. *)
+let[@inline] jdone m =
   m.j_records <- m.j_records + 1;
-  let d = Vec.length m.jlog in
+  let d = Flatstate.length m.flog in
   if d > m.j_peak then m.j_peak <- d
 
-let psnap_of (pr : proc) =
-  {
-    s_sec = pr.sec;
-    s_cont = pr.cont;
-    s_in_fence = pr.in_fence;
-    s_fence_implicit = pr.fence_implicit;
-    s_rmw_fenced = pr.rmw_fenced;
-    s_aw = pr.aw;
-    s_passages = pr.passages;
-    s_rmrs = pr.rmrs;
-    s_fences = pr.fences;
-    s_criticals = pr.criticals;
-    s_cur_rmrs = pr.cur_rmrs;
-    s_cur_fences = pr.cur_fences;
-    s_cur_criticals = pr.cur_criticals;
-    s_interval_set = pr.interval_set;
-    s_point_max = pr.point_max;
-    s_crashes = pr.crashes;
-    s_needs_recovery = pr.needs_recovery;
-  }
+(* Process scalar flags packed into one log word. *)
+let[@inline] flags_of (pr : proc) =
+  sec_code pr.sec
+  lor (if pr.in_fence then 8 else 0)
+  lor (if pr.fence_implicit then 16 else 0)
+  lor (if pr.rmw_fenced then 32 else 0)
+  lor if pr.needs_recovery then 64 else 0
 
 (* Head of every public mutator: snapshot the stepping process and the
    machine-global scalars, including the fingerprint state, so undo can
-   restore them wholesale. *)
-let[@inline] j_head m (pr : proc) =
+   restore them wholesale. Operands first, header last; the decoder in
+   [undo_to] mirrors this order exactly.
+
+   The continuation is snapshotted only on the interpreter path
+   ([pc < 0]): every site that sets [pc >= 0] pairs it with
+   [cont <- Compile.rep code pc], so undo re-derives the continuation
+   from the popped pc instead — keeping the hot compiled path out of the
+   cont side-log entirely (and the side-log itself small). *)
+let j_head ?(force_full = false) m (pr : proc) =
   if m.journaling then
-    jpush m
-      (U_head
-         {
-           hpid = pr.pid;
-           snap = psnap_of pr;
-           h_fp = m.fp;
-           h_fp_proc = m.fp_proc.(pr.pid);
-           h_cs = m.cs_entries;
-           h_active = m.active_count;
-           h_crash = m.crash_count;
-         })
+    if m.lean then begin
+      (* aw / interval_set / point_max / RMR / fence / critical counters
+         are frozen in lean mode — the snapshot omits them. Steps that
+         cannot touch the passage / crash / CS-entry / activity counters
+         — reads, issues, commits, fence begin/end, RMWs: everything
+         except enter, CS, exit, crash and recovery, i.e. a process in
+         Entry/Exiting with an uncompleted program, or inside a fence —
+         get the 5-word mini head ([t_head_mini]); the rest snapshot the
+         counters too ([t_head_lean]). *)
+      let f = m.flog in
+      if pr.pc < 0 then Flatstate.push_cont f pr.cont;
+      let mini =
+        (not force_full)
+        && (pr.in_fence
+           ||
+           match pr.sec with
+           | Entry | Exiting -> (
+               match pr.cont with
+               | Prog.Return () -> false
+               | Prog.Bind _ -> true)
+           | Ncs | Crashed | Finished -> false)
+      in
+      if mini then begin
+        Flatstate.reserve f 5;
+        Flatstate.push_unsafe f pr.pc;
+        Flatstate.push_unsafe f m.fp;
+        Flatstate.push_unsafe f m.fp_proc.(pr.pid);
+        Flatstate.push_unsafe f (flags_of pr);
+        Flatstate.push_unsafe f (t_head_mini lor (pr.pid lsl 4))
+      end
+      else begin
+        Flatstate.reserve f 10;
+        Flatstate.push_unsafe f pr.pc;
+        Flatstate.push_unsafe f pr.passages;
+        Flatstate.push_unsafe f pr.crashes;
+        Flatstate.push_unsafe f m.fp;
+        Flatstate.push_unsafe f m.fp_proc.(pr.pid);
+        Flatstate.push_unsafe f m.cs_entries;
+        Flatstate.push_unsafe f m.active_count;
+        Flatstate.push_unsafe f m.crash_count;
+        Flatstate.push_unsafe f (flags_of pr);
+        Flatstate.push_unsafe f (t_head_lean lor (pr.pid lsl 4))
+      end;
+      jdone m
+    end
+    else begin
+      let f = m.flog in
+      if pr.pc < 0 then Flatstate.push_cont f pr.cont;
+      Flatstate.push_set f pr.aw;
+      Flatstate.push_set f pr.interval_set;
+      Flatstate.reserve f 18;
+      Flatstate.push_unsafe f pr.pc;
+    Flatstate.push_unsafe f pr.passages;
+    Flatstate.push_unsafe f pr.rmrs;
+    Flatstate.push_unsafe f pr.fences;
+    Flatstate.push_unsafe f pr.criticals;
+    Flatstate.push_unsafe f pr.cur_rmrs;
+    Flatstate.push_unsafe f pr.cur_fences;
+    Flatstate.push_unsafe f pr.cur_criticals;
+    Flatstate.push_unsafe f pr.point_max;
+    Flatstate.push_unsafe f pr.crashes;
+    Flatstate.push_unsafe f m.fp;
+    Flatstate.push_unsafe f m.fp_proc.(pr.pid);
+    Flatstate.push_unsafe f m.cs_entries;
+    Flatstate.push_unsafe f m.active_count;
+    Flatstate.push_unsafe f m.crash_count;
+    Flatstate.push_unsafe f (flags_of pr);
+    Flatstate.push_unsafe f (t_head lor (pr.pid lsl 4));
+    jdone m
+  end
 
 (* Tail of every public mutator: fold the stepping process's refreshed
    fingerprint term into fp (memory deltas were applied inline). *)
@@ -490,77 +679,160 @@ let[@inline] j_refresh m (pr : proc) =
 let[@inline] set_mem m v x =
   if m.journaling then begin
     let old = m.mem.(v) in
-    jpush m (U_mem (v, old));
+    let f = m.flog in
+    Flatstate.reserve f 2;
+    Flatstate.push_unsafe f old;
+    Flatstate.push_unsafe f (t_mem lor (v lsl 4));
+    jdone m;
     m.fp <- m.fp lxor zmix v old lxor zmix v x
   end;
   m.mem.(v) <- x
 
 let[@inline] j_writer m v =
-  if m.journaling then jpush m (U_writer (v, m.writer.(v), m.writer_aw.(v)))
+  if m.journaling then begin
+    let f = m.flog in
+    Flatstate.push_set f m.writer_aw.(v);
+    Flatstate.reserve f 2;
+    Flatstate.push_unsafe f
+      (match m.writer.(v) with None -> -1 | Some p -> p);
+    Flatstate.push_unsafe f (t_writer lor (v lsl 4));
+    jdone m
+  end
 
 (* The CC protocols mutate one variable's cache column (invalidate /
    downgrade across every process); DSM never touches the cache. *)
 let j_cache m v =
-  if m.journaling && m.cfg.Config.model <> Config.Dsm then
-    if m.cfg.Config.n <= Cache.pack_max_procs then
-      jpush m (U_cache_packed (v, Cache.col_packed m.cache v))
-    else jpush m (U_cache_col (v, Cache.col m.cache v))
+  if m.journaling && m.cfg.Config.model <> Config.Dsm then begin
+    let f = m.flog in
+    if m.cfg.Config.n <= Cache.pack_max_procs then begin
+      Flatstate.reserve f 2;
+      Flatstate.push_unsafe f (Cache.col_packed m.cache v);
+      Flatstate.push_unsafe f (t_cache_packed lor (v lsl 4))
+    end
+    else begin
+      Flatstate.push_col f (Cache.col m.cache v);
+      Flatstate.push f (t_cache_col lor (v lsl 4))
+    end;
+    jdone m
+  end
 
-let apply_undo m = function
-  | U_head { hpid; snap; h_fp; h_fp_proc; h_cs; h_active; h_crash } ->
-      let pr = m.procs.(hpid) in
-      pr.sec <- snap.s_sec;
-      pr.cont <- snap.s_cont;
-      pr.in_fence <- snap.s_in_fence;
-      pr.fence_implicit <- snap.s_fence_implicit;
-      pr.rmw_fenced <- snap.s_rmw_fenced;
-      pr.aw <- snap.s_aw;
-      pr.passages <- snap.s_passages;
-      pr.rmrs <- snap.s_rmrs;
-      pr.fences <- snap.s_fences;
-      pr.criticals <- snap.s_criticals;
-      pr.cur_rmrs <- snap.s_cur_rmrs;
-      pr.cur_fences <- snap.s_cur_fences;
-      pr.cur_criticals <- snap.s_cur_criticals;
-      pr.interval_set <- snap.s_interval_set;
-      pr.point_max <- snap.s_point_max;
-      pr.crashes <- snap.s_crashes;
-      pr.needs_recovery <- snap.s_needs_recovery;
-      m.cs_entries <- h_cs;
-      m.active_count <- h_active;
-      m.crash_count <- h_crash;
-      m.fp <- h_fp;
-      m.fp_proc.(hpid) <- h_fp_proc
-  | U_mem (v, x) -> m.mem.(v) <- x
-  | U_writer (v, w, aw) ->
-      m.writer.(v) <- w;
-      m.writer_aw.(v) <- aw
-  | U_accessed (v, s) -> m.accessed.(v) <- s
-  | U_cache_packed (v, w) -> Cache.restore_col_packed m.cache v w
-  | U_cache_col (v, s) -> Cache.restore_col m.cache v s
-  | U_remote_read (p, v) -> Hashtbl.remove m.procs.(p).remote_reads v
-  | U_buf_set (p, i, e) -> Wbuf.set m.procs.(p).buf i e
-  | U_buf_drop_last p -> Wbuf.drop_last m.procs.(p).buf
-  | U_buf_insert (p, i, e) -> Wbuf.insert m.procs.(p).buf i e
-  | U_buf_restore (p, es) ->
-      let buf = m.procs.(p).buf in
-      Array.iteri (fun i e -> Wbuf.insert buf i e) es
-  | U_contention (p, iset, pmax) ->
-      let pr = m.procs.(p) in
-      pr.interval_set <- iset;
-      pr.point_max <- pmax
-  | U_trace_pop -> ignore (Vec.pop m.trace)
-  | U_passage_pop p -> ignore (Vec.pop m.procs.(p).passage_log)
+(* Pop one record (header word, then operands in reverse push order) and
+   restore the exact old values. *)
+let undo_record m =
+  let f = m.flog in
+  let header = Flatstate.pop f in
+  let tag = header land 15 and aux = header lsr 4 in
+  if tag = t_head then begin
+    let pr = m.procs.(aux) in
+    let flags = Flatstate.pop f in
+    m.crash_count <- Flatstate.pop f;
+    m.active_count <- Flatstate.pop f;
+    m.cs_entries <- Flatstate.pop f;
+    m.fp_proc.(aux) <- Flatstate.pop f;
+    m.fp <- Flatstate.pop f;
+    pr.crashes <- Flatstate.pop f;
+    pr.point_max <- Flatstate.pop f;
+    pr.cur_criticals <- Flatstate.pop f;
+    pr.cur_fences <- Flatstate.pop f;
+    pr.cur_rmrs <- Flatstate.pop f;
+    pr.criticals <- Flatstate.pop f;
+    pr.fences <- Flatstate.pop f;
+    pr.rmrs <- Flatstate.pop f;
+    pr.passages <- Flatstate.pop f;
+    pr.pc <- Flatstate.pop f;
+    pr.interval_set <- Flatstate.pop_set f;
+    pr.aw <- Flatstate.pop_set f;
+    (match m.code with
+    | Some code when pr.pc >= 0 -> pr.cont <- Compile.rep code pr.pc
+    | _ -> pr.cont <- Flatstate.pop_cont f);
+    pr.sec <- sec_of_code (flags land 7);
+    pr.in_fence <- flags land 8 <> 0;
+    pr.fence_implicit <- flags land 16 <> 0;
+    pr.rmw_fenced <- flags land 32 <> 0;
+    pr.needs_recovery <- flags land 64 <> 0
+  end
+  else if tag = t_head_lean then begin
+    let pr = m.procs.(aux) in
+    let flags = Flatstate.pop f in
+    m.crash_count <- Flatstate.pop f;
+    m.active_count <- Flatstate.pop f;
+    m.cs_entries <- Flatstate.pop f;
+    m.fp_proc.(aux) <- Flatstate.pop f;
+    m.fp <- Flatstate.pop f;
+    pr.crashes <- Flatstate.pop f;
+    pr.passages <- Flatstate.pop f;
+    pr.pc <- Flatstate.pop f;
+    (match m.code with
+    | Some code when pr.pc >= 0 -> pr.cont <- Compile.rep code pr.pc
+    | _ -> pr.cont <- Flatstate.pop_cont f);
+    pr.sec <- sec_of_code (flags land 7);
+    pr.in_fence <- flags land 8 <> 0;
+    pr.fence_implicit <- flags land 16 <> 0;
+    pr.rmw_fenced <- flags land 32 <> 0;
+    pr.needs_recovery <- flags land 64 <> 0
+  end
+  else if tag = t_head_mini then begin
+    let pr = m.procs.(aux) in
+    let flags = Flatstate.pop f in
+    m.fp_proc.(aux) <- Flatstate.pop f;
+    m.fp <- Flatstate.pop f;
+    pr.pc <- Flatstate.pop f;
+    (match m.code with
+    | Some code when pr.pc >= 0 -> pr.cont <- Compile.rep code pr.pc
+    | _ -> pr.cont <- Flatstate.pop_cont f);
+    pr.sec <- sec_of_code (flags land 7);
+    pr.in_fence <- flags land 8 <> 0;
+    pr.fence_implicit <- flags land 16 <> 0;
+    pr.rmw_fenced <- flags land 32 <> 0;
+    pr.needs_recovery <- flags land 64 <> 0
+  end
+  else if tag = t_mem then m.mem.(aux) <- Flatstate.pop f
+  else if tag = t_writer then begin
+    let w = Flatstate.pop f in
+    m.writer.(aux) <- (if w < 0 then None else Some w);
+    m.writer_aw.(aux) <- Flatstate.pop_set f
+  end
+  else if tag = t_accessed then m.accessed.(aux) <- Flatstate.pop_set f
+  else if tag = t_cache_packed then
+    Cache.restore_col_packed m.cache aux (Flatstate.pop f)
+  else if tag = t_cache_col then
+    Cache.restore_col m.cache aux (Flatstate.pop_col f)
+  else if tag = t_remote_read then
+    Hashtbl.remove m.procs.(aux).remote_reads (Flatstate.pop f)
+  else if tag = t_buf_set then begin
+    let i = Flatstate.pop f in
+    Wbuf.set m.procs.(aux).buf i (Flatstate.pop_entry f)
+  end
+  else if tag = t_buf_drop_last then Wbuf.drop_last m.procs.(aux).buf
+  else if tag = t_buf_insert then begin
+    let i = Flatstate.pop f in
+    Wbuf.insert m.procs.(aux).buf i (Flatstate.pop_entry f)
+  end
+  else if tag = t_buf_restore then begin
+    let buf = m.procs.(aux).buf in
+    Array.iteri (fun i e -> Wbuf.insert buf i e) (Flatstate.pop_entries f)
+  end
+  else if tag = t_contention then begin
+    let pr = m.procs.(aux) in
+    pr.point_max <- Flatstate.pop f;
+    pr.interval_set <- Flatstate.pop_set f
+  end
+  else if tag = t_trace_pop then ignore (Vec.pop m.trace)
+  else if tag = t_passage_pop then ignore (Vec.pop m.procs.(aux).passage_log)
+  else invalid_arg "Machine.undo: corrupt journal record"
 
 let undo_to m mark =
   if not m.journaling then
     invalid_arg "Machine.undo_to: journaling is not enabled";
-  let len = Vec.length m.jlog in
+  let len = Flatstate.length m.flog in
   if mark < 0 || mark > len then invalid_arg "Machine.undo_to: bad mark";
-  for i = len - 1 downto mark do
-    apply_undo m (Vec.get m.jlog i)
+  while Flatstate.length m.flog > mark do
+    undo_record m
   done;
-  Vec.truncate m.jlog mark
+  (* every record pops exactly what it pushed, so a walk that lands
+     anywhere but the mark means the log was corrupted *)
+  if Flatstate.length m.flog <> mark then
+    invalid_arg "Machine.undo_to: misaligned journal mark"
 
 (* --- event emission ------------------------------------------------- *)
 
@@ -571,7 +843,10 @@ let emit m pr kind ~remote ~rmr ~critical =
   in
   if m.cfg.Config.record_trace then begin
     Vec.push m.trace e;
-    if m.journaling then jpush m U_trace_pop
+    if m.journaling then begin
+      Flatstate.push m.flog t_trace_pop;
+      jdone m
+    end
   end;
   if rmr then begin
     pr.rmrs <- pr.rmrs + 1;
@@ -583,6 +858,27 @@ let emit m pr kind ~remote ~rmr ~critical =
   end;
   e
 
+(* Quiet emission ([`Compiled] with trace recording off): skip even the
+   event-record allocation — callers guard the kind construction too —
+   but keep the RMR / critical counters exact. The returned event is
+   [Event.dummy]; exploration never reads it. *)
+let[@inline] emit_q (pr : proc) ~rmr ~critical =
+  if rmr then begin
+    pr.rmrs <- pr.rmrs + 1;
+    pr.cur_rmrs <- pr.cur_rmrs + 1
+  end;
+  if critical then begin
+    pr.criticals <- pr.criticals + 1;
+    pr.cur_criticals <- pr.cur_criticals + 1
+  end;
+  Event.dummy
+
+(* Emission of constant-constructor kinds: quiet-aware without needing a
+   guard at the call site (the kind itself allocates nothing). *)
+let[@inline] emit_k m pr kind ~remote ~rmr ~critical =
+  if m.quiet then emit_q pr ~rmr ~critical
+  else emit m pr kind ~remote ~rmr ~critical
+
 (* Awareness propagation on a shared (non-buffer) read of [v]: the reader
    becomes aware of the last writer and of everything that writer was aware
    of when it issued the write. *)
@@ -593,7 +889,11 @@ let absorb_awareness m pr v =
       pr.aw <- Pidset.add q (Pidset.union pr.aw m.writer_aw.(v))
 
 let note_access m pr v =
-  if m.journaling then jpush m (U_accessed (v, m.accessed.(v)));
+  if m.journaling then begin
+    Flatstate.push_set m.flog m.accessed.(v);
+    Flatstate.push m.flog (t_accessed lor (v lsl 4));
+    jdone m
+  end;
   m.accessed.(v) <- Pidset.add pr.pid m.accessed.(v)
 
 (* A remote read is critical iff it is the process's first remote read of
@@ -602,14 +902,73 @@ let note_access m pr v =
 let read_criticality m pr v ~remote =
   let critical = remote && not (Hashtbl.mem pr.remote_reads v) in
   if remote then begin
-    if critical && m.journaling then jpush m (U_remote_read (pr.pid, v));
+    if critical && m.journaling then begin
+      let f = m.flog in
+      Flatstate.reserve f 2;
+      Flatstate.push_unsafe f v;
+      Flatstate.push_unsafe f (t_remote_read lor (pr.pid lsl 4));
+      jdone m
+    end;
     Hashtbl.replace pr.remote_reads v ()
   end;
   critical
 
+(* --- compiled-program advance ----------------------------------------- *)
+
+(* Advance a process across its pending operation. On the compiled path
+   ([pc >= 0]) this follows (and on first use, memoizes) an instruction
+   edge — no closure application, no fresh continuation. When the edge
+   cannot be compiled the process parks on the interpreter path
+   ([pc <- -1]) until the next section root; [k]'s exceptions
+   (Prog.Spin_exhausted) propagate identically on both paths. *)
+let[@inline] adv_unit m (pr : proc) (k : unit -> unit Prog.t) =
+  match m.code with
+  | Some code when pr.pc >= 0 ->
+      let pc = Compile.advance_unit code pr.pc k in
+      if pc >= 0 then begin
+        pr.pc <- pc;
+        pr.cont <- Compile.rep code pc
+      end
+      else begin
+        pr.pc <- -1;
+        pr.cont <- k ()
+      end
+  | _ -> pr.cont <- k ()
+
+let[@inline] adv_bool m (pr : proc) (k : bool -> unit Prog.t) b =
+  match m.code with
+  | Some code when pr.pc >= 0 ->
+      let pc = Compile.advance_bool code pr.pc k b in
+      if pc >= 0 then begin
+        pr.pc <- pc;
+        pr.cont <- Compile.rep code pc
+      end
+      else begin
+        pr.pc <- -1;
+        pr.cont <- k b
+      end
+  | _ -> pr.cont <- k b
+
+let[@inline] adv_val m (pr : proc) (k : Value.t -> unit Prog.t) x =
+  match m.code with
+  | Some code when pr.pc >= 0 ->
+      let pc = Compile.advance_val code pr.pc k x in
+      if pc >= 0 then begin
+        pr.pc <- pc;
+        pr.cont <- Compile.rep code pc
+      end
+      else begin
+        pr.pc <- -1;
+        pr.cont <- k x
+      end
+  | _ -> pr.cont <- k x
+
+let[@inline] unit_pc_of m =
+  match m.code with Some code -> Compile.unit_pc code | None -> -1
+
 (* --- executing events ------------------------------------------------ *)
 
-let commit_entry m pr (entry : Wbuf.entry) =
+let commit_entry_full m pr (entry : Wbuf.entry) =
   let v = entry.Wbuf.var in
   let remote = is_remote m pr.pid v in
   let critical = remote && m.writer.(v) <> Some pr.pid in
@@ -620,13 +979,31 @@ let commit_entry m pr (entry : Wbuf.entry) =
   m.writer.(v) <- Some pr.pid;
   m.writer_aw.(v) <- entry.Wbuf.aw;
   note_access m pr v;
-  emit m pr
-    (Event.Commit_write { var = v; value = entry.Wbuf.value })
-    ~remote ~rmr ~critical
+  if m.quiet then emit_q pr ~rmr ~critical
+  else
+    emit m pr
+      (Event.Commit_write { var = v; value = entry.Wbuf.value })
+      ~remote ~rmr ~critical
+
+let commit_entry m pr (entry : Wbuf.entry) =
+  if m.lean then begin
+    (* writer / awareness / cache / access accounting is frozen *)
+    set_mem m entry.Wbuf.var entry.Wbuf.value;
+    Event.dummy
+  end
+  else commit_entry_full m pr entry
+
+let j_buf_insert m (pr : proc) i entry =
+  let f = m.flog in
+  Flatstate.push_entry f entry;
+  Flatstate.reserve f 2;
+  Flatstate.push_unsafe f i;
+  Flatstate.push_unsafe f (t_buf_insert lor (pr.pid lsl 4));
+  jdone m
 
 let do_commit m pr =
   let entry = Wbuf.pop pr.buf in
-  if m.journaling then jpush m (U_buf_insert (pr.pid, 0, entry));
+  if m.journaling then j_buf_insert m pr 0 entry;
   commit_entry m pr entry
 
 let commit m p =
@@ -645,7 +1022,7 @@ let commit_var m p v =
   let pr = m.procs.(p) in
   j_head m pr;
   let i, entry = Wbuf.pop_var' pr.buf v in
-  if m.journaling then jpush m (U_buf_insert (pr.pid, i, entry));
+  if m.journaling then j_buf_insert m pr i entry;
   let e = commit_entry m pr entry in
   j_refresh m pr;
   e
@@ -655,27 +1032,35 @@ let finish_fence m pr =
   pr.in_fence <- false;
   pr.fence_implicit <- false;
   if implicit then pr.rmw_fenced <- true;
-  pr.fences <- pr.fences + 1;
-  pr.cur_fences <- pr.cur_fences + 1;
+  if not m.lean then begin
+    pr.fences <- pr.fences + 1;
+    pr.cur_fences <- pr.cur_fences + 1
+  end;
   (* the program continues past an explicit fence only once it completes:
      apply the continuation here, not at BeginFence, so op-boundary
      closures observe the drained buffer *)
   (match pr.cont with
-  | Prog.Bind (Prog.Fence, k) -> pr.cont <- k ()
+  | Prog.Bind (Prog.Fence, k) -> adv_unit m pr k
   | _ -> ());
-  emit m pr (Event.End_fence { implicit }) ~remote:false ~rmr:false
+  emit_k m pr (Event.End_fence { implicit }) ~remote:false ~rmr:false
     ~critical:false
 
 let do_read m pr v k =
   match Wbuf.find pr.buf v with
   | Some x ->
       let e =
-        emit m pr
-          (Event.Read { var = v; value = x; src = Event.From_buffer })
-          ~remote:false ~rmr:false ~critical:false
+        if m.quiet then emit_q pr ~rmr:false ~critical:false
+        else
+          emit m pr
+            (Event.Read { var = v; value = x; src = Event.From_buffer })
+            ~remote:false ~rmr:false ~critical:false
       in
-      pr.cont <- k x;
+      adv_val m pr k x;
       e
+  | None when m.lean ->
+      (* cache / awareness / criticality accounting is frozen *)
+      adv_val m pr k m.mem.(v);
+      Event.dummy
   | None ->
       let remote = is_remote m pr.pid v in
       j_cache m v;
@@ -685,23 +1070,39 @@ let do_read m pr v k =
       note_access m pr v;
       let x = m.mem.(v) in
       let e =
-        emit m pr
-          (Event.Read { var = v; value = x; src })
-          ~remote ~rmr ~critical
+        if m.quiet then emit_q pr ~rmr ~critical
+        else
+          emit m pr
+            (Event.Read { var = v; value = x; src })
+            ~remote ~rmr ~critical
       in
-      pr.cont <- k x;
+      adv_val m pr k x;
       e
 
 let do_issue_write m pr v x k =
   (match Wbuf.push' pr.buf { Wbuf.var = v; value = x; aw = pr.aw } with
-  | Some (i, old) -> if m.journaling then jpush m (U_buf_set (pr.pid, i, old))
-  | None -> if m.journaling then jpush m (U_buf_drop_last pr.pid));
+  | Some (i, old) ->
+      if m.journaling then begin
+        let f = m.flog in
+        Flatstate.push_entry f old;
+        Flatstate.reserve f 2;
+        Flatstate.push_unsafe f i;
+        Flatstate.push_unsafe f (t_buf_set lor (pr.pid lsl 4));
+        jdone m
+      end
+  | None ->
+      if m.journaling then begin
+        Flatstate.push m.flog (t_buf_drop_last lor (pr.pid lsl 4));
+        jdone m
+      end);
   let e =
-    emit m pr
-      (Event.Issue_write { var = v; value = x })
-      ~remote:false ~rmr:false ~critical:false
+    if m.quiet then emit_q pr ~rmr:false ~critical:false
+    else
+      emit m pr
+        (Event.Issue_write { var = v; value = x })
+        ~remote:false ~rmr:false ~critical:false
   in
-  pr.cont <- k ();
+  adv_unit m pr k;
   e
 
 (* Explicit fences leave the continuation in place (applied by
@@ -709,37 +1110,117 @@ let do_issue_write m pr v x k =
 let do_begin_fence m pr ~implicit =
   pr.in_fence <- true;
   pr.fence_implicit <- implicit;
-  emit m pr (Event.Begin_fence { implicit }) ~remote:false ~rmr:false
+  emit_k m pr (Event.Begin_fence { implicit }) ~remote:false ~rmr:false
     ~critical:false
 
 (* Atomic RMWs access the variable directly in shared memory (their store
    buffer was drained first when [rmw_drains] is set). Criticality follows
-   the same rules as a read followed by a write commit. *)
+   the same rules as a read followed by a write commit. The three
+   primitives are specialized — the generic closure-parameterized
+   [do_rmw] of the interpreter-only machine allocated three closures per
+   RMW step. *)
 let rmw_criticality m pr v ~remote ~writes =
   let read_crit = read_criticality m pr v ~remote in
   let write_crit = writes && remote && m.writer.(v) <> Some pr.pid in
   read_crit || write_crit
 
-let do_rmw m pr v ~kind_of ~result ~new_value =
+let[@inline] rmw_install m (pr : proc) v x =
+  set_mem m v x;
+  j_writer m v;
+  m.writer.(v) <- Some pr.pid;
+  m.writer_aw.(v) <- pr.aw
+
+let do_cas_full m pr v expected desired (k : bool -> unit Prog.t) =
   let remote = is_remote m pr.pid v in
   let observed = m.mem.(v) in
-  let writes = match new_value observed with Some _ -> true | None -> false in
-  let critical = rmw_criticality m pr v ~remote ~writes in
+  let success = Value.equal observed expected in
+  let critical = rmw_criticality m pr v ~remote ~writes:success in
   j_cache m v;
   let rmr = Memmodel.rmw_rmr m.cfg.model m.cache pr.pid v ~remote in
   absorb_awareness m pr v;
   note_access m pr v;
-  (match new_value observed with
-  | Some x ->
-      set_mem m v x;
-      j_writer m v;
-      m.writer.(v) <- Some pr.pid;
-      m.writer_aw.(v) <- pr.aw
-  | None -> ());
+  if success then rmw_install m pr v desired;
   pr.rmw_fenced <- false;
-  let e = emit m pr (kind_of observed) ~remote ~rmr ~critical in
-  pr.cont <- result observed;
+  let e =
+    if m.quiet then emit_q pr ~rmr ~critical
+    else
+      emit m pr
+        (Event.Cas_ev { var = v; expected; desired; observed; success })
+        ~remote ~rmr ~critical
+  in
+  adv_bool m pr k success;
   e
+
+(* Lean counterparts: memory effect and continuation advance only. *)
+let do_cas m pr v expected desired (k : bool -> unit Prog.t) =
+  if not m.lean then do_cas_full m pr v expected desired k
+  else begin
+    let success = Value.equal m.mem.(v) expected in
+    if success then set_mem m v desired;
+    pr.rmw_fenced <- false;
+    adv_bool m pr k success;
+    Event.dummy
+  end
+
+let do_faa_full m pr v delta (k : Value.t -> unit Prog.t) =
+  let remote = is_remote m pr.pid v in
+  let observed = m.mem.(v) in
+  let critical = rmw_criticality m pr v ~remote ~writes:true in
+  j_cache m v;
+  let rmr = Memmodel.rmw_rmr m.cfg.model m.cache pr.pid v ~remote in
+  absorb_awareness m pr v;
+  note_access m pr v;
+  rmw_install m pr v (observed + delta);
+  pr.rmw_fenced <- false;
+  let e =
+    if m.quiet then emit_q pr ~rmr ~critical
+    else
+      emit m pr
+        (Event.Faa_ev { var = v; delta; observed })
+        ~remote ~rmr ~critical
+  in
+  adv_val m pr k observed;
+  e
+
+let do_faa m pr v delta (k : Value.t -> unit Prog.t) =
+  if not m.lean then do_faa_full m pr v delta k
+  else begin
+    let observed = m.mem.(v) in
+    set_mem m v (observed + delta);
+    pr.rmw_fenced <- false;
+    adv_val m pr k observed;
+    Event.dummy
+  end
+
+let do_swap_full m pr v x (k : Value.t -> unit Prog.t) =
+  let remote = is_remote m pr.pid v in
+  let observed = m.mem.(v) in
+  let critical = rmw_criticality m pr v ~remote ~writes:true in
+  j_cache m v;
+  let rmr = Memmodel.rmw_rmr m.cfg.model m.cache pr.pid v ~remote in
+  absorb_awareness m pr v;
+  note_access m pr v;
+  rmw_install m pr v x;
+  pr.rmw_fenced <- false;
+  let e =
+    if m.quiet then emit_q pr ~rmr ~critical
+    else
+      emit m pr
+        (Event.Swap_ev { var = v; stored = x; observed })
+        ~remote ~rmr ~critical
+  in
+  adv_val m pr k observed;
+  e
+
+let do_swap m pr v x (k : Value.t -> unit Prog.t) =
+  if not m.lean then do_swap_full m pr v x k
+  else begin
+    let observed = m.mem.(v) in
+    set_mem m v x;
+    pr.rmw_fenced <- false;
+    adv_val m pr k observed;
+    Event.dummy
+  end
 
 let is_active (pr : proc) = pr.sec = Entry || pr.sec = Exiting
 
@@ -778,17 +1259,23 @@ let crash ?commit_prefix m p =
     | Config.Atomic_prefix, Some _ ->
         invalid_arg "Machine.crash: prefix exceeds buffer size"
   in
-  j_head m pr;
+  (* a crash bumps the crash / activity counters regardless of the
+     pre-state's pending shape, so it never takes the mini head *)
+  j_head ~force_full:true m pr;
   for _ = 1 to k do
     ignore (do_commit m pr)
   done;
   let dropped = Wbuf.size pr.buf in
-  if m.journaling && dropped > 0 then
-    jpush m (U_buf_restore (pr.pid, Wbuf.entries pr.buf));
+  if m.journaling && dropped > 0 then begin
+    Flatstate.push_entries m.flog (Wbuf.entries pr.buf);
+    Flatstate.push m.flog (t_buf_restore lor (pr.pid lsl 4));
+    jdone m
+  end;
   Wbuf.clear pr.buf;
   if is_active pr then m.active_count <- m.active_count - 1;
   pr.sec <- Crashed;
   pr.cont <- Prog.unit;
+  pr.pc <- unit_pc_of m;
   pr.in_fence <- false;
   pr.fence_implicit <- false;
   pr.rmw_fenced <- false;
@@ -796,49 +1283,74 @@ let crash ?commit_prefix m p =
   pr.crashes <- pr.crashes + 1;
   m.crash_count <- m.crash_count + 1;
   let e =
-    emit m pr
-      (Event.Crash { committed = k; dropped })
-      ~remote:false ~rmr:false ~critical:false
+    if m.quiet then emit_q pr ~rmr:false ~critical:false
+    else
+      emit m pr
+        (Event.Crash { committed = k; dropped })
+        ~remote:false ~rmr:false ~critical:false
   in
   j_refresh m pr;
   e
 
 let do_recover m pr =
   pr.sec <- Ncs;
-  emit m pr Event.Recover ~remote:false ~rmr:false ~critical:false
+  emit_k m pr Event.Recover ~remote:false ~rmr:false ~critical:false
 
 let do_enter m pr =
   pr.sec <- Entry;
-  (pr.cont <-
-     (match m.cfg.Config.recovery with
-     | Some r when pr.needs_recovery ->
-         (* capture only immutable data: closing over [m] (or [pr]) here
-            would make the continuation's structural hash — part of the
-            state fingerprint — depend on the machine's mutable state *)
-         let entry = m.cfg.entry and pid = pr.pid in
-         Prog.bind (r pid) (fun () -> entry pid)
-     | _ -> m.cfg.entry pr.pid));
+  (* The recovering continuation is built by Compile.recovery_cont on
+     both paths — capturing only immutable data — so the structural hash
+     (part of the state fingerprint) matches across engines. *)
+  (match m.code with
+  | Some code ->
+      let root =
+        if pr.needs_recovery && Option.is_some m.cfg.Config.recovery then
+          Compile.recover_pc code pr.pid
+        else Compile.entry_pc code pr.pid
+      in
+      if root >= 0 then begin
+        pr.pc <- root;
+        pr.cont <- Compile.rep code root
+      end
+      else begin
+        pr.pc <- -1;
+        pr.cont <-
+          (if pr.needs_recovery then Compile.recovery_cont m.cfg pr.pid
+           else m.cfg.entry pr.pid)
+      end
+  | None ->
+      pr.cont <-
+        (if pr.needs_recovery then Compile.recovery_cont m.cfg pr.pid
+         else m.cfg.entry pr.pid));
   pr.needs_recovery <- false;
-  pr.cur_rmrs <- 0;
-  pr.cur_fences <- 0;
-  pr.cur_criticals <- 0;
   m.active_count <- m.active_count + 1;
-  (* contention accounting: the newcomer joins every in-flight passage's
-     interval set, and its own interval set starts from the currently
-     active processes *)
-  pr.interval_set <- Pidset.singleton pr.pid;
-  pr.point_max <- m.active_count;
-  Array.iter
-    (fun (q : proc) ->
-      if is_active q && not (Pid.equal q.pid pr.pid) then begin
-        if m.journaling then
-          jpush m (U_contention (q.pid, q.interval_set, q.point_max));
-        q.interval_set <- Pidset.add pr.pid q.interval_set;
-        q.point_max <- max q.point_max m.active_count;
-        pr.interval_set <- Pidset.add q.pid pr.interval_set
-      end)
-    m.procs;
-  emit m pr Event.Enter ~remote:false ~rmr:false ~critical:false
+  if not m.lean then begin
+    pr.cur_rmrs <- 0;
+    pr.cur_fences <- 0;
+    pr.cur_criticals <- 0;
+    (* contention accounting: the newcomer joins every in-flight passage's
+       interval set, and its own interval set starts from the currently
+       active processes *)
+    pr.interval_set <- Pidset.singleton pr.pid;
+    pr.point_max <- m.active_count;
+    Array.iter
+      (fun (q : proc) ->
+        if is_active q && not (Pid.equal q.pid pr.pid) then begin
+          if m.journaling then begin
+            let f = m.flog in
+            Flatstate.push_set f q.interval_set;
+            Flatstate.reserve f 2;
+            Flatstate.push_unsafe f q.point_max;
+            Flatstate.push_unsafe f (t_contention lor (q.pid lsl 4));
+            jdone m
+          end;
+          q.interval_set <- Pidset.add pr.pid q.interval_set;
+          q.point_max <- max q.point_max m.active_count;
+          pr.interval_set <- Pidset.add q.pid pr.interval_set
+        end)
+      m.procs
+  end;
+  emit_k m pr Event.Enter ~remote:false ~rmr:false ~critical:false
 
 let do_cs m pr =
   if m.cfg.check_exclusion then
@@ -851,9 +1363,17 @@ let do_cs m pr =
         then raise (Exclusion_violation { holder = pr.pid; intruder = q.pid }))
       m.procs;
   pr.sec <- Exiting;
-  pr.cont <- m.cfg.exit_section pr.pid;
+  (match m.code with
+  | Some code when Compile.exit_pc code pr.pid >= 0 ->
+      let pc = Compile.exit_pc code pr.pid in
+      pr.pc <- pc;
+      pr.cont <- Compile.rep code pc
+  | Some _ ->
+      pr.pc <- -1;
+      pr.cont <- m.cfg.exit_section pr.pid
+  | None -> pr.cont <- m.cfg.exit_section pr.pid);
   m.cs_entries <- m.cs_entries + 1;
-  emit m pr Event.Cs ~remote:false ~rmr:false ~critical:false
+  emit_k m pr Event.Cs ~remote:false ~rmr:false ~critical:false
 
 let do_exit m pr =
   pr.passages <- pr.passages + 1;
@@ -863,56 +1383,45 @@ let do_exit m pr =
         p_criticals = pr.cur_criticals;
         p_interval = Pidset.cardinal pr.interval_set;
         p_point = pr.point_max };
-    if m.journaling then jpush m (U_passage_pop pr.pid)
+    if m.journaling then begin
+      Flatstate.push m.flog (t_passage_pop lor (pr.pid lsl 4));
+      jdone m
+    end
   end;
   pr.sec <- (if pr.passages >= m.cfg.max_passages then Finished else Ncs);
   m.active_count <- m.active_count - 1;
-  emit m pr Event.Exit ~remote:false ~rmr:false ~critical:false
+  emit_k m pr Event.Exit ~remote:false ~rmr:false ~critical:false
 
-let exec_pending m (pr : proc) (pd : pending) : Event.t =
-  match pd with
-  | P_done -> assert false (* filtered by [step] *)
-  | P_recover -> do_recover m pr
-  | P_commit _ -> do_commit m pr
-  | P_end_fence -> finish_fence m pr
-  | P_enter -> do_enter m pr
-  | P_cs -> do_cs m pr
-  | P_exit -> do_exit m pr
-  | P_rmw_fence -> do_begin_fence m pr ~implicit:true
-  | P_read _ | P_issue_write _ | P_begin_fence | P_cas _ | P_faa _ | P_swap _
-    -> (
+(* Execute the process's pending event. This is {!pending} fused with the
+   dispatch — classification and execution in one pass over the same
+   machine state, without materializing the [pending] variant. *)
+let exec_cur m (pr : proc) : Event.t =
+  match pr.sec with
+  | Finished -> assert false (* filtered by [step] *)
+  | Crashed -> do_recover m pr
+  | _ when pr.in_fence ->
+      if Wbuf.is_empty pr.buf then finish_fence m pr else do_commit m pr
+  | Ncs -> do_enter m pr
+  | Entry | Exiting -> (
       match pr.cont with
-      | Prog.Return () -> assert false
+      | Prog.Return () -> if pr.sec = Entry then do_cs m pr else do_exit m pr
       | Prog.Bind (op, k) -> (
+          let rmw_needs_fence = m.cfg.rmw_drains && not pr.rmw_fenced in
           match op with
           | Prog.Read v -> do_read m pr v k
           | Prog.Write (v, x) -> do_issue_write m pr v x k
-          | Prog.Fence ->
-              ignore k;
-              do_begin_fence m pr ~implicit:false
+          | Prog.Fence -> do_begin_fence m pr ~implicit:false
           | Prog.Cas (v, expected, desired) ->
-              do_rmw m pr v
-                ~kind_of:(fun observed ->
-                  Event.Cas_ev
-                    { var = v; expected; desired; observed;
-                      success = Value.equal observed expected })
-                ~result:(fun observed -> k (Value.equal observed expected))
-                ~new_value:(fun observed ->
-                  if Value.equal observed expected then Some desired else None)
+              if rmw_needs_fence then do_begin_fence m pr ~implicit:true
+              else do_cas m pr v expected desired k
           | Prog.Faa (v, delta) ->
-              do_rmw m pr v
-                ~kind_of:(fun observed ->
-                  Event.Faa_ev { var = v; delta; observed })
-                ~result:(fun observed -> k observed)
-                ~new_value:(fun observed -> Some (observed + delta))
+              if rmw_needs_fence then do_begin_fence m pr ~implicit:true
+              else do_faa m pr v delta k
           | Prog.Swap (v, x) ->
-              do_rmw m pr v
-                ~kind_of:(fun observed ->
-                  Event.Swap_ev { var = v; stored = x; observed })
-                ~result:(fun observed -> k observed)
-                ~new_value:(fun _ -> Some x)))
+              if rmw_needs_fence then do_begin_fence m pr ~implicit:true
+              else do_swap m pr v x k))
 
-(* The journal head is pushed after the [P_done] check (so a raising call
+(* The journal head is pushed after the finished check (so a raising call
    leaves no record) but before execution: if the event itself raises
    mid-mutation (Exclusion_violation from [do_cs], or a lock program's
    spin-guard exception escaping a continuation), the caller's
@@ -920,13 +1429,11 @@ let exec_pending m (pr : proc) (pd : pending) : Event.t =
    snapshot plus the fine-grained records cover every partial write. *)
 let step m p : Event.t =
   let pr = m.procs.(p) in
-  match pending m p with
-  | P_done -> raise (Process_finished p)
-  | pd ->
-      j_head m pr;
-      let e = exec_pending m pr pd in
-      j_refresh m pr;
-      e
+  if pr.sec = Finished then raise (Process_finished p);
+  j_head m pr;
+  let e = exec_cur m pr in
+  j_refresh m pr;
+  e
 
 (* --- footprints ------------------------------------------------------ *)
 
@@ -957,6 +1464,32 @@ let step_footprint m p : footprint =
   | P_read v -> if Wbuf.find pr.buf v <> None then F_local else F_read v
   | P_cas (v, _, _) | P_faa (v, _) | P_swap (v, _) -> F_rmw v
 
+(* Packed [step_footprint]: the constructor tag in the low 3 bits
+   (0 = none, 1 = local, 2 = read, 3 = write, 4 = rmw, 5 = cs) and the
+   variable — when the class carries one — in the bits above. Same
+   discrimination as [step_footprint], but no [pending] payload or
+   footprint constructor is allocated: the explorer's scratch-footprint
+   path ({!Footprint.of_move_into}) calls this for every enabled move of
+   every node. *)
+let step_footprint_packed m p =
+  let pr = m.procs.(p) in
+  match pr.sec with
+  | Finished -> 0
+  | Crashed -> 1
+  | _ when pr.in_fence ->
+      if Wbuf.is_empty pr.buf then 1 else 3 lor (Wbuf.peek_var pr.buf lsl 3)
+  | Ncs -> 1
+  | Entry | Exiting -> (
+      match pr.cont with
+      | Prog.Return () -> if pr.sec = Entry then 5 else 1
+      | Prog.Bind (op, _) -> (
+          let rmw_needs_fence = m.cfg.rmw_drains && not pr.rmw_fenced in
+          match op with
+          | Prog.Read v -> if Wbuf.mem pr.buf v then 1 else 2 lor (v lsl 3)
+          | Prog.Write _ | Prog.Fence -> 1
+          | Prog.Cas (v, _, _) | Prog.Faa (v, _) | Prog.Swap (v, _) ->
+              if rmw_needs_fence then 1 else 4 lor (v lsl 3)))
+
 (* Could [step m p] leave the process CS-enabled (in its entry section
    with a completed entry program, outside any fence)? Conservative: true
    whenever the event advances the continuation of a process that is (or
@@ -965,13 +1498,12 @@ let step_footprint m p : footprint =
    the pending RMW in place, so it never completes the section. *)
 let step_may_enable_cs m p =
   let pr = m.procs.(p) in
-  match pending m p with
-  | P_enter -> true
-  | P_end_fence -> pr.sec = Entry && not pr.fence_implicit
-  | P_read _ | P_issue_write _ | P_cas _ | P_faa _ | P_swap _ ->
-      pr.sec = Entry
-  | P_done | P_cs | P_exit | P_begin_fence | P_rmw_fence | P_commit _
-  | P_recover ->
+  match pending_class m p with
+  | K_enter -> true
+  | K_end_fence -> pr.sec = Entry && not pr.fence_implicit
+  | K_read | K_issue_write | K_cas | K_faa | K_swap -> pr.sec = Entry
+  | K_done | K_cs | K_exit | K_begin_fence | K_rmw_fence | K_commit
+  | K_recover ->
       false
 
 (* --- classification helpers for adversaries ------------------------- *)
@@ -1039,7 +1571,7 @@ module Journal = struct
 
   let enable m =
     if not m.journaling then begin
-      Vec.clear m.jlog;
+      Flatstate.clear m.flog;
       m.journaling <- true;
       m.j_peak <- 0;
       m.j_records <- 0;
@@ -1051,12 +1583,12 @@ module Journal = struct
 
   let disable m =
     m.journaling <- false;
-    Vec.clear m.jlog
+    Flatstate.clear m.flog
 
   let enabled m = m.journaling
-  let mark m = Vec.length m.jlog
+  let mark m = Flatstate.length m.flog
   let undo_to m (mk : mark) = undo_to m mk
-  let depth m = Vec.length m.jlog
+  let depth m = Flatstate.length m.flog
   let peak m = m.j_peak
   let records m = m.j_records
 end
@@ -1075,6 +1607,7 @@ let entry_equal (a : Wbuf.entry) (b : Wbuf.entry) =
 
 let proc_equal (a : proc) (b : proc) =
   Pid.equal a.pid b.pid && a.sec = b.sec && a.cont == b.cont
+  && a.pc = b.pc
   && a.in_fence = b.in_fence
   && a.fence_implicit = b.fence_implicit
   && a.rmw_fenced = b.rmw_fenced

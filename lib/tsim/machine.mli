@@ -40,6 +40,11 @@ type proc = {
   pid : Pid.t;
   mutable sec : section;
   mutable cont : unit Prog.t;
+  mutable pc : int;
+      (** compiled-engine program counter: when [>= 0], [cont] is the
+          interned representative {!Compile.rep} of this pc; [-1] on
+          interpreter engines or when the compiled program degraded to
+          the interpreter path for this section *)
   buf : Wbuf.t;
   mutable in_fence : bool;
   mutable fence_implicit : bool;
@@ -81,6 +86,33 @@ type pending =
 
 val pending_to_string : pending -> string
 
+(** Allocation-free projection of {!pending}: constant constructors only
+    (no variable / value payloads), for per-node classification loops in
+    the explorer. [K_cas]/[K_faa]/[K_swap] are only reported once any
+    required RMW drain fence has run, mirroring {!pending}. *)
+type pending_class =
+  | K_enter
+  | K_cs
+  | K_exit
+  | K_done
+  | K_read
+  | K_issue_write
+  | K_begin_fence
+  | K_end_fence
+  | K_commit
+  | K_rmw_fence
+  | K_cas
+  | K_faa
+  | K_swap
+  | K_recover
+
+val pending_class : t -> Pid.t -> pending_class
+
+val pending_var : t -> Pid.t -> Var.t
+(** The variable of the pending event, for the classes that carry one
+    ([K_read], [K_issue_write], [K_cas], [K_faa], [K_swap], [K_commit]).
+    @raise Invalid_argument otherwise. *)
+
 val create : Config.t -> t
 (** A fresh machine in the initial configuration (all processes in their
     NCS, buffers empty, variables at their initial values). *)
@@ -92,6 +124,23 @@ val clone : t -> t
     shared rather than copied: the clone costs O(state) instead of
     O(depth + state). A clone never inherits an active journal
     ({!Journal.enabled} is false on the copy). *)
+
+val set_lean : t -> bool -> unit
+(** Lean exploration mode. While set, {!step} / {!commit} / {!crash}
+    freeze every accounting channel the explorer never reads:
+    cache-directory transitions, awareness propagation, access sets,
+    remote-read criticality, the RMR / fence / critical counters,
+    contention tracking and the passage log — none of which enters the
+    fingerprint, the footprints or the verdict checks. Verdicts, node
+    counts and fingerprints are identical with the flag on or off, but a
+    step sheds roughly half its journal volume and all of its side
+    structure maintenance. Lean machines emit {!Event.dummy} (quiet);
+    the accounting accessors ({!rmrs}, {!awareness}, contention, the
+    passage log) read as of the moment the flag was set. Clones inherit
+    the flag. @raise Invalid_argument if the configuration records
+    traces. *)
+
+val lean : t -> bool
 
 val equal : t -> t -> bool
 (** Structural equality of machine state: memory, writers, awareness,
@@ -172,6 +221,13 @@ type footprint =
   | F_cs  (** CS execution: reads every process's entry progress *)
 
 val step_footprint : t -> Pid.t -> footprint
+
+val step_footprint_packed : t -> Pid.t -> int
+(** {!step_footprint} without the constructor allocation: the tag in the
+    low 3 bits (0 = [F_none], 1 = [F_local], 2 = [F_read], 3 = [F_write],
+    4 = [F_rmw], 5 = [F_cs]) and, for the classes that carry one, the
+    variable in the bits above. Explorer hot path (the model checker's
+    scratch-footprint fill). *)
 
 val step_may_enable_cs : t -> Pid.t -> bool
 (** Could {!step} leave the process CS-enabled (in Entry with a completed
@@ -260,7 +316,8 @@ module Journal : sig
       mark is beyond the current log. *)
 
   val depth : t -> int
-  (** Current log length (records). *)
+  (** Current log length (in log words since PR7's flat journal, not
+      records; still monotone within a step and exact for {!mark}). *)
 
   val peak : t -> int
   (** High-water log depth since {!enable}. *)

@@ -37,6 +37,13 @@ let index_of (t : t) var =
 let find (t : t) var =
   match index_of t var with None -> None | Some i -> Some (Vec.get t i).value
 
+(* Allocation-free membership test (the explorer's hot path). *)
+let mem (t : t) var =
+  let rec go i =
+    i < Vec.length t && (Var.equal (Vec.get t i).var var || go (i + 1))
+  in
+  go 0
+
 (* Journal-aware issue: reports the replaced entry (and its index) so the
    mutation journal can restore it on undo, or [None] when the write was
    appended (undo = drop the last entry). *)
@@ -53,6 +60,10 @@ let push' (t : t) entry =
 let push (t : t) entry = ignore (push' t entry)
 
 let peek (t : t) = if Vec.is_empty t then None else Some (Vec.get t 0)
+
+(* Allocation-free variants for the fingerprint hot path. *)
+let peek_var (t : t) = (Vec.get t 0).var
+let get (t : t) i = Vec.get t i
 
 let pop (t : t) =
   if Vec.is_empty t then invalid_arg "Wbuf.pop: empty buffer";

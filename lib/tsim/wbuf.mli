@@ -25,6 +25,10 @@ val size : t -> int
 val find : t -> Var.t -> Value.t option
 (** Store-to-load forwarding: the pending value for [var], if any. *)
 
+val mem : t -> Var.t -> bool
+(** [find t v <> None] without the option allocation (explorer hot
+    path). *)
+
 val push : t -> entry -> unit
 (** Issue a write (replacing any pending write to the same variable). *)
 
@@ -35,6 +39,13 @@ val push' : t -> entry -> (int * entry) option
 
 val peek : t -> entry option
 (** The oldest pending write. *)
+
+val peek_var : t -> Var.t
+(** Variable of the oldest pending write, without allocating an option
+    (fingerprint hot path). @raise Invalid_argument if empty. *)
+
+val get : t -> int -> entry
+(** The [i]-th oldest pending entry (fingerprint hot path). *)
 
 val pop : t -> entry
 (** Remove and return the oldest pending write.

@@ -18,7 +18,8 @@ let peterson ~fenced =
   let layout = Layout.create () in
   let flag = Layout.array layout ~init:0 "flag" 2 in
   let turn = Layout.var layout ~init:0 "turn" in
-  Config.make ~model:Config.Cc_wb ~check_exclusion:true ~n:2 ~layout
+  Config.make ~model:Config.Cc_wb ~check_exclusion:true ~pure_programs:true
+    ~n:2 ~layout
     ~entry:(fun p ->
       let* () = write flag.(p) 1 in
       let* () = write turn p in
@@ -44,7 +45,7 @@ let mp_pso () =
   let flag = Layout.var layout "flag" in
   let blocked = Layout.var layout "blocked" in
   Config.make ~model:Config.Cc_wb ~ordering:Config.Pso ~check_exclusion:true
-    ~n:2 ~layout
+    ~pure_programs:true ~n:2 ~layout
     ~entry:(fun p ->
       if p = 0 then
         let* () = write data 1 in
@@ -65,14 +66,17 @@ let load file =
   | Ok schedule -> schedule
   | Error msg -> Alcotest.failf "%s: %s" file msg
 
-(* Replay a fixture twice and check: the expected exclusion fires, with
-   the expected holder/intruder; and the replay is deterministic — both
-   runs stop at the same outcome with fingerprint-identical machines. *)
+(* Replay a fixture under every engine and check: the expected exclusion
+   fires, with the expected holder/intruder; and the replay is
+   deterministic AND engine-invariant — each run stops at the same
+   outcome with fingerprint-identical machines (the corpus pins the
+   compiled engine's execution semantics, not just the interpreter's). *)
 let check_fixture file mk_cfg =
   let schedule = load file in
-  let replay () = Mcheck.Explore.replay (mk_cfg ()) schedule in
-  let m1, o1 = replay () in
-  let m2, o2 = replay () in
+  let replay engine =
+    Mcheck.Explore.replay { (mk_cfg ()) with Config.engine } schedule
+  in
+  let m1, o1 = replay `Journal in
   (match o1 with
   | Mcheck.Explore.R_exclusion (h, i) ->
       Alcotest.(check int) "holder p0" 0 h;
@@ -83,10 +87,17 @@ let check_fixture file mk_cfg =
       Alcotest.failf "%s: move %d references unknown p%d" file i p
   | Mcheck.Explore.R_stuck (i, msg) ->
       Alcotest.failf "%s: stuck at move %d: %s" file i msg);
-  Alcotest.(check bool) "deterministic outcome" true (o1 = o2);
-  Alcotest.(check int) "deterministic final state"
-    (Mcheck.Explore.fingerprint m1)
-    (Mcheck.Explore.fingerprint m2)
+  List.iter
+    (fun engine ->
+      let m2, o2 = replay engine in
+      Alcotest.(check bool)
+        (Config.engine_name engine ^ " replay: same outcome")
+        true (o1 = o2);
+      Alcotest.(check int)
+        (Config.engine_name engine ^ " replay: same final state")
+        (Mcheck.Explore.fingerprint m1)
+        (Mcheck.Explore.fingerprint m2))
+    [ `Journal; `Clone; `Compiled ]
 
 let test_peterson_fixture () =
   check_fixture "peterson_unfenced_tso.sched" (fun () ->
@@ -135,6 +146,30 @@ let test_crash_fixture () =
   | _, Mcheck.Explore.R_exclusion _ ->
       Alcotest.fail "proper recovery reached the exclusion"
   | _ -> ()
+
+(* Byte-level invisibility of compile-ahead execution: replaying the
+   pinned schedule with trace recording on must produce the exact Chrome
+   export golden-filed for the interpreter engines — same events, same
+   sequence numbers, same rendering, to the byte. *)
+let test_chrome_compiled_identical () =
+  let schedule = load "peterson_unfenced_tso.sched" in
+  let export engine =
+    let cfg =
+      { (peterson ~fenced:false) with Config.record_trace = true; engine }
+    in
+    let m, outcome = Mcheck.Explore.replay cfg schedule in
+    (match outcome with
+    | Mcheck.Explore.R_exclusion _ -> ()
+    | _ -> Alcotest.fail "fixture replay should end in the exclusion");
+    Execution.Chrome.to_string (Execution.Trace.of_machine m)
+  in
+  let golden =
+    In_channel.with_open_bin
+      (Filename.concat "corpus" "peterson_unfenced_tso.trace.json")
+      In_channel.input_all
+  in
+  Alcotest.(check string) "compiled replay matches the golden bytes" golden
+    (export `Compiled)
 
 (* A freshly explored violation on the same configuration still finds an
    exclusion (the fixture is not the only witness, just a pinned one). *)
@@ -222,6 +257,8 @@ let suite =
     Alcotest.test_case "mp PSO fixture replays" `Quick test_mp_fixture;
     Alcotest.test_case "recoverable-tas crash fixture replays" `Quick
       test_crash_fixture;
+    Alcotest.test_case "compiled chrome export matches golden bytes" `Quick
+      test_chrome_compiled_identical;
     Alcotest.test_case "fixture violation still reachable" `Quick
       test_fixture_still_reachable;
     Alcotest.test_case "parser rejects malformed moves" `Quick

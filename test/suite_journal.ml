@@ -31,7 +31,8 @@ let peterson_unfenced () =
   let layout = Layout.create () in
   let flag = Layout.array layout ~init:0 "flag" 2 in
   let turn = Layout.var layout ~init:0 "turn" in
-  Config.make ~model:Config.Cc_wb ~check_exclusion:true ~n:2 ~layout
+  Config.make ~model:Config.Cc_wb ~check_exclusion:true ~pure_programs:true
+    ~n:2 ~layout
     ~entry:(fun p ->
       let* () = write flag.(p) 1 in
       let* () = write turn p in
@@ -247,7 +248,9 @@ let test_paranoid () =
 
 (* Journal gauges surface in stats under the journal engine only. *)
 let test_journal_stats () =
-  let cfg = peterson_unfenced () in
+  (* pin the engine: the config default bends to PA_ENGINE, and this
+     test is specifically about the journal gauges *)
+  let cfg = { (peterson_unfenced ()) with Config.engine = `Journal } in
   let rj = E.explore ~max_nodes:200_000 cfg in
   let rc = E.explore ~max_nodes:200_000 { cfg with Config.engine = `Clone } in
   Alcotest.(check bool) "journal pushes records" true
@@ -285,7 +288,9 @@ let test_chrome_byte_identical () =
   Alcotest.(check string) "journal replay matches the golden bytes" golden
     (export `Journal);
   Alcotest.(check string) "clone replay matches the golden bytes" golden
-    (export `Clone)
+    (export `Clone);
+  Alcotest.(check string) "compiled replay matches the golden bytes" golden
+    (export `Compiled)
 
 let suite =
   List.map QCheck_alcotest.to_alcotest walk_props
