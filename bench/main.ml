@@ -179,6 +179,13 @@ let write_obs file rows =
   Printf.printf "wrote NDJSON telemetry for %d rows to %s\n"
     (List.length rows) file
 
+(* ctrl-C: raised from the signal handler, caught at the bottom of main.
+   The run ends with a typed partial verdict on stdout (same wording and
+   exit code 3 as the explorer's interrupt verdict), and any rows already
+   measured are still flushed through the requested sinks so a cancelled
+   CI job archives what it paid for. *)
+exception Interrupted
+
 let () =
   let rec parse json obs cmp budget args =
     match args with
@@ -219,21 +226,40 @@ let () =
   Printf.printf
     "Reproduction harness: \"The Price of being Adaptive\" (Ben-Baruch & \
      Hendler, PODC 2015)\n";
-  List.iter
-    (fun (id, _desc, f) -> if selected id then f ())
-    Experiments.all;
-  if run_timings then begin
-    Printf.printf "\nBechamel timings (simulator machinery)\n";
-    Printf.printf "=====================================\n";
-    let rows = Timings.run () in
-    (match json_file with
-    | Some file -> write_json file rows
-    | None -> ());
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> raise Interrupted));
+  let experiments_done = ref 0 in
+  let rows_done = ref [] in
+  try
+    List.iter
+      (fun (id, _desc, f) ->
+        if selected id then begin
+          f ();
+          incr experiments_done
+        end)
+      Experiments.all;
+    if run_timings then begin
+      Printf.printf "\nBechamel timings (simulator machinery)\n";
+      Printf.printf "=====================================\n";
+      let rows = Timings.run () in
+      rows_done := rows;
+      (match json_file with
+      | Some file -> write_json file rows
+      | None -> ());
+      (match obs_file with
+      | Some file -> write_obs file rows
+      | None -> ());
+      match compare_file with
+      | Some base_file ->
+          if not (compare_rows ~base_file ~budget rows) then exit 1
+      | None -> ()
+    end
+  with Interrupted ->
     (match obs_file with
-    | Some file -> write_obs file rows
+    | Some file -> write_obs file !rows_done
     | None -> ());
-    match compare_file with
-    | Some base_file ->
-        if not (compare_rows ~base_file ~budget rows) then exit 1
-    | None -> ()
-  end
+    Printf.printf
+      "PARTIAL: stopped by abort request (interrupt) after %d experiment(s), \
+       %d timing row(s) — not a benchmark run\n"
+      !experiments_done
+      (List.length !rows_done);
+    exit 3

@@ -57,7 +57,7 @@ let find_lock name =
               (List.map
                  (fun f -> f.Locks.Lock_intf.family_name)
                  (Locks.Zoo.all @ Locks.Zoo.two_process
-                @ Locks.Zoo.recoverable))))
+                @ Locks.Zoo.recoverable @ Locks.Zoo.abortable))))
 
 (* Exit code 2 with a one-line diagnostic: the contract for bad input
    (unknown lock names, malformed schedule files) on verify/replay. *)
@@ -436,6 +436,14 @@ let verify_cmd =
       & info [ "max-crashes" ]
           ~doc:"crash faults the adversary may inject (default 0)")
   in
+  let max_aborts =
+    Arg.(
+      value & opt int 0
+      & info [ "max-aborts" ]
+          ~doc:
+            "abort faults the adversary may inject at declared wait points \
+             (default 0; requires a lock with an abort cleanup section)")
+  in
   let max_millis =
     Arg.(
       value & opt (some int) None
@@ -475,10 +483,11 @@ let verify_cmd =
              interpreter); identical verdicts and node counts")
   in
   let run name n max_nodes spin_fuel domains no_por save_schedule max_crashes
-      max_millis crash_semantics search_stats engine store store_bits
-      store_hashes obs_opts =
+      max_aborts max_millis crash_semantics search_stats engine store
+      store_bits store_hashes obs_opts =
     if domains < 1 then die2 "--domains must be >= 1";
     if max_crashes < 0 then die2 "--max-crashes must be >= 0";
+    if max_aborts < 0 then die2 "--max-aborts must be >= 0";
     let store_mode =
       (* the record update below bypasses Config.make's validation, so
          check the ranges it would enforce here *)
@@ -501,6 +510,13 @@ let verify_cmd =
     | Error e -> die2 "%s" e
     | Ok fam ->
         let lock = fam.Locks.Lock_intf.instantiate ~n in
+        (if max_aborts > 0 && lock.Locks.Lock_intf.abort = None then
+           die2 "%s has no abort cleanup section; try one of: %s"
+             lock.Locks.Lock_intf.name
+             (String.concat ", "
+                (List.map
+                   (fun f -> f.Locks.Lock_intf.family_name)
+                   Locks.Zoo.abortable)));
         let cfg =
           Locks.Harness.config_of_lock ~model:Tsim.Config.Cc_wb
             ~crash_semantics lock ~n
@@ -508,16 +524,25 @@ let verify_cmd =
         let cfg =
           { cfg with Tsim.Config.engine; Tsim.Config.store = store_mode }
         in
+        (* ctrl-C stops the search at the next budget poll: the explorer
+           returns normally with a typed `Aborts partial verdict, so the
+           stats below still print and the obs sinks still flush. *)
+        let stop = Atomic.make false in
+        Sys.set_signal Sys.sigint
+          (Sys.Signal_handle (fun _ -> Atomic.set stop true));
         let r =
           with_obs obs_opts (fun obs ->
               Mcheck.Explore.explore ~max_nodes ~spin_fuel ~domains
-                ~por:(not no_por) ~max_crashes ?max_millis ~obs cfg)
+                ~por:(not no_por) ~max_crashes ~max_aborts ?max_millis ~stop
+                ~obs cfg)
         in
-        Printf.printf "%s n=%d%s%s: %d states, max depth %d\n"
+        Printf.printf "%s n=%d%s%s%s: %d states, max depth %d\n"
           lock.Locks.Lock_intf.name n
           (if max_crashes > 0 then
              Printf.sprintf " crashes<=%d (%s)" max_crashes
                (Tsim.Config.crash_semantics_name crash_semantics)
+           else "")
+          (if max_aborts > 0 then Printf.sprintf " aborts<=%d" max_aborts
            else "")
           (if no_por then " (no por)" else "")
           r.Mcheck.Explore.nodes r.Mcheck.Explore.max_depth;
@@ -525,14 +550,16 @@ let verify_cmd =
            let s = r.Mcheck.Explore.stats in
            Printf.printf
              "search: dedup hits %d (resleeps %d), sleep prunes %d, ample \
-              chains %d (+%d fused), seen entries %d, crashes applied %d\n\
+              chains %d (+%d fused), seen entries %d, crashes applied %d, \
+              aborts applied %d\n\
               domains: %d%s, merge stall %dus, steals %d\n\
               store: %s, evictions %d, drops %d%s\n\
               journal: peak %d records, %d undo records (%.1f/node)\n"
              s.Mcheck.Explore.dedup_hits s.Mcheck.Explore.resleeps
              s.Mcheck.Explore.sleep_prunes s.Mcheck.Explore.ample_chains
              s.Mcheck.Explore.ample_fused s.Mcheck.Explore.seen_entries
-             s.Mcheck.Explore.crashes_applied s.Mcheck.Explore.domains_used
+             s.Mcheck.Explore.crashes_applied
+             s.Mcheck.Explore.aborts_applied s.Mcheck.Explore.domains_used
              (match s.Mcheck.Explore.domain_nodes with
              | [] | [ _ ] -> ""
              | ns ->
@@ -575,8 +602,9 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(
       const run $ lock_arg $ n $ max_nodes $ spin_fuel $ domains $ no_por
-      $ save_schedule $ max_crashes $ max_millis $ crash_semantics
-      $ search_stats $ engine $ store $ store_bits $ store_hashes $ obs_term)
+      $ save_schedule $ max_crashes $ max_aborts $ max_millis
+      $ crash_semantics $ search_stats $ engine $ store $ store_bits
+      $ store_hashes $ obs_term)
 
 (* --- replay -------------------------------------------------------------- *)
 
@@ -653,6 +681,9 @@ let replay_cmd =
             | Mcheck.Explore.R_bad_pid (i, p) ->
                 die2 "%s: move %d references p%d but the machine has n=%d"
                   file i p n
+            | Mcheck.Explore.R_bad_abort (i, p) ->
+                die2 "%s: move %d aborts p%d outside a declared wait point"
+                  file i p
             | Mcheck.Explore.R_stuck (i, msg) ->
                 Printf.printf "stuck at move %d: %s\n" i msg;
                 exit 1))
@@ -718,6 +749,9 @@ let stats_cmd =
             | Mcheck.Explore.R_bad_pid (i, p) ->
                 die2 "%s: move %d references p%d but the machine has n=%d"
                   file i p n
+            | Mcheck.Explore.R_bad_abort (i, p) ->
+                die2 "%s: move %d aborts p%d outside a declared wait point"
+                  file i p
             | Mcheck.Explore.R_stuck (i, msg) ->
                 die2 "%s: stuck at move %d: %s" file i msg
             | Mcheck.Explore.R_completed | Mcheck.Explore.R_exclusion _

@@ -146,6 +146,9 @@ let advance t p : cls =
       | Machine.P_recover ->
           stuckf "advance: active p%d crashed (construction is failure-free)"
             p
+      | Machine.P_abort_done ->
+          stuckf "advance: active p%d aborted (construction is failure-free)"
+            p
       | Machine.P_exit ->
           stuckf "advance: p%d in exit section outside regularization" p
       | pending when not (Machine.pending_is_special t.m p) ->
@@ -164,7 +167,9 @@ let advance t p : cls =
       | Machine.P_faa (v, _) -> C_rmw (v, `Faa)
       | Machine.P_swap (v, _) -> C_rmw (v, `Swap)
       | Machine.P_cs -> C_cs
-      | Machine.P_issue_write _ -> assert false
+      | Machine.P_issue_write _ | Machine.P_marker _ ->
+          (* never special: the non-special guard above steps through them *)
+          assert false
   in
   go t.advance_fuel
 

@@ -92,6 +92,11 @@ let analyze (t : Trace.t) : summary =
           Hashtbl.replace status p `Ncs;
           Hashtbl.replace in_fence p false
       | Event.Recover -> ()
+      (* abort faults: the process keeps its buffer and runs its cleanup
+         section (still entry-side work), so only the fence mode resets
+         here; the section flips back to NCS at Abort_done *)
+      | Event.Abort -> Hashtbl.replace in_fence p false
+      | Event.Abort_done -> Hashtbl.replace status p `Ncs
       | Event.Begin_fence _ -> Hashtbl.replace in_fence p true
       | Event.End_fence _ ->
           Hashtbl.replace in_fence p false;

@@ -19,10 +19,11 @@ let op ?arg label prog = { label; arg; prog }
 type schedule = Rr | Rand of int
 
 let run ?(model = Config.Cc_wb) ?(schedule = Rr) ?(crash_prob = 0.0)
-    ?(max_crashes = 0) ?(crash_semantics = Config.Drop_buffer) ~layout ~n
-    ~ops_per_proc (gen : Pid.t -> int -> op_spec) : History.t =
-  if crash_prob > 0.0 && schedule = Rr then
-    invalid_arg "Workload.run: crash injection needs a Rand schedule";
+    ?(max_crashes = 0) ?(abort_prob = 0.0) ?(max_aborts = 0)
+    ?(crash_semantics = Config.Drop_buffer) ~layout ~n ~ops_per_proc
+    (gen : Pid.t -> int -> op_spec) : History.t =
+  if (crash_prob > 0.0 || abort_prob > 0.0) && schedule = Rr then
+    invalid_arg "Workload.run: fault injection needs a Rand schedule";
   let mref = ref None in
   let trace_len () =
     match !mref with
@@ -31,11 +32,12 @@ let run ?(model = Config.Cc_wb) ?(schedule = Rr) ?(crash_prob = 0.0)
   in
   let recorded = ref [] in
   (* Every invocation logs a completion cell; the response closure below
-     never fires for an operation interrupted by a crash (the crash wipes
-     the continuation), so cells still false at the end are crashed ops.
-     A recovered process restarts its workload from op 0: the new
-     invocations are fresh history records, the interrupted one becomes
-     an aborted record closed at the crash position. *)
+     never fires for an operation interrupted by a crash or an abort (the
+     fault wipes the continuation), so cells still false at the end are
+     faulted ops. A recovered or aborted process restarts its workload
+     from op 0: the new invocations are fresh history records, the
+     interrupted one becomes a minimal aborted record closed at the fault
+     position. *)
   let invocations = ref [] in
   let entry p =
     let rec ops i =
@@ -59,8 +61,12 @@ let run ?(model = Config.Cc_wb) ?(schedule = Rr) ?(crash_prob = 0.0)
     ops 0
   in
   let cfg =
-    Config.make ~model ~check_exclusion:false ~crash_semantics ~n ~layout
-      ~entry
+    Config.make ~model ~check_exclusion:false ~crash_semantics
+      ?abort_section:
+        (* object ops have no lock to clean up after; an abortable wait
+           just stops waiting *)
+        (if max_aborts > 0 then Some (fun _ -> Prog.unit) else None)
+      ~n ~layout ~entry
       ~exit_section:(fun _ -> Prog.unit)
       ()
   in
@@ -68,18 +74,21 @@ let run ?(model = Config.Cc_wb) ?(schedule = Rr) ?(crash_prob = 0.0)
   mref := Some m;
   (match schedule with
   | Rr -> ignore (Sched.round_robin m)
-  | Rand seed -> ignore (Sched.random ~seed ~crash_prob ~max_crashes m));
-  (* close each interrupted invocation at its process's first crash event
-     after the invocation point *)
+  | Rand seed ->
+      ignore
+        (Sched.random ~seed ~crash_prob ~max_crashes ~abort_prob ~max_aborts
+           m));
+  (* close each interrupted invocation at its process's first crash or
+     abort event after the invocation point *)
   let tr = Machine.trace m in
-  let crash_after p inv =
+  let fault_after p inv =
     let len = Vec.length tr in
     let rec go i =
       if i >= len then None
       else
         let e = Vec.get tr i in
         match e.Event.kind with
-        | Event.Crash _ when e.Event.pid = p -> Some (i + 1)
+        | (Event.Crash _ | Event.Abort) when e.Event.pid = p -> Some (i + 1)
         | _ -> go (i + 1)
     in
     go inv
@@ -89,7 +98,7 @@ let run ?(model = Config.Cc_wb) ?(schedule = Rr) ?(crash_prob = 0.0)
       (fun (p, label, arg, inv, completed) ->
         if !completed then None
         else
-          match crash_after p inv with
+          match fault_after p inv with
           | Some res ->
               Some
                 { History.pid = p; label; arg; result = None; inv; res;
@@ -100,10 +109,10 @@ let run ?(model = Config.Cc_wb) ?(schedule = Rr) ?(crash_prob = 0.0)
   History.of_list (aborted @ !recorded)
 
 (* Convenience: run and check in one go. *)
-let run_and_check ?model ?schedule ?crash_prob ?max_crashes ?crash_semantics
-    ~layout ~n ~ops_per_proc gen spec =
+let run_and_check ?model ?schedule ?crash_prob ?max_crashes ?abort_prob
+    ?max_aborts ?crash_semantics ~layout ~n ~ops_per_proc gen spec =
   let h =
-    run ?model ?schedule ?crash_prob ?max_crashes ?crash_semantics ~layout ~n
-      ~ops_per_proc gen
+    run ?model ?schedule ?crash_prob ?max_crashes ?abort_prob ?max_aborts
+      ?crash_semantics ~layout ~n ~ops_per_proc gen
   in
   (h, Checker.check spec h)

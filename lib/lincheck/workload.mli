@@ -16,6 +16,8 @@ val run :
   ?schedule:schedule ->
   ?crash_prob:float ->
   ?max_crashes:int ->
+  ?abort_prob:float ->
+  ?max_aborts:int ->
   ?crash_semantics:Config.crash_semantics ->
   layout:Layout.t ->
   n:int ->
@@ -26,15 +28,21 @@ val run :
     [max_crashes] crash faults are injected; an operation interrupted by
     a crash is recorded with {!History.op.aborted} set, [result = None]
     and [res] at the crash position, and the recovered process restarts
-    its workload from its first operation. The resulting history is
-    checked for strict linearizability by {!Checker.check}.
-    @raise Invalid_argument for [crash_prob > 0] with a [Rr] schedule. *)
+    its workload from its first operation. [abort_prob] / [max_aborts]
+    inject abort faults the same way at the workload's declared wait
+    points ({!Tsim.Prog.abortable}): the interrupted operation becomes a
+    minimal aborted record and the process restarts its workload. The
+    resulting history is checked for strict linearizability by
+    {!Checker.check}.
+    @raise Invalid_argument for fault injection with a [Rr] schedule. *)
 
 val run_and_check :
   ?model:Config.mem_model ->
   ?schedule:schedule ->
   ?crash_prob:float ->
   ?max_crashes:int ->
+  ?abort_prob:float ->
+  ?max_aborts:int ->
   ?crash_semantics:Config.crash_semantics ->
   layout:Layout.t ->
   n:int ->

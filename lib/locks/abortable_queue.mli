@@ -1,0 +1,9 @@
+(** Abortable array-based queue lock (after Katzan–Morrison's abortable
+    CLH): FAA assigns slots, waiters spin abortably on their own grant
+    word, abort marks the slot dead (0 -> 2 by CAS) and the release scan
+    chases the grant past dead slots. Cleanup and exit are bounded by
+    the number of aborts. Slots are not recycled; drawing a ticket past
+    [capacity] raises {!Tsim.Prog.Spin_exhausted}. *)
+
+val make : ?capacity:int -> unit -> n:int -> Lock_intf.t
+val family : Lock_intf.family

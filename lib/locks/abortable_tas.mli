@@ -1,0 +1,14 @@
+(** Abortable test-and-set lock with exponential backoff: the entry
+    section retries an optimistic CAS with an exponentially growing
+    polite wait between failures, and that wait is a declared abortable
+    window ({!Tsim.Prog.retry_backoff}). The abort cleanup releases the
+    lock word only when it carries the aborter's own stamp.
+
+    [buggy_family] is the deliberately broken control whose cleanup
+    frees the lock unconditionally; the model checker refutes it under
+    one injected abort. *)
+
+val make : n:int -> Lock_intf.t
+val make_buggy : n:int -> Lock_intf.t
+val family : Lock_intf.family
+val buggy_family : Lock_intf.family

@@ -83,6 +83,7 @@ let make ?(d0 = 4) ~n () : Lock_intf.t =
     entry;
     exit_section;
     recovery = None;
+    abort = None;
   }
 
 let family = Lock_intf.make_family "cascade" (fun ~n -> make ~n ())

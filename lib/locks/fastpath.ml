@@ -76,6 +76,7 @@ let make ~n : Lock_intf.t =
     entry;
     exit_section;
     recovery = None;
+    abort = None;
   }
 
 let family = Lock_intf.make_family "fastpath" (fun ~n -> make ~n)

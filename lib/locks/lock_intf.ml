@@ -29,6 +29,12 @@ type t = {
       (* recovery section run before the entry section on the first
          passage after a crash (recoverable mutual exclusion); None means
          the lock has no crash story and restarts cold *)
+  abort : (Pid.t -> unit Prog.t) option;
+      (* cleanup section run when an acquisition attempt is cancelled at a
+         declared wait point (Prog.abortable / Machine.abort). Must be
+         bounded (no unbounded spins) and leave the lock reusable: other
+         processes keep making progress and the aborter may re-enter
+         later. None means acquisitions cannot be aborted. *)
 }
 
 (* A lock family: given n, instantiate shared state for n processes. *)

@@ -28,6 +28,11 @@ type t = {
       (** recovery section run before the entry section on the first
           passage after a crash ({!Tsim.Machine.crash}); [None] means the
           lock has no crash story and restarts cold *)
+  abort : (Pid.t -> unit Prog.t) option;
+      (** cleanup section run when an acquisition attempt is cancelled at
+          a declared wait point ({!Tsim.Prog.abortable},
+          {!Tsim.Machine.abort}). Must be bounded and leave the lock
+          reusable; [None] means acquisitions cannot be aborted. *)
 }
 
 (** A lock family: instantiate shared state for [n] processes. *)

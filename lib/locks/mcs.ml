@@ -66,6 +66,7 @@ let make ~n : Lock_intf.t =
     entry;
     exit_section;
     recovery = None;
+    abort = None;
   }
 
 let family = Lock_intf.make_family "mcs" (fun ~n -> make ~n)

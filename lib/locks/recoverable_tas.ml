@@ -42,6 +42,7 @@ let make_with ~name ~recovery ~n : Lock_intf.t =
     entry;
     exit_section;
     recovery = Some (recovery lock_word);
+    abort = None;
   }
 
 let make ~n =

@@ -86,6 +86,7 @@ let make ?(pso_safe = false) ~n () : Lock_intf.t =
     entry;
     exit_section;
     recovery = None;
+    abort = None;
   }
 
 let family = Lock_intf.make_family "tournament" (fun ~n -> make ~n ())

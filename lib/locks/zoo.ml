@@ -49,7 +49,12 @@ let two_process : Lock_intf.family list =
 let recoverable : Lock_intf.family list =
   [ Recoverable_tas.family; Recoverable_tas.naive_family ]
 
+(* Locks with an abort cleanup section; exercised by the abort-injecting
+   model checker (verify --max-aborts). *)
+let abortable : Lock_intf.family list =
+  [ Abortable_tas.family; Abortable_tas.buggy_family; Abortable_queue.family ]
+
 let find name =
   List.find_opt
     (fun f -> String.equal f.Lock_intf.family_name name)
-    (all @ two_process @ recoverable)
+    (all @ two_process @ recoverable @ abortable)

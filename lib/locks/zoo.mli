@@ -14,4 +14,8 @@ val two_process : Lock_intf.family list
 val recoverable : Lock_intf.family list
 (** Locks with a recovery section, for crash-injecting exploration. *)
 
+val abortable : Lock_intf.family list
+(** Locks with an abort cleanup section, for abort-injecting exploration
+    ([verify --max-aborts]). *)
+
 val find : string -> Lock_intf.family option

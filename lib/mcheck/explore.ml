@@ -55,6 +55,7 @@ type move = Footprint.move =
   | Commit_var of Pid.t * Var.t
   | Crash of Pid.t * int
   | Recover of Pid.t
+  | Abort of Pid.t
 
 let move_to_string = function
   | Step p -> Printf.sprintf "step %s" (Pid.to_string p)
@@ -64,6 +65,7 @@ let move_to_string = function
   | Crash (p, 0) -> Printf.sprintf "crash %s" (Pid.to_string p)
   | Crash (p, k) -> Printf.sprintf "crash %s %d" (Pid.to_string p) k
   | Recover p -> Printf.sprintf "recover %s" (Pid.to_string p)
+  | Abort p -> Printf.sprintf "abort %s" (Pid.to_string p)
 
 (* Inverse of [move_to_string]. Tolerates surrounding whitespace but is
    otherwise strict: pids are "p<i>", variables "v<i>", both >= 0; a
@@ -103,6 +105,8 @@ let move_of_string s =
       | _ -> None)
   | [ "recover"; p ] ->
       Option.map (fun p -> Recover (Pid.of_int p)) (int_after 'p' p)
+  | [ "abort"; p ] ->
+      Option.map (fun p -> Abort (Pid.of_int p)) (int_after 'p' p)
   | _ -> None
 
 (* --- schedule (de)serialization --------------------------------------- *)
@@ -148,12 +152,13 @@ type violation = {
   kind : [ `Exclusion of Pid.t * Pid.t | `Deadlock | `Spin_exhausted ];
 }
 
-type partial_reason = [ `Nodes | `Millis | `Violations ]
+type partial_reason = [ `Nodes | `Millis | `Violations | `Aborts ]
 
 let partial_reason_name = function
   | `Nodes -> "node budget"
   | `Millis -> "time budget"
   | `Violations -> "violation cap"
+  | `Aborts -> "abort request (interrupt)"
 
 (* Search-internals accounting, kept as plain int bumps on the hot path
    (a handful of increments against a ~2µs/node budget) and surfaced both
@@ -167,6 +172,7 @@ type stats = {
   ample_fused : int;  (* local moves fused through those chains *)
   seen_entries : int;  (* seen-store occupancy (shared store: global) *)
   crashes_applied : int;  (* crash moves executed *)
+  aborts_applied : int;  (* abort moves executed *)
   domains_used : int;
   domain_nodes : int list;  (* per-domain node counts, domain order *)
   merge_stall_us : int;
@@ -185,7 +191,8 @@ type stats = {
 
 let zero_stats =
   { dedup_hits = 0; resleeps = 0; sleep_prunes = 0; ample_chains = 0;
-    ample_fused = 0; seen_entries = 0; crashes_applied = 0; domains_used = 1;
+    ample_fused = 0; seen_entries = 0; crashes_applied = 0;
+    aborts_applied = 0; domains_used = 1;
     domain_nodes = []; merge_stall_us = 0; journal_peak = 0;
     undo_records = 0; steals = 0; store_evictions = 0; store_drops = 0;
     omission_prob = 0.0 }
@@ -257,6 +264,7 @@ let boxed_pids = 64
 let step_box = Array.init boxed_pids (fun p -> Step (Pid.of_int p))
 let commit_box = Array.init boxed_pids (fun p -> Commit (Pid.of_int p))
 let recover_box = Array.init boxed_pids (fun p -> Recover (Pid.of_int p))
+let abort_box = Array.init boxed_pids (fun p -> Abort (Pid.of_int p))
 let[@inline] step_move p = if p < boxed_pids then step_box.(p) else Step p
 
 let[@inline] commit_move p =
@@ -265,10 +273,13 @@ let[@inline] commit_move p =
 let[@inline] recover_move p =
   if p < boxed_pids then recover_box.(p) else Recover p
 
-let enabled_moves ?(max_crashes = 0) m =
+let[@inline] abort_move p = if p < boxed_pids then abort_box.(p) else Abort p
+
+let enabled_moves ?(max_crashes = 0) ?(max_aborts = 0) m =
   let n = Machine.n_procs m in
   let pso = (Machine.config m).Config.ordering = Config.Pso in
   let budget_left = Machine.crashes_total m < max_crashes in
+  let abort_left = Machine.aborts_total m < max_aborts in
   let semantics = (Machine.config m).Config.crash_semantics in
   let moves = ref [] in
   for p = n - 1 downto 0 do
@@ -277,6 +288,10 @@ let enabled_moves ?(max_crashes = 0) m =
     | Machine.K_recover -> moves := recover_move p :: !moves
     | _ ->
         moves := step_move p :: !moves;
+        (* abort faults: only at declared wait points, while budget
+           remains and the configuration is abortable *)
+        if abort_left && Machine.abort_deliverable m p then
+          moves := abort_move p :: !moves;
         (* crash faults, while budget remains: the prefix length is the
            adversary's choice under Atomic_prefix, forced otherwise *)
         if budget_left then begin
@@ -307,6 +322,7 @@ let apply m = function
   | Commit p -> ignore (Machine.commit m p)
   | Commit_var (p, v) -> ignore (Machine.commit_var m p v)
   | Crash (p, k) -> ignore (Machine.crash ~commit_prefix:k m p)
+  | Abort p -> ignore (Machine.abort m p)
   | Recover p ->
       if Machine.pending m p <> Machine.P_recover then
         invalid_arg
@@ -417,6 +433,10 @@ type ctx = {
   pool : int Atomic.t option;  (* parallel mode: shared budget pool *)
   max_violations : int;
   max_crashes : int;  (* crash faults the adversary may inject, total *)
+  max_aborts : int;  (* abort faults the adversary may inject, total *)
+  stop : bool Atomic.t option;
+      (* external interrupt flag (SIGINT): polled with the deadline;
+         raises the typed `Aborts partial verdict instead of dying *)
   deadline : float option;  (* absolute wall-clock cutoff *)
   obs : Obs.Telemetry.t;  (* Telemetry.null when no sink is attached *)
   decoded : move array;
@@ -442,6 +462,7 @@ type ctx = {
   mutable c_chains : int;
   mutable c_fused : int;
   mutable c_crashes : int;
+  mutable c_aborts : int;
   mutable c_jpeak : int;  (* journal engine: max undo-log depth *)
   mutable c_jrecords : int;  (* journal engine: undo records pushed *)
   mutable c_steals : int;  (* work items stolen from other domains *)
@@ -450,9 +471,9 @@ type ctx = {
   mutable hb_us : int;
 }
 
-let make_ctx ?seen ?pool ?on_fingerprint ?(max_crashes = 0) ?deadline
-    ?(obs = Obs.Telemetry.null) ?(paranoid = false) ~dedup ~por ~codec
-    ~on_spin ~max_nodes ~max_violations () =
+let make_ctx ?seen ?pool ?on_fingerprint ?(max_crashes = 0) ?(max_aborts = 0)
+    ?stop ?deadline ?(obs = Obs.Telemetry.null) ?(paranoid = false) ~dedup
+    ~por ~codec ~on_spin ~max_nodes ~max_violations () =
   let seen =
     match seen with Some s -> s | None -> Seen_tbl (Seenmap.create ())
   in
@@ -465,12 +486,12 @@ let make_ctx ?seen ?pool ?on_fingerprint ?(max_crashes = 0) ?deadline
   { seen; dedup; por; codec;
     sleepable; decoded; fp_a = Footprint.make_scratch ();
     fp_b = Footprint.make_scratch (); paranoid; on_fingerprint;
-    on_spin; pool; max_violations; max_crashes; deadline; obs;
-    quota = max_nodes; pid_counts = [||]; delegate = None;
+    on_spin; pool; max_violations; max_crashes; max_aborts; stop; deadline;
+    obs; quota = max_nodes; pid_counts = [||]; delegate = None;
     nodes = 0; max_depth = 0; nviol = 0; violations = []; stopped = None;
     c_dedup = 0; c_resleeps = 0; c_sleep_prunes = 0; c_chains = 0;
-    c_fused = 0; c_crashes = 0; c_jpeak = 0; c_jrecords = 0; c_steals = 0;
-    hb_nodes = 0; hb_us = 0 }
+    c_fused = 0; c_crashes = 0; c_aborts = 0; c_jpeak = 0; c_jrecords = 0;
+    c_steals = 0; hb_nodes = 0; hb_us = 0 }
 
 let seen_len ctx =
   match ctx.seen with
@@ -488,7 +509,8 @@ let stats_of_ctx ctx =
     dedup_hits = ctx.c_dedup; resleeps = ctx.c_resleeps;
     sleep_prunes = ctx.c_sleep_prunes; ample_chains = ctx.c_chains;
     ample_fused = ctx.c_fused; seen_entries = seen_len ctx;
-    crashes_applied = ctx.c_crashes; domain_nodes = [ ctx.nodes ];
+    crashes_applied = ctx.c_crashes; aborts_applied = ctx.c_aborts;
+    domain_nodes = [ ctx.nodes ];
     journal_peak = ctx.c_jpeak; undo_records = ctx.c_jrecords;
     steals = ctx.c_steals; store_evictions; store_drops; omission_prob }
 
@@ -534,6 +556,7 @@ let heartbeat ctx depth =
   setc "explore.ample_fused" ctx.c_fused;
   setc "explore.seen_entries" (seen_len ctx);
   setc "explore.crashes_applied" ctx.c_crashes;
+  setc "explore.aborts_applied" ctx.c_aborts;
   setc "explore.violations" ctx.nviol;
   Obs.Telemetry.flush_counters obs;
   Obs.Telemetry.gauge obs "explore.frontier_depth" (float_of_int depth);
@@ -617,8 +640,14 @@ let singleton_ample ctx m moves =
      the step would advance), so a lone local step is not an ample set —
      fusing it would skip the crash-before-step interleavings. Once the
      budget is spent no crash move is ever enabled again and the original
-     argument applies unchanged. *)
-  if (not ctx.por) || Machine.crashes_total m < ctx.max_crashes then None
+     argument applies unchanged. The abort budget suspends them for the
+     same reason: a local step may enter or leave an abortable window,
+     which enables or disables the process's own abort move. *)
+  if
+    (not ctx.por)
+    || Machine.crashes_total m < ctx.max_crashes
+    || Machine.aborts_total m < ctx.max_aborts
+  then None
   else begin
     let count = pid_counts ctx m moves in
     let rec pick = function
@@ -787,6 +816,11 @@ let expand ctx m schedule depth sleep ~child =
      1024 nodes: a gettimeofday (or sink write) per node would dominate
      the ~2µs/node hot path *)
   if ctx.nodes land 1023 = 0 then begin
+    (match ctx.stop with
+    | Some s when Atomic.get s ->
+        ctx.stopped <- Some `Aborts;
+        raise Done
+    | _ -> ());
     (match ctx.deadline with
     | Some t when Unix.gettimeofday () > t ->
         ctx.stopped <- Some `Millis;
@@ -796,7 +830,9 @@ let expand ctx m schedule depth sleep ~child =
   end;
   ctx.nodes <- ctx.nodes + 1;
   if depth > ctx.max_depth then ctx.max_depth <- depth;
-  let moves = enabled_moves ~max_crashes:ctx.max_crashes m in
+  let moves =
+    enabled_moves ~max_crashes:ctx.max_crashes ~max_aborts:ctx.max_aborts m
+  in
   if moves = [] then begin
     let n = Machine.n_procs m in
     let unfinished = ref false in
@@ -827,6 +863,7 @@ let expand ctx m schedule depth sleep ~child =
           else begin
             (match mv with
             | Crash _ -> ctx.c_crashes <- ctx.c_crashes + 1
+            | Abort _ -> ctx.c_aborts <- ctx.c_aborts + 1
             | _ -> ());
             let z = if ctx.sleepable then filter_sleep ctx m mv z else 0 in
             let schedule = mv :: schedule and depth = depth + 1 in
@@ -834,7 +871,8 @@ let expand ctx m schedule depth sleep ~child =
             else
               match
                 singleton_ample ctx m'
-                  (enabled_moves ~max_crashes:ctx.max_crashes m')
+                  (enabled_moves ~max_crashes:ctx.max_crashes
+                     ~max_aborts:ctx.max_aborts m')
               with
               | Some (mv', m'') ->
                   ctx.c_fused <- ctx.c_fused + 1;
@@ -862,6 +900,7 @@ let expand ctx m schedule depth sleep ~child =
               | () ->
                   (match mv with
                   | Crash _ -> ctx.c_crashes <- ctx.c_crashes + 1
+                  | Abort _ -> ctx.c_aborts <- ctx.c_aborts + 1
                   | _ -> ());
                   let z =
                     if ctx.sleepable then
@@ -943,7 +982,11 @@ let rec ample_pick_journal ctx m z count = function
   | _ :: rest -> ample_pick_journal ctx m z count rest
 
 let singleton_ample_journal ctx m z moves =
-  if (not ctx.por) || Machine.crashes_total m < ctx.max_crashes then None
+  if
+    (not ctx.por)
+    || Machine.crashes_total m < ctx.max_crashes
+    || Machine.aborts_total m < ctx.max_aborts
+  then None
   else ample_pick_journal ctx m z (pid_counts ctx m moves) moves
 
 let rec dfs_journal ctx m schedule depth sleep =
@@ -952,6 +995,11 @@ let rec dfs_journal ctx m schedule depth sleep =
     raise Done
   end;
   if ctx.nodes land 1023 = 0 then begin
+    (match ctx.stop with
+    | Some s when Atomic.get s ->
+        ctx.stopped <- Some `Aborts;
+        raise Done
+    | _ -> ());
     (match ctx.deadline with
     | Some t when Unix.gettimeofday () > t ->
         ctx.stopped <- Some `Millis;
@@ -961,7 +1009,9 @@ let rec dfs_journal ctx m schedule depth sleep =
   end;
   ctx.nodes <- ctx.nodes + 1;
   if depth > ctx.max_depth then ctx.max_depth <- depth;
-  let moves = enabled_moves ~max_crashes:ctx.max_crashes m in
+  let moves =
+    enabled_moves ~max_crashes:ctx.max_crashes ~max_aborts:ctx.max_aborts m
+  in
   if moves = [] then begin
     let n = Machine.n_procs m in
     let unfinished = ref false in
@@ -1008,6 +1058,7 @@ and dfs_journal_moves ctx m schedule depth sleep explored = function
         | () ->
             (match mv with
             | Crash _ -> ctx.c_crashes <- ctx.c_crashes + 1
+            | Abort _ -> ctx.c_aborts <- ctx.c_aborts + 1
             | _ -> ());
             visit_child_journal ctx m (mv :: schedule) (depth + 1) z;
             Machine.Journal.undo_to m mark
@@ -1039,6 +1090,7 @@ and chase_journal ctx m ~chain_mark mv ~z_in ~z_out schedule depth fuel =
   else begin
     (match mv with
     | Crash _ -> ctx.c_crashes <- ctx.c_crashes + 1
+    | Abort _ -> ctx.c_aborts <- ctx.c_aborts + 1
     | _ -> ());
     let schedule = mv :: schedule and depth = depth + 1 in
     if fuel = 0 then begin
@@ -1048,7 +1100,8 @@ and chase_journal ctx m ~chain_mark mv ~z_in ~z_out schedule depth fuel =
     else
       match
         singleton_ample_journal ctx m z_out
-          (enabled_moves ~max_crashes:ctx.max_crashes m)
+          (enabled_moves ~max_crashes:ctx.max_crashes
+             ~max_aborts:ctx.max_aborts m)
       with
       | Some (mv', z') ->
           ctx.c_fused <- ctx.c_fused + 1;
@@ -1169,9 +1222,10 @@ let delegate_period_mask = 63
    [busy] count (workers currently holding work) lets idle thieves
    distinguish "momentarily empty" from "globally done". *)
 let shared_worker ~engine ~paranoid ~store ~pool ~deques ~busy ~d ~dedup ~por
-    ~codec ~on_spin ~max_violations ~max_crashes ~deadline () =
+    ~codec ~on_spin ~max_violations ~max_crashes ~max_aborts ~stop ~deadline
+    () =
   let ctx =
-    make_ctx ~seen:(Seen_shared store) ~pool ~max_crashes
+    make_ctx ~seen:(Seen_shared store) ~pool ~max_crashes ~max_aborts ?stop
       ?deadline ~paranoid ~dedup ~por ~codec ~on_spin ~max_nodes:0
       ~max_violations ()
   in
@@ -1266,7 +1320,7 @@ let shared_worker ~engine ~paranoid ~store ~pool ~deques ~busy ~d ~dedup ~por
     o_stats = stats_of_ctx ctx; o_t0 = t0; o_t1 = t1 }
 
 let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
-    ~on_spin ~max_crashes ~deadline ~obs ~paranoid cfg =
+    ~on_spin ~max_crashes ~max_aborts ~stop ~deadline ~obs ~paranoid cfg =
   (* the BFS seed expands on the coordinator with the clone engine under
      BOTH engines: frontier states must be independent machines that can
      be handed to other domains; workers then re-enable journaling on
@@ -1276,8 +1330,9 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
     Fpstore.create ~mode:cfg.Config.store ~expected:max_nodes
   in
   let ctx =
-    make_ctx ~seen:(Seen_shared store) ~max_crashes ?deadline ~obs ~paranoid
-      ~dedup ~por ~codec ~on_spin ~max_nodes ~max_violations ()
+    make_ctx ~seen:(Seen_shared store) ~max_crashes ~max_aborts ?stop
+      ?deadline ~obs ~paranoid ~dedup ~por ~codec ~on_spin ~max_nodes
+      ~max_violations ()
   in
   let bfs_t0 = Obs.Telemetry.now_us obs in
   match bfs_frontier ctx (search_machine cfg) ~target:(domains * 8) with
@@ -1309,7 +1364,7 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
             Domain.spawn
               (shared_worker ~engine ~paranoid ~store ~pool ~deques ~busy ~d
                  ~dedup ~por ~codec ~on_spin ~max_violations ~max_crashes
-                 ~deadline))
+                 ~max_aborts ~stop ~deadline))
       in
       let parts = Array.map Domain.join spawned in
       let nodes =
@@ -1358,6 +1413,7 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
               ample_chains = acc.ample_chains + s.ample_chains;
               ample_fused = acc.ample_fused + s.ample_fused;
               crashes_applied = acc.crashes_applied + s.crashes_applied;
+              aborts_applied = acc.aborts_applied + s.aborts_applied;
               domain_nodes = acc.domain_nodes @ s.domain_nodes;
               merge_stall_us =
                 acc.merge_stall_us
@@ -1423,15 +1479,24 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
    busy-waits stay shallow during exploration. *)
 let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
     ?(on_spin = `Prune) ?(spin_fuel = 6) ?(record_trace = false)
-    ?(domains = 1) ?(por = true) ?(max_crashes = 0) ?max_millis
-    ?on_fingerprint ?(obs = Obs.Telemetry.null) ?(paranoid_fp = false)
-    (cfg : Config.t) : result =
+    ?(domains = 1) ?(por = true) ?(max_crashes = 0) ?(max_aborts = 0) ?stop
+    ?max_millis ?on_fingerprint ?(obs = Obs.Telemetry.null)
+    ?(paranoid_fp = false) (cfg : Config.t) : result =
   if domains < 1 then invalid_arg "Explore.explore: domains must be >= 1";
   if domains > 1 && Option.is_some on_fingerprint then
     invalid_arg "Explore.explore: on_fingerprint requires domains = 1";
   if max_crashes < 0 then
     invalid_arg "Explore.explore: max_crashes must be >= 0";
-  let codec = Footprint.codec_of_config ~crashes:(max_crashes > 0) cfg in
+  if max_aborts < 0 then
+    invalid_arg "Explore.explore: max_aborts must be >= 0";
+  if max_aborts > 0 && Option.is_none cfg.Config.abort_section then
+    invalid_arg
+      "Explore.explore: max_aborts > 0 requires an abort_section in the \
+       configuration";
+  let codec =
+    Footprint.codec_of_config ~crashes:(max_crashes > 0)
+      ~aborts:(max_aborts > 0) cfg
+  in
   let deadline =
     Option.map
       (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
@@ -1451,6 +1516,7 @@ let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
       Obs.Telemetry.set (t "explore.ample_fused") r.stats.ample_fused;
       Obs.Telemetry.set (t "explore.seen_entries") r.stats.seen_entries;
       Obs.Telemetry.set (t "explore.crashes_applied") r.stats.crashes_applied;
+      Obs.Telemetry.set (t "explore.aborts_applied") r.stats.aborts_applied;
       Obs.Telemetry.set (t "explore.violations") (List.length r.violations);
       Obs.Telemetry.set (t "explore.steals") r.stats.steals;
       Obs.Telemetry.set (t "explore.store_evictions") r.stats.store_evictions;
@@ -1464,8 +1530,8 @@ let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
   if domains > 1 then
     finish
       (explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por
-         ~codec ~on_spin ~max_crashes ~deadline ~obs ~paranoid:paranoid_fp
-         cfg)
+         ~codec ~on_spin ~max_crashes ~max_aborts ~stop ~deadline ~obs
+         ~paranoid:paranoid_fp cfg)
   else begin
     (* one domain: the hash table serves the exact mode (no
        synchronization to pay for); the memory-bounded modes go through
@@ -1477,8 +1543,8 @@ let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
       | mode -> Seen_shared (Fpstore.create ~mode ~expected:max_nodes)
     in
     let ctx =
-      make_ctx ~seen ?on_fingerprint ~max_crashes ?deadline ~obs
-        ~paranoid:paranoid_fp ~dedup ~por ~codec ~on_spin ~max_nodes
+      make_ctx ~seen ?on_fingerprint ~max_crashes ~max_aborts ?stop ?deadline
+        ~obs ~paranoid:paranoid_fp ~dedup ~por ~codec ~on_spin ~max_nodes
         ~max_violations ()
     in
     let t0 = Obs.Telemetry.now_us obs in
@@ -1502,6 +1568,9 @@ type replay_outcome =
   | R_exclusion of Pid.t * Pid.t
   | R_spin of Var.t
   | R_bad_pid of int * Pid.t  (* 0-based move index, out-of-range pid *)
+  | R_bad_abort of int * Pid.t
+      (* abort delivered outside a declared wait point (or the
+         configuration has no abort section): 0-based move index, pid *)
   | R_stuck of int * string  (* 0-based move index, reason *)
 
 let replay (cfg : Config.t) (schedule : move list) =
@@ -1530,6 +1599,10 @@ let replay (cfg : Config.t) (schedule : move list) =
   | None ->
       let rec go i = function
         | [] -> R_completed
+        | (Abort p) :: _ when not (Machine.abort_deliverable m p) ->
+            (* typed, pre-apply: an ill-timed abort is a malformed
+               schedule (wrong point, wrong lock), not a machine error *)
+            R_bad_abort (i, p)
         | mv :: rest -> (
             match apply m mv with
             | () -> go (i + 1) rest

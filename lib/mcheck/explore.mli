@@ -97,13 +97,16 @@ type move = Footprint.move =
       (** crash fault committing a [k]-entry buffer prefix
           ({!Machine.crash}); only generated under [~max_crashes > 0] *)
   | Recover of Pid.t  (** restart a crashed process *)
+  | Abort of Pid.t
+      (** abort fault at a declared wait point ({!Machine.abort}); only
+          generated under [~max_aborts > 0] *)
 
 val move_to_string : move -> string
 
 val move_of_string : string -> move option
 (** Inverse of {!move_to_string} (["step p0"], ["commit p1"],
-    ["commit p0 v3"], ["crash p0"], ["crash p0 2"], ["recover p1"]);
-    [None] on anything else. *)
+    ["commit p0 v3"], ["crash p0"], ["crash p0 2"], ["recover p1"],
+    ["abort p0"]); [None] on anything else. *)
 
 (** {1 Schedule files}
 
@@ -120,8 +123,11 @@ type violation = {
   kind : [ `Exclusion of Pid.t * Pid.t | `Deadlock | `Spin_exhausted ];
 }
 
-(** Why a search stopped before exhausting the space. *)
-type partial_reason = [ `Nodes | `Millis | `Violations ]
+(** Why a search stopped before exhausting the space. [`Aborts] is an
+    external abort request — the CLI's SIGINT flag ([~stop]) was raised
+    mid-search; the explorer winds down and reports the typed partial
+    verdict instead of dying. *)
+type partial_reason = [ `Nodes | `Millis | `Violations | `Aborts ]
 
 val partial_reason_name : partial_reason -> string
 
@@ -141,6 +147,7 @@ type stats = {
           mode): the ONE global store's occupancy — domains share it, so
           this is a global count, not a per-domain sum *)
   crashes_applied : int;  (** crash moves executed (≠ distinct schedules) *)
+  aborts_applied : int;  (** abort moves executed (≠ distinct schedules) *)
   domains_used : int;
   domain_nodes : int list;
       (** nodes expanded per domain, in domain order; singleton for the
@@ -193,12 +200,16 @@ val render_verdict : result -> string * int
     nonzero [store_drops] (a saturated exact store that fell back to
     re-exploration) are appended rather than hidden in the stats. *)
 
-val enabled_moves : ?max_crashes:int -> Machine.t -> move list
+val enabled_moves :
+  ?max_crashes:int -> ?max_aborts:int -> Machine.t -> move list
 (** Enabled moves in a state. With [~max_crashes] above the machine's
     {!Machine.crashes_total}, crash moves are offered for every live
     uncrashed process (one per legal commit-prefix length under
     [Atomic_prefix]); crashed processes offer [Recover] instead of
-    [Step]. Default [max_crashes = 0]: failure-free, as before. *)
+    [Step]. With [~max_aborts] above {!Machine.aborts_total}, an [Abort]
+    move is offered for every process at a declared wait point
+    ({!Machine.abort_deliverable}). Defaults 0: failure-free, as
+    before. *)
 
 val apply : Machine.t -> move -> unit
 (** @raise Invalid_argument on a move illegal in the current state (e.g.
@@ -220,6 +231,8 @@ val explore :
   ?domains:int ->
   ?por:bool ->
   ?max_crashes:int ->
+  ?max_aborts:int ->
+  ?stop:bool Atomic.t ->
   ?max_millis:int ->
   ?on_fingerprint:(int -> unit) ->
   ?obs:Obs.Telemetry.t ->
@@ -240,6 +253,20 @@ val explore :
     not commute with its local steps); sleep sets stay on with a widened
     move codec. Failure-free runs ([k = 0], the default) are bit-for-bit
     unaffected.
+
+    [~max_aborts:k] does the same for abort faults ({!Machine.abort},
+    requires {!Config.t.abort_section}): the adversary may cancel up to
+    [k] acquisition attempts at declared wait points. Abort moves carry
+    the same budget footprint flag as crashes — pairwise dependent, and
+    singleton-ample fusion is suspended while abort budget remains (a
+    local step may open or close the abortable window that gates the
+    process's own abort move). Both budgets may be nonzero at once;
+    crashes may land inside abort cleanup sections.
+
+    [~stop] is an external interrupt flag, polled with the deadline
+    (every 1024 nodes): once set, the search winds down and the result
+    carries [partial = Some `Aborts] — the CLI maps SIGINT onto it so an
+    interrupted verification still flushes stats and exits 3.
 
     [~max_millis:ms] bounds wall-clock time; on expiry the result carries
     [partial = Some `Millis] (the deadline is polled every 1024 nodes, so
@@ -325,6 +352,11 @@ type replay_outcome =
       (** the schedule references a process the machine does not have
           (0-based move index, offending pid) — detected by a pre-scan
           before any move is applied *)
+  | R_bad_abort of int * Pid.t
+      (** an [abort] line lands on a process that is not at a declared
+          wait point (or the configuration has no abort section) —
+          decided before the move is applied, so the machine shows the
+          state the bad abort was attempted in *)
   | R_stuck of int * string
       (** 0-based index of the first inapplicable move, and why *)
 

@@ -39,9 +39,12 @@ type move =
   | Commit_var of Pid.t * Var.t
   | Crash of Pid.t * int
   | Recover of Pid.t
+  | Abort of Pid.t
 
 let move_pid = function
-  | Step p | Commit p | Commit_var (p, _) | Crash (p, _) | Recover p -> p
+  | Step p | Commit p | Commit_var (p, _) | Crash (p, _) | Recover p
+  | Abort p ->
+      p
 
 (* Fields are mutable solely for [of_move_into]'s in-place refill of a
    scratch record on the explorer hot path; every other producer builds a
@@ -124,6 +127,13 @@ let of_move m mv =
       { pid = p; reads = 0; writes = !writes; cs_check = false;
         may_enable_cs = true; budget = true; global = !global }
   | Recover p -> local p
+  | Abort p ->
+      (* Process-local: the buffer is kept, the continuation swaps to the
+         cleanup section. Like a crash it changes the owner's section
+         against the CS check and consumes a shared fault budget (any two
+         budget moves are ordered conservatively). *)
+      { pid = p; reads = 0; writes = 0; cs_check = false;
+        may_enable_cs = true; budget = true; global = false }
 
 (* --- allocation-free refill (explorer hot path) ---------------------- *)
 
@@ -204,6 +214,9 @@ let of_move_into f m mv =
   | Recover p ->
       fill f p ~reads:0 ~writes:0 ~cs_check:false ~may_enable_cs:false
         ~budget:false ~global:false
+  | Abort p ->
+      fill f p ~reads:0 ~writes:0 ~cs_check:false ~may_enable_cs:true
+        ~budget:true ~global:false
 
 let independent a b =
   (not (Pid.equal a.pid b.pid))
@@ -229,22 +242,34 @@ let purely_local f =
    play ([codec_of_config ~crashes:true]) the stride widens: slot 2 is
    Recover, slots [3+v] are Commit_var, and slots [3+nvars+k] are Crash
    with prefix [k] (0..nvars — a buffer holds at most one write per
-   variable). Sleep sets are then one-word bitsets over codes;
+   variable). When abort moves are in play ([~aborts:true]) one more
+   slot — always the last of the stride — encodes Abort; crash and abort
+   widenings compose. Sleep sets are then one-word bitsets over codes;
    configurations too large to encode simply run without sleep sets
-   (masks stay 0), keeping the reduction sound. Crash-free explorations
+   (masks stay 0), keeping the reduction sound. Fault-free explorations
    keep the narrow stride so their encodability is unchanged. *)
 type codec = {
   stride : int;
   total_bits : int;
   encodable : bool;
   crashes : bool;
+  aborts : bool;
 }
 
-let codec_of_config ?(crashes = false) (cfg : Config.t) =
+let codec_of_config ?(crashes = false) ?(aborts = false) (cfg : Config.t) =
   let nvars = Layout.size cfg.Config.layout in
-  let stride = if crashes then 4 + (2 * nvars) else 2 + nvars in
+  let stride =
+    (if crashes then 4 + (2 * nvars) else 2 + nvars)
+    + if aborts then 1 else 0
+  in
   let total_bits = cfg.Config.n * stride in
-  { stride; total_bits; encodable = total_bits <= Sys.int_size - 2; crashes }
+  { stride; total_bits; encodable = total_bits <= Sys.int_size - 2; crashes;
+    aborts }
+
+(* Variable count implied by the stride, independent of the widenings. *)
+let codec_nvars c =
+  let base = c.stride - if c.aborts then 1 else 0 in
+  if c.crashes then (base - 4) / 2 else base - 2
 
 let encode c = function
   | Step p -> p * c.stride
@@ -255,12 +280,16 @@ let encode c = function
       (p * c.stride) + 2
   | Crash (p, k) ->
       if not c.crashes then invalid_arg "Footprint.encode: crash-free codec";
-      (p * c.stride) + 3 + ((c.stride - 4) / 2) + k
+      (p * c.stride) + 3 + codec_nvars c + k
+  | Abort p ->
+      if not c.aborts then invalid_arg "Footprint.encode: abort-free codec";
+      (p * c.stride) + c.stride - 1
 
 let decode c code =
   let p = code / c.stride in
-  let nvars = if c.crashes then (c.stride - 4) / 2 else c.stride - 2 in
+  let nvars = codec_nvars c in
   match code mod c.stride with
+  | s when c.aborts && s = c.stride - 1 -> Abort p
   | 0 -> Step p
   | 1 -> Commit p
   | 2 when c.crashes -> Recover p

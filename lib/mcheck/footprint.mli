@@ -9,13 +9,16 @@ open Tsim.Ids
 
 (** One scheduler choice (mirrored by {!Explore.move}). [Crash (p, k)]
     injects a crash fault committing a [k]-entry buffer prefix
-    ({!Machine.crash}); [Recover p] restarts a crashed process. *)
+    ({!Machine.crash}); [Recover p] restarts a crashed process;
+    [Abort p] cancels an acquisition attempt at a declared wait point
+    ({!Machine.abort}). *)
 type move =
   | Step of Pid.t
   | Commit of Pid.t
   | Commit_var of Pid.t * Var.t
   | Crash of Pid.t * int
   | Recover of Pid.t
+  | Abort of Pid.t
 
 val move_pid : move -> Pid.t
 
@@ -73,13 +76,16 @@ type codec = {
   total_bits : int;
   encodable : bool;
   crashes : bool;  (** stride widened to cover Crash/Recover slots *)
+  aborts : bool;  (** stride widened by one trailing Abort slot *)
 }
 
-val codec_of_config : ?crashes:bool -> Config.t -> codec
+val codec_of_config : ?crashes:bool -> ?aborts:bool -> Config.t -> codec
 (** [~crashes:true] (default [false]) reserves code slots for [Recover]
-    and every [Crash] prefix length; crash-free explorations keep the
+    and every [Crash] prefix length; [~aborts:true] (default [false])
+    reserves one more for [Abort]. Fault-free explorations keep the
     narrow stride so their encodability is unchanged. {!encode} raises
-    [Invalid_argument] on a crash move against a crash-free codec. *)
+    [Invalid_argument] on a fault move against a codec without its
+    slots. *)
 
 val encode : codec -> move -> int
 val decode : codec -> int -> move

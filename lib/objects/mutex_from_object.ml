@@ -83,6 +83,7 @@ let make ?(name_suffix = "") (builder : Obj_intf.builder) ~n :
     entry;
     exit_section;
     recovery = None;
+    abort = None;
   }
 
 let from_counter_faa ~n = make Counter.faa_provider ~n

@@ -97,6 +97,21 @@ let events ?(name = "price_adaptive") (tr : Trace.t) : Obs.Json.t list =
               ("dropped", Obs.Json.Int dropped);
             ]
       | Event.Recover -> instant ~ts ~tid:p "recover" []
+      | Event.Abort ->
+          (* the passage span stays open through the cleanup section; only
+             an in-progress fence drain is cut short by the fault *)
+          if in_fence.(p) then begin
+            in_fence.(p) <- false;
+            put (ev ~name:"fence" ~cat:"fence" ~ph:"E" ~ts ~pid:0 ~tid:p [])
+          end;
+          instant ~ts ~tid:p "abort" []
+      | Event.Abort_done ->
+          if in_passage.(p) then begin
+            in_passage.(p) <- false;
+            put
+              (ev ~name:"passage" ~cat:"passage" ~ph:"E" ~ts ~pid:0 ~tid:p [])
+          end;
+          instant ~ts ~tid:p "abort-done" []
       | kind ->
           let nm =
             match kind with

@@ -24,6 +24,7 @@ type per_process = {
   pp_fences : int;
   pp_criticals : int;
   pp_passages : int;
+  pp_aborts : int;  (* acquisition attempts cancelled at a wait point *)
   pp_passage_log : per_passage list;
 }
 
@@ -33,6 +34,7 @@ type t = {
   total_rmrs : int;
   total_fences : int;
   total_criticals : int;
+  total_aborts : int;
 }
 
 let compute (tr : Trace.t) : t =
@@ -44,7 +46,8 @@ let compute (tr : Trace.t) : t =
     | None ->
         let x =
           { pp_pid = p; pp_events = 0; pp_rmrs = 0; pp_fences = 0;
-            pp_criticals = 0; pp_passages = 0; pp_passage_log = [] }
+            pp_criticals = 0; pp_passages = 0; pp_aborts = 0;
+            pp_passage_log = [] }
         in
         Hashtbl.replace tbl p x;
         x
@@ -58,10 +61,12 @@ let compute (tr : Trace.t) : t =
       let fence =
         match e.Event.kind with Event.End_fence _ -> 1 | _ -> 0
       in
+      let abort = match e.Event.kind with Event.Abort -> 1 | _ -> 0 in
       Hashtbl.replace tbl p
         { pp with pp_events = pp.pp_events + 1; pp_rmrs = pp.pp_rmrs + rmr;
           pp_fences = pp.pp_fences + fence;
-          pp_criticals = pp.pp_criticals + crit };
+          pp_criticals = pp.pp_criticals + crit;
+          pp_aborts = pp.pp_aborts + abort };
       (match e.Event.kind with
       | Event.Enter ->
           Hashtbl.replace cur p
@@ -96,6 +101,7 @@ let compute (tr : Trace.t) : t =
     total_fences = List.fold_left (fun a p -> a + p.pp_fences) 0 processes;
     total_criticals =
       List.fold_left (fun a p -> a + p.pp_criticals) 0 processes;
+    total_aborts = List.fold_left (fun a p -> a + p.pp_aborts) 0 processes;
   }
 
 let find t p = List.find_opt (fun pp -> Pid.equal pp.pp_pid p) t.processes
@@ -110,7 +116,7 @@ let cross_check (m : Machine.t) (t : t) : string list =
   let failf fmt = Printf.ksprintf (fun s -> fails := s :: !fails) fmt in
   let zero p =
     { pp_pid = p; pp_events = 0; pp_rmrs = 0; pp_fences = 0; pp_criticals = 0;
-      pp_passages = 0; pp_passage_log = [] }
+      pp_passages = 0; pp_aborts = 0; pp_passage_log = [] }
   in
   for p = 0 to Machine.n_procs m - 1 do
     let pp = Option.value ~default:(zero p) (find t p) in
@@ -122,6 +128,7 @@ let cross_check (m : Machine.t) (t : t) : string list =
     check "fences" (Machine.fences_completed m p) pp.pp_fences;
     check "criticals" (Machine.criticals m p) pp.pp_criticals;
     check "passages" (Machine.passages m p) pp.pp_passages;
+    check "aborts" (Machine.aborts m p) pp.pp_aborts;
     let log = Machine.passage_log m p in
     if Vec.length log <> List.length pp.pp_passage_log then
       failf "p%d passage log length: online %d <> trace %d" p
@@ -145,13 +152,18 @@ let cross_check (m : Machine.t) (t : t) : string list =
 
 let pp fmt (t : t) =
   Format.fprintf fmt
-    "events %d, rmrs %d, fences %d, criticals %d over %d processes@."
+    "events %d, rmrs %d, fences %d, criticals %d, aborts %d over %d \
+     processes@."
     t.total_events t.total_rmrs t.total_fences t.total_criticals
+    t.total_aborts
     (List.length t.processes);
   List.iter
     (fun pp_ ->
       Format.fprintf fmt
-        "  %a: events %d rmrs %d fences %d criticals %d passages %d@."
+        "  %a: events %d rmrs %d fences %d criticals %d passages %d%s@."
         Pid.pp pp_.pp_pid pp_.pp_events pp_.pp_rmrs pp_.pp_fences
-        pp_.pp_criticals pp_.pp_passages)
+        pp_.pp_criticals pp_.pp_passages
+        (if pp_.pp_aborts > 0 then
+           Printf.sprintf " aborts %d" pp_.pp_aborts
+         else ""))
     t.processes

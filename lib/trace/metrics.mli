@@ -19,6 +19,7 @@ type per_process = {
   pp_fences : int;
   pp_criticals : int;
   pp_passages : int;
+  pp_aborts : int;  (** acquisition attempts cancelled at a wait point *)
   pp_passage_log : per_passage list;
 }
 
@@ -28,6 +29,7 @@ type t = {
   total_rmrs : int;
   total_fences : int;
   total_criticals : int;
+  total_aborts : int;
 }
 
 val compute : Trace.t -> t

@@ -38,6 +38,8 @@ let short_kind layout (e : Event.t) =
       Printf.sprintf "swp %s>%d" (vname var) observed
   | Event.Crash { dropped; _ } -> Printf.sprintf "CRASH -%dw" dropped
   | Event.Recover -> "RECOVER"
+  | Event.Abort -> "ABORT"
+  | Event.Abort_done -> "ABORTED"
 
 let pad s =
   let s = if String.length s > cell_width then String.sub s 0 cell_width else s in

@@ -40,6 +40,8 @@ let kind_to_string = function
   | Event.Crash { committed; dropped } ->
       Printf.sprintf "crash %d %d" committed dropped
   | Event.Recover -> "recover"
+  | Event.Abort -> "abort"
+  | Event.Abort_done -> "abort-done"
 
 let kind_of_tokens = function
   | [ "enter" ] -> Event.Enter
@@ -71,6 +73,8 @@ let kind_of_tokens = function
   | [ "crash"; c; d ] ->
       Event.Crash { committed = int_of_string c; dropped = int_of_string d }
   | [ "recover" ] -> Event.Recover
+  | [ "abort" ] -> Event.Abort
+  | [ "abort-done" ] -> Event.Abort_done
   | toks -> failwith ("Serial: bad event line: " ^ String.concat " " toks)
 
 let event_to_line (e : Event.t) =

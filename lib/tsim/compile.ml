@@ -77,6 +77,17 @@ let recovery_cont (cfg : Config.t) pid =
       Prog.bind (r pid) (fun () -> entry pid)
   | None -> cfg.Config.entry pid
 
+(* The canonical continuation of an aborted process: its cleanup section,
+   alone — reaching [Return ()] is the abort-done transition back to NCS.
+   Same engine-agreement contract as [recovery_cont]: both the compiler
+   and the machine's interpreter path must build the closure here.
+   Calling it without an abort section is a programming error; the
+   machine refuses to abort such processes. *)
+let abort_cont (cfg : Config.t) pid =
+  match cfg.Config.abort_section with
+  | Some a -> a pid
+  | None -> invalid_arg "Compile.abort_cont: configuration is not abortable"
+
 type instr = {
   rep : unit Prog.t;  (* the interned continuation itself *)
   key : int;  (* cached [hash_cont rep] *)
@@ -101,6 +112,7 @@ type t = {
   entry_pc : int array;  (* per-pid section roots; -1 = interpreter *)
   exit_pc : int array;
   recover_pc : int array;
+  abort_pc : int array;
   unit_pc : int;  (* pc of [Return ()]: interned first, always 0 *)
 }
 
@@ -156,6 +168,7 @@ let unit_pc c = c.unit_pc
 let entry_pc c pid = c.entry_pc.(pid)
 let exit_pc c pid = c.exit_pc.(pid)
 let recover_pc c pid = c.recover_pc.(pid)
+let abort_pc c pid = c.abort_pc.(pid)
 let size c = c.count
 
 let with_lock c f =
@@ -247,6 +260,7 @@ let make ?(max_instrs = 65536) ?(max_fanout = 64) (cfg : Config.t) =
       entry_pc = Array.make n (-1);
       exit_pc = Array.make n (-1);
       recover_pc = Array.make n (-1);
+      abort_pc = Array.make n (-1);
       unit_pc = 0;
     }
   in
@@ -285,6 +299,9 @@ let make ?(max_instrs = 65536) ?(max_fanout = 64) (cfg : Config.t) =
           let k : unit -> unit Prog.t = k in
           close_u ~pid i.next_u k
       | Prog.Bind (Prog.Fence, k) ->
+          let k : unit -> unit Prog.t = k in
+          close_u ~pid i.next_u k
+      | Prog.Bind (Prog.Abortable _, k) ->
           let k : unit -> unit Prog.t = k in
           close_u ~pid i.next_u k
       | Prog.Bind (Prog.Cas _, k) ->
@@ -331,7 +348,9 @@ let make ?(max_instrs = 65536) ?(max_fanout = 64) (cfg : Config.t) =
     root ~pid:p c.entry_pc p (fun () -> cfg.Config.entry p);
     root ~pid:p c.exit_pc p (fun () -> cfg.Config.exit_section p);
     if Option.is_some cfg.Config.recovery then
-      root ~pid:p c.recover_pc p (fun () -> recovery_cont cfg p)
+      root ~pid:p c.recover_pc p (fun () -> recovery_cont cfg p);
+    if Option.is_some cfg.Config.abort_section then
+      root ~pid:p c.abort_pc p (fun () -> abort_cont cfg p)
   done;
   c
 
@@ -352,6 +371,10 @@ let same_src (a : Config.t) (b : Config.t) =
   a.Config.entry == b.Config.entry
   && a.Config.exit_section == b.Config.exit_section
   && (match (a.Config.recovery, b.Config.recovery) with
+     | None, None -> true
+     | Some r, Some r' -> r == r'
+     | _ -> false)
+  && (match (a.Config.abort_section, b.Config.abort_section) with
      | None, None -> true
      | Some r, Some r' -> r == r'
      | _ -> false)

@@ -56,6 +56,13 @@ val recovery_cont : Config.t -> Ids.Pid.t -> unit Prog.t
     build it here so the closure — and hence the state fingerprint — is
     identical across engines. *)
 
+val abort_cont : Config.t -> Ids.Pid.t -> unit Prog.t
+(** The canonical continuation of an aborted process: its abort cleanup
+    section alone ([Return ()] is the abort-done transition). Same
+    engine-agreement contract as {!recovery_cont}.
+    @raise Invalid_argument when the configuration has no abort
+    section. *)
+
 val rep : t -> int -> unit Prog.t
 (** The interned continuation at a pc. *)
 
@@ -71,6 +78,7 @@ val entry_pc : t -> Ids.Pid.t -> int
 
 val exit_pc : t -> Ids.Pid.t -> int
 val recover_pc : t -> Ids.Pid.t -> int
+val abort_pc : t -> Ids.Pid.t -> int
 
 val size : t -> int
 (** Number of interned instructions. *)

@@ -130,6 +130,12 @@ type t = {
       (* recovery section run before the entry section on the first
          passage after a crash; [None] restarts at the entry label with
          no repair step (the non-recoverable baseline) *)
+  abort_section : (Pid.t -> unit Prog.t) option;
+      (* cleanup section run when the adversary aborts the process at a
+         declared wait point ([Machine.abort]); must leave the lock
+         reusable in a statically bounded number of own-steps. [None]
+         means the lock is not abortable: abort moves are never
+         deliverable *)
   engine : engine;
       (* exploration child-expansion strategy (journal vs clone) *)
   pure_programs : bool;
@@ -149,7 +155,7 @@ type t = {
 
 let make ?(model = Cc_wb) ?(ordering = Tso) ?(max_passages = 1)
     ?(rmw_drains = true) ?(check_exclusion = true) ?(record_trace = true)
-    ?(crash_semantics = Drop_buffer) ?recovery ?engine
+    ?(crash_semantics = Drop_buffer) ?recovery ?abort_section ?engine
     ?(pure_programs = false) ?(store = Store_exact) ~n ~layout ~entry
     ~exit_section () =
   if n <= 0 then invalid_arg "Config.make: n must be positive";
@@ -168,4 +174,4 @@ let make ?(model = Cc_wb) ?(ordering = Tso) ?(max_passages = 1)
         invalid_arg "Config.make: bounded log2_slots must be in [8, 30]");
   { n; model; ordering; layout; entry; exit_section; max_passages;
     rmw_drains; check_exclusion; record_trace; crash_semantics; recovery;
-    engine; pure_programs; store }
+    abort_section; engine; pure_programs; store }

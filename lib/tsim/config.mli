@@ -99,6 +99,10 @@ type t = {
       (** recovery section prepended to the entry section on the first
           passage a process starts after a crash; [None] means the
           process simply restarts at the entry label *)
+  abort_section : (Pid.t -> unit Prog.t) option;
+      (** cleanup section run after the adversary aborts the process at a
+          declared wait point ({!Machine.abort}); must leave the lock
+          reusable. [None] = not abortable, abort moves never apply *)
   engine : engine;  (** exploration child-expansion strategy *)
   pure_programs : bool;
       (** declared promise that the program constructors and every
@@ -122,6 +126,7 @@ val make :
   ?record_trace:bool ->
   ?crash_semantics:crash_semantics ->
   ?recovery:(Pid.t -> unit Prog.t) ->
+  ?abort_section:(Pid.t -> unit Prog.t) ->
   ?engine:engine ->
   ?pure_programs:bool ->
   ?store:store_mode ->

@@ -32,6 +32,11 @@ type kind =
       (* crash fault: [committed] buffered writes reached memory (their
          Commit_write events precede this one), [dropped] were lost *)
   | Recover  (* the crashed process restarts at its recovery label *)
+  | Abort
+      (* abort fault: the adversary timed the process out at a declared
+         wait point; its write buffer survives and it runs its abort
+         cleanup section next *)
+  | Abort_done  (* abort cleanup completed; the process returns to NCS *)
 
 type t = {
   seq : int;  (* position in the trace *)
@@ -56,7 +61,7 @@ let accessed_var e =
   | Commit_write { var; _ } -> Some var
   | Cas_ev { var; _ } | Faa_ev { var; _ } | Swap_ev { var; _ } -> Some var
   | Issue_write _ | Enter | Cs | Exit | Begin_fence _ | End_fence _
-  | Crash _ | Recover ->
+  | Crash _ | Recover | Abort | Abort_done ->
       None
 
 (* The variable an event *mentions* (including issued writes), for
@@ -66,11 +71,14 @@ let mentioned_var e =
   | Read { var; _ } | Issue_write { var; _ } | Commit_write { var; _ }
   | Cas_ev { var; _ } | Faa_ev { var; _ } | Swap_ev { var; _ } ->
       Some var
-  | Enter | Cs | Exit | Begin_fence _ | End_fence _ | Crash _ | Recover ->
+  | Enter | Cs | Exit | Begin_fence _ | End_fence _ | Crash _ | Recover
+  | Abort | Abort_done ->
       None
 
 let is_transition e =
-  match e.kind with Enter | Cs | Exit | Crash _ | Recover -> true | _ -> false
+  match e.kind with
+  | Enter | Cs | Exit | Crash _ | Recover | Abort | Abort_done -> true
+  | _ -> false
 
 let is_fence_event e =
   match e.kind with Begin_fence _ | End_fence _ -> true | _ -> false
@@ -93,7 +101,7 @@ let published e =
   | Faa_ev { var; delta; observed } -> Some (var, observed + delta)
   | Swap_ev { var; stored; _ } -> Some (var, stored)
   | Read _ | Issue_write _ | Enter | Cs | Exit | Begin_fence _ | End_fence _
-  | Crash _ | Recover ->
+  | Crash _ | Recover | Abort | Abort_done ->
       None
 
 (* Does the event read the shared (non-buffer) copy of a variable, and if so
@@ -103,7 +111,8 @@ let shared_read e =
   | Read { var; src = From_cache | From_memory; _ } -> Some var
   | Cas_ev { var; _ } | Faa_ev { var; _ } | Swap_ev { var; _ } -> Some var
   | Read { src = From_buffer; _ } | Issue_write _ | Commit_write _ | Enter
-  | Cs | Exit | Begin_fence _ | End_fence _ | Crash _ | Recover ->
+  | Cs | Exit | Begin_fence _ | End_fence _ | Crash _ | Recover | Abort
+  | Abort_done ->
       None
 
 let kind_tag = function
@@ -120,6 +129,8 @@ let kind_tag = function
   | Swap_ev _ -> "swap"
   | Crash _ -> "crash"
   | Recover -> "recover"
+  | Abort -> "abort"
+  | Abort_done -> "abort-done"
 
 (* Congruence (paper, Section 2): same process and either the same
    transition/fence event or the same operation on the same variable.
@@ -159,6 +170,8 @@ let pp_kind fmt = function
   | Crash { committed; dropped } ->
       Format.fprintf fmt "crash committed=%d dropped=%d" committed dropped
   | Recover -> Format.pp_print_string fmt "recover"
+  | Abort -> Format.pp_print_string fmt "abort"
+  | Abort_done -> Format.pp_print_string fmt "abort-done"
 
 let pp fmt e =
   Format.fprintf fmt "#%d %a %a%s%s%s" e.seq Pid.pp e.pid pp_kind e.kind

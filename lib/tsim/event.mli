@@ -37,6 +37,13 @@ type kind =
   | Recover
       (** the crashed process leaves the [Crashed] section and will run
           its recovery section (if any) before re-entering *)
+  | Abort
+      (** abort fault ({!Machine.abort}): the adversary timed the process
+          out at a declared wait point; its write buffer survives and it
+          runs its abort cleanup section next *)
+  | Abort_done
+      (** abort cleanup completed; the process returns to NCS without a
+          passage *)
 
 type t = {
   seq : int;  (** position in the trace it was produced in *)

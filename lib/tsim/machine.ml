@@ -20,7 +20,7 @@ open Ids
 exception Exclusion_violation of { holder : Pid.t; intruder : Pid.t }
 exception Process_finished of Pid.t
 
-type section = Ncs | Entry | Exiting | Finished | Crashed
+type section = Ncs | Entry | Exiting | Finished | Crashed | Aborting
 
 let section_name = function
   | Ncs -> "ncs"
@@ -28,6 +28,7 @@ let section_name = function
   | Exiting -> "exit"
   | Finished -> "finished"
   | Crashed -> "crashed"
+  | Aborting -> "aborting"
 
 type passage_stats = {
   p_rmrs : int;
@@ -70,6 +71,10 @@ type proc = {
   mutable crashes : int;  (* crash faults injected into this process *)
   mutable needs_recovery : bool;
       (* the next passage must run the recovery section first *)
+  mutable abortable : bool;
+      (* the process is at a declared wait point ([Prog.Abortable] marker
+         up): an adversary abort is deliverable *)
+  mutable aborts : int;  (* abort faults injected into this process *)
 }
 
 (* --- mutation journal: flat undo records ------------------------------ *)
@@ -126,6 +131,7 @@ type t = {
   mutable cs_entries : int;  (* total CS events executed *)
   mutable active_count : int;  (* processes currently outside their NCS *)
   mutable crash_count : int;  (* total crash faults injected *)
+  mutable abort_count : int;  (* total abort faults injected *)
   code : Compile.t option;  (* compiled programs ([`Compiled] engine) *)
   mutable quiet : bool;
       (* [`Compiled] with trace recording off, or [lean]: emission skips
@@ -163,6 +169,8 @@ type pending =
   | P_faa of Var.t * Value.t
   | P_swap of Var.t * Value.t
   | P_recover  (* crashed process: the only enabled event is Recover *)
+  | P_marker of bool  (* abortable-waiting marker, a purely local step *)
+  | P_abort_done  (* cleanup section completed: Abort_done back to NCS *)
 
 let pending_to_string = function
   | P_enter -> "Enter"
@@ -179,6 +187,8 @@ let pending_to_string = function
   | P_faa (v, _) -> Printf.sprintf "faa v%d" v
   | P_swap (v, _) -> Printf.sprintf "swap v%d" v
   | P_recover -> "recover"
+  | P_marker b -> if b then "abortable-on" else "abortable-off"
+  | P_abort_done -> "abort-done"
 
 let create (cfg : Config.t) =
   let nvars = Layout.size cfg.layout in
@@ -218,6 +228,8 @@ let create (cfg : Config.t) =
           passage_log = Vec.create dummy_passage;
           crashes = 0;
           needs_recovery = false;
+          abortable = false;
+          aborts = 0;
         })
   in
   {
@@ -235,6 +247,7 @@ let create (cfg : Config.t) =
     cs_entries = 0;
     active_count = 0;
     crash_count = 0;
+    abort_count = 0;
     code;
     quiet = Option.is_some code && not cfg.record_trace;
     lean = false;
@@ -276,6 +289,7 @@ let clone m =
     cs_entries = m.cs_entries;
     active_count = m.active_count;
     crash_count = m.crash_count;
+    abort_count = m.abort_count;
     code = m.code;  (* compiled code is immutable-shaped and shared *)
     quiet = m.quiet;
     lean = m.lean;
@@ -331,6 +345,18 @@ let cs_entries m = m.cs_entries
 let crashes m p = m.procs.(p).crashes
 let crashes_total m = m.crash_count
 let needs_recovery m p = m.procs.(p).needs_recovery
+let aborts m p = m.procs.(p).aborts
+let aborts_total m = m.abort_count
+let abortable m p = m.procs.(p).abortable
+
+(* An abort move is deliverable iff the configuration declares a cleanup
+   section and the process stands at a declared wait point of its entry
+   section (marker up). Exiting processes are past the point of giving
+   up; crashed / aborting / finished ones have nothing to abort. *)
+let abort_deliverable m p =
+  let pr = m.procs.(p) in
+  pr.sec = Entry && pr.abortable
+  && Option.is_some m.cfg.Config.abort_section
 
 (* Contention accounting (paper, Introduction): interval contention of the
    current passage = processes active at some point during it; point
@@ -352,9 +378,12 @@ let pending m p : pending =
       | Some e -> P_commit e.var
       | None -> P_end_fence)
   | Ncs -> P_enter
-  | Entry | Exiting -> (
+  | Entry | Exiting | Aborting -> (
       match pr.cont with
-      | Prog.Return () -> if pr.sec = Entry then P_cs else P_exit
+      | Prog.Return () ->
+          if pr.sec = Entry then P_cs
+          else if pr.sec = Exiting then P_exit
+          else P_abort_done
       | Prog.Bind (op, _) -> (
           let rmw_needs_fence = m.cfg.rmw_drains && not pr.rmw_fenced in
           match op with
@@ -366,7 +395,8 @@ let pending m p : pending =
           | Prog.Faa (v, d) ->
               if rmw_needs_fence then P_rmw_fence else P_faa (v, d)
           | Prog.Swap (v, x) ->
-              if rmw_needs_fence then P_rmw_fence else P_swap (v, x)))
+              if rmw_needs_fence then P_rmw_fence else P_swap (v, x)
+          | Prog.Abortable b -> P_marker b))
 
 (* Allocation-free projection of [pending]: constant constructors only,
    for the explorer's per-node classification loops where materializing
@@ -388,6 +418,8 @@ type pending_class =
   | K_faa
   | K_swap
   | K_recover
+  | K_marker
+  | K_abort_done
 
 let pending_class m p : pending_class =
   let pr = m.procs.(p) in
@@ -396,9 +428,12 @@ let pending_class m p : pending_class =
   | Crashed -> K_recover
   | _ when pr.in_fence -> if Wbuf.is_empty pr.buf then K_end_fence else K_commit
   | Ncs -> K_enter
-  | Entry | Exiting -> (
+  | Entry | Exiting | Aborting -> (
       match pr.cont with
-      | Prog.Return () -> if pr.sec = Entry then K_cs else K_exit
+      | Prog.Return () ->
+          if pr.sec = Entry then K_cs
+          else if pr.sec = Exiting then K_exit
+          else K_abort_done
       | Prog.Bind (op, _) -> (
           let rmw_needs_fence = m.cfg.rmw_drains && not pr.rmw_fenced in
           match op with
@@ -407,7 +442,8 @@ let pending_class m p : pending_class =
           | Prog.Fence -> K_begin_fence
           | Prog.Cas _ -> if rmw_needs_fence then K_rmw_fence else K_cas
           | Prog.Faa _ -> if rmw_needs_fence then K_rmw_fence else K_faa
-          | Prog.Swap _ -> if rmw_needs_fence then K_rmw_fence else K_swap))
+          | Prog.Swap _ -> if rmw_needs_fence then K_rmw_fence else K_swap
+          | Prog.Abortable _ -> K_marker))
 
 (* The variable of the pending event, for the classes that have one
    ([K_read], [K_issue_write], [K_cas]/[K_faa]/[K_swap], [K_commit]). *)
@@ -476,18 +512,21 @@ let sec_code = function
   | Exiting -> 2
   | Finished -> 3
   | Crashed -> 4
+  | Aborting -> 5
 
 let sec_of_code = function
   | 0 -> Ncs
   | 1 -> Entry
   | 2 -> Exiting
   | 3 -> Finished
-  | _ -> Crashed
+  | 4 -> Crashed
+  | _ -> Aborting
 
 (* Pending-event term of the fingerprint. Folds one code per event shape
    (Enter=1, CS=2, Exit=3, done=4, read=5·v, issue=6·v·x, begin-fence=7,
    end-fence=8, commit=9·v, rmw-fence=10, cas=11·v·e·d, faa=12·v·d,
-   swap=13·v·x, recover=14) directly instead of materializing the
+   swap=13·v·x, recover=14, abort-done=15, marker=16·b) directly instead
+   of materializing the
    {!pending} variant — this runs once per journaled event
    ([j_refresh]), where the variant allocation was measurable. Must
    classify exactly like {!pending}. *)
@@ -500,9 +539,12 @@ let pending_hash m p h =
       if Wbuf.is_empty pr.buf then mix h 8
       else mix (mix h 9) (Wbuf.peek_var pr.buf)
   | Ncs -> mix h 1
-  | Entry | Exiting -> (
+  | Entry | Exiting | Aborting -> (
       match pr.cont with
-      | Prog.Return () -> if pr.sec = Entry then mix h 2 else mix h 3
+      | Prog.Return () ->
+          if pr.sec = Entry then mix h 2
+          else if pr.sec = Exiting then mix h 3
+          else mix h 15
       | Prog.Bind (op, _) -> (
           let rmw_needs_fence = m.cfg.Config.rmw_drains && not pr.rmw_fenced in
           match op with
@@ -517,7 +559,8 @@ let pending_hash m p h =
               else mix (mix (mix h 12) v) d
           | Prog.Swap (v, x) ->
               if rmw_needs_fence then mix h 10
-              else mix (mix (mix h 13) v) x))
+              else mix (mix (mix h 13) v) x
+          | Prog.Abortable b -> mix (mix h 16) (if b then 1 else 0)))
 
 (* Non-capturing buffer fold (a closure over [Wbuf.iter] would allocate
    per call). *)
@@ -534,16 +577,18 @@ let proc_term m p =
   let pr = m.procs.(p) in
   let h = mix fnv_basis (p + 0x7f) in
   let h = pending_hash m p h in
-  (* the five scalar fields pack into one word (passage / crash counts
-     are budget-bounded, far below their 29-bit fields): one mix instead
-     of five on the per-event refresh path *)
+  (* the scalar fields pack into one word (passage / crash / abort counts
+     are budget-bounded, far below their fields): one mix instead of
+     seven on the per-event refresh path *)
   let h =
     mix h
       (sec_code pr.sec
       lor (if pr.in_fence then 8 else 0)
       lor (if pr.needs_recovery then 16 else 0)
-      lor (pr.passages lsl 5)
-      lor (pr.crashes lsl 34))
+      lor (if pr.abortable then 32 else 0)
+      lor (pr.passages lsl 6)
+      lor (pr.crashes lsl 34)
+      lor (pr.aborts lsl 46))
   in
   let h =
     mix h
@@ -582,7 +627,8 @@ let[@inline] flags_of (pr : proc) =
   lor (if pr.in_fence then 8 else 0)
   lor (if pr.fence_implicit then 16 else 0)
   lor (if pr.rmw_fenced then 32 else 0)
-  lor if pr.needs_recovery then 64 else 0
+  lor (if pr.needs_recovery then 64 else 0)
+  lor if pr.abortable then 128 else 0
 
 (* Head of every public mutator: snapshot the stepping process and the
    machine-global scalars, including the fingerprint state, so undo can
@@ -612,7 +658,7 @@ let j_head ?(force_full = false) m (pr : proc) =
         && (pr.in_fence
            ||
            match pr.sec with
-           | Entry | Exiting -> (
+           | Entry | Exiting | Aborting -> (
                match pr.cont with
                | Prog.Return () -> false
                | Prog.Bind _ -> true)
@@ -627,15 +673,17 @@ let j_head ?(force_full = false) m (pr : proc) =
         Flatstate.push_unsafe f (t_head_mini lor (pr.pid lsl 4))
       end
       else begin
-        Flatstate.reserve f 10;
+        Flatstate.reserve f 12;
         Flatstate.push_unsafe f pr.pc;
         Flatstate.push_unsafe f pr.passages;
         Flatstate.push_unsafe f pr.crashes;
+        Flatstate.push_unsafe f pr.aborts;
         Flatstate.push_unsafe f m.fp;
         Flatstate.push_unsafe f m.fp_proc.(pr.pid);
         Flatstate.push_unsafe f m.cs_entries;
         Flatstate.push_unsafe f m.active_count;
         Flatstate.push_unsafe f m.crash_count;
+        Flatstate.push_unsafe f m.abort_count;
         Flatstate.push_unsafe f (flags_of pr);
         Flatstate.push_unsafe f (t_head_lean lor (pr.pid lsl 4))
       end;
@@ -646,7 +694,7 @@ let j_head ?(force_full = false) m (pr : proc) =
       if pr.pc < 0 then Flatstate.push_cont f pr.cont;
       Flatstate.push_set f pr.aw;
       Flatstate.push_set f pr.interval_set;
-      Flatstate.reserve f 18;
+      Flatstate.reserve f 20;
       Flatstate.push_unsafe f pr.pc;
     Flatstate.push_unsafe f pr.passages;
     Flatstate.push_unsafe f pr.rmrs;
@@ -657,11 +705,13 @@ let j_head ?(force_full = false) m (pr : proc) =
     Flatstate.push_unsafe f pr.cur_criticals;
     Flatstate.push_unsafe f pr.point_max;
     Flatstate.push_unsafe f pr.crashes;
+    Flatstate.push_unsafe f pr.aborts;
     Flatstate.push_unsafe f m.fp;
     Flatstate.push_unsafe f m.fp_proc.(pr.pid);
     Flatstate.push_unsafe f m.cs_entries;
     Flatstate.push_unsafe f m.active_count;
     Flatstate.push_unsafe f m.crash_count;
+    Flatstate.push_unsafe f m.abort_count;
     Flatstate.push_unsafe f (flags_of pr);
     Flatstate.push_unsafe f (t_head lor (pr.pid lsl 4));
     jdone m
@@ -725,11 +775,13 @@ let undo_record m =
   if tag = t_head then begin
     let pr = m.procs.(aux) in
     let flags = Flatstate.pop f in
+    m.abort_count <- Flatstate.pop f;
     m.crash_count <- Flatstate.pop f;
     m.active_count <- Flatstate.pop f;
     m.cs_entries <- Flatstate.pop f;
     m.fp_proc.(aux) <- Flatstate.pop f;
     m.fp <- Flatstate.pop f;
+    pr.aborts <- Flatstate.pop f;
     pr.crashes <- Flatstate.pop f;
     pr.point_max <- Flatstate.pop f;
     pr.cur_criticals <- Flatstate.pop f;
@@ -749,16 +801,19 @@ let undo_record m =
     pr.in_fence <- flags land 8 <> 0;
     pr.fence_implicit <- flags land 16 <> 0;
     pr.rmw_fenced <- flags land 32 <> 0;
-    pr.needs_recovery <- flags land 64 <> 0
+    pr.needs_recovery <- flags land 64 <> 0;
+    pr.abortable <- flags land 128 <> 0
   end
   else if tag = t_head_lean then begin
     let pr = m.procs.(aux) in
     let flags = Flatstate.pop f in
+    m.abort_count <- Flatstate.pop f;
     m.crash_count <- Flatstate.pop f;
     m.active_count <- Flatstate.pop f;
     m.cs_entries <- Flatstate.pop f;
     m.fp_proc.(aux) <- Flatstate.pop f;
     m.fp <- Flatstate.pop f;
+    pr.aborts <- Flatstate.pop f;
     pr.crashes <- Flatstate.pop f;
     pr.passages <- Flatstate.pop f;
     pr.pc <- Flatstate.pop f;
@@ -769,7 +824,8 @@ let undo_record m =
     pr.in_fence <- flags land 8 <> 0;
     pr.fence_implicit <- flags land 16 <> 0;
     pr.rmw_fenced <- flags land 32 <> 0;
-    pr.needs_recovery <- flags land 64 <> 0
+    pr.needs_recovery <- flags land 64 <> 0;
+    pr.abortable <- flags land 128 <> 0
   end
   else if tag = t_head_mini then begin
     let pr = m.procs.(aux) in
@@ -784,7 +840,8 @@ let undo_record m =
     pr.in_fence <- flags land 8 <> 0;
     pr.fence_implicit <- flags land 16 <> 0;
     pr.rmw_fenced <- flags land 32 <> 0;
-    pr.needs_recovery <- flags land 64 <> 0
+    pr.needs_recovery <- flags land 64 <> 0;
+    pr.abortable <- flags land 128 <> 0
   end
   else if tag = t_mem then m.mem.(aux) <- Flatstate.pop f
   else if tag = t_writer then begin
@@ -1222,7 +1279,19 @@ let do_swap m pr v x (k : Value.t -> unit Prog.t) =
     Event.dummy
   end
 
-let is_active (pr : proc) = pr.sec = Entry || pr.sec = Exiting
+(* Aborting processes are still active: they hold lock-related state and
+   contend for shared memory until their cleanup completes. *)
+let is_active (pr : proc) =
+  pr.sec = Entry || pr.sec = Exiting || pr.sec = Aborting
+
+(* Execute the abortable-waiting marker: a purely local step that moves
+   only the per-process flag and the continuation. Emits no trace event
+   (the marker is bookkeeping, not a memory operation), so the returned
+   event is [Event.dummy] even with recording on. *)
+let do_marker m (pr : proc) b (k : unit -> unit Prog.t) =
+  pr.abortable <- b;
+  adv_unit m pr k;
+  Event.dummy
 
 (* --- crash faults ----------------------------------------------------- *)
 
@@ -1243,7 +1312,9 @@ let crash ?commit_prefix m p =
   (match pr.sec with
   | Finished -> invalid_arg "Machine.crash: process already finished"
   | Crashed -> invalid_arg "Machine.crash: process already crashed"
-  | Ncs | Entry | Exiting -> ());
+  (* crashing inside the abort cleanup section is explicitly allowed:
+     recoverable-abortable locks must tolerate the composition *)
+  | Ncs | Entry | Exiting | Aborting -> ());
   let size = Wbuf.size pr.buf in
   let k =
     match (m.cfg.Config.crash_semantics, commit_prefix) with
@@ -1280,6 +1351,7 @@ let crash ?commit_prefix m p =
   pr.fence_implicit <- false;
   pr.rmw_fenced <- false;
   pr.needs_recovery <- true;
+  pr.abortable <- false;
   pr.crashes <- pr.crashes + 1;
   m.crash_count <- m.crash_count + 1;
   let e =
@@ -1291,6 +1363,64 @@ let crash ?commit_prefix m p =
   in
   j_refresh m pr;
   e
+
+(* --- abort faults ------------------------------------------------------ *)
+
+(* Inject an abort fault into [p]: the adversary times the process out at
+   a declared wait point ([abort_deliverable]). Unlike a crash the
+   process does not lose state — its write buffer survives untouched and
+   it transitions to [Aborting], where its continuation is the
+   configuration's abort cleanup section; reaching the cleanup's
+   [Return ()] is the [Abort_done] transition back to NCS (no passage is
+   counted). An in-progress fence drain is cut short (the cleanup may
+   fence again if it needs the drain); the pending RMW it guarded is
+   abandoned with the rest of the entry section. *)
+let abort m p =
+  let pr = m.procs.(p) in
+  if Option.is_none m.cfg.Config.abort_section then
+    invalid_arg "Machine.abort: configuration has no abort section";
+  (match pr.sec with
+  | Entry when pr.abortable -> ()
+  | Entry -> invalid_arg "Machine.abort: process is not at a wait point"
+  | Ncs | Exiting | Finished | Crashed | Aborting ->
+      invalid_arg "Machine.abort: process is not in its entry section");
+  (* an abort bumps the abort counters regardless of the pre-state's
+     pending shape, so it never takes the mini head *)
+  j_head ~force_full:true m pr;
+  pr.sec <- Aborting;
+  pr.abortable <- false;
+  pr.in_fence <- false;
+  pr.fence_implicit <- false;
+  pr.rmw_fenced <- false;
+  (* the cleanup continuation is built by Compile.abort_cont on both
+     paths — capturing only immutable data — so the structural hash (part
+     of the state fingerprint) matches across engines *)
+  (match m.code with
+  | Some code ->
+      let root = Compile.abort_pc code pr.pid in
+      if root >= 0 then begin
+        pr.pc <- root;
+        pr.cont <- Compile.rep code root
+      end
+      else begin
+        pr.pc <- -1;
+        pr.cont <- Compile.abort_cont m.cfg pr.pid
+      end
+  | None -> pr.cont <- Compile.abort_cont m.cfg pr.pid);
+  pr.aborts <- pr.aborts + 1;
+  m.abort_count <- m.abort_count + 1;
+  let e =
+    emit_k m pr Event.Abort ~remote:false ~rmr:false ~critical:false
+  in
+  j_refresh m pr;
+  e
+
+let do_abort_done m pr =
+  pr.sec <- Ncs;
+  pr.cont <- Prog.unit;
+  pr.pc <- unit_pc_of m;
+  m.active_count <- m.active_count - 1;
+  emit_k m pr Event.Abort_done ~remote:false ~rmr:false ~critical:false
 
 let do_recover m pr =
   pr.sec <- Ncs;
@@ -1402,9 +1532,12 @@ let exec_cur m (pr : proc) : Event.t =
   | _ when pr.in_fence ->
       if Wbuf.is_empty pr.buf then finish_fence m pr else do_commit m pr
   | Ncs -> do_enter m pr
-  | Entry | Exiting -> (
+  | Entry | Exiting | Aborting -> (
       match pr.cont with
-      | Prog.Return () -> if pr.sec = Entry then do_cs m pr else do_exit m pr
+      | Prog.Return () ->
+          if pr.sec = Entry then do_cs m pr
+          else if pr.sec = Exiting then do_exit m pr
+          else do_abort_done m pr
       | Prog.Bind (op, k) -> (
           let rmw_needs_fence = m.cfg.rmw_drains && not pr.rmw_fenced in
           match op with
@@ -1419,7 +1552,8 @@ let exec_cur m (pr : proc) : Event.t =
               else do_faa m pr v delta k
           | Prog.Swap (v, x) ->
               if rmw_needs_fence then do_begin_fence m pr ~implicit:true
-              else do_swap m pr v x k))
+              else do_swap m pr v x k
+          | Prog.Abortable b -> do_marker m pr b k))
 
 (* The journal head is pushed after the finished check (so a raising call
    leaves no record) but before execution: if the event itself raises
@@ -1456,7 +1590,7 @@ let step_footprint m p : footprint =
   let pr = m.procs.(p) in
   match pending m p with
   | P_done -> F_none
-  | P_enter | P_exit | P_recover -> F_local
+  | P_enter | P_exit | P_recover | P_marker _ | P_abort_done -> F_local
   | P_cs -> F_cs
   | P_begin_fence | P_end_fence | P_rmw_fence -> F_local
   | P_issue_write _ -> F_local
@@ -1479,14 +1613,14 @@ let step_footprint_packed m p =
   | _ when pr.in_fence ->
       if Wbuf.is_empty pr.buf then 1 else 3 lor (Wbuf.peek_var pr.buf lsl 3)
   | Ncs -> 1
-  | Entry | Exiting -> (
+  | Entry | Exiting | Aborting -> (
       match pr.cont with
       | Prog.Return () -> if pr.sec = Entry then 5 else 1
       | Prog.Bind (op, _) -> (
           let rmw_needs_fence = m.cfg.rmw_drains && not pr.rmw_fenced in
           match op with
           | Prog.Read v -> if Wbuf.mem pr.buf v then 1 else 2 lor (v lsl 3)
-          | Prog.Write _ | Prog.Fence -> 1
+          | Prog.Write _ | Prog.Fence | Prog.Abortable _ -> 1
           | Prog.Cas (v, _, _) | Prog.Faa (v, _) | Prog.Swap (v, _) ->
               if rmw_needs_fence then 1 else 4 lor (v lsl 3)))
 
@@ -1502,8 +1636,9 @@ let step_may_enable_cs m p =
   | K_enter -> true
   | K_end_fence -> pr.sec = Entry && not pr.fence_implicit
   | K_read | K_issue_write | K_cas | K_faa | K_swap -> pr.sec = Entry
+  | K_marker -> pr.sec = Entry
   | K_done | K_cs | K_exit | K_begin_fence | K_rmw_fence | K_commit
-  | K_recover ->
+  | K_recover | K_abort_done ->
       false
 
 (* --- classification helpers for adversaries ------------------------- *)
@@ -1514,9 +1649,9 @@ let pending_is_special m p =
   let pr = m.procs.(p) in
   match pending m p with
   | P_done -> false
-  | P_enter | P_cs | P_exit | P_recover -> true
+  | P_enter | P_cs | P_exit | P_recover | P_abort_done -> true
   | P_begin_fence | P_end_fence | P_rmw_fence -> true
-  | P_issue_write _ -> false
+  | P_issue_write _ | P_marker _ -> false
   | P_read v ->
       (match Wbuf.find pr.buf v with
       | Some _ -> false
@@ -1620,6 +1755,8 @@ let proc_equal (a : proc) (b : proc) =
   && a.point_max = b.point_max
   && a.crashes = b.crashes
   && a.needs_recovery = b.needs_recovery
+  && a.abortable = b.abortable
+  && a.aborts = b.aborts
   && (let ea = Wbuf.entries a.buf and eb = Wbuf.entries b.buf in
       Array.length ea = Array.length eb && Array.for_all2 entry_equal ea eb)
   && Hashtbl.length a.remote_reads = Hashtbl.length b.remote_reads
@@ -1639,4 +1776,5 @@ let equal a b =
   && a.cs_entries = b.cs_entries
   && a.active_count = b.active_count
   && a.crash_count = b.crash_count
+  && a.abort_count = b.abort_count
   && Vec.to_array a.trace = Vec.to_array b.trace

@@ -22,6 +22,10 @@ type section =
   | Exiting
   | Finished
   | Crashed  (** crash fault injected; only {!pending} event is Recover *)
+  | Aborting
+      (** abort fault delivered at a declared wait point; the process is
+          running its {!Config.t.abort_section} cleanup and returns to
+          {!Ncs} (no passage counted) when it completes *)
 
 val section_name : section -> string
 
@@ -63,6 +67,10 @@ type proc = {
   passage_log : passage_stats Vec.t;
   mutable crashes : int;
   mutable needs_recovery : bool;
+  mutable abortable : bool;
+      (** inside an [Prog.abortable true .. false] window: an adversary
+          abort ({!abort}) is deliverable here and nowhere else *)
+  mutable aborts : int;
 }
 
 type t
@@ -83,6 +91,13 @@ type pending =
   | P_faa of Var.t * Value.t
   | P_swap of Var.t * Value.t
   | P_recover  (** crashed process: its only enabled event is Recover *)
+  | P_marker of bool
+      (** local abortable-window marker ([Prog.abortable b]); advances the
+          continuation without touching shared state or emitting a trace
+          event *)
+  | P_abort_done
+      (** aborting process with a completed cleanup section: the next
+          step returns it to its NCS *)
 
 val pending_to_string : pending -> string
 
@@ -105,6 +120,8 @@ type pending_class =
   | K_faa
   | K_swap
   | K_recover
+  | K_marker
+  | K_abort_done
 
 val pending_class : t -> Pid.t -> pending_class
 
@@ -192,6 +209,22 @@ val crashes_total : t -> int
 val needs_recovery : t -> Pid.t -> bool
 (** The process's next passage will run the recovery section first. *)
 
+val aborts : t -> Pid.t -> int
+(** Abort faults delivered to the process so far. *)
+
+val aborts_total : t -> int
+(** Abort faults delivered to the machine so far (the explorer's abort
+    budget is checked against this). *)
+
+val abortable : t -> Pid.t -> bool
+(** The process is inside an abortable window ([Prog.abortable true]
+    executed, the matching [false] not yet). *)
+
+val abort_deliverable : t -> Pid.t -> bool
+(** An {!abort} would be legal right now: the process is in its entry
+    section, inside an abortable window, and the configuration declares
+    an abort section. The explorer's abort moves are gated on this. *)
+
 val interval_contention : t -> Pid.t -> int
 (** Processes active at some point during the current passage. *)
 
@@ -264,7 +297,21 @@ val crash : ?commit_prefix:int -> t -> Pid.t -> Event.t
     via {!step} (its pending event is [P_recover]) and, on its next
     passage, runs {!Config.t.recovery} before the entry section.
     @raise Invalid_argument if the process is finished, already crashed,
-    or the prefix is illegal for the configured semantics. *)
+    or the prefix is illegal for the configured semantics. Crashing a
+    process that is {!section.Aborting} is legal — the cleanup section
+    is abandoned like any other continuation (abort × crash
+    composition). *)
+
+val abort : t -> Pid.t -> Event.t
+(** Inject an abort fault: the adversary cancels the process's current
+    acquisition attempt at a declared wait point. Legal only when
+    {!abort_deliverable} — the process must be in its entry section with
+    {!abortable} set, and the configuration must declare an
+    {!Config.t.abort_section}. The process keeps its write buffer
+    (unlike {!crash}), drops its fence flags, moves to
+    {!section.Aborting} and runs the cleanup section; when the cleanup
+    completes ([P_abort_done]), the process returns to its NCS without
+    counting a passage. @raise Invalid_argument otherwise. *)
 
 (** {1 Fingerprints and the mutation journal}
 

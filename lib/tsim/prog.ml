@@ -20,6 +20,12 @@ type _ op =
       (* [Faa (v, delta)] returns the previous value *)
   | Swap : Var.t * Value.t -> Value.t op
       (* [Swap (v, x)] atomically stores [x], returns the previous value *)
+  | Abortable : bool -> unit op
+      (* abortable-waiting marker: a purely local step that declares (true)
+         or retracts (false) that the process is at a wait point where an
+         adversary-injected abort may be delivered. Touches no shared
+         memory and emits no trace event; it only moves the per-process
+         abortable flag, which gates [Machine.abort]. *)
 
 type 'a t =
   | Return : 'a -> 'a t
@@ -82,12 +88,50 @@ let rec repeat_until body cond =
   let* x = body in
   if cond x then Return x else repeat_until body cond
 
+(* Abortable-waiting markers. While the flag is up, the adversary may
+   deliver an abort at any scheduling point; lock code brackets exactly
+   its declared wait loops with it so cleanup sections only ever observe
+   well-defined intermediate states. *)
+
+let abortable b = Bind (Abortable b, return)
+
+let abortably body =
+  let* () = abortable true in
+  let* x = body in
+  let* () = abortable false in
+  Return x
+
+let abortable_spin_until ?fuel v cond = abortably (spin_until ?fuel v cond)
+
+(* Retry/backoff idiom: run an optimistic [attempt] (true = success);
+   on failure, wait politely by re-reading [v] — the backoff knob, an
+   exponentially growing number of local cache re-reads — and retry.
+   The wait is the abortable window: acquiring code that loses the race
+   can be aborted while backing off, never mid-attempt. Fuel bounds the
+   number of attempts exactly like [spin_until] bounds reads. *)
+let retry_backoff ?fuel ?(delay = 1) v attempt =
+  let fuel = match fuel with Some f -> f | None -> !default_spin_fuel in
+  let rec go n delay =
+    let* ok = attempt in
+    if ok then unit
+    else if n <= 1 then raise (Spin_exhausted v)
+    else
+      let rec wait k =
+        if k <= 0 then go (n - 1) (2 * delay)
+        else
+          let* _ = read v in
+          wait (k - 1)
+      in
+      abortably (wait delay)
+  in
+  go fuel delay
+
 (* Shared-memory footprint of the head operation, decided without running
    it. [`Write] covers the *issue* of a write (buffer insertion); whether
    the issue or the eventual commit touches shared memory is the
    machine's business ([Machine.step_footprint] refines this with buffer
    and fence state). *)
-let head_footprint : type a. a t -> [ `Return | `Read of Var.t | `Write of Var.t | `Fence | `Rmw of Var.t ]
+let head_footprint : type a. a t -> [ `Return | `Read of Var.t | `Write of Var.t | `Fence | `Rmw of Var.t | `Marker ]
     = function
   | Return _ -> `Return
   | Bind (Read v, _) -> `Read v
@@ -96,6 +140,7 @@ let head_footprint : type a. a t -> [ `Return | `Read of Var.t | `Write of Var.t
   | Bind (Cas (v, _, _), _) -> `Rmw v
   | Bind (Faa (v, _), _) -> `Rmw v
   | Bind (Swap (v, _), _) -> `Rmw v
+  | Bind (Abortable _, _) -> `Marker
 
 (* Describe the head operation of a program, for debugging output. *)
 let head_to_string : type a. a t -> string = function
@@ -106,3 +151,4 @@ let head_to_string : type a. a t -> string = function
   | Bind (Cas (v, e, d), _) -> Printf.sprintf "cas v%d %d->%d" (Var.to_int v) e d
   | Bind (Faa (v, d), _) -> Printf.sprintf "faa v%d +%d" (Var.to_int v) d
   | Bind (Swap (v, x), _) -> Printf.sprintf "swap v%d %d" (Var.to_int v) x
+  | Bind (Abortable b, _) -> if b then "abortable on" else "abortable off"

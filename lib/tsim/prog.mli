@@ -20,6 +20,11 @@ type _ op =
       (** [Faa (v, delta)] returns the previous value. *)
   | Swap : Var.t * Value.t -> Value.t op
       (** [Swap (v, x)] stores [x] and returns the previous value. *)
+  | Abortable : bool -> unit op
+      (** Abortable-waiting marker: declares (true) / retracts (false)
+          that the process is at a wait point where an adversary abort
+          ({!Machine.abort}) may be delivered. Purely local — no shared
+          memory, no trace event. *)
 
 (** A program returning ['a]. *)
 type 'a t =
@@ -71,11 +76,30 @@ val spin_until : ?fuel:int -> Var.t -> (Value.t -> bool) -> Value.t t
 val repeat_until : 'a t -> ('a -> bool) -> 'a t
 (** Re-run a program until its result satisfies the predicate. *)
 
+val abortable : bool -> unit t
+(** Raise (true) or lower (false) the abortable-waiting marker. *)
+
+val abortably : 'a t -> 'a t
+(** Bracket a wait: marker up, run the body, marker down. Aborts are
+    deliverable at every scheduling point inside the bracket. *)
+
+val abortable_spin_until : ?fuel:int -> Var.t -> (Value.t -> bool) -> Value.t t
+(** {!spin_until} declared as an abortable wait point. *)
+
+val retry_backoff : ?fuel:int -> ?delay:int -> Var.t -> bool t -> unit t
+(** [retry_backoff v attempt] runs the optimistic [attempt] until it
+    returns true; between failures it backs off by re-reading [v] an
+    exponentially growing number of times ([delay] initial re-reads,
+    doubling), and that polite wait is an abortable window. Exhausting
+    [fuel] attempts raises {!Spin_exhausted}[ v] at simulation time. *)
+
 val head_to_string : 'a t -> string
 (** Describe the next operation of a program, for diagnostics. *)
 
 val head_footprint :
-  'a t -> [ `Return | `Read of Var.t | `Write of Var.t | `Fence | `Rmw of Var.t ]
+  'a t ->
+  [ `Return | `Read of Var.t | `Write of Var.t | `Fence | `Rmw of Var.t
+  | `Marker ]
 (** Shared-memory footprint of the next operation, decided without
     executing it. [`Write] is the footprint of the {e issue} (a buffer
     insertion); see {!Machine.step_footprint} for the machine-level

@@ -56,9 +56,13 @@ let round_robin ?(quantum = 1) ?(max_steps = 10_000_000) m =
    instead crashed with that probability (when it is crashable and budget
    remains); under [Atomic_prefix] semantics the committed buffer prefix
    length is drawn uniformly. Crashed processes stay in the live set —
-   stepping one executes its recovery transition. *)
+   stepping one executes its recovery transition. [abort_prob] works the
+   same way against the [max_aborts] budget: when the chosen process sits
+   at a declared wait point ([Machine.abort_deliverable]), its
+   acquisition attempt is aborted instead of stepped. *)
 let random ?(seed = 42) ?(commit_bias = 0.3) ?(crash_prob = 0.0)
-    ?(max_crashes = 0) ?(max_steps = 10_000_000) m =
+    ?(max_crashes = 0) ?(abort_prob = 0.0) ?(max_aborts = 0)
+    ?(max_steps = 10_000_000) m =
   let rng = Rng.create seed in
   let steps = ref 0 in
   let livelocked = ref None in
@@ -66,7 +70,8 @@ let random ?(seed = 42) ?(commit_bias = 0.3) ?(crash_prob = 0.0)
   let pso = cfg.Config.ordering = Config.Pso in
   let crashable p =
     match (Machine.proc m p).Machine.sec with
-    | Machine.Ncs | Machine.Entry | Machine.Exiting -> true
+    | Machine.Ncs | Machine.Entry | Machine.Exiting | Machine.Aborting ->
+        true
     | Machine.Crashed | Machine.Finished -> false
   in
   (try
@@ -91,6 +96,12 @@ let random ?(seed = 42) ?(commit_bias = 0.3) ?(crash_prob = 0.0)
                   | Config.Drop_buffer | Config.Flush_buffer -> None
                 in
                 ignore (Machine.crash ?commit_prefix m p)
+              else if
+                abort_prob > 0.0
+                && Machine.aborts_total m < max_aborts
+                && Machine.abort_deliverable m p
+                && Rng.float rng < abort_prob
+              then ignore (Machine.abort m p)
               else if
                 (not (Wbuf.is_empty buf)) && Rng.float rng < commit_bias
               then

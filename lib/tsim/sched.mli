@@ -21,6 +21,8 @@ val random :
   ?commit_bias:float ->
   ?crash_prob:float ->
   ?max_crashes:int ->
+  ?abort_prob:float ->
+  ?max_aborts:int ->
   ?max_steps:int ->
   Machine.t ->
   outcome
@@ -29,7 +31,9 @@ val random :
     [crash_prob > 0] the chosen process is instead crashed with that
     probability while fewer than [max_crashes] (default 0) crashes have
     happened; crashed processes are stepped back through recovery like
-    any other live process. *)
+    any other live process. [abort_prob] does the same against
+    [max_aborts]: a process sitting at a declared wait point
+    ({!Machine.abort_deliverable}) is aborted instead of stepped. *)
 
 val canonical_random : ?seed:int -> ?max_steps:int -> Machine.t -> outcome
 (** The paper's canonical regime: commits happen only inside fences. *)

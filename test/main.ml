@@ -26,6 +26,7 @@ let () =
       ("journal", Suite_journal.suite);
       ("fpstore", Suite_fpstore.suite);
       ("crash", Suite_crash.suite);
+      ("abort", Suite_abort.suite);
       ("corpus", Suite_corpus.suite);
       ("obs", Suite_obs.suite);
       ("twoproc", Suite_twoproc.suite);

@@ -85,6 +85,8 @@ let check_fixture file mk_cfg =
   | Mcheck.Explore.R_spin v -> Alcotest.failf "%s: spin on v%d" file v
   | Mcheck.Explore.R_bad_pid (i, p) ->
       Alcotest.failf "%s: move %d references unknown p%d" file i p
+  | Mcheck.Explore.R_bad_abort (i, p) ->
+      Alcotest.failf "%s: move %d aborts p%d outside a wait point" file i p
   | Mcheck.Explore.R_stuck (i, msg) ->
       Alcotest.failf "%s: stuck at move %d: %s" file i msg);
   List.iter
@@ -147,6 +149,35 @@ let test_crash_fixture () =
       Alcotest.fail "proper recovery reached the exclusion"
   | _ -> ()
 
+(* Abort-injection fixture: p1's abort runs the buggy cleanup, which
+   unconditionally frees the lock p0 holds; p1's next attempt then walks
+   into p0's critical section. Pins the abort schedule text, the abort
+   semantics of replay, and its determinism. *)
+let buggy_atas () =
+  Locks.Harness.config_of_lock ~model:Config.Cc_wb
+    (Locks.Abortable_tas.make_buggy ~n:2) ~n:2
+
+let test_abort_fixture () =
+  check_fixture "abortable_tas_abort.sched" buggy_atas;
+  let schedule = load "abortable_tas_abort.sched" in
+  Alcotest.(check bool) "injects an abort" true
+    (List.exists
+       (function Mcheck.Explore.Abort _ -> true | _ -> false)
+       schedule);
+  (* the properly-stamped cleanup survives the same move sequence:
+     replaying it against the safe abortable TAS must NOT reach the
+     exclusion (the cleanup read sees p0's stamp and leaves the lock
+     alone; the remaining moves then stop lining up — stuck or spin are
+     both acceptable, an exclusion is not) *)
+  let cfg =
+    Locks.Harness.config_of_lock ~model:Config.Cc_wb
+      (Locks.Abortable_tas.make ~n:2) ~n:2
+  in
+  match Mcheck.Explore.replay cfg schedule with
+  | _, Mcheck.Explore.R_exclusion _ ->
+      Alcotest.fail "proper cleanup reached the exclusion"
+  | _ -> ()
+
 (* Byte-level invisibility of compile-ahead execution: replaying the
    pinned schedule with trace recording on must produce the exact Chrome
    export golden-filed for the interpreter engines — same events, same
@@ -200,6 +231,7 @@ let gen_move =
            (fun p k -> Mcheck.Explore.Crash (p, k))
            (int_range 0 127) (int_range 0 8));
         (1, map (fun p -> Mcheck.Explore.Recover p) (int_range 0 127));
+        (1, map (fun p -> Mcheck.Explore.Abort p) (int_range 0 127));
       ])
 
 let arb_move = QCheck.make ~print:Mcheck.Explore.move_to_string gen_move
@@ -231,7 +263,7 @@ let test_parse_rejects () =
     [ ""; "step"; "step q1"; "step p-1"; "commit p0 w3"; "step p0 v1";
       "commit p0 v1 extra"; "step pp0"; "commit p0 v"; "crash";
       "crash q0"; "crash p0 -1"; "crash p0 1 2"; "recover";
-      "recover p0 1" ];
+      "recover p0 1"; "abort"; "abort q0"; "abort p0 3"; "abort p-1" ];
   match Mcheck.Explore.schedule_of_string "step p0\nnonsense\n" with
   | Error msg ->
       Alcotest.(check bool) "error names the line" true
@@ -257,6 +289,8 @@ let suite =
     Alcotest.test_case "mp PSO fixture replays" `Quick test_mp_fixture;
     Alcotest.test_case "recoverable-tas crash fixture replays" `Quick
       test_crash_fixture;
+    Alcotest.test_case "abortable-tas abort fixture replays" `Quick
+      test_abort_fixture;
     Alcotest.test_case "compiled chrome export matches golden bytes" `Quick
       test_chrome_compiled_identical;
     Alcotest.test_case "fixture violation still reachable" `Quick

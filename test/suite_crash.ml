@@ -352,7 +352,7 @@ let prop_crash_replay_deterministic =
           in
           let violated = function
             | Mcheck.Explore.R_completed | Mcheck.Explore.R_bad_pid _
-            | Mcheck.Explore.R_stuck _ ->
+            | Mcheck.Explore.R_bad_abort _ | Mcheck.Explore.R_stuck _ ->
                 false
             | Mcheck.Explore.R_exclusion _ | Mcheck.Explore.R_spin _ -> true
           in
