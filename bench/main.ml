@@ -16,6 +16,12 @@
      dune exec bench/main.exe -- --budget P   with --compare: allowed
                                               per-node regression in percent
                                               (default 5)
+     dune exec bench/main.exe -- --profile F  timings only, also run the
+                                              reference workload under the
+                                              search profiler and write the
+                                              profile to F as JSON (diffable
+                                              with `price_adaptive profile
+                                              diff`)
 
    Experiment ids map to the paper's artefacts (DESIGN.md §3):
      e1 Figure 1 · e2 Theorems 1/3 · e3 Corollary 1 · e4 Corollary 2 ·
@@ -148,6 +154,39 @@ let compare_rows ~base_file ~budget rows =
           base_file;
       !ok
 
+(* Profile the reference exhaustive workload (the same Peterson space
+   the per-node rows measure) and write the attribution as profile JSON
+   — a committed-format artifact CI can archive per run and diff across
+   runs with `price_adaptive profile diff`. *)
+let write_profile file =
+  let cfg = Timings.peterson_cfg () in
+  let p =
+    Mcheck.Explore.new_profile ~every:Mcheck.Explore.default_profile_every ()
+  in
+  let r =
+    Mcheck.Explore.explore ~max_nodes:100_000
+      ~estimator:{ Obs.Estimator.probes = 64; seed = 0 }
+      ~profile:p cfg
+  in
+  assert r.Mcheck.Explore.verified;
+  let s = r.Mcheck.Explore.stats in
+  let meta =
+    [
+      ("tool", Obs.Json.String "price_adaptive bench --profile");
+      ("workload", Obs.Json.String "mcheck/peterson n=2 exhaustive");
+      ("nodes", Obs.Json.Int r.Mcheck.Explore.nodes);
+      ("sampled_every", Obs.Json.Int (Obs.Profile.every p));
+      ("est_nodes", Obs.Json.Float s.Mcheck.Explore.est_nodes);
+      ("est_progress", Obs.Json.Float s.Mcheck.Explore.est_progress);
+    ]
+  in
+  let oc = open_out file in
+  output_string oc (Obs.Json.to_string (Obs.Profile.to_json ~meta p));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote search profile (%d nodes) to %s\n"
+    r.Mcheck.Explore.nodes file
+
 (* Stream the rows through the telemetry layer itself: one [bench.run]
    instant with run metadata, then one [bench.row] instant per result —
    the same NDJSON encoding the explorer emits, so CI can archive bench
@@ -187,40 +226,47 @@ let write_obs file rows =
 exception Interrupted
 
 let () =
-  let rec parse json obs cmp budget args =
+  let rec parse json obs cmp budget prof args =
     match args with
-    | "--json" :: file :: rest -> parse (Some file) obs cmp budget rest
-    | "--obs" :: file :: rest -> parse json (Some file) cmp budget rest
-    | "--compare" :: file :: rest -> parse json obs (Some file) budget rest
+    | "--json" :: file :: rest -> parse (Some file) obs cmp budget prof rest
+    | "--obs" :: file :: rest -> parse json (Some file) cmp budget prof rest
+    | "--compare" :: file :: rest ->
+        parse json obs (Some file) budget prof rest
     | "--budget" :: pct :: rest -> (
         match float_of_string_opt pct with
-        | Some b when b >= 0. -> parse json obs cmp b rest
+        | Some b when b >= 0. -> parse json obs cmp b prof rest
         | _ ->
             prerr_endline "bench: --budget requires a non-negative percent";
             exit 2)
-    | [ "--json" ] | [ "--obs" ] | [ "--compare" ] | [ "--budget" ] ->
+    | "--profile" :: file :: rest -> parse json obs cmp budget (Some file) rest
+    | [ "--json" ] | [ "--obs" ] | [ "--compare" ] | [ "--budget" ]
+    | [ "--profile" ] ->
         prerr_endline
-          "bench: --json/--obs/--compare/--budget require an argument";
+          "bench: --json/--obs/--compare/--budget/--profile require an \
+           argument";
         exit 2
     | a :: rest ->
-        let json, obs, cmp, budget, sel = parse json obs cmp budget rest in
-        (json, obs, cmp, budget, a :: sel)
-    | [] -> (json, obs, cmp, budget, [])
+        let json, obs, cmp, budget, prof, sel =
+          parse json obs cmp budget prof rest
+        in
+        (json, obs, cmp, budget, prof, a :: sel)
+    | [] -> (json, obs, cmp, budget, prof, [])
   in
-  let json_file, obs_file, compare_file, budget, args =
-    parse None None None 5.0 (List.tl (Array.to_list Sys.argv))
+  let json_file, obs_file, compare_file, budget, profile_file, args =
+    parse None None None 5.0 None (List.tl (Array.to_list Sys.argv))
   in
-  (* --json/--obs/--compare imply timings-only unless experiments were
-     also selected *)
+  (* --json/--obs/--compare/--profile imply timings-only unless
+     experiments were also selected *)
   let run_timings =
     args = [] || List.mem "time" args || json_file <> None
-    || obs_file <> None || compare_file <> None
+    || obs_file <> None || compare_file <> None || profile_file <> None
   in
   let selected id =
     (args = []
     && json_file = None
     && obs_file = None
-    && compare_file = None)
+    && compare_file = None
+    && profile_file = None)
     || List.mem id args
   in
   Printf.printf
@@ -247,6 +293,9 @@ let () =
       | None -> ());
       (match obs_file with
       | Some file -> write_obs file rows
+      | None -> ());
+      (match profile_file with
+      | Some file -> write_profile file
       | None -> ());
       match compare_file with
       | Some base_file ->

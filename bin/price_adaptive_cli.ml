@@ -12,6 +12,7 @@
      stats <name> FILE [...]       replay a schedule, print the cost breakdown
      trace <name> -o FILE [...]    save an execution trace artifact
      analyze FILE                  metrics + IN-set verdict of a saved trace
+     profile diff A B              compare two saved search profiles
      litmus [--pso]                store-buffering litmus
 
    Exit codes for verify: 0 verified, 1 violation found, 2 bad input,
@@ -19,7 +20,10 @@
 
    Telemetry: verify and adversary accept --obs FILE.ndjson (stream
    events), --chrome-trace FILE.json (chrome://tracing / Perfetto) and
-   --obs-console (summary table on stderr). *)
+   --obs-console (summary table on stderr). verify additionally takes
+   --progress (live one-line progress with estimated total and ETA) and
+   --profile FILE.json (node/time attribution per depth band, move
+   class, section and program location; diffable). *)
 
 open Cmdliner
 
@@ -93,8 +97,9 @@ let obs_term =
 (* Build a hub from the options, run [f] with it, and always flush/close
    the sinks and their files — verdict exits go through the returned
    code, not mid-stream [exit], so traces are complete even on
-   violations. *)
-let with_obs (ndjson, chrome, console) f =
+   violations. [extra] lets a command attach its own sinks (verify's
+   --progress line) on top of the shared telemetry options. *)
+let with_obs ?(extra = []) (ndjson, chrome, console) f =
   let chans = ref [] in
   let file p =
     let oc = open_out p in
@@ -106,7 +111,8 @@ let with_obs (ndjson, chrome, console) f =
     @ (match chrome with
       | Some p -> [ Obs.Sink.chrome_trace (file p) ]
       | None -> [])
-    @ if console then [ Obs.Sink.console () ] else []
+    @ (if console then [ Obs.Sink.console () ] else [])
+    @ extra
   in
   if sinks = [] then f Obs.Telemetry.null
   else
@@ -176,24 +182,31 @@ let lock_cmd =
           Locks.Harness.run_contended ~model ~max_passages:passages ~schedule
             lock ~n ~k
         in
-        Printf.printf
-          "%s  n=%d k=%d model=%s passages=%d\n\
-           exclusion ok      : %b\n\
-           completed         : %b\n\
-           CS entries        : %d\n\
-           rmrs/passage      : avg %.2f, max %d\n\
-           fences/passage    : avg %.2f, max %d\n\
-           interval/point    : %d / %d\n"
+        Printf.printf "%s  n=%d k=%d model=%s passages=%d\n"
           stats.Locks.Harness.lock_name n k
           (Tsim.Config.mem_model_name model)
-          passages stats.Locks.Harness.exclusion_ok
-          stats.Locks.Harness.completed stats.Locks.Harness.cs_entries
-          stats.Locks.Harness.avg_rmrs_per_passage
-          stats.Locks.Harness.max_rmrs_per_passage
-          stats.Locks.Harness.avg_fences_per_passage
-          stats.Locks.Harness.max_fences_per_passage
-          stats.Locks.Harness.max_interval_contention
-          stats.Locks.Harness.max_point_contention
+          passages;
+        (* the same key/value data a JSON export would carry, rendered
+           through the shared table printer *)
+        print_string
+          (Obs.Json.pp_kv_table
+             [
+               ("exclusion_ok", Obs.Json.Bool stats.Locks.Harness.exclusion_ok);
+               ("completed", Obs.Json.Bool stats.Locks.Harness.completed);
+               ("cs_entries", Obs.Json.Int stats.Locks.Harness.cs_entries);
+               ( "rmrs_per_passage_avg",
+                 Obs.Json.Float stats.Locks.Harness.avg_rmrs_per_passage );
+               ( "rmrs_per_passage_max",
+                 Obs.Json.Int stats.Locks.Harness.max_rmrs_per_passage );
+               ( "fences_per_passage_avg",
+                 Obs.Json.Float stats.Locks.Harness.avg_fences_per_passage );
+               ( "fences_per_passage_max",
+                 Obs.Json.Int stats.Locks.Harness.max_fences_per_passage );
+               ( "max_interval_contention",
+                 Obs.Json.Int stats.Locks.Harness.max_interval_contention );
+               ( "max_point_contention",
+                 Obs.Json.Int stats.Locks.Harness.max_point_contention );
+             ])
   in
   Cmd.v (Cmd.info "lock" ~doc)
     Term.(const run $ lock_arg $ n $ k $ model $ passages $ seed)
@@ -482,9 +495,41 @@ let verify_cmd =
              programs are not declared pure fall back to the journal \
              interpreter); identical verdicts and node counts")
   in
+  let profile_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:
+            "profile the search and write the result to $(docv) as JSON: \
+             nodes, wall time, undo records and RMR events attributed per \
+             depth band, move class, lock section and program location \
+             (compare two files with the profile diff command). \
+             Attribution is sampled (one node in 16): node and RMR \
+             counts are scaled estimates, time and undo totals are \
+             exact. Written even on partial verdicts (ctrl-C, budget)")
+  in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "print a live progress line (~1 Hz): nodes, rate, and — via \
+             the online tree-size estimator — progress %, estimated \
+             total and ETA. Rewrites in place when stdout is a TTY, \
+             appends log lines otherwise")
+  in
+  let probes =
+    Arg.(
+      value & opt int 64
+      & info [ "probes" ]
+          ~doc:
+            "probes for the tree-size estimator behind --progress (more \
+             probes, tighter estimate; the cost fades to zero once all \
+             probes are spent along a path)")
+  in
   let run name n max_nodes spin_fuel domains no_por save_schedule max_crashes
       max_aborts max_millis crash_semantics search_stats engine store
-      store_bits store_hashes obs_opts =
+      store_bits store_hashes profile_out progress probes obs_opts =
     if domains < 1 then die2 "--domains must be >= 1";
     if max_crashes < 0 then die2 "--max-crashes must be >= 0";
     if max_aborts < 0 then die2 "--max-aborts must be >= 0";
@@ -526,15 +571,36 @@ let verify_cmd =
         in
         (* ctrl-C stops the search at the next budget poll: the explorer
            returns normally with a typed `Aborts partial verdict, so the
-           stats below still print and the obs sinks still flush. *)
+           stats below still print, the obs sinks still flush, and a
+           requested --profile file is still written (carrying the
+           partial reason and the estimator's last sample). *)
         let stop = Atomic.make false in
         Sys.set_signal Sys.sigint
           (Sys.Signal_handle (fun _ -> Atomic.set stop true));
+        if probes < 1 then die2 "--probes must be >= 1";
+        (* the estimator serves --progress; --profile attaches only the
+           (strided) attribution accumulator, keeping the asserted ≤5%
+           pay-for-use overhead — combine the flags to get both *)
+        let estimator =
+          if progress then Some { Obs.Estimator.probes; seed = 0 } else None
+        in
+        let prof =
+          Option.map
+            (fun _ ->
+              Mcheck.Explore.new_profile
+                ~every:Mcheck.Explore.default_profile_every ())
+            profile_out
+        in
+        let extra =
+          if progress then
+            [ Obs.Sink.progress ~tty:(Unix.isatty Unix.stdout) () ]
+          else []
+        in
         let r =
-          with_obs obs_opts (fun obs ->
+          with_obs ~extra obs_opts (fun obs ->
               Mcheck.Explore.explore ~max_nodes ~spin_fuel ~domains
                 ~por:(not no_por) ~max_crashes ~max_aborts ?max_millis ~stop
-                ~obs cfg)
+                ?estimator ?profile:prof ~obs cfg)
         in
         Printf.printf "%s n=%d%s%s%s: %d states, max depth %d\n"
           lock.Locks.Lock_intf.name n
@@ -593,9 +659,50 @@ let verify_cmd =
             Printf.printf "schedule saved to %s\n" file
         | Some _, [] -> ()
         | None, _ -> ());
+        (if estimator <> None then
+           let s = r.Mcheck.Explore.stats in
+           let est = s.Mcheck.Explore.est_nodes in
+           if est > 0.0 then
+             Printf.printf
+               "estimated state space: ~%.0f states (probe progress %.1f%%)\n"
+               est
+               (100.0 *. s.Mcheck.Explore.est_progress));
         (* one-line verdict; its exit code is the verify contract
            (0 verified / 1 violation / 3 partial) *)
         let verdict, code = Mcheck.Explore.render_verdict r in
+        (match (profile_out, prof) with
+        | Some path, Some p ->
+            let s = r.Mcheck.Explore.stats in
+            let meta =
+              [
+                ("tool", Obs.Json.String "price_adaptive verify --profile");
+                ("lock", Obs.Json.String lock.Locks.Lock_intf.name);
+                ("config", Obs.Json.String (Tsim.Config.summary cfg));
+                ("verdict", Obs.Json.String verdict);
+                ("nodes", Obs.Json.Int r.Mcheck.Explore.nodes);
+                ("sampled_every", Obs.Json.Int (Obs.Profile.every p));
+              ]
+              @ (if estimator <> None then
+                   [
+                     ("est_nodes", Obs.Json.Float s.Mcheck.Explore.est_nodes);
+                     ( "est_progress",
+                       Obs.Json.Float s.Mcheck.Explore.est_progress );
+                   ]
+                 else [])
+              @
+              match r.Mcheck.Explore.partial with
+              | Some reason ->
+                  [ ( "partial",
+                      Obs.Json.String
+                        (Mcheck.Explore.partial_reason_name reason) ) ]
+              | None -> []
+            in
+            let oc = open_out path in
+            output_string oc (Obs.Json.to_string (Obs.Profile.to_json ~meta p));
+            output_char oc '\n';
+            close_out oc;
+            Printf.printf "profile -> %s\n" path
+        | _ -> ());
         print_endline verdict;
         exit code
   in
@@ -604,7 +711,7 @@ let verify_cmd =
       const run $ lock_arg $ n $ max_nodes $ spin_fuel $ domains $ no_por
       $ save_schedule $ max_crashes $ max_aborts $ max_millis
       $ crash_semantics $ search_stats $ engine $ store $ store_bits
-      $ store_hashes $ obs_term)
+      $ store_hashes $ profile_out $ progress $ probes $ obs_term)
 
 (* --- replay -------------------------------------------------------------- *)
 
@@ -774,21 +881,28 @@ let stats_cmd =
                   v
             | _ -> ());
             Format.printf "%a" Execution.Metrics.pp metrics;
-            List.iter
-              (fun pp ->
-                List.iter
-                  (fun mp ->
-                    Printf.printf
-                      "    passage %d of p%d: events %d rmrs %d fences %d \
-                       criticals %d\n"
-                      mp.Execution.Metrics.mp_index
-                      pp.Execution.Metrics.pp_pid
-                      mp.Execution.Metrics.mp_events
-                      mp.Execution.Metrics.mp_rmrs
-                      mp.Execution.Metrics.mp_fences
-                      mp.Execution.Metrics.mp_criticals)
-                  pp.Execution.Metrics.pp_passage_log)
-              metrics.Execution.Metrics.processes;
+            (* per-passage breakdown through the shared columnar
+               renderer: one row per (process, passage) *)
+            (match
+               List.concat_map
+                 (fun pp ->
+                   List.map
+                     (fun mp ->
+                       [
+                         ("pid", Obs.Json.Int pp.Execution.Metrics.pp_pid);
+                         ( "passage",
+                           Obs.Json.Int mp.Execution.Metrics.mp_index );
+                         ("events", Obs.Json.Int mp.Execution.Metrics.mp_events);
+                         ("rmrs", Obs.Json.Int mp.Execution.Metrics.mp_rmrs);
+                         ("fences", Obs.Json.Int mp.Execution.Metrics.mp_fences);
+                         ( "criticals",
+                           Obs.Json.Int mp.Execution.Metrics.mp_criticals );
+                       ])
+                     pp.Execution.Metrics.pp_passage_log)
+                 metrics.Execution.Metrics.processes
+             with
+            | [] -> ()
+            | rows -> print_string (Obs.Json.pp_rows ~indent:4 rows));
             (match chrome with
             | Some out ->
                 let oc = open_out out in
@@ -810,6 +924,82 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
       const run $ lock_arg $ file $ n $ spin_fuel $ crash_semantics $ chrome)
+
+(* --- profile ------------------------------------------------------------- *)
+
+let load_profile path =
+  let contents =
+    try
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg -> die2 "%s" msg
+  in
+  match Obs.Json.parse contents with
+  | Error e -> die2 "%s: not JSON: %s" path e
+  | Ok j -> (
+      match Obs.Profile.of_json j with
+      | Error e -> die2 "%s: not a profile: %s" path e
+      | Ok p -> p)
+
+let profile_diff_cmd =
+  let doc =
+    "Compare two profile JSON files (as written by verify --profile): \
+     per-node cost delta, attributed to the (section, move class) groups \
+     that moved."
+  in
+  let a = Arg.(required & pos 0 (some string) None & info [] ~docv:"BASELINE") in
+  let b = Arg.(required & pos 1 (some string) None & info [] ~docv:"CURRENT") in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"print the structured report as JSON instead")
+  in
+  let run a b json =
+    let pa = load_profile a and pb = load_profile b in
+    let report, verdict =
+      try Obs.Profile.diff pa pb
+      with Invalid_argument msg -> die2 "%s" msg
+    in
+    if json then print_endline (Obs.Json.to_string report)
+    else begin
+      let rows =
+        match Obs.Json.member "groups" report with
+        | Some (Obs.Json.List gs) ->
+            List.filter_map
+              (function
+                | Obs.Json.Obj kvs ->
+                    (* re-key for the human table; values pass through *)
+                    let pick k k' =
+                      Option.map (fun v -> (k', v)) (List.assoc_opt k kvs)
+                    in
+                    Some
+                      (List.filter_map Fun.id
+                         [
+                           pick "group" "group";
+                           pick "a_ns_per_node" "a ns/node";
+                           pick "b_ns_per_node" "b ns/node";
+                           pick "delta_ns_per_node" "delta";
+                           pick "a_node_share" "a share";
+                           pick "b_node_share" "b share";
+                         ])
+                | _ -> None)
+              gs
+        | _ -> []
+      in
+      print_string (Obs.Json.pp_rows rows);
+      print_endline verdict
+    end;
+    (* exit code mirrors the verdict: 0 unchanged/improved, 1 regressed *)
+    if String.length verdict >= 9 && String.sub verdict 0 9 = "regressed" then
+      exit 1
+  in
+  Cmd.v (Cmd.info "diff" ~doc) Term.(const run $ a $ b $ json)
+
+let profile_cmd =
+  let doc = "Operations on saved search profiles." in
+  Cmd.group (Cmd.info "profile" ~doc) [ profile_diff_cmd ]
 
 (* --- litmus -------------------------------------------------------------- *)
 
@@ -867,7 +1057,7 @@ let () =
         (Cmd.group info
            [ list_cmd; lock_cmd; adversary_cmd; bounds_cmd; verify_cmd;
              replay_cmd; stats_cmd; trace_cmd; analyze_cmd; show_cmd;
-             litmus_cmd ])
+             profile_cmd; litmus_cmd ])
     with
     | Sys_error msg ->
         prerr_endline msg;

@@ -42,6 +42,8 @@ module Obs = struct
   module Event = Obs.Event
   module Sink = Obs.Sink
   module Telemetry = Obs.Telemetry
+  module Estimator = Obs.Estimator
+  module Profile = Obs.Profile
 end
 
 module Analysis = struct

@@ -187,6 +187,13 @@ type stats = {
   omission_prob : float;
       (* bitstate store: estimated probability that the next distinct
          state falsely aliases as seen — (ones/m)^k at final fill *)
+  est_nodes : float;
+      (* Knuth-probe estimate of the explored tree's node count; 0 when
+         the estimator was off. Parallel: exact BFS-seed nodes plus the
+         sum of the per-item worker estimates. *)
+  est_progress : float;
+      (* fraction of the tree fully explored, by probe probability mass
+         (reaches ~1.0 on exhaustion); 0 when the estimator was off *)
 }
 
 let zero_stats =
@@ -195,7 +202,7 @@ let zero_stats =
     aborts_applied = 0; domains_used = 1;
     domain_nodes = []; merge_stall_us = 0; journal_peak = 0;
     undo_records = 0; steals = 0; store_evictions = 0; store_drops = 0;
-    omission_prob = 0.0 }
+    omission_prob = 0.0; est_nodes = 0.0; est_progress = 0.0 }
 
 type result = {
   nodes : int;  (* states expanded *)
@@ -329,6 +336,67 @@ let apply m = function
           (Printf.sprintf "recover %s: process is not crashed"
              (Pid.to_string p));
       ignore (Machine.step m p)
+
+(* --- profiling axes ---------------------------------------------------- *)
+
+(* The profiler's move-class axis: one dense code per transition kind
+   plus a synthetic class for the root node. Order is frozen — profile
+   JSONs and the folded-stack export name cells by it. *)
+let cls_step = 0
+let cls_root = 5
+
+let move_class = function
+  | Step _ -> cls_step
+  | Commit _ | Commit_var _ -> 1
+  | Crash _ -> 2
+  | Recover _ -> 3
+  | Abort _ -> 4
+
+let profile_classes =
+  [| "step"; "commit"; "crash"; "recover"; "abort"; "root" |]
+
+let profile_sections =
+  [| Machine.section_name Machine.Ncs;
+     Machine.section_name Machine.Entry;
+     Machine.section_name Machine.Exiting;
+     Machine.section_name Machine.Finished;
+     Machine.section_name Machine.Crashed;
+     Machine.section_name Machine.Aborting |]
+
+let new_profile ?every () =
+  Obs.Profile.create ?every ~classes:profile_classes
+    ~sections:profile_sections ()
+
+(* The sampling stride front ends (CLI verify --profile, bench
+   --profile) attach profiles with: strided statistical attribution,
+   cheap enough to leave on (the ≤5% overhead contract is asserted
+   against this configuration in the bench). Exact attribution stays
+   available with [new_profile ~every:1]. *)
+let default_profile_every = 16
+
+(* RMR classification of a move, read in the PRE-state (the footprint of
+   what the move is about to touch). Search machines run lean, which
+   freezes the cache-state RMR accounting — but [Machine.is_remote] is
+   purely layout-based (DSM-style home cells), so remoteness stays
+   computable: this is DSM-model RMR attribution, one event when the
+   touched variable's home is not the mover's segment. Commits charge
+   the committed write's destination; crash/recover/abort moves touch no
+   shared variable themselves. *)
+let move_rmr m = function
+  | Step p ->
+      let fp = Machine.step_footprint_packed m p in
+      let tag = fp land 7 in
+      (* 2 = read, 3 = write, 4 = rmw carry a variable *)
+      if tag >= 2 && tag <= 4 && Machine.is_remote m p (Var.of_int (fp lsr 3))
+      then 1
+      else 0
+  | Commit p ->
+      let buf = (Machine.proc m p).Machine.buf in
+      if (not (Wbuf.is_empty buf)) && Machine.is_remote m p (Wbuf.peek_var buf)
+      then 1
+      else 0
+  | Commit_var (p, v) -> if Machine.is_remote m p v then 1 else 0
+  | Crash _ | Recover _ | Abort _ -> 0
 
 (* --- fingerprinting --------------------------------------------------- *)
 
@@ -469,11 +537,20 @@ type ctx = {
   (* heartbeat bookkeeping (only touched when [obs] is enabled) *)
   mutable hb_nodes : int;
   mutable hb_us : int;
+  mutable hb_due_us : int;  (* next time-based heartbeat (us, hub clock) *)
+  mutable t_start_us : int;  (* search start (us, hub clock), for ETA *)
+  (* profiling (pay-for-use: both [None] by default, and every hook is a
+     single [match] away from the unprofiled path) *)
+  est : Obs.Estimator.t option;
+  prof : Obs.Profile.t option;
+  mutable prof_cls : int;  (* move class of the child about to be admitted *)
+  mutable prof_rmr : int;  (* its RMR charge, computed in the pre-state *)
+  mutable prof_jbase : int;  (* Journal.records at the previous record *)
 }
 
 let make_ctx ?seen ?pool ?on_fingerprint ?(max_crashes = 0) ?(max_aborts = 0)
-    ?stop ?deadline ?(obs = Obs.Telemetry.null) ?(paranoid = false) ~dedup
-    ~por ~codec ~on_spin ~max_nodes ~max_violations () =
+    ?stop ?deadline ?(obs = Obs.Telemetry.null) ?(paranoid = false) ?est
+    ?profile ~dedup ~por ~codec ~on_spin ~max_nodes ~max_violations () =
   let seen =
     match seen with Some s -> s | None -> Seen_tbl (Seenmap.create ())
   in
@@ -491,7 +568,9 @@ let make_ctx ?seen ?pool ?on_fingerprint ?(max_crashes = 0) ?(max_aborts = 0)
     nodes = 0; max_depth = 0; nviol = 0; violations = []; stopped = None;
     c_dedup = 0; c_resleeps = 0; c_sleep_prunes = 0; c_chains = 0;
     c_fused = 0; c_crashes = 0; c_aborts = 0; c_jpeak = 0; c_jrecords = 0;
-    c_steals = 0; hb_nodes = 0; hb_us = 0 }
+    c_steals = 0; hb_nodes = 0; hb_us = 0; hb_due_us = 0;
+    t_start_us = Obs.Telemetry.now_us obs; est; prof = profile;
+    prof_cls = cls_root; prof_rmr = 0; prof_jbase = 0 }
 
 let seen_len ctx =
   match ctx.seen with
@@ -512,7 +591,11 @@ let stats_of_ctx ctx =
     crashes_applied = ctx.c_crashes; aborts_applied = ctx.c_aborts;
     domain_nodes = [ ctx.nodes ];
     journal_peak = ctx.c_jpeak; undo_records = ctx.c_jrecords;
-    steals = ctx.c_steals; store_evictions; store_drops; omission_prob }
+    steals = ctx.c_steals; store_evictions; store_drops; omission_prob;
+    est_nodes =
+      (match ctx.est with Some e -> Obs.Estimator.estimate e | None -> 0.);
+    est_progress =
+      (match ctx.est with Some e -> Obs.Estimator.progress e | None -> 0.) }
 
 (* Charge the node budget for one expansion: burn local quota, then
    claim another chunk from the shared pool. Chunked claims (256 nodes)
@@ -542,11 +625,16 @@ let charge ctx =
         in
         claim ()
 
-(* Heartbeat: every 1024 expansions (piggybacked on the deadline poll)
-   push counter snapshots, the instantaneous nodes/sec and the current
-   DFS depth to the sinks. All of this is behind [Telemetry.enabled] —
-   with no sink attached the explorer never reaches here. *)
-let heartbeat ctx depth =
+(* Heartbeat: push counter snapshots, the instantaneous nodes/sec, the
+   current DFS depth and — when the estimator is running — progress %,
+   ETA and the live total estimate to the sinks. Cadence is time-based
+   (~1 Hz): the deadline/stop poll still runs every 1024 expansions, and
+   a heartbeat is emitted from it only once [hb_due_us] has passed — so
+   a fast search pays one [now_us] read per 1024 nodes and one sink
+   write per second, while a slow search (< 1024 nodes/s) simply beats
+   on every poll. All of this is behind [Telemetry.enabled] — with no
+   sink attached the explorer never reaches here. *)
+let heartbeat ctx depth now =
   let obs = ctx.obs in
   let t = Obs.Telemetry.counter obs in
   let setc name v = Obs.Telemetry.set (t name) v in
@@ -560,13 +648,36 @@ let heartbeat ctx depth =
   setc "explore.violations" ctx.nviol;
   Obs.Telemetry.flush_counters obs;
   Obs.Telemetry.gauge obs "explore.frontier_depth" (float_of_int depth);
-  let now = Obs.Telemetry.now_us obs in
   let dn = ctx.nodes - ctx.hb_nodes and dt = now - ctx.hb_us in
   if dt > 0 && ctx.hb_us > 0 then
     Obs.Telemetry.gauge obs "explore.nodes_per_sec"
       (1e6 *. float_of_int dn /. float_of_int dt);
   ctx.hb_nodes <- ctx.nodes;
-  ctx.hb_us <- now
+  ctx.hb_us <- now;
+  (match ctx.est with
+  | Some e ->
+      let pr = Obs.Estimator.progress e in
+      Obs.Telemetry.gauge obs "explore.progress" pr;
+      if pr > 1e-9 then begin
+        Obs.Telemetry.gauge obs "explore.est_total"
+          (float_of_int ctx.nodes /. pr);
+        let elapsed = now - ctx.t_start_us in
+        if elapsed > 0 then
+          Obs.Telemetry.gauge obs "explore.eta_s"
+            (1e-6 *. float_of_int elapsed *. (1. -. pr) /. pr)
+      end
+  | None -> ());
+  Obs.Telemetry.instant ctx.obs "explore.heartbeat"
+
+(* The ~1 Hz gate around [heartbeat], shared by both engines' poll
+   blocks. Re-arms one second after the beat actually fired, so the
+   cadence adapts to stalls instead of bursting to catch up. *)
+let heartbeat_due ctx depth =
+  let now = Obs.Telemetry.now_us ctx.obs in
+  if now >= ctx.hb_due_us then begin
+    heartbeat ctx depth now;
+    ctx.hb_due_us <- now + 1_000_000
+  end
 
 let record_violation ctx schedule kind =
   ctx.nviol <- ctx.nviol + 1;
@@ -575,6 +686,75 @@ let record_violation ctx schedule kind =
     ctx.stopped <- Some `Violations;
     raise Done
   end
+
+(* Estimator weaving (see Obs.Estimator): each expanded node [enter]s
+   with its declared child-slot count, each slot is either consumed by
+   the child's own expansion or retired as a [leaf] (asleep, pruned,
+   delegated, asleep-abandoned chase, or raised), and [leave] closes the
+   node. The slot count must equal the number of terminal events under
+   the node — full expansions declare every enabled move (the loop
+   retires the sleepers), ample chains declare a single slot for the
+   whole chain. All no-ops when the estimator is off. *)
+let[@inline] est_enter ctx k =
+  match ctx.est with
+  | Some e -> Obs.Estimator.enter e ~children:k
+  | None -> ()
+
+let[@inline] est_leaf ctx =
+  match ctx.est with Some e -> Obs.Estimator.leaf e | None -> ()
+
+let[@inline] est_leave ctx =
+  match ctx.est with Some e -> Obs.Estimator.leave e | None -> ()
+
+(* Child slots a full expansion will offer: one per enabled move. A
+   sleeping move's slot is retired with [est_leaf] by the expansion loop
+   when it skips the move — cheaper than pre-counting the awake moves,
+   which would re-encode every move's footprint just to subtract the
+   sleepers (the loop encodes them again anyway), and identical in
+   expectation: a retired slot's probe/mass share stays with the parent
+   either way. *)
+
+(* Profile hook: charge the just-admitted node to its cell. Runs at
+   admission (after the seen store said yes, before delegation), which
+   gives exactly-once semantics per counted node across both engines,
+   delegation and the BFS seed. The move class and RMR charge were
+   stashed in the ctx by the expansion loop (they must be read in the
+   pre-state); section and location are read from the post-state of the
+   process that moved. Undo records are attributed as the delta of the
+   machine's monotone [Journal.records] counter (0 on the clone
+   engine). *)
+let prof_record ctx prof m schedule depth =
+  let cls, pid =
+    match schedule with
+    | mv :: _ -> (ctx.prof_cls, Footprint.move_pid mv)
+    | [] -> (cls_root, 0)
+  in
+  let pr = Machine.proc m pid in
+  let section = Machine.section_code pr.Machine.sec in
+  let pc = pr.Machine.pc in
+  let loc, is_pc =
+    if pc >= 0 then (pc, true) else (Machine.loc_key m pid, false)
+  in
+  let jr = Machine.Journal.records m in
+  let undo = jr - ctx.prof_jbase in
+  let undo = if undo < 0 then 0 else undo in
+  ctx.prof_jbase <- jr;
+  Obs.Profile.record prof ~depth ~cls ~section ~loc ~is_pc ~rmr:ctx.prof_rmr
+    ~undo
+
+(* Stash class + RMR charge for the child [mv] is about to produce;
+   [move_rmr] reads footprints, so this is gated on the sampling gate:
+   only a child whose admission record will fire pays for the pre-state
+   reads. (A stash wasted on a child the seen store then prunes leaves
+   the gate untouched — the next candidate re-stashes.) *)
+let[@inline] prof_stash ctx m mv =
+  match ctx.prof with
+  | Some p ->
+      if Obs.Profile.next_armed p then begin
+        ctx.prof_cls <- move_class mv;
+        ctx.prof_rmr <- move_rmr m mv
+      end
+  | None -> ()
 
 (* Singleton ample set: a [Step p] with a purely-local footprint (no
    shared access, no CS check) is independent of every move of every
@@ -800,9 +980,14 @@ let visit_child ctx m' schedule depth z ~child =
   in
   if admitted <> admit_pruned then begin
     let z = admitted in
+    (match ctx.prof with
+    | Some p -> if Obs.Profile.armed p then prof_record ctx p m' schedule depth
+    | None -> ());
     if not (try_delegate ctx ~must_clone:false m' schedule depth z) then
       child m' schedule depth z
+    else est_leaf ctx (* parked: the subtree is someone else's estimate *)
   end
+  else est_leaf ctx
 
 (* Expand one state: count it, then either diagnose a dead end or visit
    the selected moves through [child]. The deadlock scan is only run when
@@ -812,9 +997,9 @@ let expand ctx m schedule depth sleep ~child =
     ctx.stopped <- Some `Nodes;
     raise Done
   end;
-  (* the deadline is polled — and a telemetry heartbeat emitted — every
-     1024 nodes: a gettimeofday (or sink write) per node would dominate
-     the ~2µs/node hot path *)
+  (* the deadline is polled — and a telemetry heartbeat considered —
+     every 1024 nodes: a gettimeofday (or sink write) per node would
+     dominate the ~2µs/node hot path *)
   if ctx.nodes land 1023 = 0 then begin
     (match ctx.stop with
     | Some s when Atomic.get s ->
@@ -826,7 +1011,7 @@ let expand ctx m schedule depth sleep ~child =
         ctx.stopped <- Some `Millis;
         raise Done
     | _ -> ());
-    if Obs.Telemetry.enabled ctx.obs then heartbeat ctx depth
+    if Obs.Telemetry.enabled ctx.obs then heartbeat_due ctx depth
   end;
   ctx.nodes <- ctx.nodes + 1;
   if depth > ctx.max_depth then ctx.max_depth <- depth;
@@ -834,15 +1019,17 @@ let expand ctx m schedule depth sleep ~child =
     enabled_moves ~max_crashes:ctx.max_crashes ~max_aborts:ctx.max_aborts m
   in
   if moves = [] then begin
+    est_enter ctx 0;
     let n = Machine.n_procs m in
     let unfinished = ref false in
     for p = 0 to n - 1 do
       if Machine.pending_class m p <> Machine.K_done then unfinished := true
     done;
+    est_leave ctx;
     if !unfinished then record_violation ctx schedule `Deadlock
   end
-  else
-    match singleton_ample ctx m moves with
+  else begin
+    (match singleton_ample ctx m moves with
     | Some (mv0, m'0) ->
         (* Persistent singleton: explore it alone (unless asleep, in
            which case everything from here is covered elsewhere).
@@ -852,14 +1039,18 @@ let expand ctx m schedule depth sleep ~child =
            — only the chain's endpoint becomes a search node. Chains are
            finite (every local move strictly advances a continuation, and
            spin reads are not chase-eligible); the fuel is a defensive
-           backstop only. *)
+           backstop only. For the estimator the whole chain is ONE child
+           slot: its terminal event is either the endpoint's admission
+           or the asleep abandonment. *)
         let rec chase m mv m' schedule depth z fuel =
           let bit =
             if ctx.sleepable then 1 lsl Footprint.encode ctx.codec mv else 0
           in
-          if z land bit <> 0 then
-            ctx.c_sleep_prunes <- ctx.c_sleep_prunes + 1
+          if z land bit <> 0 then begin
+            ctx.c_sleep_prunes <- ctx.c_sleep_prunes + 1;
             (* asleep: covered elsewhere *)
+            est_leaf ctx
+          end
           else begin
             (match mv with
             | Crash _ -> ctx.c_crashes <- ctx.c_crashes + 1
@@ -881,10 +1072,15 @@ let expand ctx m schedule depth sleep ~child =
           end
         in
         ctx.c_chains <- ctx.c_chains + 1;
+        est_enter ctx 1;
+        (* chase moves are purely-local Steps by construction *)
+        ctx.prof_cls <- cls_step;
+        ctx.prof_rmr <- 0;
         chase m mv0 m'0 schedule depth sleep 4096
     | None ->
         (* full expansion with sleep sets: skip sleeping moves; each
            explored move falls asleep for its later siblings' subtrees *)
+        est_enter ctx (List.length moves);
         let explored = ref 0 in
         List.iter
           (fun mv ->
@@ -892,10 +1088,13 @@ let expand ctx m schedule depth sleep ~child =
               if ctx.sleepable then 1 lsl Footprint.encode ctx.codec mv
               else 0
             in
-            if sleep land bit <> 0 then
-              ctx.c_sleep_prunes <- ctx.c_sleep_prunes + 1
+            if sleep land bit <> 0 then begin
+              ctx.c_sleep_prunes <- ctx.c_sleep_prunes + 1;
+              est_leaf ctx
+            end
             else begin
               let m' = Machine.clone m in
+              prof_stash ctx m mv;
               (match apply m' mv with
               | () ->
                   (match mv with
@@ -909,16 +1108,20 @@ let expand ctx m schedule depth sleep ~child =
                   in
                   visit_child ctx m' (mv :: schedule) (depth + 1) z ~child
               | exception Machine.Exclusion_violation { holder; intruder } ->
+                  est_leaf ctx;
                   record_violation ctx (mv :: schedule)
                     (`Exclusion (holder, intruder))
               | exception Prog.Spin_exhausted _ -> (
+                  est_leaf ctx;
                   match ctx.on_spin with
                   | `Prune -> ()
                   | `Violation ->
                       record_violation ctx (mv :: schedule) `Spin_exhausted));
               explored := !explored lor bit
             end)
-          moves
+          moves);
+    est_leave ctx
+  end
 
 let rec dfs ctx m schedule depth sleep =
   expand ctx m schedule depth sleep ~child:(dfs ctx)
@@ -1005,7 +1208,7 @@ let rec dfs_journal ctx m schedule depth sleep =
         ctx.stopped <- Some `Millis;
         raise Done
     | _ -> ());
-    if Obs.Telemetry.enabled ctx.obs then heartbeat ctx depth
+    if Obs.Telemetry.enabled ctx.obs then heartbeat_due ctx depth
   end;
   ctx.nodes <- ctx.nodes + 1;
   if depth > ctx.max_depth then ctx.max_depth <- depth;
@@ -1013,24 +1216,34 @@ let rec dfs_journal ctx m schedule depth sleep =
     enabled_moves ~max_crashes:ctx.max_crashes ~max_aborts:ctx.max_aborts m
   in
   if moves = [] then begin
+    est_enter ctx 0;
     let n = Machine.n_procs m in
     let unfinished = ref false in
     for p = 0 to n - 1 do
       if Machine.pending_class m p <> Machine.K_done then unfinished := true
     done;
+    est_leave ctx;
     if !unfinished then record_violation ctx schedule `Deadlock
   end
   else begin
     let mark0 = Machine.Journal.mark m in
-    match singleton_ample_journal ctx m sleep moves with
+    (match singleton_ample_journal ctx m sleep moves with
     | Some (mv0, z0) ->
         (* the machine is in mv0's successor state; the chase walks the
            singleton chain in place and [undo_to mark0] unwinds the whole
-           chain in one sweep when it bottoms out (or is asleep) *)
+           chain in one sweep when it bottoms out (or is asleep). The
+           whole chain is ONE estimator child slot. *)
         ctx.c_chains <- ctx.c_chains + 1;
+        est_enter ctx 1;
+        (* chase moves are purely-local Steps by construction *)
+        ctx.prof_cls <- cls_step;
+        ctx.prof_rmr <- 0;
         chase_journal ctx m ~chain_mark:mark0 mv0 ~z_in:sleep ~z_out:z0
           schedule depth 4096
-    | None -> dfs_journal_moves ctx m schedule depth sleep 0 moves
+    | None ->
+        est_enter ctx (List.length moves);
+        dfs_journal_moves ctx m schedule depth sleep 0 moves);
+    est_leave ctx
   end
 
 (* The per-move expansion loop, a (closure-free) recursion over the
@@ -1044,6 +1257,7 @@ and dfs_journal_moves ctx m schedule depth sleep explored = function
       in
       if sleep land bit <> 0 then begin
         ctx.c_sleep_prunes <- ctx.c_sleep_prunes + 1;
+        est_leaf ctx;
         dfs_journal_moves ctx m schedule depth sleep explored rest
       end
       else begin
@@ -1054,6 +1268,7 @@ and dfs_journal_moves ctx m schedule depth sleep explored = function
           else 0
         in
         let mark = Machine.Journal.mark m in
+        prof_stash ctx m mv;
         (match apply m mv with
         | () ->
             (match mv with
@@ -1064,10 +1279,12 @@ and dfs_journal_moves ctx m schedule depth sleep explored = function
             Machine.Journal.undo_to m mark
         | exception Machine.Exclusion_violation { holder; intruder } ->
             Machine.Journal.undo_to m mark;
+            est_leaf ctx;
             record_violation ctx (mv :: schedule)
               (`Exclusion (holder, intruder))
         | exception Prog.Spin_exhausted _ -> (
             Machine.Journal.undo_to m mark;
+            est_leaf ctx;
             match ctx.on_spin with
             | `Prune -> ()
             | `Violation ->
@@ -1085,6 +1302,7 @@ and chase_journal ctx m ~chain_mark mv ~z_in ~z_out schedule depth fuel =
   if z_in land bit <> 0 then begin
     ctx.c_sleep_prunes <- ctx.c_sleep_prunes + 1;
     (* asleep: covered elsewhere — abandon the whole chain *)
+    est_leaf ctx;
     Machine.Journal.undo_to m chain_mark
   end
   else begin
@@ -1123,9 +1341,14 @@ and visit_child_journal ctx m schedule depth z =
   let admitted = seen_admit ctx fp z in
   if admitted <> admit_pruned then begin
     let z = admitted in
+    (match ctx.prof with
+    | Some p -> if Obs.Profile.armed p then prof_record ctx p m schedule depth
+    | None -> ());
     if not (try_delegate ctx ~must_clone:true m schedule depth z) then
       dfs_journal ctx m schedule depth z
+    else est_leaf ctx
   end
+  else est_leaf ctx
 
 (* Run one start state to completion under the configured engine,
    folding the machine's journal gauges into the ctx even when [Done]
@@ -1146,6 +1369,9 @@ let run_start ctx ~engine m schedule depth sleep =
   | `Clone -> dfs ctx m schedule depth sleep
   | `Journal | `Compiled ->
       Machine.Journal.enable m;
+      (* [enable] zeroes the machine's record counter; re-base the
+         profiler's per-node undo attribution on the fresh counter *)
+      ctx.prof_jbase <- Machine.Journal.records m;
       Fun.protect
         ~finally:(fun () ->
           ctx.c_jpeak <- max ctx.c_jpeak (Machine.Journal.peak m);
@@ -1223,11 +1449,20 @@ let delegate_period_mask = 63
    distinguish "momentarily empty" from "globally done". *)
 let shared_worker ~engine ~paranoid ~store ~pool ~deques ~busy ~d ~dedup ~por
     ~codec ~on_spin ~max_violations ~max_crashes ~max_aborts ~stop ~deadline
-    () =
+    ~est_cfg ~profile_shard () =
+  (* each domain owns an independent estimator (distinct seed — the
+     probes must not be correlated across domains) and an independent
+     profile shard; the coordinator merges both after the join *)
+  let est =
+    Option.map
+      (fun (c : Obs.Estimator.cfg) ->
+        Obs.Estimator.create ~cfg:{ c with Obs.Estimator.seed = c.Obs.Estimator.seed + d + 1 } ())
+      est_cfg
+  in
   let ctx =
     make_ctx ~seen:(Seen_shared store) ~pool ~max_crashes ~max_aborts ?stop
       ?deadline ~paranoid ~dedup ~por ~codec ~on_spin ~max_nodes:0
-      ~max_violations ()
+      ~max_violations ?est ?profile:profile_shard ()
   in
   let own = deques.(d) in
   let k = Array.length deques in
@@ -1298,6 +1533,9 @@ let shared_worker ~engine ~paranoid ~store ~pool ~deques ~busy ~d ~dedup ~por
         in
         hunt ()
   in
+  (match profile_shard with
+  | Some p -> Obs.Profile.start p
+  | None -> ());
   let t0 = Unix.gettimeofday () in
   let exhausted =
     try
@@ -1315,29 +1553,48 @@ let shared_worker ~engine ~paranoid ~store ~pool ~deques ~busy ~d ~dedup ~por
       false
   in
   let t1 = Unix.gettimeofday () in
+  (match profile_shard with
+  | Some p -> Obs.Profile.stop p
+  | None -> ());
   { o_nodes = ctx.nodes; o_depth = ctx.max_depth; o_exhausted = exhausted;
     o_stopped = ctx.stopped; o_tagged = List.rev !tagged;
     o_stats = stats_of_ctx ctx; o_t0 = t0; o_t1 = t1 }
 
 let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
-    ~on_spin ~max_crashes ~max_aborts ~stop ~deadline ~obs ~paranoid cfg =
+    ~on_spin ~max_crashes ~max_aborts ~stop ~deadline ~obs ~paranoid
+    ~estimator ~profile cfg =
   (* the BFS seed expands on the coordinator with the clone engine under
      BOTH engines: frontier states must be independent machines that can
      be handed to other domains; workers then re-enable journaling on
      their own copies (run_start). The seed shares the store with the
-     workers, so frontier states are already claimed when parked. *)
+     workers, so frontier states are already claimed when parked.
+     The coordinator profiles into the caller's accumulator directly (it
+     runs alone until the spawn) but carries no estimator: queue-order
+     BFS breaks the enter/leaf/leave stack discipline, so the parallel
+     estimate is [exact BFS nodes + Σ per-subtree worker estimates]. *)
   let store =
     Fpstore.create ~mode:cfg.Config.store ~expected:max_nodes
   in
   let ctx =
     make_ctx ~seen:(Seen_shared store) ~max_crashes ~max_aborts ?stop
       ?deadline ~obs ~paranoid ~dedup ~por ~codec ~on_spin ~max_nodes
-      ~max_violations ()
+      ~max_violations ?profile ()
   in
   let bfs_t0 = Obs.Telemetry.now_us obs in
+  let finish_seed_only r =
+    if Option.is_none estimator then r
+    else
+      { r with
+        stats =
+          { r.stats with
+            est_nodes = float_of_int r.nodes;
+            est_progress = (if r.exhausted then 1.0 else 0.0) } }
+  in
   match bfs_frontier ctx (search_machine cfg) ~target:(domains * 8) with
-  | [] -> result_of_ctx ctx ~exhausted:true  (* space smaller than frontier *)
-  | exception Done -> result_of_ctx ctx ~exhausted:false
+  | [] ->
+      (* space smaller than frontier: the seed enumerated it exactly *)
+      finish_seed_only (result_of_ctx ctx ~exhausted:true)
+  | exception Done -> finish_seed_only (result_of_ctx ctx ~exhausted:false)
   | frontier ->
       if Obs.Telemetry.enabled obs then
         Obs.Telemetry.span_at obs ~ts0:bfs_t0
@@ -1359,14 +1616,32 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
       let busy = Atomic.make k in
       let wall0 = Unix.gettimeofday () in
       let engine = cfg.Config.engine in
+      (* one profile shard per domain, created here and absorbed below in
+         array order — the merged accumulator is deterministic however the
+         work was stolen *)
+      let shards =
+        Array.init k (fun _ ->
+            Option.map
+              (fun p -> new_profile ~every:(Obs.Profile.every p) ())
+              profile)
+      in
       let spawned =
         Array.init k (fun d ->
             Domain.spawn
               (shared_worker ~engine ~paranoid ~store ~pool ~deques ~busy ~d
                  ~dedup ~por ~codec ~on_spin ~max_violations ~max_crashes
-                 ~max_aborts ~stop ~deadline))
+                 ~max_aborts ~stop ~deadline ~est_cfg:estimator
+                 ~profile_shard:shards.(d)))
       in
       let parts = Array.map Domain.join spawned in
+      (match profile with
+      | Some p ->
+          Array.iter
+            (function
+              | Some shard -> Obs.Profile.absorb ~into:p shard
+              | None -> ())
+            shards
+      | None -> ());
       let nodes =
         Array.fold_left (fun a p -> a + p.o_nodes) ctx.nodes parts
       in
@@ -1420,7 +1695,9 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
                 + int_of_float (1e6 *. (last_finish -. p.o_t1));
               journal_peak = max acc.journal_peak s.journal_peak;
               undo_records = acc.undo_records + s.undo_records;
-              steals = acc.steals + s.steals })
+              steals = acc.steals + s.steals;
+              est_nodes = acc.est_nodes +. s.est_nodes;
+              est_progress = acc.est_progress +. s.est_progress })
           { (stats_of_ctx ctx) with domains_used = k; domain_nodes = [] }
           parts
       in
@@ -1430,6 +1707,18 @@ let explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por ~codec
           store_evictions = Fpstore.evictions store;
           store_drops = Fpstore.drops store;
           omission_prob = Fpstore.omission_prob store }
+      in
+      (* parallel estimate: the BFS seed is exact (ctx.nodes), each worker
+         estimated the subtrees it actually ran; progress is the
+         unweighted mean over domains *)
+      let stats =
+        if Option.is_none estimator then stats
+        else
+          { stats with
+            est_nodes = float_of_int ctx.nodes +. stats.est_nodes;
+            est_progress =
+              (if k > 0 then stats.est_progress /. float_of_int k else 0.0)
+          }
       in
       (* Workers never touch the sinks (they are not thread-safe); the
          coordinator replays their wall-clock windows as spans after the
@@ -1481,10 +1770,20 @@ let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
     ?(on_spin = `Prune) ?(spin_fuel = 6) ?(record_trace = false)
     ?(domains = 1) ?(por = true) ?(max_crashes = 0) ?(max_aborts = 0) ?stop
     ?max_millis ?on_fingerprint ?(obs = Obs.Telemetry.null)
-    ?(paranoid_fp = false) (cfg : Config.t) : result =
+    ?(paranoid_fp = false) ?estimator ?profile (cfg : Config.t) : result =
   if domains < 1 then invalid_arg "Explore.explore: domains must be >= 1";
   if domains > 1 && Option.is_some on_fingerprint then
     invalid_arg "Explore.explore: on_fingerprint requires domains = 1";
+  (match profile with
+  | Some p ->
+      if
+        Obs.Profile.classes p <> profile_classes
+        || Obs.Profile.sections p <> profile_sections
+      then
+        invalid_arg
+          "Explore.explore: profile accumulator has a foreign schema — \
+           create it with Explore.new_profile"
+  | None -> ());
   if max_crashes < 0 then
     invalid_arg "Explore.explore: max_crashes must be >= 0";
   if max_aborts < 0 then
@@ -1507,6 +1806,21 @@ let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
   Prog.default_spin_fuel := spin_fuel;
   Fun.protect ~finally:(fun () -> Prog.default_spin_fuel := saved_fuel)
   @@ fun () ->
+  (* The root node never passes through a [visit_child]; attribute it
+     here so [total_nodes] matches [nodes] exactly on exhausted runs.
+     The accumulator's clock starts now and keeps running through the
+     whole search (partial runs flush whatever accrued). *)
+  (match profile with
+  | Some p ->
+      Obs.Profile.start p;
+      if Obs.Profile.armed p then
+        Obs.Profile.record p ~depth:0 ~cls:cls_root ~section:0 ~loc:0
+          ~is_pc:false ~rmr:0 ~undo:0
+  | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      match profile with Some p -> Obs.Profile.stop p | None -> ())
+  @@ fun () ->
   let finish (r : result) =
     if Obs.Telemetry.enabled obs then begin
       let t = Obs.Telemetry.counter obs in
@@ -1523,7 +1837,15 @@ let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
       Obs.Telemetry.set (t "explore.store_drops") r.stats.store_drops;
       Obs.Telemetry.flush_counters obs;
       if r.stats.omission_prob > 0.0 then
-        Obs.Telemetry.gauge obs "explore.omission_prob" r.stats.omission_prob
+        Obs.Telemetry.gauge obs "explore.omission_prob" r.stats.omission_prob;
+      if Option.is_some estimator then begin
+        Obs.Telemetry.gauge obs "explore.progress" r.stats.est_progress;
+        Obs.Telemetry.gauge obs "explore.est_total" r.stats.est_nodes;
+        Obs.Telemetry.gauge obs "explore.eta_s" 0.0
+      end;
+      (* final repaint trigger for the progress sink — also reached on
+         partial (stopped / interrupted) verdicts *)
+      Obs.Telemetry.instant obs "explore.heartbeat"
     end;
     r
   in
@@ -1531,7 +1853,7 @@ let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
     finish
       (explore_parallel ~domains ~max_nodes ~max_violations ~dedup ~por
          ~codec ~on_spin ~max_crashes ~max_aborts ~stop ~deadline ~obs
-         ~paranoid:paranoid_fp cfg)
+         ~paranoid:paranoid_fp ~estimator ~profile cfg)
   else begin
     (* one domain: the hash table serves the exact mode (no
        synchronization to pay for); the memory-bounded modes go through
@@ -1542,10 +1864,13 @@ let explore ?(max_nodes = 500_000) ?(max_violations = 1) ?(dedup = true)
       | Config.Store_exact -> Seen_tbl (Seenmap.create ())
       | mode -> Seen_shared (Fpstore.create ~mode ~expected:max_nodes)
     in
+    let est =
+      Option.map (fun c -> Obs.Estimator.create ~cfg:c ()) estimator
+    in
     let ctx =
       make_ctx ~seen ?on_fingerprint ~max_crashes ~max_aborts ?stop ?deadline
         ~obs ~paranoid:paranoid_fp ~dedup ~por ~codec ~on_spin ~max_nodes
-        ~max_violations ()
+        ~max_violations ?est ?profile ()
     in
     let t0 = Obs.Telemetry.now_us obs in
     let exhausted =

@@ -175,6 +175,17 @@ type stats = {
           state falsely aliases as already-seen at the final bit-array
           fill — [(ones/m)^k] ({!Fpstore.omission_prob}); 0.0 in the
           exact and bounded modes *)
+  est_nodes : float;
+      (** online Knuth estimate of the TOTAL (pruned) search-space size,
+          live mid-search and final at the end; 0.0 when the estimator is
+          off ([?estimator] not passed to {!explore}). Parallel runs sum
+          exact BFS-seed nodes with per-subtree worker estimates *)
+  est_progress : float;
+      (** estimated fraction of the space already explored, in [0, 1]:
+          the probability mass of retired subtrees under the
+          uniform-random-descent measure. Reaches exactly 1.0 on
+          exhausted sequential runs (a built-in self-test of the mass
+          accounting); 0.0 when the estimator is off *)
 }
 
 val zero_stats : stats
@@ -221,6 +232,25 @@ val fingerprint : Machine.t -> int
     {!Machine.fingerprint} (allocation-free full recompute; see the
     module comment for the soundness caveat). *)
 
+val new_profile : ?every:int -> unit -> Obs.Profile.t
+(** A fresh profile accumulator with the explorer's schema: move classes
+    [step commit crash recover abort root] and process sections in
+    {!Machine.section_code} order. Pass it to {!explore} as [?profile];
+    the same accumulator may be reused across several runs (profiles
+    sum). {!explore} rejects accumulators built with any other schema.
+
+    [every] is {!Obs.Profile.create}'s sampling stride: 1 (default)
+    attributes every node exactly; [k > 1] records one admitted node in
+    [k] — node and RMR counts scale by [k] (totals accurate to within
+    one stride), tick and undo-record totals stay exact. The parallel
+    driver creates its per-domain shards with the same stride. *)
+
+val default_profile_every : int
+(** The sampling stride the front ends (CLI [verify --profile], bench
+    [--profile]) use: strided statistical attribution cheap enough to
+    leave on — the ≤5% pay-for-use overhead contract is asserted
+    against this configuration in the bench. *)
+
 val explore :
   ?max_nodes:int ->
   ?max_violations:int ->
@@ -237,6 +267,8 @@ val explore :
   ?on_fingerprint:(int -> unit) ->
   ?obs:Obs.Telemetry.t ->
   ?paranoid_fp:bool ->
+  ?estimator:Obs.Estimator.cfg ->
+  ?profile:Obs.Profile.t ->
   Config.t ->
   result
 (** Defaults: 500k nodes, stop at the first violation, dedup on, spin
@@ -335,12 +367,36 @@ val explore :
     under the clone engine.
 
     [~obs] attaches a telemetry hub ({!Obs.Telemetry}): the search emits
-    a heartbeat every 1024 expansions (counter snapshots, nodes/sec,
-    current depth), phase spans (BFS seeding, DFS, one lane per domain)
-    and a final counter flush. Workers never touch the hub — their
-    wall-clock windows are replayed by the coordinator after the join.
-    Default {!Obs.Telemetry.null}: every emission reduces to one
-    [enabled] check, leaving the ns/node budget intact (BENCH_PR4). *)
+    a time-based heartbeat (~1 Hz, re-armed from a deadline checked
+    inside the every-1024-expansions stop/deadline poll, so an idle hub
+    costs one comparison) carrying counter snapshots, nodes/sec, current
+    depth and — when the estimator is on — progress %, live
+    estimated-total and ETA gauges, plus an ["explore.heartbeat"]
+    instant that progress sinks use as their repaint trigger. Phase
+    spans (BFS seeding, DFS, one lane per domain) and a final counter
+    flush follow. Workers never touch the hub — their wall-clock windows
+    are replayed by the coordinator after the join. Default
+    {!Obs.Telemetry.null}: every emission reduces to one [enabled]
+    check, leaving the ns/node budget intact (BENCH_PR4).
+
+    [~estimator] attaches an online Knuth tree-size estimator
+    ({!Obs.Estimator}): [cfg.probes] random root-to-leaf descents are
+    woven through the DFS (deterministically seeded — the search itself
+    is never perturbed), yielding the [est_nodes] / [est_progress]
+    fields of {!stats} and the live heartbeat gauges above. Off by
+    default (zero cost). Parallel runs give each domain an independent
+    estimator (seed + domain + 1) and combine: exact BFS-seed count +
+    summed worker estimates; progress is the mean over domains.
+
+    [~profile] attaches a per-depth-band × move-class × section ×
+    location profile accumulator (build it with {!new_profile}); every
+    admitted node is attributed exactly once — at admission — with its
+    wall-time share, undo-record and remote-reference (RMR) deltas.
+    Parallel runs shard per domain and merge deterministically (domain
+    order) after the join. Off by default (zero cost); the accumulator
+    keeps summing across runs, so one profile can cover a sweep.
+    @raise Invalid_argument if the accumulator's schema is not
+    {!new_profile}'s. *)
 
 (** {1 Replay} *)
 

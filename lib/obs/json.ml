@@ -286,6 +286,59 @@ let parse (s : string) : (t, string) result =
   | exception Bad (at, msg) ->
       Error (Printf.sprintf "json parse error at offset %d: %s" at msg)
 
+(* --- human tables ----------------------------------------------------- *)
+
+(* One codec, two faces: the CLI builds its report data as Json values,
+   prints them for machines with [to_string] and for humans with these
+   aligned renderers — so the two outputs can never drift apart. *)
+
+let scalar = function
+  | Null -> "-"
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Printf.sprintf "%.0f" f
+      else Printf.sprintf "%.4g" f
+  | String s -> s
+  | (List _ | Obj _) as v -> to_string v
+
+let pp_kv_table ?(indent = 2) fields =
+  let pad = String.make indent ' ' in
+  let w =
+    List.fold_left (fun w (k, _) -> max w (String.length k)) 0 fields
+  in
+  String.concat ""
+    (List.map
+       (fun (k, v) -> Printf.sprintf "%s%-*s  %s\n" pad w k (scalar v))
+       fields)
+
+let pp_rows ?(indent = 2) rows =
+  match rows with
+  | [] -> ""
+  | first :: _ ->
+      let pad = String.make indent ' ' in
+      let cols = List.map fst first in
+      let cell row c = match List.assoc_opt c row with
+        | Some v -> scalar v
+        | None -> "-"
+      in
+      let widths =
+        List.map
+          (fun c ->
+            List.fold_left
+              (fun w row -> max w (String.length (cell row c)))
+              (String.length c) rows)
+          cols
+      in
+      let line f =
+        pad
+        ^ String.concat "  "
+            (List.map2 (fun c w -> Printf.sprintf "%-*s" w (f c)) cols widths)
+        ^ "\n"
+      in
+      line (fun c -> c) ^ String.concat "" (List.map (fun r -> line (cell r)) rows)
+
 (* --- queries ---------------------------------------------------------- *)
 
 let member k = function Obj fields -> List.assoc_opt k fields | _ -> None

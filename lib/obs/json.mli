@@ -33,5 +33,21 @@ val parse : string -> (t, string) result
 val member : string -> t -> t option
 (** Field lookup in an [Obj] (first match); [None] otherwise. *)
 
+val scalar : t -> string
+(** Human rendering of a scalar value: strings bare (no quotes), floats
+    trimmed, [Null] as ["-"]; lists/objects fall back to {!to_string}.
+    The cell renderer behind {!pp_kv_table} and {!pp_rows}. *)
+
+val pp_kv_table : ?indent:int -> (string * t) list -> string
+(** Aligned ["key  value"] lines (one per field, [indent] leading
+    spaces, default 2). The CLI's human-readable face for report data
+    whose machine face is [to_string] of the same fields — one codec,
+    two renderings. *)
+
+val pp_rows : ?indent:int -> (string * t) list list -> string
+(** Aligned columnar table: header from the first row's keys, then one
+    line per row, columns padded to fit. Rows missing a column render
+    ["-"]. Empty input renders the empty string. *)
+
 val equal : t -> t -> bool
 (** Structural equality; object fields compare order-insensitively. *)

@@ -106,6 +106,66 @@ let console ?(oc = stderr) () =
   in
   { emit; flush = (fun () -> Stdlib.flush oc); close }
 
+(* --- live progress line ------------------------------------------------ *)
+
+let progress ?(oc = stdout) ?(tty = true) () =
+  let nodes = ref 0 in
+  let nps = ref nan in
+  let pct = ref nan in
+  let eta = ref nan in
+  let est = ref nan in
+  let painted = ref false in
+  let render () =
+    let b = Buffer.create 96 in
+    Buffer.add_string b (Printf.sprintf "search: %d nodes" !nodes);
+    if not (Float.is_nan !nps) then
+      Buffer.add_string b
+        (if !nps >= 1e6 then Printf.sprintf " | %.1fM nodes/s" (!nps /. 1e6)
+         else Printf.sprintf " | %.0f nodes/s" !nps);
+    if not (Float.is_nan !pct) then
+      Buffer.add_string b (Printf.sprintf " | %5.1f%%" (100. *. !pct));
+    if not (Float.is_nan !eta) then
+      Buffer.add_string b
+        (if !eta >= 3600. then Printf.sprintf " | eta %.1fh" (!eta /. 3600.)
+         else if !eta >= 60. then Printf.sprintf " | eta %.1fm" (!eta /. 60.)
+         else Printf.sprintf " | eta %.0fs" !eta);
+    if not (Float.is_nan !est) then
+      Buffer.add_string b (Printf.sprintf " | ~%.0f states" !est);
+    Buffer.contents b
+  in
+  let repaint () =
+    let line = render () in
+    if tty then begin
+      (* rewrite in place, padded so a shrinking line leaves no tail *)
+      let w = max (String.length line) 78 in
+      Printf.fprintf oc "\r%-*s" w line;
+      Stdlib.flush oc
+    end
+    else begin
+      output_string oc line;
+      output_char oc '\n';
+      Stdlib.flush oc
+    end;
+    painted := true
+  in
+  let emit (e : Event.t) =
+    match e.Event.payload with
+    | Event.Counter ("explore.nodes", v) -> nodes := v
+    | Event.Gauge ("explore.nodes_per_sec", v) -> nps := v
+    | Event.Gauge ("explore.progress", v) -> pct := v
+    | Event.Gauge ("explore.eta_s", v) -> eta := v
+    | Event.Gauge ("explore.est_total", v) -> est := v
+    | Event.Instant ("explore.heartbeat", _) -> repaint ()
+    | _ -> ()
+  in
+  let close () =
+    if !painted then begin
+      if tty then output_char oc '\n';
+      Stdlib.flush oc
+    end
+  in
+  { emit; flush = (fun () -> Stdlib.flush oc); close }
+
 (* --- chrome trace ------------------------------------------------------ *)
 
 (* Shared by this sink and Execution.Chrome: render one trace event.

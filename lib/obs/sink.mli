@@ -29,6 +29,16 @@ val console : ?oc:out_channel -> unit -> t
     table on [close]. Default channel: [stderr], so it composes with
     commands that print results on stdout. *)
 
+val progress : ?oc:out_channel -> ?tty:bool -> unit -> t
+(** Live one-line search progress. Consumes the explorer's heartbeat
+    telemetry — the [explore.nodes] counter, the [explore.nodes_per_sec]
+    / [explore.progress] / [explore.eta_s] / [explore.est_total] gauges
+    — and repaints on each [explore.heartbeat] instant. With [tty]
+    (default) the line is rewritten in place with ['\r'] and the final
+    [close] emits the newline; without, each heartbeat appends a plain
+    line (log-friendly). Progress/ETA fields appear only when the
+    estimator is running. Default channel: [stdout]. *)
+
 val chrome_event :
   name:string ->
   cat:string ->

@@ -175,3 +175,12 @@ let make ?(model = Cc_wb) ?(ordering = Tso) ?(max_passages = 1)
   { n; model; ordering; layout; entry; exit_section; max_passages;
     rmw_drains; check_exclusion; record_trace; crash_semantics; recovery;
     abort_section; engine; pure_programs; store }
+
+let summary c =
+  Printf.sprintf
+    "n=%d model=%s ordering=%s passages=%d engine=%s store=%s crash=%s%s%s"
+    c.n (mem_model_name c.model) (ordering_name c.ordering) c.max_passages
+    (engine_name c.engine) (store_mode_name c.store)
+    (crash_semantics_name c.crash_semantics)
+    (if c.recovery = None then "" else " recovery")
+    (if c.abort_section = None then "" else " abortable")

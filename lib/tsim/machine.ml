@@ -522,6 +522,10 @@ let sec_of_code = function
   | 4 -> Crashed
   | _ -> Aborting
 
+let section_code = sec_code
+
+(* moved below pending_hash: the interpreter fallback reuses it *)
+
 (* Pending-event term of the fingerprint. Folds one code per event shape
    (Enter=1, CS=2, Exit=3, done=4, read=5·v, issue=6·v·x, begin-fence=7,
    end-fence=8, commit=9·v, rmw-fence=10, cas=11·v·e·d, faa=12·v·d,
@@ -561,6 +565,21 @@ let pending_hash m p h =
               if rmw_needs_fence then mix h 10
               else mix (mix (mix h 13) v) x
           | Prog.Abortable b -> mix (mix h 16) (if b then 1 else 0)))
+
+(* Profiling location digest. The compiled engine's pc is exact; the
+   interpreter fallback digests the {e pending operation} (op kind,
+   variable, static operands — exactly [pending_hash]'s classification)
+   rather than hashing the continuation structurally: a handful of
+   integer mixes instead of a heap traversal, which matters on a hook
+   that runs once per search node (the structural hash alone measured
+   ~25% of the whole search). The granularity is that of a sampling
+   profiler — "about to read flag[1] in entry" — so distinct program
+   points issuing the identical operation share a cell, which costs
+   label resolution, never correctness. *)
+let loc_key m p =
+  let pr = m.procs.(p) in
+  if pr.pc >= 0 then pr.pc
+  else zfin (pending_hash m p fnv_basis)
 
 (* Non-capturing buffer fold (a closure over [Wbuf.iter] would allocate
    per call). *)

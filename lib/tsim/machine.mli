@@ -29,6 +29,10 @@ type section =
 
 val section_name : section -> string
 
+val section_code : section -> int
+(** Dense code in the order of the constructors above ([Ncs] = 0 ...
+    [Aborting] = 5); the fingerprint and the profiler share it. *)
+
 (** Per-passage cost summary, logged at each Exit. *)
 type passage_stats = {
   p_rmrs : int;
@@ -187,6 +191,14 @@ val accessed_set : t -> Var.t -> Pidset.t
 val awareness : t -> Pid.t -> Pidset.t
 val section : t -> Pid.t -> section
 val is_remote : t -> Pid.t -> Var.t -> bool
+
+val loc_key : t -> Pid.t -> int
+(** Stable program-location key of the process: the compiled pc when
+    the process is on the compiled path ([proc.pc >= 0]), otherwise the
+    structural continuation digest ({!Compile.hash_cont} — the same
+    value the compiled engine caches at interning, so a location keys
+    identically across engines). The profiler's location axis. *)
+
 val passages : t -> Pid.t -> int
 val fences_completed : t -> Pid.t -> int
 (** EndFence events executed by the process. *)
