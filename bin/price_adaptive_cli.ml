@@ -8,6 +8,8 @@
      adversary <name> [...]        run the lower-bound construction
      bounds [...]                  Theorem 1 forced-fence computation
      verify <name> [...]           exhaustive schedule exploration (small n)
+     campaign [...]                cached batch verification over a scenario
+                                   grid, with adaptive frontier bracketing
      replay <name> FILE [...]      replay a saved schedule file
      stats <name> FILE [...]       replay a schedule, print the cost breakdown
      trace <name> -o FILE [...]    save an execution trace artifact
@@ -1001,6 +1003,254 @@ let profile_cmd =
   let doc = "Operations on saved search profiles." in
   Cmd.group (Cmd.info "profile" ~doc) [ profile_diff_cmd ]
 
+(* --- campaign ------------------------------------------------------------ *)
+
+let campaign_cmd =
+  let doc =
+    "Run a batch verification campaign: a scenario grid of whole \
+     searches scheduled across domains, a persistent result cache that \
+     makes re-runs and resumes skip completed cells, and adaptive \
+     bracketing of phase-transition frontiers (smallest n forcing k \
+     fences, largest exhaustively-checkable n, smallest fault budget \
+     refuting a lock)."
+  in
+  let grids =
+    Arg.(
+      value & opt_all string []
+      & info [ "grid" ] ~docv:"SPEC"
+          ~doc:
+            "scenario grid: field=v1,v2,... tokens separated by spaces \
+             or ';', integer fields accepting a-b ranges; the grid is \
+             the cartesian product of all dimensions. Fields: kind \
+             (verify, adversary), lock, n, model, ord, pass, crashes, \
+             aborts, csem, store, por. Example: 'lock=tas,ticket n=2-3 \
+             crashes=0,1'. Repeatable")
+  in
+  let brackets =
+    Arg.(
+      value & opt_all string []
+      & info [ "bracket" ] ~docv:"SPEC"
+          ~doc:
+            "frontier search: a goal (min-n-fences with k=, \
+             max-exhaustive-n, min-crashes-refute, min-aborts-refute) \
+             followed by base-cell fields and lo=/hi= bounds. Example: \
+             'min-n-fences lock=tournament k=6 lo=2 hi=17'. Probes are \
+             ordinary cells and land in the cache. Repeatable")
+  in
+  let cache_path =
+    Arg.(
+      value & opt string "campaign.cache.ndjson"
+      & info [ "cache" ] ~docv:"FILE"
+          ~doc:"persistent result cache (NDJSON, appended as cells finish)")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "load completed cells from the cache file and skip them; \
+             without this flag the cache is truncated (cold run). \
+             Corrupt lines are skipped, a version/salt mismatch discards \
+             the whole file — never trusted silently")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "worker domains; cells are dealt onto per-worker \
+             work-stealing deques and each cell runs as one sequential \
+             search, so reports are identical at any job count")
+  in
+  let max_nodes =
+    Arg.(
+      value & opt int 200_000
+      & info [ "max-nodes" ]
+          ~doc:
+            "per-cell node budget cap; cells start at a small slice and \
+             escalate 4x on budget-limited partial verdicts")
+  in
+  let max_millis =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-millis" ]
+          ~doc:
+            "per-cell wall-clock budget in milliseconds (outcomes cut \
+             by it are reported but never cached)")
+  in
+  let spin_fuel =
+    Arg.(
+      value & opt int 6
+      & info [ "spin-fuel" ]
+          ~doc:
+            "busy-wait bound, one value for the whole campaign (cells \
+             share the simulator's spin-fuel setting)")
+  in
+  let report =
+    Arg.(
+      value & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "write the machine-readable JSON report to $(docv): \
+             versioned, cells in canonical key order, free of timings \
+             and cache provenance — byte-identical across cold/warm \
+             runs and job counts. Written (marked incomplete) on \
+             interrupt too")
+  in
+  let dry_run =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:
+            "list the planned cells in schedule order with budgets and \
+             exit without running anything")
+  in
+  let validate =
+    Arg.(
+      value & opt (some string) None
+      & info [ "validate-report" ] ~docv:"FILE"
+          ~doc:
+            "validate $(docv) against the report schema and exit (0 \
+             valid, 2 invalid); no cells are run")
+  in
+  let run grids brackets cache_path resume jobs max_nodes max_millis
+      spin_fuel report dry_run validate obs_opts =
+    (match validate with
+    | Some path ->
+        let contents =
+          try
+            let ic = open_in path in
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          with Sys_error msg -> die2 "%s" msg
+        in
+        (match Obs.Json.parse contents with
+        | Error e -> die2 "%s: not JSON: %s" path e
+        | Ok j -> (
+            match Campaign.Driver.validate_report j with
+            | Ok () ->
+                Printf.printf "%s: valid campaign report\n" path;
+                exit 0
+            | Error m -> die2 "%s: %s" path m))
+    | None -> ());
+    if jobs < 1 then die2 "--jobs must be >= 1";
+    if max_nodes < 1 then die2 "--max-nodes must be >= 1";
+    if grids = [] && brackets = [] then
+      die2 "nothing to do: give at least one --grid or --bracket";
+    let grid =
+      List.concat_map
+        (fun spec ->
+          match Campaign.Driver.parse_grid spec with
+          | Ok cells -> cells
+          | Error m -> die2 "--grid %S: %s" spec m)
+        grids
+    in
+    let brackets =
+      List.map
+        (fun spec ->
+          match Campaign.Driver.parse_bracket spec with
+          | Ok b -> b
+          | Error m -> die2 "--bracket %S: %s" spec m)
+        brackets
+    in
+    let plan = { Campaign.Driver.grid; brackets } in
+    let planned = Campaign.Driver.planned grid in
+    if dry_run then begin
+      (try List.iter Campaign.Runner.resolve planned with
+      | Campaign.Runner.Bad_cell m -> die2 "%s" m);
+      Printf.printf "%d cells, %d brackets, cap %d nodes/cell:\n"
+        (List.length planned) (List.length brackets) max_nodes;
+      List.iter
+        (fun c ->
+          Printf.printf "  %-72s cost~%.0f\n" (Campaign.Cell.key c)
+            (Campaign.Cell.cost_hint c))
+        planned;
+      List.iter
+        (fun (b : Campaign.Driver.bracket_spec) ->
+          Printf.printf "  bracket %s over [%d, %d] of %s\n"
+            (Campaign.Driver.goal_name b.Campaign.Driver.goal)
+            b.Campaign.Driver.lo b.Campaign.Driver.hi
+            (Campaign.Cell.key b.Campaign.Driver.base))
+        brackets;
+      exit 0
+    end;
+    let cache, cstats = Campaign.Cache.open_file ~resume cache_path in
+    if resume then begin
+      Printf.printf "cache: %d cells loaded from %s%s\n"
+        cstats.Campaign.Cache.loaded cache_path
+        (if cstats.Campaign.Cache.skipped > 0 then
+           Printf.sprintf " (%d corrupt lines skipped)"
+             cstats.Campaign.Cache.skipped
+         else "");
+      if cstats.Campaign.Cache.invalid_header then
+        print_endline
+          "cache: header missing or version/salt mismatch — discarded, \
+           recomputing everything"
+    end;
+    (* ctrl-C finishes the cells in flight, flushes the cache, and exits
+       3 with a partial (complete=false) report *)
+    let stop = Atomic.make false in
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle (fun _ -> Atomic.set stop true));
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Fun.protect
+        ~finally:(fun () -> Campaign.Cache.close cache)
+        (fun () ->
+          try
+            with_obs obs_opts (fun obs ->
+                Campaign.Driver.run ~jobs ~max_nodes ?max_millis ~spin_fuel
+                  ~stop ~obs ~cache plan)
+          with Campaign.Runner.Bad_cell m -> die2 "%s" m)
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let tally pred =
+      List.length
+        (List.filter
+           (fun cr -> pred cr.Campaign.Driver.outcome.Campaign.Cell.verdict)
+           r.Campaign.Driver.cells)
+    in
+    Printf.printf
+      "campaign: %d cells in %.2fs (%d executed, %d from cache) — %d \
+       verified, %d violations, %d partial, %d fence counts\n"
+      (List.length r.Campaign.Driver.cells)
+      dt r.Campaign.Driver.executed r.Campaign.Driver.hits
+      (tally (function Campaign.Cell.Verified -> true | _ -> false))
+      (tally (function Campaign.Cell.Violation _ -> true | _ -> false))
+      (tally (function Campaign.Cell.Partial _ -> true | _ -> false))
+      (tally (function Campaign.Cell.Fences _ -> true | _ -> false));
+    List.iter
+      (fun (br : Campaign.Driver.bracket_result) ->
+        Printf.printf "bracket %s of %s over [%d, %d]: %s (%d probes)\n"
+          (Campaign.Driver.goal_name br.Campaign.Driver.spec.Campaign.Driver.goal)
+          (Campaign.Cell.key br.Campaign.Driver.spec.Campaign.Driver.base)
+          br.Campaign.Driver.spec.Campaign.Driver.lo
+          br.Campaign.Driver.spec.Campaign.Driver.hi
+          (match br.Campaign.Driver.answer with
+          | Some a -> string_of_int a
+          | None -> "no frontier in range")
+          br.Campaign.Driver.evals)
+      r.Campaign.Driver.brackets;
+    (match report with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Obs.Json.to_string (Campaign.Driver.report_json r));
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "report -> %s\n" path
+    | None -> ());
+    if r.Campaign.Driver.interrupted then begin
+      print_endline "interrupted: partial results cached and reported";
+      exit 3
+    end
+  in
+  Cmd.v (Cmd.info "campaign" ~doc)
+    Term.(
+      const run $ grids $ brackets $ cache_path $ resume $ jobs $ max_nodes
+      $ max_millis $ spin_fuel $ report $ dry_run $ validate $ obs_term)
+
 (* --- litmus -------------------------------------------------------------- *)
 
 let litmus_cmd =
@@ -1056,8 +1306,8 @@ let () =
       Cmd.eval
         (Cmd.group info
            [ list_cmd; lock_cmd; adversary_cmd; bounds_cmd; verify_cmd;
-             replay_cmd; stats_cmd; trace_cmd; analyze_cmd; show_cmd;
-             profile_cmd; litmus_cmd ])
+             campaign_cmd; replay_cmd; stats_cmd; trace_cmd; analyze_cmd;
+             show_cmd; profile_cmd; litmus_cmd ])
     with
     | Sys_error msg ->
         prerr_endline msg;

@@ -1,0 +1,135 @@
+(* Append-only NDJSON result cache; see the interface for the
+   tolerance contract. The writer keeps the channel open in append mode
+   and flushes after every line, so completed cells survive any kill. *)
+
+type stats = { loaded : int; skipped : int; invalid_header : bool }
+
+type t = {
+  table : (string, Cell.outcome) Hashtbl.t;
+  oc : out_channel option;
+}
+
+let format_name = "price_adaptive.campaign.cache"
+let version = 1
+
+let header_json () =
+  Obs.Json.Obj
+    [
+      ("format", Obs.Json.String format_name);
+      ("version", Obs.Json.Int version);
+      ("salt", Obs.Json.String Cell.code_salt);
+    ]
+
+let header_ok line =
+  match Obs.Json.parse line with
+  | Error _ -> false
+  | Ok j ->
+      Obs.Json.member "format" j = Some (Obs.Json.String format_name)
+      && Obs.Json.member "version" j = Some (Obs.Json.Int version)
+      && Obs.Json.member "salt" j = Some (Obs.Json.String Cell.code_salt)
+
+let in_memory () = { table = Hashtbl.create 64; oc = None }
+
+let entry_of_line line =
+  match Obs.Json.parse line with
+  | Error _ -> None
+  | Ok j -> (
+      match (Obs.Json.member "key" j, Obs.Json.member "outcome" j) with
+      | Some (Obs.Json.String key), Some oj -> (
+          match Cell.outcome_of_json oj with
+          | Ok o -> Some (key, o)
+          | Error _ -> None)
+      | _ -> None)
+
+let read_lines path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !lines
+
+let open_file ~resume path =
+  let table = Hashtbl.create 64 in
+  let fresh () =
+    (* truncate and start over: cold run, or an untrusted header *)
+    let oc = open_out path in
+    output_string oc (Obs.Json.to_string (header_json ()));
+    output_char oc '\n';
+    flush oc;
+    oc
+  in
+  if not resume then
+    ({ table; oc = Some (fresh ()) }, { loaded = 0; skipped = 0;
+                                        invalid_header = false })
+  else
+    match read_lines path with
+    | [] ->
+        (* nonexistent or empty: indistinguishable from a cold start *)
+        ( { table; oc = Some (fresh ()) },
+          { loaded = 0; skipped = 0; invalid_header = false } )
+    | header :: rest when header_ok header ->
+        let skipped = ref 0 in
+        List.iter
+          (fun line ->
+            if String.trim line <> "" then
+              match entry_of_line line with
+              | Some (key, o) -> Hashtbl.replace table key o
+              | None -> incr skipped)
+          rest;
+        let oc =
+          open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
+        in
+        (* heal a torn tail: a kill mid-write leaves the file without a
+           trailing newline, and appending straight after it would glue
+           the next entry onto the torn line, losing both *)
+        (try
+           let ic = open_in_bin path in
+           let len = in_channel_length ic in
+           let torn =
+             len > 0
+             && (seek_in ic (len - 1);
+                 input_char ic <> '\n')
+           in
+           close_in ic;
+           if torn then begin
+             output_char oc '\n';
+             flush oc
+           end
+         with Sys_error _ -> ());
+        ( { table; oc = Some oc },
+          { loaded = Hashtbl.length table; skipped = !skipped;
+            invalid_header = false } )
+    | _ ->
+        (* wrong format, version or salt: never trust a single entry *)
+        ( { table; oc = Some (fresh ()) },
+          { loaded = 0; skipped = 0; invalid_header = true } )
+
+let find t key = Hashtbl.find_opt t.table key
+
+let add t key outcome =
+  Hashtbl.replace t.table key outcome;
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+      output_string oc
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("key", Obs.Json.String key);
+                ("outcome", Cell.outcome_to_json outcome);
+              ]));
+      output_char oc '\n';
+      flush oc
+
+let entries t = Hashtbl.length t.table
+
+let close t =
+  match t.oc with
+  | None -> ()
+  | Some oc -> ( try close_out oc with Sys_error _ -> ())

@@ -108,6 +108,14 @@ module Mcheck = struct
   module Explore = Mcheck.Explore
 end
 
+module Campaign = struct
+  module Cell = Campaign.Cell
+  module Cache = Campaign.Cache
+  module Bracket = Campaign.Bracket
+  module Runner = Campaign.Runner
+  module Driver = Campaign.Driver
+end
+
 module Bounds = struct
   module Logspace = Bounds.Logspace
   module Adaptivity = Bounds.Adaptivity

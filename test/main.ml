@@ -31,4 +31,5 @@ let () =
       ("obs", Suite_obs.suite);
       ("profile", Suite_profile.suite);
       ("twoproc", Suite_twoproc.suite);
+      ("campaign", Suite_campaign.suite);
     ]
